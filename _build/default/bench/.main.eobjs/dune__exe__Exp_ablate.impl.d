@@ -1,0 +1,1 @@
+bench/exp_ablate.ml: Array Cm_gatekeeper Cm_json Cm_laser Cm_mobileconfig Cm_sim Cm_thrift Cm_vcs Cm_zeus Core Hashtbl List Printf Render Unix

@@ -1,0 +1,1 @@
+bench/exp_commits.ml: Array Cm_sim Cm_workload List Printf Render

@@ -1,0 +1,1 @@
+bench/exp_fig13.ml: Array Cm_vcs List Printf Render Unix

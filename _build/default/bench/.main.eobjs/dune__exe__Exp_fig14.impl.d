@@ -1,0 +1,1 @@
+bench/exp_fig14.ml: Array Cm_sim Cm_vcs Cm_workload Cm_zeus Core Float Hashtbl Printf Render String

@@ -1,0 +1,1 @@
+bench/exp_fig15.ml: Array Cm_gatekeeper Cm_sim Float Printf Render Unix

@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Array Bechamel Benchmark Cm_gatekeeper Cm_json Cm_sim Cm_thrift Cm_vcs Core Float Hashtbl List Measure Printf Render Staged String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/exp_pv.ml: Cm_packagevessel Cm_sim List Printf Render

@@ -1,0 +1,1 @@
+bench/exp_tab4.ml: Cm_sim Core Hashtbl Option Render

@@ -1,0 +1,1 @@
+bench/exp_usage.ml: Array Cm_sim Cm_workload Lazy List Printf Render

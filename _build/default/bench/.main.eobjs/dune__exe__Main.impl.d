@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablate Exp_commits Exp_fig13 Exp_fig14 Exp_fig15 Exp_micro Exp_pv Exp_tab4 Exp_usage List Printf String Sys

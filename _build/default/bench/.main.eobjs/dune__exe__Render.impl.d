@@ -1,0 +1,1 @@
+bench/render.ml: Array Float List Printf String

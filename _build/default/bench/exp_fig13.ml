@@ -1,0 +1,110 @@
+(* Figure 13 (§6.3): maximum commit throughput as a function of
+   repository size — MEASURED wall-clock against our content-addressed
+   store, which (like git) does per-commit work that grows with the
+   number of files.  Includes the §3.6 remedy: partitioning the
+   namespace over multiple repositories that commit concurrently. *)
+
+module Repo = Cm_vcs.Repo
+module Multirepo = Cm_vcs.Multirepo
+
+let build_repo nfiles =
+  let repo = Repo.create () in
+  let changes =
+    List.init nfiles (fun i ->
+        Printf.sprintf "configs/dir%02d/cfg_%06d.json" (i mod 50) i,
+        Some (Printf.sprintf {|{"id":%d,"v":1}|} i))
+  in
+  ignore (Repo.commit repo ~author:"seed" ~message:"import" ~timestamp:0.0 changes);
+  repo
+
+let time f =
+  let start = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. start
+
+(* Commits/minute when pushing single-file updates back to back. *)
+let measure_throughput repo ~commits =
+  let elapsed =
+    time (fun () ->
+        for i = 1 to commits do
+          ignore
+            (Repo.commit repo ~author:"bench" ~message:"update" ~timestamp:(float_of_int i)
+               [ Printf.sprintf "configs/dir%02d/cfg_%06d.json" (i mod 50) (i mod 1000),
+                 Some (Printf.sprintf {|{"id":%d,"v":%d}|} i i) ])
+        done)
+  in
+  float_of_int commits /. elapsed *. 60.0
+
+let run () =
+  Render.section "fig13" "Figure 13: max commit throughput vs repository size (measured)";
+  let sizes = [ 2_000; 10_000; 40_000; 120_000; 300_000 ] in
+  let rows =
+    List.map
+      (fun nfiles ->
+        let repo = build_repo nfiles in
+        let throughput = measure_throughput repo ~commits:30 in
+        let latency = 60.0 /. throughput in
+        nfiles, throughput, latency)
+      sizes
+  in
+  Render.table
+    ~header:[ "files in repo"; "commits/min"; "latency (s)" ]
+    (List.map
+       (fun (nfiles, throughput, latency) ->
+         [ string_of_int nfiles; Printf.sprintf "%.0f" throughput;
+           Printf.sprintf "%.4f" latency ])
+       rows);
+  Render.series ~label:"throughput" ~unit:" c/min"
+    (Array.of_list (List.map (fun (_, t, _) -> t) rows));
+  let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+  let _, t0, _ = first and n1, t1, _ = last in
+  Render.table
+    ~header:[ "claim"; "paper"; "measured" ]
+    [
+      [ "throughput falls as the repo grows"; "~250 -> ~50 commits/min over 1M files";
+        Printf.sprintf "%.0f -> %.0f commits/min at %d files" t0 t1 n1 ];
+      [ "cause"; "git operation time grows with file count";
+        "per-commit tree rebuild is O(files)" ];
+    ];
+
+  (* The remedy: a partitioned namespace.  Same total size, but each
+     partition commits independently (and, in production, in
+     parallel): aggregate throughput is the sum. *)
+  let partitions = 8 in
+  let total_files = 120_000 in
+  let multi =
+    Multirepo.create
+      ~partitions:(List.init partitions (fun i -> Printf.sprintf "p%d/" i))
+  in
+  let changes =
+    List.init total_files (fun i ->
+        Printf.sprintf "p%d/cfg_%06d.json" (i mod partitions) i,
+        Some (Printf.sprintf {|{"id":%d}|} i))
+  in
+  ignore (Multirepo.commit multi ~author:"seed" ~message:"import" ~timestamp:0.0 changes);
+  let per_partition_commits = 12 in
+  let elapsed =
+    time (fun () ->
+        for i = 1 to partitions * per_partition_commits do
+          ignore
+            (Multirepo.commit multi ~author:"bench" ~message:"update"
+               ~timestamp:(float_of_int i)
+               [ Printf.sprintf "p%d/cfg_%06d.json" (i mod partitions) (i mod 1000),
+                 Some (Printf.sprintf {|{"v":%d}|} i) ])
+        done)
+  in
+  (* Partitions are independent; concurrent landing strips would
+     overlap their work.  Serial-measured time / partitions bounds the
+     parallel wall clock. *)
+  let serial = float_of_int (partitions * per_partition_commits) /. elapsed *. 60.0 in
+  let single = measure_throughput (build_repo total_files) ~commits:30 in
+  Render.table
+    ~header:[ "setup (120k files)"; "commits/min" ]
+    [
+      [ "single shared repository"; Printf.sprintf "%.0f" single ];
+      [ Printf.sprintf "%d partitions, serialized" partitions; Printf.sprintf "%.0f" serial ];
+      [ Printf.sprintf "%d partitions, concurrent (xN bound)" partitions;
+        Printf.sprintf "%.0f" (serial *. float_of_int partitions) ];
+    ];
+  Render.note
+    "paper §3.6: multiple smaller git repositories collectively serve a partitioned namespace"

@@ -1,0 +1,73 @@
+(* §6.4's incident table: inject configuration errors of the three
+   types through the defense-in-depth pipeline (validators -> code
+   review -> small canary -> cluster canary) and report where each was
+   caught and the type mix of the escapes — the paper's production
+   incidents split Type I 42% / Type II 36% / Type III 22%. *)
+
+module Faults = Core.Faults
+module Canary = Core.Canary
+module Engine = Cm_sim.Engine
+module Topology = Cm_sim.Topology
+
+type caught_at = Validator | Review | Canary_small | Canary_cluster | Escaped
+
+let run_one rng injected =
+  if injected.Faults.validator_visible then Validator
+  else if injected.Faults.reviewer_catches then Review
+  else begin
+    let engine = Engine.create ~seed:(Cm_sim.Rng.bits64 rng) () in
+    let topo =
+      Topology.create ~regions:2 ~clusters_per_region:2 ~nodes_per_cluster:100
+    in
+    match Canary.run_sync engine topo ~sampler:injected.Faults.sampler with
+    | Canary.Failed f when f.Canary.failed_phase = "p1-20-servers" -> Canary_small
+    | Canary.Failed _ -> Canary_cluster
+    | Canary.Passed -> Escaped
+  end
+
+let run () =
+  Render.section "tab4" "§6.4: configuration-error defense in depth (injected faults)";
+  let rng = Cm_sim.Rng.create 64L in
+  let n = 1500 in
+  let caught = Hashtbl.create 8 in
+  let escaped = Hashtbl.create 4 in
+  let bump table key =
+    Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+  in
+  for _ = 1 to n do
+    let injected = Faults.inject rng Faults.default_rates in
+    let outcome = run_one rng injected in
+    bump caught outcome;
+    if outcome = Escaped then bump escaped injected.Faults.etype
+  done;
+  let count table key = Option.value ~default:0 (Hashtbl.find_opt table key) in
+  let layer_row label key =
+    [ label; string_of_int (count caught key);
+      Render.pctf (float_of_int (count caught key) /. float_of_int n) ]
+  in
+  Render.table
+    ~header:[ "defense layer"; "errors caught"; "share of injected" ]
+    [
+      layer_row "compiler validators" Validator;
+      layer_row "code review" Review;
+      layer_row "canary phase 1 (20 servers)" Canary_small;
+      layer_row "canary phase 2 (full cluster)" Canary_cluster;
+      layer_row "escaped to production (incident)" Escaped;
+    ];
+  let total_escaped = count caught Escaped in
+  let mix etype =
+    if total_escaped = 0 then 0.0
+    else float_of_int (count escaped etype) /. float_of_int total_escaped
+  in
+  Render.table
+    ~header:[ "incident type"; "paper"; "measured" ]
+    [
+      [ "Type I: common config errors"; "42%"; Render.pctf (mix Faults.Type_i) ];
+      [ "Type II: subtle config errors"; "36%"; Render.pctf (mix Faults.Type_ii) ];
+      [ "Type III: valid config exposing code bugs"; "22%"; Render.pctf (mix Faults.Type_iii) ];
+    ];
+  Render.note
+    "each layer catches what the previous ones structurally cannot: validators see declared";
+  Render.note
+    "invariants, reviewers see diffs, the 20-server canary sees error spikes, and only the";
+  Render.note "cluster-scale canary sees load-dependent (Type II) pathologies"

@@ -1,0 +1,49 @@
+(* Experiment harness: regenerates every table and figure of the
+   paper's evaluation (§6) plus the design-choice ablations.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --list       # experiment ids
+     dune exec bench/main.exe -- --only fig13 # one experiment  *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    "fig7", "config population growth", Exp_usage.fig7;
+    "fig8", "config size CDF", Exp_usage.fig8;
+    "fig9", "config freshness CDF", Exp_usage.fig9;
+    "fig10", "age at update CDF", Exp_usage.fig10;
+    "tab1", "updates per config", Exp_usage.tab1;
+    "tab2", "line changes per update", Exp_usage.tab2;
+    "tab3", "co-authors per config", Exp_usage.tab3;
+    "fig11", "daily commit throughput", Exp_commits.fig11;
+    "fig12", "hourly commit throughput", Exp_commits.fig12;
+    "fig13", "commit throughput vs repo size (measured)", Exp_fig13.run;
+    "fig14", "commit-to-fleet propagation latency (simulated)", Exp_fig14.run;
+    "fig15", "Gatekeeper check throughput", Exp_fig15.run;
+    "tab4", "error defense in depth", Exp_tab4.run;
+    "pv", "PackageVessel distribution", Exp_pv.run;
+    "ablate-pushpull", "push vs pull distribution", Exp_ablate.push_pull;
+    "ablate-gkopt", "Gatekeeper optimizer", Exp_ablate.gk_optimizer;
+    "ablate-landing", "landing strip vs direct commits", Exp_ablate.landing;
+    "ablate-mobile", "mobile hybrid pull+push", Exp_ablate.mobile;
+    "micro", "Bechamel microbenchmarks", Exp_micro.run;
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "--list" :: _ ->
+      List.iter (fun (id, title, _) -> Printf.printf "%-16s %s\n" id title) experiments
+  | _ :: "--only" :: ids ->
+      let unknown = List.filter (fun id -> not (List.exists (fun (i, _, _) -> i = id) experiments)) ids in
+      if unknown <> [] then begin
+        Printf.eprintf "unknown experiment(s): %s\n" (String.concat ", " unknown);
+        exit 1
+      end;
+      List.iter
+        (fun (id, _, run) -> if List.mem id ids then run ())
+        experiments
+  | _ ->
+      print_endline "Holistic Configuration Management (SOSP'15) - evaluation reproduction";
+      print_endline "Paper values are quoted next to measured/simulated values.";
+      List.iter (fun (_, _, run) -> run ()) experiments;
+      print_endline "\nAll experiments complete. See EXPERIMENTS.md for the index."

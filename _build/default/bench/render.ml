@@ -1,0 +1,76 @@
+(* Plain-text rendering for the experiment harness: section headers,
+   aligned tables, and ascii sparklines for time series. *)
+
+let section id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "[%s] %s\n" id title;
+  Printf.printf "================================================================\n"
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+let kv key value = Printf.printf "  %-46s %s\n" key value
+
+let table ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let width col =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row col with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let print_row row =
+    Printf.printf "  ";
+    List.iteri
+      (fun col w ->
+        let cell = match List.nth_opt row col with Some c -> c | None -> "" in
+        if col = 0 then Printf.printf "%-*s  " w cell else Printf.printf "%*s  " w cell)
+      widths;
+    print_newline ()
+  in
+  print_row header;
+  Printf.printf "  %s\n" (String.make (List.fold_left ( + ) (2 * ncols) widths) '-');
+  List.iter print_row rows
+
+let pct v = Printf.sprintf "%.1f%%" v
+let pctf v = Printf.sprintf "%.1f%%" (100.0 *. v)
+let secs v = Printf.sprintf "%.1fs" v
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+
+let bytes v =
+  if v >= 1 lsl 30 then Printf.sprintf "%.1fGB" (float_of_int v /. 1073741824.0)
+  else if v >= 1 lsl 20 then Printf.sprintf "%.1fMB" (float_of_int v /. 1048576.0)
+  else if v >= 1024 then Printf.sprintf "%.1fKB" (float_of_int v /. 1024.0)
+  else Printf.sprintf "%dB" v
+
+(* Ascii sparkline over a series of (x, y). *)
+let spark values =
+  let glyphs = [| " "; "."; ":"; "-"; "="; "+"; "*"; "#" |] in
+  let lo, hi =
+    Array.fold_left
+      (fun (lo, hi) v -> Float.min lo v, Float.max hi v)
+      (infinity, neg_infinity) values
+  in
+  if Array.length values = 0 || hi <= lo then String.make (Array.length values) '#'
+  else
+    String.concat ""
+      (Array.to_list
+         (Array.map
+            (fun v ->
+              let idx =
+                int_of_float ((v -. lo) /. (hi -. lo) *. float_of_int (Array.length glyphs - 1))
+              in
+              glyphs.(max 0 (min (Array.length glyphs - 1) idx)))
+            values))
+
+let series ~label ~unit values =
+  let lo, hi =
+    Array.fold_left
+      (fun (lo, hi) v -> Float.min lo v, Float.max hi v)
+      (infinity, neg_infinity) values
+  in
+  Printf.printf "  %-24s |%s|  min %.1f%s max %.1f%s\n" label (spark values) lo unit hi unit

@@ -1,0 +1,199 @@
+(* The `configerator` command-line tool: the developer-facing entry
+   point an engineer uses on a checkout of the config repository
+   (paper Figure 3, "Development Server").
+
+     configerator check    --tree DIR             # compile everything, report errors
+     configerator compile  --tree DIR -o OUT [P]  # write JSON artifacts
+     configerator deps     --tree DIR PATH        # imports + dependents of one file
+     configerator affected --tree DIR PATH...     # configs to recompile after edits
+     configerator gk-check PROJECT.json --user-id N [--employee] ...
+                                                  # evaluate a Gatekeeper project *)
+
+open Cmdliner
+
+(* --- loading a tree from disk ---------------------------------------- *)
+
+let rec walk dir prefix acc =
+  Array.fold_left
+    (fun acc entry ->
+      let full = Filename.concat dir entry in
+      let rel = if prefix = "" then entry else prefix ^ "/" ^ entry in
+      if Sys.is_directory full then walk full rel acc else (rel, full) :: acc)
+    acc (Sys.readdir dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  data
+
+let load_tree dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "%s is not a directory" dir)
+  else begin
+    let tree = Core.Source_tree.create () in
+    List.iter
+      (fun (rel, full) -> Core.Source_tree.write tree rel (read_file full))
+      (walk dir "" []);
+    Ok tree
+  end
+
+let tree_arg =
+  let doc = "Directory holding the config sources (.cconf/.cinc/.thrift/...)." in
+  Arg.(value & opt string "." & info [ "tree"; "t" ] ~docv:"DIR" ~doc)
+
+(* --- check / compile -------------------------------------------------- *)
+
+let print_errors errors =
+  List.iter (fun e -> Printf.eprintf "error: %s\n" (Format.asprintf "%a" Core.Compiler.pp_error e)) errors
+
+let run_check tree_dir =
+  match load_tree tree_dir with
+  | Error message ->
+      Printf.eprintf "error: %s\n" message;
+      1
+  | Ok tree ->
+      let compiler = Core.Compiler.create tree in
+      let compiled, errors = Core.Compiler.compile_all compiler in
+      Printf.printf "%d source files, %d configs compiled, %d errors\n"
+        (Core.Source_tree.count tree) (List.length compiled) (List.length errors);
+      print_errors errors;
+      if errors = [] then 0 else 1
+
+let check_cmd =
+  let doc = "Compile every config in the tree and report errors." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run_check $ tree_arg)
+
+let run_compile tree_dir out_dir paths pretty =
+  match load_tree tree_dir with
+  | Error message ->
+      Printf.eprintf "error: %s\n" message;
+      1
+  | Ok tree -> (
+      let compiler = Core.Compiler.create tree in
+      let targets =
+        match paths with
+        | [] ->
+            Core.Source_tree.paths_of_kind tree Core.Source_tree.Cconf
+            @ Core.Source_tree.paths_of_kind tree Core.Source_tree.Raw
+        | _ -> paths
+      in
+      let results = List.map (fun path -> path, Core.Compiler.compile compiler path) targets in
+      let errors = List.filter_map (fun (_, r) -> match r with Error e -> Some e | Ok _ -> None) results in
+      match errors with
+      | _ :: _ ->
+          print_errors errors;
+          1
+      | [] ->
+          List.iter
+            (fun (_, result) ->
+              match result with
+              | Error _ -> ()
+              | Ok c ->
+                  let out_path = Filename.concat out_dir c.Core.Compiler.artifact_path in
+                  let rec mkdirs d =
+                    if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+                      mkdirs (Filename.dirname d);
+                      Sys.mkdir d 0o755
+                    end
+                  in
+                  mkdirs (Filename.dirname out_path);
+                  let oc = open_out out_path in
+                  output_string oc
+                    (if pretty then Cm_json.Value.to_pretty_string c.Core.Compiler.json
+                     else c.Core.Compiler.json_text);
+                  output_char oc '\n';
+                  close_out oc;
+                  Printf.printf "%s -> %s\n" c.Core.Compiler.config_path out_path)
+            results;
+          0)
+
+let compile_cmd =
+  let doc = "Compile configs and write the JSON artifacts." in
+  let out =
+    Arg.(value & opt string "_artifacts" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let pretty = Arg.(value & flag & info [ "pretty" ] ~doc:"Pretty-print the JSON.") in
+  let paths = Arg.(value & pos_all string [] & info [] ~docv:"PATH") in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run_compile $ tree_arg $ out $ paths $ pretty)
+
+(* --- deps / affected --------------------------------------------------- *)
+
+let with_depgraph tree_dir f =
+  match load_tree tree_dir with
+  | Error message ->
+      Printf.eprintf "error: %s\n" message;
+      1
+  | Ok tree ->
+      let dep = Core.Depgraph.create () in
+      Core.Depgraph.scan dep tree;
+      f tree dep
+
+let run_deps tree_dir path =
+  with_depgraph tree_dir (fun tree dep ->
+      if not (Core.Source_tree.mem tree path) then begin
+        Printf.eprintf "error: no such file %s\n" path;
+        1
+      end
+      else begin
+        Printf.printf "imports:\n";
+        List.iter (Printf.printf "  %s\n") (Core.Depgraph.transitive_deps dep path);
+        Printf.printf "imported by:\n";
+        List.iter (Printf.printf "  %s\n") (Core.Depgraph.dependents dep path);
+        0
+      end)
+
+let deps_cmd =
+  let doc = "Show the import closure and the direct importers of a file." in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH") in
+  Cmd.v (Cmd.info "deps" ~doc) Term.(const run_deps $ tree_arg $ path)
+
+let run_affected tree_dir paths =
+  with_depgraph tree_dir (fun _ dep ->
+      List.iter (Printf.printf "%s\n") (Core.Depgraph.affected_configs dep paths);
+      0)
+
+let affected_cmd =
+  let doc = "List every config that must be recompiled when the given files change." in
+  let paths = Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH") in
+  Cmd.v (Cmd.info "affected" ~doc) Term.(const run_affected $ tree_arg $ paths)
+
+(* --- gk-check ----------------------------------------------------------- *)
+
+let run_gk_check project_file user_id employee country device =
+  match Cm_gatekeeper.Project.of_string (read_file project_file) with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok project ->
+      let user =
+        Cm_gatekeeper.User.make ~employee ~country ~device_model:device
+          (Int64.of_int user_id)
+      in
+      let ctx = { Cm_gatekeeper.Restraint.laser = None } in
+      let pass = Cm_gatekeeper.Project.check ctx project user in
+      Printf.printf "%s\n" (if pass then "PASS" else "FAIL");
+      if pass then 0 else 1
+
+let gk_check_cmd =
+  let doc = "Evaluate a Gatekeeper project JSON against a user." in
+  let project = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROJECT.json") in
+  let user_id =
+    Arg.(value & opt int 42 & info [ "user-id" ] ~docv:"N" ~doc:"User id (sticky sampling key).")
+  in
+  let employee = Arg.(value & flag & info [ "employee" ] ~doc:"User is an employee.") in
+  let country =
+    Arg.(value & opt string "US" & info [ "country" ] ~docv:"CC" ~doc:"User country code.")
+  in
+  let device =
+    Arg.(value & opt string "generic" & info [ "device" ] ~docv:"MODEL" ~doc:"Device model.")
+  in
+  Cmd.v
+    (Cmd.info "gk-check" ~doc)
+    Term.(const run_gk_check $ project $ user_id $ employee $ country $ device)
+
+let () =
+  let doc = "Configuration-as-code toolchain (SOSP'15 reproduction)." in
+  let info = Cmd.info "configerator" ~version:"1.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; compile_cmd; deps_cmd; affected_cmd; gk_check_cmd ]))

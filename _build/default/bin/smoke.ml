@@ -1,0 +1,92 @@
+(* End-to-end smoke test: drives the whole stack once and prints what
+   happened.  `dune exec bin/smoke.exe` should tell a coherent story. *)
+
+let job_thrift =
+  {|
+enum JobKind { BATCH = 0, SERVICE = 1 }
+struct Job {
+  1: required string name;
+  2: optional i32 memory_mb = 1024;
+  3: list<string> args;
+  4: JobKind kind = JobKind.SERVICE;
+}
+|}
+
+let create_job_cinc =
+  {|
+import_thrift "schemas/job.thrift"
+def create_job(name, memory = 1024) =
+  Job { name = name, memory_mb = memory, args = ["--service", name] }
+|}
+
+let cache_job_cconf =
+  {|
+import "modules/create_job.cinc"
+cfg = create_job("cache", 2048)
+export cfg
+|}
+
+let () =
+  let tree =
+    Core.Source_tree.of_alist
+      [
+        "schemas/job.thrift", job_thrift;
+        "modules/create_job.cinc", create_job_cinc;
+        "jobs/cache_job.cconf", cache_job_cconf;
+      ]
+  in
+  let engine = Cm_sim.Engine.create ~seed:7L () in
+  let topo = Cm_sim.Topology.create ~regions:2 ~clusters_per_region:2 ~nodes_per_cluster:30 in
+  let net = Cm_sim.Net.create engine topo in
+  let zeus = Cm_zeus.Service.create net in
+  let pipeline = Core.Pipeline.create net zeus tree in
+  Core.Pipeline.bootstrap pipeline;
+  Core.Pipeline.start pipeline;
+
+  (* An application subscribes on some server. *)
+  let client = Core.Client.create zeus ~node:50 in
+  let seen = ref [] in
+  Core.Client.subscribe client "jobs/cache_job.json" (fun json ->
+      seen := Cm_json.Value.to_compact_string json :: !seen);
+  Cm_sim.Engine.run_for engine 30.0;
+  Printf.printf "after bootstrap, client sees: %s\n"
+    (match Core.Client.get_raw client "jobs/cache_job.json" with
+    | Some s -> s
+    | None -> "<nothing>");
+
+  (* Propose a change through the full pipeline. *)
+  let outcome =
+    Core.Pipeline.propose_sync pipeline ~author:"dana"
+      [ "jobs/cache_job.cconf",
+        {|
+import "modules/create_job.cinc"
+cfg = create_job("cache", 4096)
+export cfg
+|} ]
+  in
+  Printf.printf "proposal outcome: %s\n" (Core.Pipeline.outcome_stage outcome);
+  Cm_sim.Engine.run_for engine 30.0;
+  Printf.printf "client now sees: %s\n"
+    (match Core.Client.get_raw client "jobs/cache_job.json" with
+    | Some s -> s
+    | None -> "<nothing>");
+  Printf.printf "deliveries: %d\n" (List.length !seen);
+
+  (* Gatekeeper quick check. *)
+  let runtime = Cm_gatekeeper.Runtime.create () in
+  Cm_gatekeeper.Runtime.load runtime
+    (Cm_gatekeeper.Project.staged ~name:"ProjectX" ~employee_prob:1.0 ~world_prob:0.01);
+  let rng = Cm_sim.Rng.create 9L in
+  let users = List.init 10000 (fun _ -> Cm_gatekeeper.User.random rng) in
+  let passing =
+    List.length (List.filter (fun u -> Cm_gatekeeper.Runtime.check runtime "ProjectX" u) users)
+  in
+  Printf.printf "gatekeeper: %d/10000 users pass (expect ~1%% + employees)\n" passing;
+
+  (* Canary of a healthy change. *)
+  let outcome =
+    Core.Canary.run_sync engine topo ~sampler:Core.Pipeline.healthy_sampler
+  in
+  Printf.printf "healthy canary: %s\n"
+    (match outcome with Core.Canary.Passed -> "passed" | Core.Canary.Failed _ -> "FAILED");
+  print_endline "smoke ok"

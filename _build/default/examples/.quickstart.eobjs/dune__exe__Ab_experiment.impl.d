@@ -1,0 +1,1 @@
+examples/ab_experiment.ml: Cm_gatekeeper Cm_json Cm_mobileconfig Cm_sim Cm_thrift Float List Printf String

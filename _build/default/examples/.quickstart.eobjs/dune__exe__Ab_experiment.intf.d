@@ -1,0 +1,1 @@
+examples/ab_experiment.mli:

@@ -1,0 +1,1 @@
+examples/feature_rollout.ml: Cm_gatekeeper Cm_sim List Printf String

@@ -1,0 +1,1 @@
+examples/ml_model_push.ml: Cm_json Cm_packagevessel Cm_sim Cm_zeus Hashtbl List Option Printf

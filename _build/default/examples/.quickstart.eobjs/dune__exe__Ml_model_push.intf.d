@@ -1,0 +1,1 @@
+examples/ml_model_push.mli:

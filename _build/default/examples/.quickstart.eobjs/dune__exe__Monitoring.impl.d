@@ -1,0 +1,1 @@
+examples/monitoring.ml: Cm_monitor Cm_sim Cm_zeus Core Hashtbl List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cm_json Cm_sim Cm_zeus Core Format Option Printf

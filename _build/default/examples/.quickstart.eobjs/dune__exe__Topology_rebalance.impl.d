@@ -1,0 +1,1 @@
+examples/topology_rebalance.ml: Array Cm_shard Cm_sim Cm_zeus Core List Printf

@@ -1,0 +1,1 @@
+examples/topology_rebalance.mli:

@@ -1,0 +1,1 @@
+examples/traffic_drain.ml: Cm_json Cm_sim Cm_sitevars Cm_zeus Core Hashtbl List Printf String

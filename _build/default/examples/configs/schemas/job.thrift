@@ -1,0 +1,9 @@
+// Schema owned by the scheduler team (paper Figure 2).
+enum JobKind { BATCH = 0, SERVICE = 1 }
+struct Job {
+  1: required string name;
+  2: optional i32 memory_mb = 1024;
+  3: list<string> args;
+  4: map<string, i64> limits;
+  5: JobKind kind = JobKind.SERVICE;
+}

@@ -1,0 +1,125 @@
+(* Topology setup and load balancing (§2, the TAO story):
+
+   "As the hardware setup changes (e.g., a new cluster is brought
+   online) ... the application-level configs are updated to drive
+   topology changes for TAO and rebalance the load."
+
+   The shard map is a config.  Every data-store router subscribes to
+   it; an automation tool computes the rebalanced map when a new
+   cluster comes online and pushes it through the pipeline.  Routers
+   keep serving from the old placement until each shard's data copy
+   lands — zero routing downtime.
+
+     dune exec examples/topology_rebalance.exe *)
+
+module Shardmap = Cm_shard.Shardmap
+module Store = Cm_shard.Store
+module Engine = Cm_sim.Engine
+module Topology = Cm_sim.Topology
+
+let () =
+  print_endline "== Shard-map-as-config: bringing a new cluster online ==\n";
+  let engine = Engine.create ~seed:10L () in
+  (* Two clusters; cluster 1 is dark at first. *)
+  let topo = Topology.create ~regions:1 ~clusters_per_region:2 ~nodes_per_cluster:12 in
+  let net = Cm_sim.Net.create engine topo in
+  let zeus = Cm_zeus.Service.create net in
+
+  let cluster0 =
+    Array.to_list (Topology.nodes_in_cluster topo ~region:0 ~cluster:0)
+    |> List.map (fun n -> n.Topology.id)
+  in
+  let cluster1 =
+    Array.to_list (Topology.nodes_in_cluster topo ~region:0 ~cluster:1)
+    |> List.map (fun n -> n.Topology.id)
+  in
+  let initial = Shardmap.create ~nshards:96 ~replication:3 ~nodes:cluster0 in
+  let tree =
+    Core.Source_tree.of_alist [ "tao/shardmap.json", Shardmap.to_string initial ]
+  in
+  let pipeline = Core.Pipeline.create net zeus tree in
+  Core.Pipeline.bootstrap pipeline;
+  Core.Pipeline.start pipeline;
+
+  (* The data store applies every map config it receives. *)
+  let store = Store.create net ~map:initial ~shard_bytes:(256 * 1024 * 1024) in
+  let router_client = Core.Client.create zeus ~node:5 in
+  Core.Client.subscribe_raw router_client "tao/shardmap.json" (fun data ->
+      match Shardmap.of_string data with
+      | Ok map ->
+          Printf.printf "[t=%6.0fs] store received shard map generation %d\n"
+            (Engine.now engine) map.Shardmap.generation;
+          Store.apply_map store map;
+          if Store.migrations_in_flight store > 0 then
+            Printf.printf "[t=%6.0fs] %d shard migrations in flight; reads keep routing to the old placement\n"
+              (Engine.now engine)
+              (Store.migrations_in_flight store)
+      | Error e -> Printf.printf "bad shard map ignored: %s\n" e);
+  Engine.run_for engine 30.0;
+
+  let probe label =
+    (* Every key must route to a live node at all times. *)
+    let ok = ref 0 in
+    for i = 0 to 999 do
+      match Store.read store (Printf.sprintf "user:%d" i) with
+      | Ok _ -> incr ok
+      | Error _ -> ()
+    done;
+    Printf.printf "%-34s reads routable: %4d/1000   imbalance %.2f   migrations in flight %d\n"
+      label !ok (Store.imbalance_now store)
+      (Store.migrations_in_flight store)
+  in
+  probe "steady state (cluster 0 only):";
+
+  (* The new cluster comes online: automation recomputes the map and
+     pushes it as a config change. *)
+  print_endline "\n-- cluster 1 racked and burned in; automation rebalances --";
+  let mutator = Core.Mutator.create pipeline in
+  let result = ref None in
+  Core.Mutator.transform mutator ~tool:"tao-topology-bot" ~path:"tao/shardmap.json"
+    ~f:(fun current ->
+      match Shardmap.of_string current with
+      | Ok map -> Shardmap.to_string (Shardmap.rebalance map ~nodes:(cluster0 @ cluster1))
+      | Error e -> failwith e)
+    ~skip_canary:true
+    ~on_done:(fun outcome -> result := Some outcome)
+    ();
+  let rec drive () =
+    match !result with
+    | Some outcome -> outcome
+    | None -> if Engine.step engine then drive () else failwith "drained"
+  in
+  Printf.printf "map change: %s\n" (Core.Pipeline.outcome_stage (drive ()));
+  Engine.run_for engine 600.0;
+  probe "after migration:";
+  Printf.printf "shard data copied: %.1fGB across %d migrations\n"
+    (float_of_int (Store.bytes_moved store) /. 1073741824.0)
+    (Store.migrations_done store);
+
+  (* Failure happens: a loaded node dies; a drain map ships. *)
+  let victim = List.nth cluster0 3 in
+  Printf.printf "\n-- node %d fails; automation drains it from the map --\n" victim;
+  Topology.crash topo victim;
+  probe "primary dead (replica failover):";
+  let result = ref None in
+  Core.Mutator.transform mutator ~tool:"tao-topology-bot" ~path:"tao/shardmap.json"
+    ~f:(fun current ->
+      match Shardmap.of_string current with
+      | Ok map -> Shardmap.to_string (Shardmap.drain_node map victim)
+      | Error e -> failwith e)
+    ~skip_canary:true
+    ~on_done:(fun outcome -> result := Some outcome)
+    ();
+  let rec drive () =
+    match !result with
+    | Some outcome -> outcome
+    | None -> if Engine.step engine then drive () else failwith "drained"
+  in
+  Printf.printf "drain change: %s\n" (Core.Pipeline.outcome_stage (drive ()));
+  Engine.run_for engine 600.0;
+  probe "after drain:";
+  Printf.printf "node %d serves no shards now: %b\n" victim
+    (not
+       (List.exists
+          (fun shard -> Store.serving_primary store shard = victim)
+          (List.init 96 (fun i -> i))))

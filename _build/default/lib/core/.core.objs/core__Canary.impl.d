@@ -1,0 +1,1 @@
+lib/core/canary.ml: Array Cm_json Cm_sim Float Format Hashtbl List Printf

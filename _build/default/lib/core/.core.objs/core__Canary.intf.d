@@ -1,0 +1,1 @@
+lib/core/canary.mli: Cm_json Cm_sim

@@ -1,0 +1,1 @@
+lib/core/client.ml: Cm_json Cm_sim Cm_thrift Cm_zeus Format Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/core/client.mli: Cm_json Cm_sim Cm_thrift Cm_zeus

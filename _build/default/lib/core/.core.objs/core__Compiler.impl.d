@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Cm_json Cm_lang Cm_thrift Format List Printf Source_tree String Validator

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Cm_json Cm_thrift Format Source_tree Validator

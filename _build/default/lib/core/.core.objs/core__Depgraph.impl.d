@@ -1,0 +1,1 @@
+lib/core/depgraph.ml: Cm_lang Hashtbl List Source_tree String

@@ -1,0 +1,1 @@
+lib/core/faults.ml: Canary Cm_sim Float

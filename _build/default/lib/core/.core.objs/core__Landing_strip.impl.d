@@ -1,0 +1,1 @@
+lib/core/landing_strip.ml: Cm_sim Cm_vcs List Queue

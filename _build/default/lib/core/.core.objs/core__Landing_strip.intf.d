@@ -1,0 +1,1 @@
+lib/core/landing_strip.mli: Cm_sim Cm_vcs

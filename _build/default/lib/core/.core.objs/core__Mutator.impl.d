@@ -1,0 +1,1 @@
+lib/core/mutator.ml: Cm_vcs List Pipeline Printf Source_tree

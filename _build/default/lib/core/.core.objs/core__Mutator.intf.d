@@ -1,0 +1,1 @@
+lib/core/mutator.mli: Canary Pipeline

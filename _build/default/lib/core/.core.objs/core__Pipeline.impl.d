@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Canary Cm_sim Cm_thrift Cm_vcs Cm_zeus Compiler Depgraph Format Landing_strip List Printf Review Risk Sandcastle Source_tree String Tailer

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Canary Cm_sim Cm_vcs Cm_zeus Compiler Depgraph Landing_strip Review Sandcastle Source_tree Tailer Validator

@@ -1,0 +1,1 @@
+lib/core/review.ml: Cm_vcs Hashtbl Int List String

@@ -1,0 +1,1 @@
+lib/core/review.mli: Cm_vcs

@@ -1,0 +1,1 @@
+lib/core/risk.ml: Cm_vcs Depgraph Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/risk.mli: Cm_vcs Depgraph Format

@@ -1,0 +1,1 @@
+lib/core/sandcastle.ml: Cm_json Compiler List Review String

@@ -1,0 +1,1 @@
+lib/core/sandcastle.mli: Compiler Review

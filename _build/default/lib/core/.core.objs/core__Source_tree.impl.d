@@ -1,0 +1,1 @@
+lib/core/source_tree.ml: Hashtbl List String

@@ -1,0 +1,1 @@
+lib/core/tailer.ml: Cm_sim Cm_vcs Cm_zeus List Source_tree

@@ -1,0 +1,1 @@
+lib/core/tailer.mli: Cm_sim Cm_vcs Cm_zeus

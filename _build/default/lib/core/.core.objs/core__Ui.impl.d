@@ -1,0 +1,1 @@
+lib/core/ui.ml: Buffer Cm_thrift Compiler Format List Pipeline Printf Source_tree String

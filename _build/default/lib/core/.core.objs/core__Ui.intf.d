@@ -1,0 +1,1 @@
+lib/core/ui.mli: Cm_thrift Pipeline

@@ -1,0 +1,1 @@
+lib/core/validator.ml: Cm_lang Cm_thrift Hashtbl List Printf String

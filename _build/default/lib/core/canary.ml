@@ -1,0 +1,314 @@
+module Engine = Cm_sim.Engine
+module Topology = Cm_sim.Topology
+
+type predicate =
+  | Metric_below of string * float
+  | Relative_increase_at_most of string * float
+  | Relative_drop_at_most of string * float
+  | No_crashes
+
+let predicate_name = function
+  | Metric_below (m, x) -> Printf.sprintf "%s < %g" m x
+  | Relative_increase_at_most (m, x) -> Printf.sprintf "%s increase <= %g%%" m (100.0 *. x)
+  | Relative_drop_at_most (m, x) -> Printf.sprintf "%s drop <= %g%%" m (100.0 *. x)
+  | No_crashes -> "no crashes"
+
+type target = Servers of int | Cluster
+
+type phase = {
+  phase_name : string;
+  target : target;
+  duration : float;
+  sample_every : float;
+  checks : predicate list;
+}
+
+type spec = { phases : phase list }
+
+let standard_checks =
+  [
+    No_crashes;
+    Relative_increase_at_most ("error_rate", 0.25);
+    Relative_increase_at_most ("latency_ms", 0.30);
+    Relative_drop_at_most ("ctr", 0.05);
+  ]
+
+let default_spec =
+  {
+    phases =
+      [
+        {
+          phase_name = "p1-20-servers";
+          target = Servers 20;
+          duration = 60.0;
+          sample_every = 10.0;
+          checks = standard_checks;
+        };
+        {
+          phase_name = "p2-cluster";
+          target = Cluster;
+          duration = 540.0;
+          sample_every = 30.0;
+          checks = standard_checks;
+        };
+      ];
+  }
+
+type sampler =
+  node:Topology.node_id -> test:bool -> cohort:int -> (string * float) list
+
+type failure = { failed_phase : string; failed_check : string; detail : string }
+
+type outcome = Passed | Failed of failure
+
+(* Mean of a metric across sample lists; 0 when absent everywhere. *)
+let metric_mean samples name =
+  let sum, n =
+    List.fold_left
+      (fun (sum, n) metrics ->
+        match List.assoc_opt name metrics with
+        | Some v -> sum +. v, n + 1
+        | None -> sum, n)
+      (0.0, 0) samples
+  in
+  if n = 0 then 0.0 else sum /. float_of_int n
+
+let eval_predicate ~test_samples ~control_samples = function
+  | Metric_below (name, ceiling) ->
+      let v = metric_mean test_samples name in
+      if v < ceiling then Ok ()
+      else Error (Printf.sprintf "test %s = %g, ceiling %g" name v ceiling)
+  | Relative_increase_at_most (name, frac) ->
+      let test = metric_mean test_samples name in
+      let control = metric_mean control_samples name in
+      let base = Float.max control 1e-9 in
+      let increase = (test -. control) /. base in
+      if increase <= frac then Ok ()
+      else
+        Error
+          (Printf.sprintf "test %s = %g vs control %g (+%.1f%%, allowed +%.1f%%)" name test
+             control (100.0 *. increase) (100.0 *. frac))
+  | Relative_drop_at_most (name, frac) ->
+      let test = metric_mean test_samples name in
+      let control = metric_mean control_samples name in
+      let base = Float.max control 1e-9 in
+      let drop = (control -. test) /. base in
+      if drop <= frac then Ok ()
+      else
+        Error
+          (Printf.sprintf "test %s = %g vs control %g (-%.1f%%, allowed -%.1f%%)" name test
+             control (100.0 *. drop) (100.0 *. frac))
+  | No_crashes ->
+      let crashes = metric_mean test_samples "crashes" in
+      if crashes <= 0.0 then Ok ()
+      else Error (Printf.sprintf "crash rate %g on test machines" crashes)
+
+let pick_targets engine topo = function
+  | Servers n ->
+      let up =
+        Array.to_list (Topology.nodes topo)
+        |> List.filter (fun node -> node.Topology.up)
+        |> List.map (fun node -> node.Topology.id)
+      in
+      let arr = Array.of_list up in
+      Cm_sim.Rng.shuffle (Engine.rng engine) arr;
+      Array.to_list (Array.sub arr 0 (min n (Array.length arr)))
+  | Cluster ->
+      Array.to_list (Topology.nodes_in_cluster topo ~region:0 ~cluster:0)
+      |> List.filter (fun node -> node.Topology.up)
+      |> List.map (fun node -> node.Topology.id)
+
+let pick_controls engine topo ~exclude ~count =
+  let excluded = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace excluded id ()) exclude;
+  let candidates =
+    Array.to_list (Topology.nodes topo)
+    |> List.filter (fun node -> node.Topology.up && not (Hashtbl.mem excluded node.Topology.id))
+    |> List.map (fun node -> node.Topology.id)
+  in
+  let arr = Array.of_list candidates in
+  Cm_sim.Rng.shuffle (Engine.rng engine) arr;
+  Array.to_list (Array.sub arr 0 (min count (Array.length arr)))
+
+let run ?(spec = default_spec) engine topo ~sampler ~on_done () =
+  let rec run_phase = function
+    | [] -> on_done Passed
+    | phase :: rest ->
+        let test_nodes = pick_targets engine topo phase.target in
+        let cohort = List.length test_nodes in
+        let control_nodes = pick_controls engine topo ~exclude:test_nodes ~count:cohort in
+        let test_acc = ref [] and control_acc = ref [] in
+        let ticks = max 1 (int_of_float (phase.duration /. phase.sample_every)) in
+        let fail check detail =
+          on_done
+            (Failed { failed_phase = phase.phase_name; failed_check = check; detail })
+        in
+        let rec tick remaining =
+          ignore
+            (Engine.schedule engine ~delay:phase.sample_every (fun () ->
+                 let test_samples =
+                   List.map (fun node -> sampler ~node ~test:true ~cohort) test_nodes
+                 in
+                 let control_samples =
+                   List.map (fun node -> sampler ~node ~test:false ~cohort) control_nodes
+                 in
+                 test_acc := test_samples @ !test_acc;
+                 control_acc := control_samples @ !control_acc;
+                 (* Crashes abort immediately: the canary service kills
+                    the rollout as soon as instances start dying. *)
+                 let crashed =
+                   List.mem No_crashes phase.checks
+                   && metric_mean test_samples "crashes" > 0.0
+                 in
+                 if crashed then
+                   fail (predicate_name No_crashes)
+                     (Printf.sprintf "instances crashed with %d servers on the new config"
+                        cohort)
+                 else if remaining > 1 then tick (remaining - 1)
+                 else begin
+                   (* Phase complete: evaluate all predicates. *)
+                   let rec check = function
+                     | [] -> run_phase rest
+                     | predicate :: more -> (
+                         match
+                           eval_predicate ~test_samples:!test_acc
+                             ~control_samples:!control_acc predicate
+                         with
+                         | Ok () -> check more
+                         | Error detail -> fail (predicate_name predicate) detail)
+                   in
+                   check phase.checks
+                 end))
+        in
+        tick ticks
+  in
+  run_phase spec.phases
+
+(* --- specs as configs ------------------------------------------------ *)
+
+module Json = Cm_json.Value
+
+let predicate_to_json = function
+  | Metric_below (m, x) ->
+      Json.obj [ "kind", Json.String "metric_below"; "metric", Json.String m; "value", Json.Float x ]
+  | Relative_increase_at_most (m, x) ->
+      Json.obj
+        [ "kind", Json.String "relative_increase_at_most"; "metric", Json.String m;
+          "value", Json.Float x ]
+  | Relative_drop_at_most (m, x) ->
+      Json.obj
+        [ "kind", Json.String "relative_drop_at_most"; "metric", Json.String m;
+          "value", Json.Float x ]
+  | No_crashes -> Json.obj [ "kind", Json.String "no_crashes" ]
+
+let spec_to_json spec =
+  Json.obj
+    [
+      ( "phases",
+        Json.List
+          (List.map
+             (fun phase ->
+               Json.obj
+                 [
+                   "name", Json.String phase.phase_name;
+                   ( "target",
+                     match phase.target with
+                     | Servers n -> Json.obj [ "servers", Json.Int n ]
+                     | Cluster -> Json.String "cluster" );
+                   "duration", Json.Float phase.duration;
+                   "sample_every", Json.Float phase.sample_every;
+                   "checks", Json.List (List.map predicate_to_json phase.checks);
+                 ])
+             spec.phases) );
+    ]
+
+let predicate_of_json json =
+  let metric_and_value make =
+    match Json.member "metric" json, Json.member "value" json with
+    | Some (Json.String m), Some v -> (
+        match Json.to_float v with
+        | Some x -> Ok (make m x)
+        | None -> Error "predicate value must be a number")
+    | _ -> Error "predicate needs metric and value"
+  in
+  match Json.member "kind" json with
+  | Some (Json.String "metric_below") -> metric_and_value (fun m x -> Metric_below (m, x))
+  | Some (Json.String "relative_increase_at_most") ->
+      metric_and_value (fun m x -> Relative_increase_at_most (m, x))
+  | Some (Json.String "relative_drop_at_most") ->
+      metric_and_value (fun m x -> Relative_drop_at_most (m, x))
+  | Some (Json.String "no_crashes") -> Ok No_crashes
+  | Some (Json.String other) -> Error ("unknown predicate kind " ^ other)
+  | Some _ | None -> Error "predicate missing kind"
+
+let phase_of_json json =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* phase_name =
+    match Json.member "name" json with
+    | Some (Json.String s) -> Ok s
+    | Some _ | None -> Error "phase missing name"
+  in
+  let* target =
+    match Json.member "target" json with
+    | Some (Json.String "cluster") -> Ok Cluster
+    | Some t -> (
+        match Json.member "servers" t with
+        | Some (Json.Int n) when n > 0 -> Ok (Servers n)
+        | Some _ | None -> Error "phase target must be \"cluster\" or {servers: n}")
+    | None -> Error "phase missing target"
+  in
+  let float_field field default =
+    match Json.member field json with
+    | Some v -> ( match Json.to_float v with Some f -> f | None -> default)
+    | None -> default
+  in
+  let duration = float_field "duration" 60.0 in
+  let sample_every = Float.max 1.0 (float_field "sample_every" 10.0) in
+  let* checks =
+    match Json.member "checks" json with
+    | Some (Json.List items) ->
+        List.fold_left
+          (fun acc item ->
+            match acc with
+            | Error _ as e -> e
+            | Ok checks -> (
+                match predicate_of_json item with
+                | Ok p -> Ok (checks @ [ p ])
+                | Error _ as e -> e))
+          (Ok []) items
+    | Some _ -> Error "checks must be a list"
+    | None -> Ok standard_checks
+  in
+  if duration <= 0.0 then Error "phase duration must be positive"
+  else Ok { phase_name; target; duration; sample_every; checks }
+
+let spec_of_json json =
+  match Json.member "phases" json with
+  | Some (Json.List items) ->
+      let rec build acc = function
+        | [] ->
+            if acc = [] then Error "spec has no phases" else Ok { phases = List.rev acc }
+        | item :: rest -> (
+            match phase_of_json item with
+            | Ok phase -> build (phase :: acc) rest
+            | Error _ as e -> e)
+      in
+      build [] items
+  | Some _ | None -> Error "spec missing phases list"
+
+let spec_of_string s =
+  match Cm_json.Parser.parse s with
+  | Ok json -> spec_of_json json
+  | Error e -> Error (Format.asprintf "%a" Cm_json.Parser.pp_error e)
+
+let run_sync ?spec engine topo ~sampler =
+  let result = ref None in
+  run ?spec engine topo ~sampler ~on_done:(fun outcome -> result := Some outcome) ();
+  let rec drive () =
+    match !result with
+    | Some outcome -> outcome
+    | None -> if Engine.step engine then drive () else Failed
+          { failed_phase = "<engine>"; failed_check = "<drained>";
+            detail = "simulation queue drained before canary completion" }
+  in
+  drive ()

@@ -1,0 +1,83 @@
+(** Automated canary testing (§3.3): a new config is deployed to a
+    small slice of production, the slice's health metrics are compared
+    against the rest of the fleet, and the rollout proceeds or rolls
+    back automatically.
+
+    A canary spec defines multiple phases (the paper's example:
+    phase 1 on 20 servers, phase 2 on a full cluster of thousands —
+    the cluster phase exists precisely because small-scale canaries
+    miss load-related issues, per the §6.4 incident).  Each phase
+    declares healthcheck predicates such as "the click-through rate
+    of servers on the new config must not be more than x% lower than
+    the control population's". *)
+
+type predicate =
+  | Metric_below of string * float
+      (** absolute ceiling on the test population's mean *)
+  | Relative_increase_at_most of string * float
+      (** (test - control) / control <= fraction; e.g. error rate *)
+  | Relative_drop_at_most of string * float
+      (** (control - test) / control <= fraction; e.g. CTR *)
+  | No_crashes
+      (** the "crashes" metric must stay at zero on test machines;
+          checked at every sample tick for fast abort *)
+
+val predicate_name : predicate -> string
+
+type target =
+  | Servers of int  (** that many up servers, fleet-wide *)
+  | Cluster         (** every server of one cluster *)
+
+type phase = {
+  phase_name : string;
+  target : target;
+  duration : float;       (** seconds of observation *)
+  sample_every : float;
+  checks : predicate list;
+}
+
+type spec = { phases : phase list }
+
+val default_spec : spec
+(** Phase "p1-20-servers": 20 servers, 60 s; phase "p2-cluster": one
+    full cluster, 540 s — ten minutes of canary in total, matching
+    §6.3 ("it takes about ten minutes to go through automated canary
+    tests"). *)
+
+type sampler =
+  node:Cm_sim.Topology.node_id -> test:bool -> cohort:int -> (string * float) list
+(** Application health model: instantaneous metrics of a server
+    running the new ([test = true]) or old config.  [cohort] is the
+    number of servers currently on the new config, which lets models
+    express load-dependent (Type II) failures. *)
+
+type failure = { failed_phase : string; failed_check : string; detail : string }
+
+type outcome = Passed | Failed of failure
+
+val run :
+  ?spec:spec ->
+  Cm_sim.Engine.t ->
+  Cm_sim.Topology.t ->
+  sampler:sampler ->
+  on_done:(outcome -> unit) ->
+  unit ->
+  unit
+(** Starts the canary at the current simulated time; [on_done] fires
+    when every phase passed or the first predicate fails (automatic
+    rollback). *)
+
+val run_sync :
+  ?spec:spec -> Cm_sim.Engine.t -> Cm_sim.Topology.t -> sampler:sampler -> outcome
+(** Convenience: runs the engine until the canary completes. *)
+
+(** {1 Specs as configs}
+
+    "A config is associated with a canary spec that describes how to
+    automate testing the config" — specs themselves are stored and
+    distributed as JSON configs ("<config path>.canary" files in the
+    source tree; see {!Pipeline}). *)
+
+val spec_to_json : spec -> Cm_json.Value.t
+val spec_of_json : Cm_json.Value.t -> (spec, string) result
+val spec_of_string : string -> (spec, string) result

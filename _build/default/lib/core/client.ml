@@ -1,0 +1,46 @@
+type t = {
+  cnode : Cm_sim.Topology.node_id;
+  proxy : Cm_zeus.Service.proxy;
+  watched : (string, unit) Hashtbl.t;
+}
+
+let create zeus ~node =
+  { cnode = node; proxy = Cm_zeus.Service.proxy_on zeus node; watched = Hashtbl.create 8 }
+
+let node t = t.cnode
+
+let want t path =
+  if not (Hashtbl.mem t.watched path) then begin
+    Hashtbl.replace t.watched path ();
+    Cm_zeus.Service.subscribe t.proxy ~path (fun ~zxid:_ _ -> ())
+  end
+
+let get_raw t path =
+  (* Reading declares interest: the proxy fetches and watches the
+     config so subsequent reads (and updates) are served locally. *)
+  want t path;
+  Cm_zeus.Service.proxy_get t.proxy path
+
+let get_json t path =
+  match get_raw t path with
+  | None -> None
+  | Some data -> (
+      match Cm_json.Parser.parse data with Ok json -> Some json | Error _ -> None)
+
+let get_typed t ~schema ~type_name path =
+  match get_raw t path with
+  | None -> Error (Printf.sprintf "config %s not available" path)
+  | Some data -> (
+      match Cm_json.Parser.parse data with
+      | Error e -> Error (Format.asprintf "%a" Cm_json.Parser.pp_error e)
+      | Ok json -> (
+          match Cm_thrift.Codec.decode_struct schema type_name json with
+          | Ok v -> Ok v
+          | Error e -> Error (Format.asprintf "%a" Cm_thrift.Codec.pp_error e)))
+
+let subscribe_raw t path callback =
+  Cm_zeus.Service.subscribe t.proxy ~path (fun ~zxid:_ data -> callback data)
+
+let subscribe t path callback =
+  subscribe_raw t path (fun data ->
+      match Cm_json.Parser.parse data with Ok json -> callback json | Error _ -> ())

@@ -1,0 +1,43 @@
+(** Application-facing Configerator client library (§3.4).
+
+    An application links this in, asks the local proxy for its
+    configs, and gets watch-driven updates.  Reads survive total
+    Configerator failure as long as the config is in the proxy's
+    on-disk cache. *)
+
+type t
+
+val create : Cm_zeus.Service.t -> node:Cm_sim.Topology.node_id -> t
+(** One client per application instance; shares the node's proxy. *)
+
+val node : t -> Cm_sim.Topology.node_id
+
+val want : t -> string -> unit
+(** Declare interest in a config: the proxy fetches it and keeps a
+    watch ("on startup, the application requests the proxy to fetch
+    its config", §3.4).  Reads also register interest implicitly, but
+    the fetch is asynchronous — declare interest at startup to have
+    values ready. *)
+
+val get_raw : t -> string -> string option
+(** Raw bytes of a config artifact.  [None] until the proxy has
+    fetched it (first read registers interest). *)
+
+val get_json : t -> string -> Cm_json.Value.t option
+(** Parsed JSON; [None] when absent or unparseable. *)
+
+val get_typed :
+  t ->
+  schema:Cm_thrift.Schema.t ->
+  type_name:string ->
+  string ->
+  (Cm_thrift.Value.t, string) result
+(** Decode a config under the application's compiled-in schema — the
+    place where §6.4's "old code reads new config" incidents surface,
+    as decode errors rather than crashes. *)
+
+val subscribe : t -> string -> (Cm_json.Value.t -> unit) -> unit
+(** Callback fires on every update of the config, in order, including
+    the initial value once available. *)
+
+val subscribe_raw : t -> string -> (string -> unit) -> unit

@@ -1,0 +1,178 @@
+type compiled = {
+  config_path : string;
+  artifact_path : string;
+  json : Cm_json.Value.t;
+  json_text : string;
+  type_name : string option;
+  schema : Cm_thrift.Schema.t;
+  schema_hash : string option;
+  deps : string list;
+}
+
+type error = { at : string; stage : stage; message : string }
+
+and stage = Parse | Eval | Schema | Validation | Serialize
+
+let stage_name = function
+  | Parse -> "parse"
+  | Eval -> "eval"
+  | Schema -> "schema"
+  | Validation -> "validation"
+  | Serialize -> "serialize"
+
+let pp_error ppf { at; stage; message } =
+  Format.fprintf ppf "%s: [%s] %s" at (stage_name stage) message
+
+type t = { tree : Source_tree.t; vals : Validator.t }
+
+let create ?validators tree =
+  let vals = match validators with Some v -> v | None -> Validator.create () in
+  { tree; vals }
+
+let validators t = t.vals
+let source_tree t = t.tree
+
+let artifact_path_of path =
+  match Source_tree.kind_of_path path with
+  | Source_tree.Cconf ->
+      let base = String.sub path 0 (String.length path - String.length ".cconf") in
+      base ^ ".json"
+  | Source_tree.Cinc | Source_tree.Thrift | Source_tree.Cvalidator | Source_tree.Raw -> path
+
+let err at stage fmt = Printf.ksprintf (fun message -> Error { at; stage; message }) fmt
+
+(* Source validators live at "<dir>/<Type>.thrift-cvalidator" or
+   anywhere in the tree with that basename; discovery is by suffix. *)
+let source_validator t type_name =
+  let suffix = type_name ^ ".thrift-cvalidator" in
+  let matches path =
+    let n = String.length path and m = String.length suffix in
+    n >= m
+    && String.sub path (n - m) m = suffix
+    && (n = m || path.[n - m - 1] = '/')
+  in
+  match List.find_opt matches (Source_tree.paths t.tree) with
+  | Some path -> Source_tree.read t.tree path
+  | None -> None
+
+let run_validators t ~path ~type_name value =
+  match Validator.validate t.vals ~type_name value with
+  | Validator.Fail reason -> err path Validation "%s" reason
+  | Validator.Pass -> (
+      match source_validator t type_name with
+      | None -> Ok ()
+      | Some source -> (
+          match Validator.of_source ~type_name ~source with
+          | Error reason -> err path Validation "%s" reason
+          | Ok rule -> (
+              match rule.Validator.check value with
+              | Validator.Pass -> Ok ()
+              | Validator.Fail reason -> err path Validation "%s" reason)))
+
+let compile_cconf t path source =
+  match
+    Cm_lang.Eval.run ~loader:(Source_tree.loader t.tree) ~path ~source
+  with
+  | Error e -> err path Eval "line %d: %s" e.Cm_lang.Eval.line e.Cm_lang.Eval.message
+  | Ok outcome -> (
+      match outcome.Cm_lang.Eval.export with
+      | None -> err path Eval "config program did not export anything"
+      | Some exported -> (
+          match Cm_lang.Eval.to_thrift exported with
+          | Error reason -> err path Serialize "%s" reason
+          | Ok value -> (
+              let schema = outcome.Cm_lang.Eval.schema in
+              let typed =
+                match value with
+                | Cm_thrift.Value.Struct (name, _) -> (
+                    match Cm_thrift.Check.check_struct schema name value with
+                    | Ok normalized -> Ok (normalized, Some name)
+                    | Error e ->
+                        err path Schema "%s" (Format.asprintf "%a" Cm_thrift.Check.pp_error e))
+                | other -> Ok (other, None)
+              in
+              match typed with
+              | Error _ as e -> e
+              | Ok (normalized, type_name) -> (
+                  let validated =
+                    match type_name with
+                    | Some name -> run_validators t ~path ~type_name:name normalized
+                    | None -> Ok ()
+                  in
+                  match validated with
+                  | Error _ as e -> e
+                  | Ok () ->
+                      let json = Cm_thrift.Codec.encode normalized in
+                      Ok
+                        {
+                          config_path = path;
+                          artifact_path = artifact_path_of path;
+                          json;
+                          json_text = Cm_json.Value.to_compact_string json;
+                          type_name;
+                          schema;
+                          schema_hash =
+                            (match type_name with
+                            | Some _ -> Some (Cm_thrift.Schema.hash schema)
+                            | None -> None);
+                          deps = outcome.Cm_lang.Eval.loaded;
+                        }))))
+
+let compile_raw path source =
+  let ends_with suffix =
+    let n = String.length path and m = String.length suffix in
+    n >= m && String.sub path (n - m) m = suffix
+  in
+  match Cm_json.Parser.parse source with
+  | Ok json ->
+      (* Raw configs that happen to be JSON keep their structure. *)
+      Ok
+        {
+          config_path = path;
+          artifact_path = path;
+          json;
+          json_text = Cm_json.Value.to_compact_string json;
+          type_name = None;
+          schema = Cm_thrift.Schema.empty;
+          schema_hash = None;
+          deps = [];
+        }
+  | Error e when ends_with ".json" ->
+      err path Parse "%s" (Format.asprintf "%a" Cm_json.Parser.pp_error e)
+  | Error _ ->
+      (* Arbitrary raw content is distributed as-is (§6.1: "Configerator
+         allows engineers to check in raw configs of any format"). *)
+      Ok
+        {
+          config_path = path;
+          artifact_path = path;
+          json = Cm_json.Value.String source;
+          json_text = source;
+          type_name = None;
+          schema = Cm_thrift.Schema.empty;
+          schema_hash = None;
+          deps = [];
+        }
+
+let compile t path =
+  match Source_tree.read t.tree path with
+  | None -> err path Parse "no such source file"
+  | Some source -> (
+      match Source_tree.kind_of_path path with
+      | Source_tree.Cconf -> compile_cconf t path source
+      | Source_tree.Raw -> compile_raw path source
+      | Source_tree.Cinc | Source_tree.Thrift | Source_tree.Cvalidator ->
+          err path Parse "not a config root (modules and schemas are not compiled directly)")
+
+let compile_all t =
+  let targets =
+    Source_tree.paths_of_kind t.tree Source_tree.Cconf
+    @ Source_tree.paths_of_kind t.tree Source_tree.Raw
+  in
+  List.fold_left
+    (fun (oks, errors) path ->
+      match compile t path with
+      | Ok compiled -> compiled :: oks, errors
+      | Error e -> oks, e :: errors)
+    ([], []) targets
+  |> fun (oks, errors) -> List.rev oks, List.rev errors

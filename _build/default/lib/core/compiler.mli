@@ -1,0 +1,53 @@
+(** The Configerator compiler (§3.1, Figure 2).
+
+    Compiling a [*.cconf] source:
+    + evaluate the CSL program (resolving [import]/[import_thrift]
+      through the source tree),
+    + take its exported object,
+    + check it against the Thrift schema (normalizing defaults),
+    + run every validator registered for its type, including
+      [<Type>.thrift-cvalidator] sources discovered in the tree,
+    + serialize to canonical JSON.
+
+    Raw configs (non-CSL files) pass through unchanged, except that
+    files ending in [.json] must parse. *)
+
+type compiled = {
+  config_path : string;       (** source path, e.g. "jobs/cache_job.cconf" *)
+  artifact_path : string;     (** output path, e.g. "jobs/cache_job.json" *)
+  json : Cm_json.Value.t;
+  json_text : string;         (** compact serialization, the distributed bytes *)
+  type_name : string option;  (** struct type of the export, if typed *)
+  schema : Cm_thrift.Schema.t;
+      (** union of the imported Thrift schemas (empty for raw configs);
+          what a UI needs to edit the object field-by-field *)
+  schema_hash : string option;
+  deps : string list;         (** every import touched, source-tree paths *)
+}
+
+type error = {
+  at : string;     (** source path *)
+  stage : stage;
+  message : string;
+}
+
+and stage = Parse | Eval | Schema | Validation | Serialize
+
+val pp_error : Format.formatter -> error -> unit
+val stage_name : stage -> string
+
+type t
+
+val create : ?validators:Validator.t -> Source_tree.t -> t
+
+val validators : t -> Validator.t
+val source_tree : t -> Source_tree.t
+
+val compile : t -> string -> (compiled, error) result
+(** Compile one [*.cconf] or raw config by source path. *)
+
+val compile_all : t -> (compiled list * error list)
+(** Compile every config in the tree ([*.cconf] + raw). *)
+
+val artifact_path_of : string -> string
+(** ["a/b.cconf" -> "a/b.json"]; raw paths map to themselves. *)

@@ -1,0 +1,102 @@
+type t = {
+  deps : (string, string list) Hashtbl.t;      (* file -> imports *)
+  rdeps : (string, string list ref) Hashtbl.t; (* file -> importers *)
+}
+
+let create () = { deps = Hashtbl.create 64; rdeps = Hashtbl.create 64 }
+
+let normalize tree target =
+  if Source_tree.mem tree target then Some target
+  else if String.length target > 0 && target.[0] = '/' then begin
+    let stripped = String.sub target 1 (String.length target - 1) in
+    if Source_tree.mem tree stripped then Some stripped else None
+  end
+  else None
+
+let extract tree path =
+  match Source_tree.read tree path with
+  | None -> []
+  | Some source -> (
+      match Source_tree.kind_of_path path with
+      | Source_tree.Thrift | Source_tree.Raw -> []
+      | Source_tree.Cconf | Source_tree.Cinc | Source_tree.Cvalidator -> (
+          match Cm_lang.Parser.parse source with
+          | Error _ -> []
+          | Ok file ->
+              List.filter_map
+                (fun import ->
+                  match import with
+                  | `Csl target | `Thrift target -> normalize tree target)
+                (Cm_lang.Ast.imports file)))
+
+let unlink t path =
+  match Hashtbl.find_opt t.deps path with
+  | None -> ()
+  | Some old ->
+      List.iter
+        (fun dep ->
+          match Hashtbl.find_opt t.rdeps dep with
+          | Some importers -> importers := List.filter (fun p -> p <> path) !importers
+          | None -> ())
+        old;
+      Hashtbl.remove t.deps path
+
+let link t path imports =
+  Hashtbl.replace t.deps path imports;
+  List.iter
+    (fun dep ->
+      match Hashtbl.find_opt t.rdeps dep with
+      | Some importers -> if not (List.mem path !importers) then importers := path :: !importers
+      | None -> Hashtbl.replace t.rdeps dep (ref [ path ]))
+    imports
+
+let update_file t tree path =
+  unlink t path;
+  if Source_tree.mem tree path then link t path (extract tree path)
+
+let scan t tree =
+  Hashtbl.reset t.deps;
+  Hashtbl.reset t.rdeps;
+  List.iter (fun path -> link t path (extract tree path)) (Source_tree.paths tree)
+
+let direct_deps t path =
+  match Hashtbl.find_opt t.deps path with Some imports -> imports | None -> []
+
+let dependents t path =
+  match Hashtbl.find_opt t.rdeps path with
+  | Some importers -> List.sort String.compare !importers
+  | None -> []
+
+let is_config path =
+  match Source_tree.kind_of_path path with
+  | Source_tree.Cconf | Source_tree.Raw -> true
+  | Source_tree.Cinc | Source_tree.Thrift | Source_tree.Cvalidator -> false
+
+let affected_configs t changed =
+  let visited = Hashtbl.create 32 in
+  let configs = Hashtbl.create 32 in
+  let rec walk path =
+    if not (Hashtbl.mem visited path) then begin
+      Hashtbl.replace visited path ();
+      if is_config path then Hashtbl.replace configs path ();
+      List.iter walk (dependents t path)
+    end
+  in
+  List.iter walk changed;
+  List.sort String.compare (Hashtbl.fold (fun path () acc -> path :: acc) configs [])
+
+let transitive_deps t path =
+  let visited = Hashtbl.create 32 in
+  let rec walk current =
+    List.iter
+      (fun dep ->
+        if not (Hashtbl.mem visited dep) then begin
+          Hashtbl.replace visited dep ();
+          walk dep
+        end)
+      (direct_deps t current)
+  in
+  walk path;
+  List.sort String.compare (Hashtbl.fold (fun dep () acc -> dep :: acc) visited [])
+
+let file_count t = Hashtbl.length t.deps

@@ -1,0 +1,36 @@
+(** The Dependency Service (§3.1): extracts dependencies from source
+    code automatically — "without the need to manually edit a
+    makefile" — and answers the key question of incremental builds:
+    when a module changes, which configs must be recompiled?
+
+    Dependencies are static: the [import]/[import_thrift] statements
+    of each source file, closed transitively. *)
+
+type t
+
+val create : unit -> t
+
+val scan : t -> Source_tree.t -> unit
+(** (Re)index the whole tree.  Unparseable files get no edges (the
+    compiler will surface their errors). *)
+
+val update_file : t -> Source_tree.t -> string -> unit
+(** Re-extract one file's imports after an edit. *)
+
+val direct_deps : t -> string -> string list
+(** Imports of one file (normalized to tree paths). *)
+
+val dependents : t -> string -> string list
+(** Files that directly import the given path. *)
+
+val affected_configs : t -> string list -> string list
+(** Given changed source paths, every [*.cconf] (or raw config) that
+    must be recompiled: the changed configs themselves plus all
+    transitive importers.  Sorted, deduplicated.  This is what makes
+    one edit of "app_port.cinc" recompile both "app.cconf" and
+    "firewall.cconf" in the same commit. *)
+
+val transitive_deps : t -> string -> string list
+(** Full import closure of a file. *)
+
+val file_count : t -> int

@@ -1,0 +1,114 @@
+module Rng = Cm_sim.Rng
+
+type error_type = Type_i | Type_ii | Type_iii
+
+let error_type_name = function
+  | Type_i -> "Type I (common config error)"
+  | Type_ii -> "Type II (subtle config error)"
+  | Type_iii -> "Type III (valid config exposing code bug)"
+
+type injected = {
+  etype : error_type;
+  validator_visible : bool;
+  reviewer_catches : bool;
+  sampler : Canary.sampler;
+}
+
+type rates = {
+  share_type_i : float;
+  share_type_ii : float;
+  p_validator_covers : float;
+  p_reviewer_catches : float;
+  p_canary_small_catches : float;
+  p_canary_cluster_catches : float;
+  p_bug_manifests : float;
+}
+
+let default_rates =
+  {
+    share_type_i = 0.85;
+    share_type_ii = 0.11;
+    p_validator_covers = 0.60;
+    p_reviewer_catches = 0.25;
+    p_canary_small_catches = 0.85;
+    p_canary_cluster_catches = 0.70;
+    p_bug_manifests = 0.45;
+  }
+
+let noisy rng base spread = base *. (1.0 +. Rng.normal rng ~mu:0.0 ~sigma:spread)
+
+let healthy rng ~node:_ ~test:_ ~cohort:_ =
+  [
+    "error_rate", Float.max 0.0 (noisy rng 0.01 0.10);
+    "latency_ms", Float.max 1.0 (noisy rng 100.0 0.05);
+    "ctr", Float.max 0.0 (noisy rng 0.05 0.05);
+    "crashes", 0.0;
+  ]
+
+let type_i_sampler rng ~detectable ~node ~test ~cohort =
+  if test && detectable then
+    [
+      (* An obvious breakage: requests to the wrong cluster fail. *)
+      "error_rate", Float.max 0.0 (noisy rng 0.15 0.10);
+      "latency_ms", Float.max 1.0 (noisy rng 110.0 0.05);
+      "ctr", Float.max 0.0 (noisy rng 0.045 0.05);
+      "crashes", 0.0;
+    ]
+  else healthy rng ~node ~test ~cohort
+
+let type_ii_sampler rng ~detectable ~node ~test ~cohort =
+  if test && detectable && cohort > 50 then begin
+    (* Load-dependent: every extra server on the new config sends the
+       rare-code-path traffic at the backing store; latency climbs
+       with the cohort.  Twenty canary servers sit below the knee. *)
+    let overload = 1.0 +. (float_of_int cohort /. 150.0) in
+    [
+      "error_rate", Float.max 0.0 (noisy rng (0.01 *. overload) 0.10);
+      "latency_ms", Float.max 1.0 (noisy rng (100.0 *. overload) 0.05);
+      "ctr", Float.max 0.0 (noisy rng 0.05 0.05);
+      "crashes", 0.0;
+    ]
+  end
+  else healthy rng ~node ~test ~cohort
+
+let type_iii_sampler rng ~manifests ~node ~test ~cohort =
+  if test && manifests then
+    [
+      "error_rate", Float.max 0.0 (noisy rng 0.02 0.10);
+      "latency_ms", Float.max 1.0 (noisy rng 100.0 0.05);
+      "ctr", Float.max 0.0 (noisy rng 0.05 0.05);
+      (* The race condition fires: instances crash on the new path. *)
+      "crashes", 1.0;
+    ]
+  else healthy rng ~node ~test ~cohort
+
+let inject rng rates =
+  let draw = Rng.float rng 1.0 in
+  if draw < rates.share_type_i then
+    let validator_visible = Rng.bernoulli rng rates.p_validator_covers in
+    let reviewer_catches =
+      (not validator_visible) && Rng.bernoulli rng rates.p_reviewer_catches
+    in
+    let detectable = Rng.bernoulli rng rates.p_canary_small_catches in
+    {
+      etype = Type_i;
+      validator_visible;
+      reviewer_catches;
+      sampler = type_i_sampler rng ~detectable;
+    }
+  else if draw < rates.share_type_i +. rates.share_type_ii then
+    let detectable = Rng.bernoulli rng rates.p_canary_cluster_catches in
+    {
+      etype = Type_ii;
+      validator_visible = false;
+      reviewer_catches = false;
+      sampler = type_ii_sampler rng ~detectable;
+    }
+  else
+    let manifests = Rng.bernoulli rng rates.p_bug_manifests in
+    {
+      etype = Type_iii;
+      validator_visible = false;
+      reviewer_catches = false;
+      sampler = type_iii_sampler rng ~manifests;
+    }

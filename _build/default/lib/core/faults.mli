@@ -1,0 +1,68 @@
+(** Configuration-error models for the §6.4 defense-in-depth
+    experiment.
+
+    The paper classifies production incidents into three types:
+    - {b Type I} — common, obvious-once-spotted errors (typos,
+      out-of-bound values, wrong cluster).  Validators catch the ones
+      whose invariant is declared; reviewers catch some of the rest;
+      a small-canary error spike catches most survivors.
+    - {b Type II} — subtle errors (load, failure-induced, butterfly
+      effects).  Invisible to validators, review and small canaries;
+      only the full-cluster canary phase can see them, and not always.
+    - {b Type III} — valid config changes that expose latent code
+      bugs (e.g. a race on a newly exercised code path).  Nothing
+      before the canary can catch them; whether the canary does
+      depends on the bug manifesting within the observation window.
+
+    Each model below yields a {!Canary.sampler} exhibiting the
+    corresponding pathology, so the pipeline's layers catch (or miss)
+    them for the {e mechanistic} reason the paper describes, not by a
+    coin flip at the end. *)
+
+type error_type = Type_i | Type_ii | Type_iii
+
+val error_type_name : error_type -> string
+
+type injected = {
+  etype : error_type;
+  validator_visible : bool;
+      (** Type I only: the bad value violates a declared invariant,
+          so the compiler rejects it deterministically *)
+  reviewer_catches : bool;
+      (** modeled reviewer vigilance, drawn per change *)
+  sampler : Canary.sampler;
+}
+
+type rates = {
+  share_type_i : float;      (** of injected errors *)
+  share_type_ii : float;     (** rest is Type III *)
+  p_validator_covers : float; (** Type I invariant declared *)
+  p_reviewer_catches : float; (** Type I caught in review *)
+  p_canary_small_catches : float;  (** Type I error spike visible on 20 servers *)
+  p_canary_cluster_catches : float; (** Type II load issue visible at cluster scale *)
+  p_bug_manifests : float;    (** Type III race triggers during the canary window *)
+}
+
+val default_rates : rates
+(** Calibrated so escaped incidents split ≈ 42% / 36% / 22%
+    (the paper's Table in §6.4). *)
+
+val inject : Cm_sim.Rng.t -> rates -> injected
+(** Draw one erroneous change. *)
+
+(** {1 Samplers} *)
+
+val healthy : Cm_sim.Rng.t -> Canary.sampler
+(** Gaussian-noise baseline around healthy values. *)
+
+val type_i_sampler : Cm_sim.Rng.t -> detectable:bool -> Canary.sampler
+(** Error-rate spike independent of cohort size; [detectable = false]
+    models environment-specific Type I errors that even the canary
+    misses. *)
+
+val type_ii_sampler : Cm_sim.Rng.t -> detectable:bool -> Canary.sampler
+(** Latency grows with the test cohort: fine on 20 servers, pathological
+    at cluster scale — the §6.4 data-store overload incident. *)
+
+val type_iii_sampler : Cm_sim.Rng.t -> manifests:bool -> Canary.sampler
+(** Crashes appear (or not) on the new code path. *)

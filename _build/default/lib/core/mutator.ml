@@ -1,0 +1,42 @@
+type t = { pipeline : Pipeline.t; mutable nmutations : int }
+
+let create pipeline = { pipeline; nmutations = 0 }
+let read t path = Source_tree.read (Pipeline.tree t.pipeline) path
+
+let set_raw t ~tool ~path ~content ~on_done =
+  t.nmutations <- t.nmutations + 1;
+  Pipeline.propose t.pipeline ~author:tool ~title:(tool ^ " update " ^ path)
+    ~skip_canary:true [ path, content ] ~on_done
+
+let transform t ~tool ~path ~f ?(skip_canary = false) ?sampler ~on_done () =
+  match read t path with
+  | None -> invalid_arg ("Mutator.transform: no such file " ^ path)
+  | Some current ->
+      t.nmutations <- t.nmutations + 1;
+      Pipeline.propose t.pipeline ~author:tool ~title:(tool ^ " update " ^ path)
+        ~skip_canary ?sampler
+        [ path, f current ]
+        ~on_done
+
+let rollback t ~tool ~path ~on_done =
+  let repo = Pipeline.repo t.pipeline in
+  (* Find the last two revisions of the file in the linear history. *)
+  let revisions =
+    List.filter_map
+      (fun (oid, _) ->
+        if List.mem path (Cm_vcs.Repo.changed_paths_of_commit repo oid) then
+          Cm_vcs.Repo.read_file ~rev:oid repo path
+        else None)
+      (Cm_vcs.Repo.log repo)
+  in
+  match revisions with
+  | _current :: previous :: _ ->
+      t.nmutations <- t.nmutations + 1;
+      Pipeline.propose t.pipeline ~author:tool
+        ~title:(Printf.sprintf "%s EMERGENCY ROLLBACK of %s" tool path)
+        ~skip_canary:true
+        [ path, previous ]
+        ~on_done
+  | _ -> invalid_arg ("Mutator.rollback: no previous version of " ^ path)
+
+let mutations t = t.nmutations

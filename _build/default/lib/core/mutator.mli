@@ -1,0 +1,52 @@
+(** The Mutator (Figure 3): the programmatic API automation tools use
+    to drive config changes — 89% of raw-config updates at Facebook
+    come from tools, not people (§6.1).
+
+    A mutation reads the current source, transforms it, and pushes the
+    result through the full pipeline.  Tools typically skip the human
+    review delay (they are pre-authorized) but still pass compile,
+    sandcastle and canary. *)
+
+type t
+
+val create : Pipeline.t -> t
+
+val read : t -> string -> string option
+(** Current content of a source file. *)
+
+val set_raw :
+  t ->
+  tool:string ->
+  path:string ->
+  content:string ->
+  on_done:(Pipeline.outcome -> unit) ->
+  unit
+(** Write a raw config (automation style: canary skipped, as tools own
+    their own safety checks; the compile and CI gates still apply). *)
+
+val transform :
+  t ->
+  tool:string ->
+  path:string ->
+  f:(string -> string) ->
+  ?skip_canary:bool ->
+  ?sampler:Canary.sampler ->
+  on_done:(Pipeline.outcome -> unit) ->
+  unit ->
+  unit
+(** Read-modify-write of one source file through the pipeline.
+    @raise Invalid_argument if the file does not exist. *)
+
+val rollback :
+  t ->
+  tool:string ->
+  path:string ->
+  on_done:(Pipeline.outcome -> unit) ->
+  unit
+(** Emergency revert (§6.4: "she mitigated the problem by immediately
+    reverting the config change"): re-propose the previous committed
+    version of a source file, skipping the canary — the whole point is
+    speed, and the old version already survived production.
+    @raise Invalid_argument when the file has no previous version. *)
+
+val mutations : t -> int

@@ -1,0 +1,260 @@
+module Engine = Cm_sim.Engine
+
+type outcome =
+  | Landed of Cm_vcs.Store.oid
+  | Rejected_compile of Compiler.error list
+  | Rejected_sandcastle of Sandcastle.report
+  | Rejected_review of string
+  | Rejected_canary of Canary.failure
+  | Rejected_conflict of string list
+
+let outcome_stage = function
+  | Landed _ -> "landed"
+  | Rejected_compile _ -> "compile"
+  | Rejected_sandcastle _ -> "sandcastle"
+  | Rejected_review _ -> "review"
+  | Rejected_canary _ -> "canary"
+  | Rejected_conflict _ -> "conflict"
+
+type t = {
+  net : Cm_sim.Net.t;
+  pzeus : Cm_zeus.Service.t;
+  ptree : Source_tree.t;
+  pcompiler : Compiler.t;
+  pdep : Depgraph.t;
+  preview : Review.t;
+  psandcastle : Sandcastle.t;
+  planding : Landing_strip.t;
+  prepo : Cm_vcs.Repo.t;
+  ptailer : Tailer.t;
+  reviewers : string list;
+  review_delay : float;
+  canary_spec : Canary.spec;
+  mutable nlanded : int;
+}
+
+let create ?(reviewers = [ "alice"; "bob"; "carol" ]) ?(review_delay = 120.0)
+    ?(canary_spec = Canary.default_spec) ?validators ?(landing_mode = Landing_strip.Landing)
+    net zeus tree =
+  let engine = Cm_sim.Net.engine net in
+  let repo = Cm_vcs.Repo.create () in
+  let dep = Depgraph.create () in
+  Depgraph.scan dep tree;
+  {
+    net;
+    pzeus = zeus;
+    ptree = tree;
+    pcompiler = Compiler.create ?validators tree;
+    pdep = dep;
+    preview = Review.create ();
+    psandcastle = Sandcastle.create ();
+    planding = Landing_strip.create ~mode:landing_mode engine repo;
+    prepo = repo;
+    ptailer = Tailer.create engine repo zeus;
+    reviewers;
+    review_delay;
+    canary_spec;
+    nlanded = 0;
+  }
+
+let tree t = t.ptree
+let compiler t = t.pcompiler
+let depgraph t = t.pdep
+let review t = t.preview
+let sandcastle t = t.psandcastle
+let landing t = t.planding
+let repo t = t.prepo
+let tailer t = t.ptailer
+let zeus t = t.pzeus
+let engine t = Cm_sim.Net.engine t.net
+let landed_count t = t.nlanded
+
+let bootstrap t =
+  let compiled, errors = Compiler.compile_all t.pcompiler in
+  (match errors with
+  | [] -> ()
+  | e :: _ ->
+      invalid_arg (Format.asprintf "Pipeline.bootstrap: tree does not compile: %a"
+                     Compiler.pp_error e));
+  let sources =
+    List.map (fun (path, content) -> path, Some content) (Source_tree.snapshot t.ptree)
+  in
+  let artifacts =
+    List.filter_map
+      (fun c ->
+        if c.Compiler.artifact_path = c.Compiler.config_path then None
+        else Some (c.Compiler.artifact_path, Some c.Compiler.json_text))
+      compiled
+  in
+  if sources <> [] then
+    ignore
+      (Cm_vcs.Repo.commit t.prepo ~author:"bootstrap" ~message:"initial import"
+         ~timestamp:(Engine.now (engine t)) (sources @ artifacts))
+
+let start t = Tailer.start t.ptailer
+
+let healthy_sampler ~node:_ ~test:_ ~cohort:_ =
+  [ "error_rate", 0.01; "latency_ms", 100.0; "ctr", 0.05; "crashes", 0.0 ]
+
+let pick_reviewer t ~author =
+  match List.find_opt (fun r -> not (String.equal r author)) t.reviewers with
+  | Some r -> r
+  | None -> "oncall"
+
+let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler changes
+    ~on_done =
+  let eng = engine t in
+  let sampler = match sampler with Some s -> s | None -> healthy_sampler in
+  (* 1. The author edits a development clone of the tree. *)
+  let clone = Source_tree.of_alist (Source_tree.snapshot t.ptree) in
+  List.iter (fun (path, content) -> Source_tree.write clone path content) changes;
+  let clone_dep = Depgraph.create () in
+  Depgraph.scan clone_dep clone;
+  let affected = Depgraph.affected_configs clone_dep (List.map fst changes) in
+  (* 2. Compile every affected config (validators run inside). *)
+  let clone_compiler =
+    Compiler.create ~validators:(Compiler.validators t.pcompiler) clone
+  in
+  let compiled, errors =
+    List.fold_left
+      (fun (oks, errs) path ->
+        match Compiler.compile clone_compiler path with
+        | Ok c -> c :: oks, errs
+        | Error e -> oks, e :: errs)
+      ([], []) affected
+  in
+  let compiled = List.rev compiled and errors = List.rev errors in
+  (* Per-config canary spec: "a config is associated with a canary
+     spec"; a "<path>.canary" file in the tree overrides the default. *)
+  let spec_result =
+    let rec find = function
+      | [] -> Ok t.canary_spec
+      | path :: rest -> (
+          match Source_tree.read clone (path ^ ".canary") with
+          | None -> find rest
+          | Some text -> (
+              match Canary.spec_of_string text with
+              | Ok spec -> Ok spec
+              | Error message ->
+                  Error
+                    {
+                      Compiler.at = path ^ ".canary";
+                      stage = Compiler.Validation;
+                      message;
+                    }))
+    in
+    find (List.map fst changes)
+  in
+  let errors =
+    match spec_result with Ok _ -> errors | Error e -> errors @ [ e ]
+  in
+  if errors <> [] then on_done (Rejected_compile errors)
+  else begin
+    let canary_spec = match spec_result with Ok s -> s | Error _ -> t.canary_spec in
+    (* 3. Sandcastle CI in a sandbox; results are posted to the diff. *)
+    let report = Sandcastle.run t.psandcastle compiled in
+    let base = Cm_vcs.Repo.head t.prepo in
+    let repo_changes =
+      List.map (fun (path, content) -> path, Some content) changes
+      @ List.map (fun c -> c.Compiler.artifact_path, Some c.Compiler.json_text)
+          (List.filter (fun c -> c.Compiler.artifact_path <> c.Compiler.config_path) compiled)
+    in
+    let diff_id = Review.submit t.preview ~author ~title ~base repo_changes in
+    Sandcastle.post_to_review t.preview diff_id report;
+    (* Schema-change safety: when a .thrift source changes, compare the
+       new schema against the committed one and surface breaking
+       changes — the §6.4 incident where old client code could not
+       read a config written under a new schema. *)
+    List.iter
+      (fun (path, content) ->
+        if Source_tree.kind_of_path path = Source_tree.Thrift then
+          match Source_tree.read t.ptree path, Cm_thrift.Idl.parse content with
+          | Some old_source, Ok new_schema -> (
+              match Cm_thrift.Idl.parse old_source with
+              | Ok old_schema ->
+                  let issues =
+                    List.filter
+                      (fun issue -> issue.Cm_thrift.Compat.breaking)
+                      (Cm_thrift.Compat.can_read ~reader:old_schema ~writer:new_schema)
+                  in
+                  if issues <> [] then
+                    Review.post_test_result t.preview diff_id
+                      ~name:(Printf.sprintf "schema-compat:%s" path)
+                      ~passed:false
+                      ~detail:
+                        (String.concat "; "
+                           (List.map
+                              (fun issue ->
+                                Format.asprintf "%a" Cm_thrift.Compat.pp_issue issue)
+                              issues))
+              | Error _ -> ())
+          | _ -> ())
+      changes;
+    (* §8 future work, implemented: flag high-risk updates on the diff
+       from historical data.  Informational — reviewers decide. *)
+    let now_days = Engine.now eng /. 86400.0 in
+    List.iter
+      (fun (path, content) ->
+        let history = Risk.history_of_repo t.prepo t.pdep ~path ~now:now_days in
+        let assessment =
+          Risk.assess ~history ~now:now_days ~old_text:(Source_tree.read t.ptree path)
+            ~new_text:content ~author ()
+        in
+        if assessment.Risk.level <> Risk.Low then
+          Review.post_test_result t.preview diff_id
+            ~name:(Printf.sprintf "risk-flag:%s" path)
+            ~passed:true
+            ~detail:(Format.asprintf "%a" Risk.pp assessment))
+      changes;
+    if not (Sandcastle.passed report) then on_done (Rejected_sandcastle report)
+    else begin
+      (* 4. Human review after a delay. *)
+      ignore
+        (Engine.schedule eng ~delay:t.review_delay (fun () ->
+             let reviewer = pick_reviewer t ~author in
+             match Review.approve t.preview diff_id ~reviewer with
+             | Error reason -> on_done (Rejected_review reason)
+             | Ok () ->
+                 (* 5. Automated canary. *)
+                 let continue_to_landing () =
+                   Landing_strip.submit t.planding
+                     { Landing_strip.author; message = title; base; changes = repo_changes }
+                     ~on_result:(fun result ->
+                       match result with
+                       | Landing_strip.Conflict paths -> on_done (Rejected_conflict paths)
+                       | Landing_strip.Committed oid ->
+                           (* The change is in: update the live tree and
+                              dependency index; the tailer distributes. *)
+                           List.iter
+                             (fun (path, content) -> Source_tree.write t.ptree path content)
+                             changes;
+                           List.iter
+                             (fun (path, _) -> Depgraph.update_file t.pdep t.ptree path)
+                             changes;
+                           t.nlanded <- t.nlanded + 1;
+                           on_done (Landed oid))
+                 in
+                 if skip_canary then continue_to_landing ()
+                 else
+                   Canary.run ~spec:canary_spec eng (Cm_sim.Net.topology t.net) ~sampler
+                     ~on_done:(fun canary_outcome ->
+                       match canary_outcome with
+                       | Canary.Failed failure -> on_done (Rejected_canary failure)
+                       | Canary.Passed -> continue_to_landing ())
+                     ()))
+    end
+  end
+
+let propose_sync t ~author ?title ?skip_canary ?sampler changes =
+  let result = ref None in
+  propose t ~author ?title ?skip_canary ?sampler changes
+    ~on_done:(fun outcome -> result := Some outcome);
+  let eng = engine t in
+  let rec drive () =
+    match !result with
+    | Some outcome -> outcome
+    | None ->
+        if Engine.step eng then drive ()
+        else invalid_arg "Pipeline.propose_sync: simulation drained without outcome"
+  in
+  drive ()

@@ -1,0 +1,91 @@
+(** The end-to-end Configerator deployment pipeline (Figure 3).
+
+    A proposed change flows through every defense layer of §3.3:
+
+    {v
+    edit -> compile (validators) -> sandcastle CI -> code review
+         -> automated canary -> landing strip -> git -> tailer -> Zeus
+         -> observers -> proxies -> applications
+    v}
+
+    Any layer can bounce the change; only fully vetted changes reach
+    the repository, and the tailer then distributes the new artifacts
+    to the fleet. *)
+
+type outcome =
+  | Landed of Cm_vcs.Store.oid
+  | Rejected_compile of Compiler.error list
+  | Rejected_sandcastle of Sandcastle.report
+  | Rejected_review of string
+  | Rejected_canary of Canary.failure
+  | Rejected_conflict of string list
+
+val outcome_stage : outcome -> string
+
+type t
+
+val create :
+  ?reviewers:string list ->
+  ?review_delay:float ->
+  ?canary_spec:Canary.spec ->
+  ?validators:Validator.t ->
+  ?landing_mode:Landing_strip.mode ->
+  Cm_sim.Net.t ->
+  Cm_zeus.Service.t ->
+  Source_tree.t ->
+  t
+(** Builds the whole stack around an existing source tree: compiler,
+    dependency service, review, sandcastle, landing strip on a fresh
+    repository, tailer.  Call {!bootstrap} to seed the repository with
+    the tree's current contents, then {!start}. *)
+
+val bootstrap : t -> unit
+(** Compiles the whole tree and commits sources + artifacts as the
+    initial revision (no review/canary — this is repo setup). *)
+
+val start : t -> unit
+(** Starts the tailer poll loop. *)
+
+(** {1 Components (exposed for tests, benches and the mutator)} *)
+
+val tree : t -> Source_tree.t
+val compiler : t -> Compiler.t
+val depgraph : t -> Depgraph.t
+val review : t -> Review.t
+val sandcastle : t -> Sandcastle.t
+val landing : t -> Landing_strip.t
+val repo : t -> Cm_vcs.Repo.t
+val tailer : t -> Tailer.t
+val zeus : t -> Cm_zeus.Service.t
+val engine : t -> Cm_sim.Engine.t
+
+val healthy_sampler : Canary.sampler
+(** Baseline application model: low error rate, stable latency and
+    CTR, no crashes. *)
+
+val propose :
+  t ->
+  author:string ->
+  ?title:string ->
+  ?skip_canary:bool ->
+  ?sampler:Canary.sampler ->
+  (string * string) list ->
+  on_done:(outcome -> unit) ->
+  unit
+(** Submit a config change: [(source path, new content)] pairs.  The
+    pipeline runs asynchronously in simulated time; [on_done] fires
+    with the final outcome.  On success the source tree, dependency
+    graph and repository are updated, and distribution to the fleet
+    proceeds via the tailer. *)
+
+val propose_sync :
+  t ->
+  author:string ->
+  ?title:string ->
+  ?skip_canary:bool ->
+  ?sampler:Canary.sampler ->
+  (string * string) list ->
+  outcome
+(** Runs the engine until the proposal resolves. *)
+
+val landed_count : t -> int

@@ -1,0 +1,104 @@
+type signal = {
+  signal_name : string;
+  weight : float;
+  detail : string;
+}
+
+type assessment = {
+  score : float;
+  signals : signal list;
+  level : level;
+}
+
+and level = Low | Elevated | High
+
+let level_name = function Low -> "low" | Elevated -> "elevated" | High -> "HIGH"
+
+type history = {
+  write_days : float list;
+  authors : string list;
+  fanout : int;
+}
+
+type params = {
+  dormancy_days : float;
+  big_change_lines : int;
+  many_authors : int;
+  high_fanout : int;
+  elevated_threshold : float;
+  high_threshold : float;
+}
+
+let default_params =
+  {
+    dormancy_days = 180.0;
+    big_change_lines = 100;
+    many_authors = 10;
+    high_fanout = 10;
+    elevated_threshold = 1.0;
+    high_threshold = 2.0;
+  }
+
+let history_of_repo repo dep ~path ~now =
+  let entries = Cm_vcs.Repo.log repo in
+  let touching =
+    List.filter
+      (fun (oid, _) -> List.mem path (Cm_vcs.Repo.changed_paths_of_commit repo oid))
+      entries
+  in
+  let write_days =
+    List.sort Float.compare
+      (List.map (fun (_, c) -> c.Cm_vcs.Store.timestamp /. 86400.0) touching)
+  in
+  let authors =
+    List.sort_uniq String.compare (List.map (fun (_, c) -> c.Cm_vcs.Store.author) touching)
+  in
+  ignore now;
+  { write_days; authors; fanout = List.length (Depgraph.dependents dep path) }
+
+let assess ?(params = default_params) ~history ~now ~old_text ~new_text ~author () =
+  let signals = ref [] in
+  let add signal_name weight detail = signals := { signal_name; weight; detail } :: !signals in
+  (match List.rev history.write_days with
+  | [] -> add "new-config" 0.25 "no history yet"
+  | last :: _ ->
+      let idle = now -. last in
+      if idle >= params.dormancy_days then
+        add "dormant-awakened" 1.0
+          (Printf.sprintf "untouched for %.0f days (threshold %.0f)" idle
+             params.dormancy_days));
+  (match old_text with
+  | Some old_text ->
+      let changed = Cm_vcs.Diff.line_changes old_text new_text in
+      if changed > params.big_change_lines then
+        add "large-change" 0.75
+          (Printf.sprintf "%d line changes (threshold %d)" changed params.big_change_lines);
+      let old_len = max 1 (String.length old_text) in
+      let new_len = max 1 (String.length new_text) in
+      if new_len > 4 * old_len || old_len > 4 * new_len then
+        add "unusual-size" 0.75
+          (Printf.sprintf "size %dB -> %dB" (String.length old_text)
+             (String.length new_text))
+  | None -> ());
+  if List.length history.authors >= params.many_authors then
+    add "highly-shared" 0.75
+      (Printf.sprintf "%d distinct past authors" (List.length history.authors));
+  if history.write_days <> [] && not (List.mem author history.authors) then
+    add "first-time-author" 0.5 (author ^ " has never edited this config");
+  if history.fanout >= params.high_fanout then
+    add "high-fanout" 0.75
+      (Printf.sprintf "%d configs recompile when this changes" history.fanout);
+  let signals = List.rev !signals in
+  let score = List.fold_left (fun acc s -> acc +. s.weight) 0.0 signals in
+  let level =
+    if score >= params.high_threshold then High
+    else if score >= params.elevated_threshold then Elevated
+    else Low
+  in
+  { score; signals; level }
+
+let pp ppf { score; signals; level } =
+  Format.fprintf ppf "risk %s (%.2f)" (level_name level) score;
+  List.iter
+    (fun s -> Format.fprintf ppf "@\n  - %s: %s" s.signal_name s.detail)
+    signals

@@ -1,0 +1,72 @@
+(** High-risk config-update flagging — the paper's §8 future work,
+    implemented: "it would be helpful to automatically flag high-risk
+    updates based on the past history, e.g., a dormant config is
+    suddenly changed in an unusual way", and §6.2's "for future work,
+    it would be helpful to automatically flag high-risk updates on
+    these highly-shared configs".
+
+    The scorer looks at a config's history and the proposed diff and
+    produces additive risk signals.  The pipeline surfaces them on the
+    review (they do not block — they inform the reviewer, matching the
+    paper's empower-engineers culture). *)
+
+type signal = {
+  signal_name : string;
+  weight : float;   (** contribution to the score, >= 0 *)
+  detail : string;
+}
+
+type assessment = {
+  score : float;          (** sum of signal weights *)
+  signals : signal list;
+  level : level;
+}
+
+and level = Low | Elevated | High
+
+val level_name : level -> string
+
+type history = {
+  write_days : float list;
+      (** days of past writes, ascending; first is creation *)
+  authors : string list;   (** distinct past authors *)
+  fanout : int;            (** configs recompiled when this file changes *)
+}
+
+val history_of_repo :
+  Cm_vcs.Repo.t -> Depgraph.t -> path:string -> now:float -> history
+(** Builds history from the repository log (timestamps and authors of
+    commits touching [path]) and the dependency graph. *)
+
+type params = {
+  dormancy_days : float;      (** dormant if untouched this long (default 180) *)
+  big_change_lines : int;     (** default 100, Table 2's heavy tail *)
+  many_authors : int;         (** default 10, Table 3's shared-config tail *)
+  high_fanout : int;          (** default 10 importers *)
+  elevated_threshold : float; (** default 1.0 *)
+  high_threshold : float;     (** default 2.0 *)
+}
+
+val default_params : params
+
+val assess :
+  ?params:params ->
+  history:history ->
+  now:float ->
+  old_text:string option ->
+  new_text:string ->
+  author:string ->
+  unit ->
+  assessment
+(** Signals:
+    - {b dormant-awakened}: no write for [dormancy_days];
+    - {b large-change}: diff beyond [big_change_lines] lines (8.7% of
+      compiled updates in Table 2);
+    - {b unusual-size}: the new text is >4x or <1/4 the old size;
+    - {b highly-shared}: many distinct past authors (the 727-author
+      sitevar of §6.2);
+    - {b first-time-author}: author never touched this config;
+    - {b high-fanout}: editing it recompiles many other configs;
+    - {b new-config}: no history at all (mild). *)
+
+val pp : Format.formatter -> assessment -> unit

@@ -1,0 +1,103 @@
+type check = {
+  check_name : string;
+  run : Compiler.compiled list -> bool * string;
+}
+
+type report = (string * bool * string) list
+
+type t = { mutable checks : check list }
+
+let inline_size_limit = 1024 * 1024
+
+let default_checks () =
+  [
+    {
+      check_name = "json-roundtrip";
+      run =
+        (fun artifacts ->
+          let bad =
+            List.filter
+              (fun c ->
+                match Cm_json.Parser.parse c.Compiler.json_text with
+                | Ok parsed -> not (Cm_json.Value.equal parsed c.Compiler.json)
+                | Error _ ->
+                    (* Raw non-JSON configs are stored as strings and
+                       are exempt from the round-trip requirement. *)
+                    c.Compiler.type_name <> None)
+              artifacts
+          in
+          if bad = [] then true, "all artifacts round-trip"
+          else
+            ( false,
+              "non-round-tripping artifacts: "
+              ^ String.concat ", " (List.map (fun c -> c.Compiler.artifact_path) bad) ));
+    };
+    {
+      check_name = "size-limit";
+      run =
+        (fun artifacts ->
+          let oversize =
+            List.filter
+              (fun c -> String.length c.Compiler.json_text > inline_size_limit)
+              artifacts
+          in
+          if oversize = [] then true, "all artifacts within inline size limit"
+          else
+            ( false,
+              "artifacts above 1MB (use PackageVessel): "
+              ^ String.concat ", " (List.map (fun c -> c.Compiler.artifact_path) oversize) ));
+    };
+    {
+      check_name = "no-empty-export";
+      run =
+        (fun artifacts ->
+          let empty =
+            List.filter
+              (fun c ->
+                match c.Compiler.json with
+                | Cm_json.Value.Assoc [] -> true
+                | _ -> false)
+              artifacts
+          in
+          if empty = [] then true, "no empty exports"
+          else
+            ( false,
+              "empty exports: "
+              ^ String.concat ", " (List.map (fun c -> c.Compiler.artifact_path) empty) ));
+    };
+    {
+      check_name = "schema-hash-present";
+      run =
+        (fun artifacts ->
+          let missing =
+            List.filter
+              (fun c -> c.Compiler.type_name <> None && c.Compiler.schema_hash = None)
+              artifacts
+          in
+          if missing = [] then true, "typed artifacts carry schema hashes"
+          else
+            ( false,
+              "typed artifacts without schema hash: "
+              ^ String.concat ", " (List.map (fun c -> c.Compiler.artifact_path) missing) ));
+    };
+  ]
+
+let create ?(with_defaults = true) () =
+  { checks = (if with_defaults then default_checks () else []) }
+
+let add_check t check = t.checks <- t.checks @ [ check ]
+
+let run t artifacts =
+  List.map
+    (fun check ->
+      let passed, detail = check.run artifacts in
+      check.check_name, passed, detail)
+    t.checks
+
+let passed report = List.for_all (fun (_, ok, _) -> ok) report
+
+let post_to_review review diff_id report =
+  List.iter
+    (fun (name, passed, detail) ->
+      Review.post_test_result review diff_id ~name ~passed ~detail)
+    report

@@ -1,0 +1,31 @@
+(** Sandcastle: automated continuous-integration tests run in a
+    sandbox against a proposed config change (§3.3).  Checks operate
+    on the set of compiled artifacts the change produces and post
+    their results back to the review. *)
+
+type check = {
+  check_name : string;
+  run : Compiler.compiled list -> bool * string;  (** (passed, detail) *)
+}
+
+type report = (string * bool * string) list
+
+type t
+
+val create : ?with_defaults:bool -> unit -> t
+(** [with_defaults] (default true) installs {!default_checks}. *)
+
+val add_check : t -> check -> unit
+
+val run : t -> Compiler.compiled list -> report
+val passed : report -> bool
+
+val post_to_review : Review.t -> Review.diff_id -> report -> unit
+
+val default_checks : unit -> check list
+(** Broad-coverage synthetic site tests:
+    - every artifact's JSON parses back to itself (round-trip),
+    - no artifact exceeds the inline size limit (1 MB — larger content
+      belongs in PackageVessel),
+    - no empty object exports,
+    - typed artifacts carry a schema hash. *)

@@ -1,0 +1,46 @@
+type kind = Cconf | Cinc | Thrift | Cvalidator | Raw
+
+let kind_of_path path =
+  let ends_with suffix =
+    let n = String.length path and m = String.length suffix in
+    n >= m && String.sub path (n - m) m = suffix
+  in
+  if ends_with ".cconf" then Cconf
+  else if ends_with ".cinc" then Cinc
+  else if ends_with "cvalidator" then Cvalidator (* "<Type>.thrift-cvalidator" *)
+  else if ends_with ".thrift" then Thrift
+  else Raw
+
+type t = { files : (string, string) Hashtbl.t }
+
+let create () = { files = Hashtbl.create 64 }
+
+let of_alist entries =
+  let t = create () in
+  List.iter (fun (path, content) -> Hashtbl.replace t.files path content) entries;
+  t
+
+let write t path content = Hashtbl.replace t.files path content
+let remove t path = Hashtbl.remove t.files path
+let read t path = Hashtbl.find_opt t.files path
+let mem t path = Hashtbl.mem t.files path
+
+let paths t =
+  List.sort String.compare (Hashtbl.fold (fun path _ acc -> path :: acc) t.files [])
+
+let paths_of_kind t kind = List.filter (fun path -> kind_of_path path = kind) (paths t)
+let count t = Hashtbl.length t.files
+
+let loader t target =
+  match read t target with
+  | Some content -> Some content
+  | None ->
+      (* Allow repo-absolute form with a leading slash. *)
+      if String.length target > 0 && target.[0] = '/' then
+        read t (String.sub target 1 (String.length target - 1))
+      else None
+
+let snapshot t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun path content acc -> (path, content) :: acc) t.files [])

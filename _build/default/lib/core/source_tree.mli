@@ -1,0 +1,35 @@
+(** The config source tree: every file an engineer (or automation
+    tool) edits, keyed by repository path.
+
+    File kinds follow the paper's naming (Figure 2):
+    - [*.cconf]      — a config program whose export becomes one JSON config
+    - [*.cinc]       — a reusable module imported by other sources
+    - [*.thrift]     — a schema
+    - [*.cvalidator] — a validator program bound to a schema type
+    - anything else  — a "raw config" distributed as-is *)
+
+type kind = Cconf | Cinc | Thrift | Cvalidator | Raw
+
+val kind_of_path : string -> kind
+
+type t
+
+val create : unit -> t
+val of_alist : (string * string) list -> t
+
+val write : t -> string -> string -> unit
+val remove : t -> string -> unit
+val read : t -> string -> string option
+val mem : t -> string -> bool
+val paths : t -> string list
+(** Sorted. *)
+
+val paths_of_kind : t -> kind -> string list
+val count : t -> int
+
+val loader : t -> string -> string option
+(** The import resolver handed to {!Cm_lang.Eval.run}: resolves both
+    relative siblings and absolute repository paths. *)
+
+val snapshot : t -> (string * string) list
+(** Sorted [(path, content)] pairs — what gets committed. *)

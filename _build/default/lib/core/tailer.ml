@@ -1,0 +1,65 @@
+module Engine = Cm_sim.Engine
+
+type t = {
+  poll_interval : float;
+  is_artifact : string -> bool;
+  engine : Engine.t;
+  repo : Cm_vcs.Repo.t;
+  zeus : Cm_zeus.Service.t;
+  mutable last_seen : Cm_vcs.Store.oid option;
+  mutable running : bool;
+  mutable nwrites : int;
+}
+
+let default_is_artifact path =
+  match Source_tree.kind_of_path path with
+  | Source_tree.Raw -> true
+  | Source_tree.Cconf | Source_tree.Cinc | Source_tree.Thrift | Source_tree.Cvalidator ->
+      false
+
+let create ?(poll_interval = 5.0) ?(is_artifact = default_is_artifact) engine repo zeus =
+  {
+    poll_interval;
+    is_artifact;
+    engine;
+    repo;
+    zeus;
+    last_seen = None;
+    running = false;
+    nwrites = 0;
+  }
+
+let poll_once t =
+  let head = Cm_vcs.Repo.head t.repo in
+  if head <> t.last_seen then begin
+    let changed = Cm_vcs.Repo.changed_since t.repo ~base:t.last_seen in
+    List.iter
+      (fun path ->
+        if t.is_artifact path then
+          match Cm_vcs.Repo.read_file t.repo path with
+          | Some data ->
+              t.nwrites <- t.nwrites + 1;
+              Cm_zeus.Service.write t.zeus ~path ~data
+          | None -> () (* deleted; distribution of deletions is a no-op *))
+      changed;
+    t.last_seen <- head
+  end
+
+let rec loop t =
+  if t.running then
+    ignore
+      (Engine.schedule t.engine ~delay:t.poll_interval (fun () ->
+           if t.running then begin
+             poll_once t;
+             loop t
+           end))
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    loop t
+  end
+
+let stop t = t.running <- false
+let writes_issued t = t.nwrites
+let force_poll t = poll_once t

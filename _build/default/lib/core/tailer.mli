@@ -1,0 +1,30 @@
+(** The Git Tailer (Figure 3): continuously extracts config changes
+    from the repository and writes them to Zeus for distribution.
+
+    The tailer polls the repository (default every 5 s, matching the
+    ~5 s tail latency the paper reports in §6.3); for every artifact
+    path changed since the last seen commit it issues a Zeus write
+    with the file's new content. *)
+
+type t
+
+val create :
+  ?poll_interval:float ->
+  ?is_artifact:(string -> bool) ->
+  Cm_sim.Engine.t ->
+  Cm_vcs.Repo.t ->
+  Cm_zeus.Service.t ->
+  t
+(** [is_artifact] selects which repository paths are distributed
+    (default: everything that is not CSL/Thrift source — i.e. compiled
+    JSON artifacts and raw configs). *)
+
+val start : t -> unit
+(** Begins the poll loop. *)
+
+val stop : t -> unit
+
+val writes_issued : t -> int
+
+val force_poll : t -> unit
+(** One immediate poll (used by tests). *)

@@ -1,0 +1,226 @@
+module TValue = Cm_thrift.Value
+
+type edit = {
+  field_path : string list;
+  new_value : TValue.t;
+}
+
+let set field_path new_value = { field_path; new_value }
+
+let rec set_path value path new_value =
+  match path with
+  | [] -> Ok new_value
+  | key :: rest -> (
+      match value with
+      | TValue.Struct (name, fields) ->
+          if not (List.mem_assoc key fields) then
+            Error (Printf.sprintf "struct %s has no field %s" name key)
+          else begin
+            let rec update acc = function
+              | [] -> Error "unreachable"
+              | (fname, old) :: others when fname = key -> (
+                  match set_path old rest new_value with
+                  | Ok updated -> Ok (List.rev_append acc ((fname, updated) :: others))
+                  | Error _ as e -> e)
+              | entry :: others -> update (entry :: acc) others
+            in
+            match update [] fields with
+            | Ok fields -> Ok (TValue.Struct (name, fields))
+            | Error _ as e -> e
+          end
+      | TValue.Map pairs ->
+          let target = TValue.Str key in
+          let found = List.exists (fun (k, _) -> TValue.equal k target) pairs in
+          if not found then Error (Printf.sprintf "map has no key %s" key)
+          else begin
+            let rec update acc = function
+              | [] -> Error "unreachable"
+              | (k, old) :: others when TValue.equal k target -> (
+                  match set_path old rest new_value with
+                  | Ok updated -> Ok (List.rev_append acc ((k, updated) :: others))
+                  | Error _ as e -> e)
+              | entry :: others -> update (entry :: acc) others
+            in
+            match update [] pairs with
+            | Ok pairs -> Ok (TValue.Map pairs)
+            | Error _ as e -> e
+          end
+      | other ->
+          Error
+            (Printf.sprintf "cannot descend into %s at %s" (TValue.to_string other) key))
+
+let apply_edits ~schema ~type_name value edits =
+  let rec apply value = function
+    | [] -> Ok value
+    | edit :: rest -> (
+        match set_path value edit.field_path edit.new_value with
+        | Ok updated -> apply updated rest
+        | Error _ as e -> e)
+  in
+  match apply value edits with
+  | Error _ as e -> e
+  | Ok updated -> (
+      (* The UI cannot produce an object the schema rejects. *)
+      match Cm_thrift.Check.check_struct schema type_name updated with
+      | Ok normalized -> Ok normalized
+      | Error e -> Error (Format.asprintf "%a" Cm_thrift.Check.pp_error e))
+
+let rec value_at value path =
+  match path with
+  | [] -> Some value
+  | key :: rest -> (
+      match value with
+      | TValue.Struct (_, fields) -> (
+          match List.assoc_opt key fields with
+          | Some v -> value_at v rest
+          | None -> None)
+      | TValue.Map pairs -> (
+          match List.find_opt (fun (k, _) -> TValue.equal k (TValue.Str key)) pairs with
+          | Some (_, v) -> value_at v rest
+          | None -> None)
+      | _ -> None)
+
+let describe_edits ~old_value edits =
+  String.concat "; "
+    (List.map
+       (fun edit ->
+         let field = String.concat "." edit.field_path in
+         match value_at old_value edit.field_path with
+         | Some old ->
+             Printf.sprintf "Updated %s from %s to %s" field (TValue.to_string old)
+               (TValue.to_string edit.new_value)
+         | None -> Printf.sprintf "Set %s to %s" field (TValue.to_string edit.new_value))
+       edits)
+
+(* --- CSL generation --------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+exception Unrepresentable of string
+
+let rec literal buf indent value =
+  let pad = String.make indent ' ' in
+  match value with
+  | TValue.Bool b -> Buffer.add_string buf (string_of_bool b)
+  | TValue.Int n -> Buffer.add_string buf (string_of_int n)
+  | TValue.Double f ->
+      let text = Printf.sprintf "%.12g" f in
+      Buffer.add_string buf
+        (if String.contains text '.' || String.contains text 'e' then text else text ^ ".0")
+  | TValue.Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | TValue.List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ", ";
+          literal buf indent item)
+        items;
+      Buffer.add_char buf ']'
+  | TValue.Map pairs ->
+      Buffer.add_string buf "{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf "\n  ";
+          Buffer.add_string buf pad;
+          (match k with
+          | TValue.Str s ->
+              Buffer.add_char buf '"';
+              Buffer.add_string buf (escape s);
+              Buffer.add_char buf '"'
+          | other -> raise (Unrepresentable ("non-string map key " ^ TValue.to_string other)));
+          Buffer.add_string buf ": ";
+          literal buf (indent + 2) v)
+        pairs;
+      if pairs <> [] then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf pad
+      end;
+      Buffer.add_char buf '}'
+  | TValue.Struct (name, fields) ->
+      Buffer.add_string buf name;
+      Buffer.add_string buf " {";
+      List.iteri
+        (fun i (fname, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf "\n  ";
+          Buffer.add_string buf pad;
+          Buffer.add_string buf fname;
+          Buffer.add_string buf " = ";
+          literal buf (indent + 2) v)
+        fields;
+      if fields <> [] then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf pad
+      end;
+      Buffer.add_char buf '}'
+  | TValue.Enum (ty, member) ->
+      Buffer.add_string buf ty;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf member
+
+let source_of_value ~thrift_imports value =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# Generated by the Configerator UI; do not hand-edit lightly.\n";
+  List.iter
+    (fun path -> Buffer.add_string buf (Printf.sprintf "import_thrift \"%s\"\n" path))
+    thrift_imports;
+  Buffer.add_string buf "export ";
+  match literal buf 0 value with
+  | () ->
+      Buffer.add_char buf '\n';
+      Ok (Buffer.contents buf)
+  | exception Unrepresentable what -> Error ("cannot express in CSL: " ^ what)
+
+(* --- the round trip ---------------------------------------------------- *)
+
+let propose pipeline ~author ~config_path edits ~on_done =
+  let fail message =
+    on_done
+      (Pipeline.Rejected_compile
+         [ { Compiler.at = config_path; stage = Compiler.Eval; message } ])
+  in
+  match Compiler.compile (Pipeline.compiler pipeline) config_path with
+  | Error e -> on_done (Pipeline.Rejected_compile [ e ])
+  | Ok compiled -> (
+      match compiled.Compiler.type_name with
+      | None -> fail "UI edits require a typed config"
+      | Some type_name -> (
+          match
+            Cm_thrift.Codec.decode_struct compiled.Compiler.schema type_name
+              compiled.Compiler.json
+          with
+          | Error e -> fail (Format.asprintf "%a" Cm_thrift.Codec.pp_error e)
+          | Ok current -> (
+              match
+                apply_edits ~schema:compiled.Compiler.schema ~type_name current edits
+              with
+              | Error message -> fail message
+              | Ok updated -> (
+                  let thrift_imports =
+                    List.filter
+                      (fun dep ->
+                        Source_tree.kind_of_path dep = Source_tree.Thrift)
+                      compiled.Compiler.deps
+                  in
+                  match source_of_value ~thrift_imports updated with
+                  | Error message -> fail message
+                  | Ok source ->
+                      let title = describe_edits ~old_value:current edits in
+                      Pipeline.propose pipeline ~author ~title
+                        [ config_path, source ]
+                        ~on_done))))

@@ -1,0 +1,57 @@
+(** The Configerator Web UI flow (§3.2, and the Gatekeeper UI footnote
+    of §4).
+
+    "The Configerator UI allows an engineer to directly edit the value
+    of a Thrift config object without writing any code.  The UI
+    automatically generates the artifacts needed by Configerator."
+    And: "The UI tool converts a user's operations on the UI into a
+    text file, e.g., 'Updated Employee sampling from 1% to 10%'.  The
+    text file ... [is] submitted for code review."
+
+    This module implements both halves: field-level edits applied to a
+    typed config object (re-checked against the schema), CSL source
+    generated from the edited object, and a human-readable change
+    description attached to the review. *)
+
+type edit = {
+  field_path : string list;       (** e.g. ["limits"; "cpu"] *)
+  new_value : Cm_thrift.Value.t;
+}
+
+val set : string list -> Cm_thrift.Value.t -> edit
+
+val apply_edits :
+  schema:Cm_thrift.Schema.t ->
+  type_name:string ->
+  Cm_thrift.Value.t ->
+  edit list ->
+  (Cm_thrift.Value.t, string) result
+(** Applies edits in order and re-runs the schema check on the result
+    (an out-of-range or mistyped UI edit fails here, before any diff
+    exists).  Paths navigate struct fields and string-keyed map
+    entries; editing an unknown field is an error. *)
+
+val describe_edits : old_value:Cm_thrift.Value.t -> edit list -> string
+(** The review text, one line per operation:
+    ["Updated memory_mb from 1024 to 4096"]. *)
+
+val source_of_value :
+  thrift_imports:string list -> Cm_thrift.Value.t -> (string, string) result
+(** Generates the CSL source whose export is the given value — the
+    "artifacts needed by Configerator" for a UI-managed config.
+    [thrift_imports] are the schema files to [import_thrift].
+    Fails on values CSL literals cannot express (non-string map
+    keys). *)
+
+val propose :
+  Pipeline.t ->
+  author:string ->
+  config_path:string ->
+  edit list ->
+  on_done:(Pipeline.outcome -> unit) ->
+  unit
+(** The full UI round trip: compile the current config, apply the
+    edits to its typed object, regenerate CSL source, and push the
+    change through the normal pipeline with the generated change
+    description as the diff title.  Works only on typed [*.cconf]
+    configs. *)

@@ -1,0 +1,138 @@
+type verdict = Pass | Fail of string
+
+type rule = { rule_name : string; check : Cm_thrift.Value.t -> verdict }
+
+let rule rule_name check = { rule_name; check }
+
+let field_int_range ~field ~min ~max =
+  rule
+    (Printf.sprintf "%s in [%d, %d]" field min max)
+    (fun v ->
+      match Cm_thrift.Value.field field v with
+      | Some (Cm_thrift.Value.Int n) ->
+          if n >= min && n <= max then Pass
+          else Fail (Printf.sprintf "field %s = %d outside [%d, %d]" field n min max)
+      | Some other ->
+          Fail
+            (Printf.sprintf "field %s is not an integer: %s" field
+               (Cm_thrift.Value.to_string other))
+      | None -> Pass)
+
+let field_nonempty_string ~field =
+  rule
+    (Printf.sprintf "%s non-empty" field)
+    (fun v ->
+      match Cm_thrift.Value.field field v with
+      | Some (Cm_thrift.Value.Str "") -> Fail (Printf.sprintf "field %s is empty" field)
+      | Some _ | None -> Pass)
+
+let field_string_in ~field ~allowed =
+  rule
+    (Printf.sprintf "%s in {%s}" field (String.concat ", " allowed))
+    (fun v ->
+      match Cm_thrift.Value.field field v with
+      | Some (Cm_thrift.Value.Str s) ->
+          if List.mem s allowed then Pass
+          else Fail (Printf.sprintf "field %s = %S not in allowed set" field s)
+      | Some _ | None -> Pass)
+
+let field_list_max_length ~field ~max =
+  rule
+    (Printf.sprintf "%s length <= %d" field max)
+    (fun v ->
+      match Cm_thrift.Value.field field v with
+      | Some (Cm_thrift.Value.List items) ->
+          if List.length items <= max then Pass
+          else
+            Fail
+              (Printf.sprintf "field %s has %d elements, max %d" field (List.length items) max)
+      | Some _ | None -> Pass)
+
+let forbid_field_value ~field bad ~reason =
+  rule
+    (Printf.sprintf "%s forbidden value" field)
+    (fun v ->
+      match Cm_thrift.Value.field field v with
+      | Some found when Cm_thrift.Value.equal found bad -> Fail reason
+      | Some _ | None -> Pass)
+
+let all rules =
+  rule
+    (String.concat " && " (List.map (fun r -> r.rule_name) rules))
+    (fun v ->
+      let rec run = function
+        | [] -> Pass
+        | r :: rest -> ( match r.check v with Pass -> run rest | Fail _ as f -> f)
+      in
+      run rules)
+
+type t = { by_type : (string, rule list ref) Hashtbl.t }
+
+let create () = { by_type = Hashtbl.create 16 }
+
+let register t ~type_name r =
+  match Hashtbl.find_opt t.by_type type_name with
+  | Some rules -> rules := !rules @ [ r ]
+  | None -> Hashtbl.replace t.by_type type_name (ref [ r ])
+
+let of_source ~type_name ~source =
+  match Cm_lang.Parser.parse source with
+  | Error e ->
+      Error (Printf.sprintf "validator parse error at line %d: %s" e.Cm_lang.Parser.line
+               e.Cm_lang.Parser.message)
+  | Ok file ->
+      let has_validate =
+        List.exists
+          (fun (stmt, _) ->
+            match stmt with
+            | Cm_lang.Ast.Def ("validate", _, _) -> true
+            | Cm_lang.Ast.Def _ | Cm_lang.Ast.Bind _ | Cm_lang.Ast.Import _
+            | Cm_lang.Ast.Import_thrift _ | Cm_lang.Ast.Export _ -> false)
+          file.Cm_lang.Ast.stmts
+      in
+      if not has_validate then Error "validator source must define validate(cfg)"
+      else
+        let check v =
+          (* Re-run the validator file, then apply its [validate]. *)
+          match
+            Cm_lang.Eval.run
+              ~loader:(fun _ -> None)
+              ~path:(type_name ^ ".thrift-cvalidator") ~source
+          with
+          | Error e -> Fail (Printf.sprintf "validator error: %s" e.Cm_lang.Eval.message)
+          | Ok outcome -> (
+              match List.assoc_opt "validate" outcome.Cm_lang.Eval.bindings with
+              | None -> Fail "validator did not produce a validate function"
+              | Some fn -> (
+                  let arg = Cm_lang.Eval.of_thrift v in
+                  let call =
+                    Cm_lang.Parser.parse_expr_exn "validate(cfg)"
+                  in
+                  match
+                    Cm_lang.Eval.eval_expr_standalone
+                      ~bindings:[ "validate", fn; "cfg", arg ] call
+                  with
+                  | Ok (Cm_lang.Eval.V_bool true) -> Pass
+                  | Ok (Cm_lang.Eval.V_bool false) -> Fail "validate(cfg) returned false"
+                  | Ok (Cm_lang.Eval.V_str "") -> Pass
+                  | Ok (Cm_lang.Eval.V_str message) -> Fail message
+                  | Ok _ -> Fail "validate(cfg) must return bool or string"
+                  | Error e ->
+                      Fail (Printf.sprintf "validator error: %s" e.Cm_lang.Eval.message)))
+        in
+        Ok (rule (type_name ^ " source validator") check)
+
+let register_source t ~type_name ~source =
+  match of_source ~type_name ~source with
+  | Ok r ->
+      register t ~type_name r;
+      Ok ()
+  | Error _ as e -> e
+
+let validate t ~type_name v =
+  match Hashtbl.find_opt t.by_type type_name with
+  | None -> Pass
+  | Some rules -> (all !rules).check v
+
+let registered_types t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.by_type [])

@@ -1,0 +1,57 @@
+(** Config validators: invariants checked by the compiler on every
+    config of a given type (§3.3, first line of defense).
+
+    Two forms coexist, as in the paper:
+    - {b combinator validators}, registered programmatically by the
+      team owning the schema ("the scheduler team ... provides the
+      validator job.thrift-cvalidator, which ensures that configs
+      provided by other teams do not accidentally break the
+      scheduler");
+    - {b source validators}, CSL files named
+      ["<Type>.thrift-cvalidator"] that define
+      [def validate(cfg) = <bool expr>] and are discovered
+      automatically from the source tree. *)
+
+type verdict = Pass | Fail of string
+
+type rule = { rule_name : string; check : Cm_thrift.Value.t -> verdict }
+
+(** {1 Combinators} *)
+
+val rule : string -> (Cm_thrift.Value.t -> verdict) -> rule
+
+val field_int_range : field:string -> min:int -> max:int -> rule
+(** Integer field within bounds (missing field passes — requiredness
+    is the schema checker's job). *)
+
+val field_nonempty_string : field:string -> rule
+val field_string_in : field:string -> allowed:string list -> rule
+val field_list_max_length : field:string -> max:int -> rule
+
+val forbid_field_value : field:string -> Cm_thrift.Value.t -> reason:string -> rule
+
+val all : rule list -> rule
+(** Conjunction; fails with the first failing sub-rule's message. *)
+
+(** {1 Registry} *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> type_name:string -> rule -> unit
+(** Attach a combinator rule to a struct type.  Multiple rules per
+    type accumulate. *)
+
+val of_source : type_name:string -> source:string -> (rule, string) result
+(** Compile a CSL validator source: must define [validate] taking the
+    config and returning a bool (or a string, interpreted as a
+    failure message; empty string = pass). *)
+
+val register_source : t -> type_name:string -> source:string -> (unit, string) result
+
+val validate : t -> type_name:string -> Cm_thrift.Value.t -> verdict
+(** Runs every rule registered for the type; [Pass] when none is
+    registered. *)
+
+val registered_types : t -> string list

@@ -1,0 +1,1 @@
+lib/gatekeeper/experiment.ml: Cm_json Cm_sim Hashtbl Int64 List Restraint User

@@ -1,0 +1,1 @@
+lib/gatekeeper/experiment.mli: Cm_json Restraint User

@@ -1,0 +1,1 @@
+lib/gatekeeper/project.ml: Cm_json Cm_sim Format Int64 List Printf Restraint User

@@ -1,0 +1,1 @@
+lib/gatekeeper/project.mli: Cm_json Restraint User

@@ -1,0 +1,1 @@
+lib/gatekeeper/restraint.ml: Cm_json Cm_laser Int64 List Printf String User

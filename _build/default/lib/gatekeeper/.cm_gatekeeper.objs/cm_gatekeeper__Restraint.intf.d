@@ -1,0 +1,1 @@
+lib/gatekeeper/restraint.mli: Cm_json Cm_laser User

@@ -1,0 +1,1 @@
+lib/gatekeeper/rollout.ml: Float List Printf Project Restraint

@@ -1,0 +1,1 @@
+lib/gatekeeper/rollout.mli: Project Restraint User

@@ -1,0 +1,1 @@
+lib/gatekeeper/runtime.ml: Array Float Hashtbl List Project Restraint String

@@ -1,0 +1,1 @@
+lib/gatekeeper/runtime.mli: Cm_json Project Restraint User

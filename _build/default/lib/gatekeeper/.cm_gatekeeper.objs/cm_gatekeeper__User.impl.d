@@ -1,0 +1,1 @@
+lib/gatekeeper/user.ml: Cm_sim List

@@ -1,0 +1,1 @@
+lib/gatekeeper/user.mli: Cm_sim

@@ -1,0 +1,146 @@
+module Json = Cm_json.Value
+
+type variant = {
+  variant_name : string;
+  weight : float;
+  param : Json.t;
+}
+
+type arm_stats = { mutable n : int; mutable sum : float }
+
+type t = {
+  ename : string;
+  eligibility : Restraint.t list;
+  exposure : float;
+  variants : variant list;
+  outcomes : (string, arm_stats) Hashtbl.t;
+}
+
+let create ~name ?(eligibility = []) ?(exposure = 1.0) variants =
+  if variants = [] then invalid_arg "Experiment.create: no variants";
+  { ename = name; eligibility; exposure; variants; outcomes = Hashtbl.create 8 }
+
+let name t = t.ename
+
+let assign ctx t user =
+  let eligible =
+    List.for_all (fun restraint_ -> Restraint.eval ctx restraint_ user) t.eligibility
+  in
+  if not eligible then None
+  else begin
+    let enroll_key = t.ename ^ "\000enroll\000" ^ Int64.to_string user.User.id in
+    if Cm_sim.Rng.hash_to_unit enroll_key >= t.exposure then None
+    else begin
+      let total = List.fold_left (fun acc v -> acc +. v.weight) 0.0 t.variants in
+      let arm_key = t.ename ^ "\000arm\000" ^ Int64.to_string user.User.id in
+      let draw = Cm_sim.Rng.hash_to_unit arm_key *. total in
+      let rec pick acc = function
+        | [] -> None
+        | [ last ] -> Some last
+        | v :: rest -> if draw < acc +. v.weight then Some v else pick (acc +. v.weight) rest
+      in
+      pick 0.0 t.variants
+    end
+  end
+
+let record t _user variant outcome =
+  match Hashtbl.find_opt t.outcomes variant.variant_name with
+  | Some stats ->
+      stats.n <- stats.n + 1;
+      stats.sum <- stats.sum +. outcome
+  | None -> Hashtbl.replace t.outcomes variant.variant_name { n = 1; sum = outcome }
+
+let results t =
+  List.map
+    (fun v ->
+      match Hashtbl.find_opt t.outcomes v.variant_name with
+      | Some stats -> v.variant_name, stats.n, stats.sum /. float_of_int (max 1 stats.n)
+      | None -> v.variant_name, 0, nan)
+    t.variants
+
+let best t ~higher_is_better =
+  let observed =
+    List.filter_map
+      (fun v ->
+        match Hashtbl.find_opt t.outcomes v.variant_name with
+        | Some stats when stats.n > 0 -> Some (v, stats.sum /. float_of_int stats.n)
+        | Some _ | None -> None)
+      t.variants
+  in
+  match observed with
+  | [] -> None
+  | first :: rest ->
+      let better (va, ma) (vb, mb) =
+        if (higher_is_better && mb > ma) || ((not higher_is_better) && mb < ma) then vb, mb
+        else va, ma
+      in
+      Some (fst (List.fold_left better first rest))
+
+let to_json t =
+  Json.obj
+    [
+      "experiment", Json.String t.ename;
+      "exposure", Json.Float t.exposure;
+      "eligibility", Json.List (List.map Restraint.to_json t.eligibility);
+      ( "variants",
+        Json.List
+          (List.map
+             (fun v ->
+               Json.obj
+                 [
+                   "name", Json.String v.variant_name;
+                   "weight", Json.Float v.weight;
+                   "param", v.param;
+                 ])
+             t.variants) );
+    ]
+
+let of_json json =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* ename =
+    match Json.member "experiment" json with
+    | Some (Json.String s) -> Ok s
+    | Some _ | None -> Error "experiment missing name"
+  in
+  let exposure =
+    match Json.member "exposure" json with
+    | Some v -> ( match Json.to_float v with Some f -> f | None -> 1.0)
+    | None -> 1.0
+  in
+  let* eligibility =
+    match Json.member "eligibility" json with
+    | Some (Json.List items) ->
+        List.fold_left
+          (fun acc item ->
+            match acc with
+            | Error _ as e -> e
+            | Ok rs -> (
+                match Restraint.of_json item with
+                | Ok r -> Ok (rs @ [ r ])
+                | Error _ as e -> e))
+          (Ok []) items
+    | Some _ -> Error "eligibility must be a list"
+    | None -> Ok []
+  in
+  let* variants =
+    match Json.member "variants" json with
+    | Some (Json.List items) ->
+        List.fold_left
+          (fun acc item ->
+            match acc with
+            | Error _ as e -> e
+            | Ok vs -> (
+                match Json.member "name" item, Json.member "param" item with
+                | Some (Json.String vname), Some param ->
+                    let weight =
+                      match Json.member "weight" item with
+                      | Some w -> ( match Json.to_float w with Some f -> f | None -> 1.0)
+                      | None -> 1.0
+                    in
+                    Ok (vs @ [ { variant_name = vname; weight; param } ])
+                | _ -> Error "variant needs name and param"))
+          (Ok []) items
+    | Some _ | None -> Error "experiment missing variants"
+  in
+  if variants = [] then Error "experiment has no variants"
+  else Ok { ename; eligibility; exposure; variants; outcomes = Hashtbl.create 8 }

@@ -1,0 +1,47 @@
+(** A/B experiments on top of Gatekeeper (§4, §5): assign each user a
+    variant deterministically, log exposures and outcome metrics, and
+    pick a winner.
+
+    This is the mechanism behind the paper's VoIP echo-canceling
+    example: different if-branches of a Gatekeeper-backed experiment
+    hand different parameter values to the app, the experiment runs
+    live, and the best parameter is then frozen into a constant
+    config. *)
+
+type variant = {
+  variant_name : string;
+  weight : float;          (** relative share of exposed users *)
+  param : Cm_json.Value.t; (** the parameter value this arm tests *)
+}
+
+type t
+
+val create :
+  name:string ->
+  ?eligibility:Restraint.t list ->
+  ?exposure:float ->
+  variant list ->
+  t
+(** [eligibility] restricts who participates (e.g. a device model);
+    [exposure] is the fraction of eligible users enrolled (default
+    1.0).  Weights are normalized. *)
+
+val name : t -> string
+
+val assign : Restraint.ctx -> t -> User.t -> variant option
+(** Deterministic, sticky assignment; [None] when the user is not
+    eligible or not enrolled. *)
+
+val record : t -> User.t -> variant -> float -> unit
+(** Log one outcome observation (e.g. echo score) for a user's arm. *)
+
+val results : t -> (string * int * float) list
+(** [(variant, observations, mean outcome)] per arm. *)
+
+val best : t -> higher_is_better:bool -> variant option
+(** Arm with the best mean (requires at least one observation). *)
+
+(** {1 Serialization} *)
+
+val to_json : t -> Cm_json.Value.t
+val of_json : Cm_json.Value.t -> (t, string) result

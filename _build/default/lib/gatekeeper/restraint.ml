@@ -1,0 +1,209 @@
+module Json = Cm_json.Value
+
+type kind =
+  | Employee
+  | Country of string list
+  | Locale of string list
+  | Device_model of string list
+  | Platform of User.platform list
+  | App_version_at_least of int
+  | App_version_at_most of int
+  | Min_friends of int
+  | Max_friends of int
+  | New_user of int
+  | Id_in of int64 list
+  | Id_mod of int * int
+  | Attr_equals of string * string
+  | Laser_above of string * float
+  | Always
+
+type t = { kind : kind; negate : bool }
+
+let make ?(negate = false) kind = { kind; negate }
+
+type ctx = { laser : Cm_laser.Laser.t option }
+
+let eval_kind ctx kind (user : User.t) =
+  match kind with
+  | Employee -> user.User.employee
+  | Country allowed -> List.mem user.User.country allowed
+  | Locale allowed -> List.mem user.User.locale allowed
+  | Device_model allowed -> List.mem user.User.device_model allowed
+  | Platform allowed -> List.mem user.User.platform allowed
+  | App_version_at_least v -> user.User.app_version >= v
+  | App_version_at_most v -> user.User.app_version <= v
+  | Min_friends n -> user.User.friend_count >= n
+  | Max_friends n -> user.User.friend_count <= n
+  | New_user days -> user.User.account_age_days < days
+  | Id_in ids -> List.mem user.User.id ids
+  | Id_mod (n, r) ->
+      n > 0 && Int64.rem (Int64.logand user.User.id Int64.max_int) (Int64.of_int n)
+               = Int64.of_int r
+  | Attr_equals (key, v) -> (
+      match User.attr user key with Some found -> String.equal found v | None -> false)
+  | Laser_above (prefix, threshold) -> (
+      match ctx.laser with
+      | None -> false
+      | Some store -> (
+          let key = prefix ^ "-" ^ Int64.to_string user.User.id in
+          match Cm_laser.Laser.get store key with
+          | Some v -> v > threshold
+          | None -> false))
+  | Always -> true
+
+let eval ctx t user =
+  let raw = eval_kind ctx t.kind user in
+  if t.negate then not raw else raw
+
+let static_cost t =
+  match t.kind with
+  | Employee | Country _ | Locale _ | Device_model _ | Platform _
+  | App_version_at_least _ | App_version_at_most _ | New_user _ | Always ->
+      1.0
+  | Id_in _ | Id_mod _ | Attr_equals _ -> 1.5
+  | Min_friends _ | Max_friends _ -> 3.0 (* graph query *)
+  | Laser_above _ -> 25.0 (* data-store lookup *)
+
+let name t =
+  let base =
+    match t.kind with
+    | Employee -> "employee"
+    | Country cs -> "country(" ^ String.concat "," cs ^ ")"
+    | Locale ls -> "locale(" ^ String.concat "," ls ^ ")"
+    | Device_model ds -> "device(" ^ String.concat "," ds ^ ")"
+    | Platform ps -> "platform(" ^ String.concat "," (List.map User.platform_name ps) ^ ")"
+    | App_version_at_least v -> Printf.sprintf "app_version>=%d" v
+    | App_version_at_most v -> Printf.sprintf "app_version<=%d" v
+    | Min_friends n -> Printf.sprintf "friends>=%d" n
+    | Max_friends n -> Printf.sprintf "friends<=%d" n
+    | New_user d -> Printf.sprintf "new_user(%d)" d
+    | Id_in ids -> Printf.sprintf "id_in(%d ids)" (List.length ids)
+    | Id_mod (n, r) -> Printf.sprintf "id%%%d==%d" n r
+    | Attr_equals (k, v) -> Printf.sprintf "attr(%s=%s)" k v
+    | Laser_above (p, x) -> Printf.sprintf "laser(%s)>%g" p x
+    | Always -> "always"
+  in
+  if t.negate then "not " ^ base else base
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let strings items = Json.List (List.map (fun s -> Json.String s) items)
+
+let kind_to_json = function
+  | Employee -> Json.obj [ "kind", Json.String "employee" ]
+  | Country cs -> Json.obj [ "kind", Json.String "country"; "values", strings cs ]
+  | Locale ls -> Json.obj [ "kind", Json.String "locale"; "values", strings ls ]
+  | Device_model ds -> Json.obj [ "kind", Json.String "device_model"; "values", strings ds ]
+  | Platform ps ->
+      Json.obj
+        [ "kind", Json.String "platform"; "values", strings (List.map User.platform_name ps) ]
+  | App_version_at_least v ->
+      Json.obj [ "kind", Json.String "app_version_at_least"; "value", Json.Int v ]
+  | App_version_at_most v ->
+      Json.obj [ "kind", Json.String "app_version_at_most"; "value", Json.Int v ]
+  | Min_friends n -> Json.obj [ "kind", Json.String "min_friends"; "value", Json.Int n ]
+  | Max_friends n -> Json.obj [ "kind", Json.String "max_friends"; "value", Json.Int n ]
+  | New_user d -> Json.obj [ "kind", Json.String "new_user"; "value", Json.Int d ]
+  | Id_in ids ->
+      Json.obj
+        [
+          "kind", Json.String "id_in";
+          "values", Json.List (List.map (fun id -> Json.String (Int64.to_string id)) ids);
+        ]
+  | Id_mod (n, r) ->
+      Json.obj [ "kind", Json.String "id_mod"; "n", Json.Int n; "r", Json.Int r ]
+  | Attr_equals (k, v) ->
+      Json.obj [ "kind", Json.String "attr_equals"; "key", Json.String k; "value", Json.String v ]
+  | Laser_above (p, x) ->
+      Json.obj [ "kind", Json.String "laser_above"; "prefix", Json.String p; "threshold", Json.Float x ]
+  | Always -> Json.obj [ "kind", Json.String "always" ]
+
+let to_json t =
+  match kind_to_json t.kind with
+  | Json.Assoc fields -> Json.Assoc (fields @ [ "negate", Json.Bool t.negate ])
+  | other -> other
+
+let string_list_field json field =
+  match Json.member field json with
+  | Some (Json.List items) ->
+      let values =
+        List.filter_map (fun item -> match item with Json.String s -> Some s | _ -> None) items
+      in
+      Ok values
+  | Some _ | None -> Error (Printf.sprintf "missing string list field %s" field)
+
+let int_field json field =
+  match Json.member field json with
+  | Some (Json.Int n) -> Ok n
+  | Some _ | None -> Error (Printf.sprintf "missing int field %s" field)
+
+let of_json json =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let negate =
+    match Json.member "negate" json with Some (Json.Bool b) -> b | Some _ | None -> false
+  in
+  let* kind =
+    match Json.member "kind" json with
+    | Some (Json.String kind_name) -> (
+        match kind_name with
+        | "employee" -> Ok Employee
+        | "country" ->
+            let* values = string_list_field json "values" in
+            Ok (Country values)
+        | "locale" ->
+            let* values = string_list_field json "values" in
+            Ok (Locale values)
+        | "device_model" ->
+            let* values = string_list_field json "values" in
+            Ok (Device_model values)
+        | "platform" ->
+            let* values = string_list_field json "values" in
+            let platforms =
+              List.filter_map
+                (fun v ->
+                  match v with
+                  | "web" -> Some User.Web
+                  | "ios" -> Some User.Ios
+                  | "android" -> Some User.Android
+                  | _ -> None)
+                values
+            in
+            Ok (Platform platforms)
+        | "app_version_at_least" ->
+            let* v = int_field json "value" in
+            Ok (App_version_at_least v)
+        | "app_version_at_most" ->
+            let* v = int_field json "value" in
+            Ok (App_version_at_most v)
+        | "min_friends" ->
+            let* v = int_field json "value" in
+            Ok (Min_friends v)
+        | "max_friends" ->
+            let* v = int_field json "value" in
+            Ok (Max_friends v)
+        | "new_user" ->
+            let* v = int_field json "value" in
+            Ok (New_user v)
+        | "id_in" ->
+            let* values = string_list_field json "values" in
+            Ok (Id_in (List.filter_map Int64.of_string_opt values))
+        | "id_mod" ->
+            let* n = int_field json "n" in
+            let* r = int_field json "r" in
+            Ok (Id_mod (n, r))
+        | "attr_equals" -> (
+            match Json.member "key" json, Json.member "value" json with
+            | Some (Json.String k), Some (Json.String v) -> Ok (Attr_equals (k, v))
+            | _ -> Error "attr_equals needs key and value strings")
+        | "laser_above" -> (
+            match Json.member "prefix" json, Json.member "threshold" json with
+            | Some (Json.String p), Some threshold -> (
+                match Json.to_float threshold with
+                | Some x -> Ok (Laser_above (p, x))
+                | None -> Error "laser_above threshold must be a number")
+            | _ -> Error "laser_above needs prefix and threshold")
+        | "always" -> Ok Always
+        | other -> Error (Printf.sprintf "unknown restraint kind %s" other))
+    | Some _ | None -> Error "restraint missing kind"
+  in
+  Ok { kind; negate }

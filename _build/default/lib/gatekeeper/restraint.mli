@@ -1,0 +1,49 @@
+(** Restraints: the statically implemented predicates Gatekeeper
+    projects are composed from (§4).  "Currently, hundreds of
+    restraints have been implemented, which are used to compose tens
+    of thousands of Gatekeeper projects."
+
+    Every restraint carries a [negate] flag, giving the gating logic
+    the full expressive power of DNF. *)
+
+type kind =
+  | Employee
+  | Country of string list
+  | Locale of string list
+  | Device_model of string list
+  | Platform of User.platform list
+  | App_version_at_least of int
+  | App_version_at_most of int
+  | Min_friends of int
+  | Max_friends of int
+  | New_user of int            (** account younger than N days *)
+  | Id_in of int64 list        (** the paper's "ID()" restraint *)
+  | Id_mod of int * int        (** id mod n = r: deterministic slicing *)
+  | Attr_equals of string * string
+  | Laser_above of string * float
+      (** the "laser()" restraint: get("<prefix>-<user_id>") > threshold;
+          integrates stream/MapReduce output via the Laser KV store *)
+  | Always
+
+type t = { kind : kind; negate : bool }
+
+val make : ?negate:bool -> kind -> t
+
+type ctx = { laser : Cm_laser.Laser.t option }
+(** Evaluation environment; only laser restraints need external data. *)
+
+val eval : ctx -> t -> User.t -> bool
+(** [negate] already applied.  A laser restraint with no store in
+    context, or a missing key, evaluates to false (before negation). *)
+
+val static_cost : t -> float
+(** Relative evaluation cost used by the cost-based optimizer:
+    attribute checks are cheap (1.0), friend/graph checks moderate,
+    laser lookups expensive (25.0) — they hit a data store. *)
+
+val name : t -> string
+
+(** {1 JSON} *)
+
+val to_json : t -> Cm_json.Value.t
+val of_json : Cm_json.Value.t -> (t, string) result

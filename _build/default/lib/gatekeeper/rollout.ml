@@ -1,0 +1,77 @@
+type stage = {
+  stage_name : string;
+  project : Project.t;
+}
+
+let pct prob = Printf.sprintf "%g%%" (100.0 *. prob)
+
+let launch_plan ~name ?(developer_ids = []) ?(employee_steps = [ 0.01; 0.1; 1.0 ])
+    ?(region = "JP") ?(region_prob = 0.05) ?(world_steps = [ 0.01; 0.1; 1.0 ]) () =
+  let dev_rule =
+    if developer_ids = [] then []
+    else [ Project.rule ~salt:"dev" [ Restraint.make (Restraint.Id_in developer_ids) ] ]
+  in
+  let employee_rule prob =
+    Project.rule ~salt:"employee" ~pass_prob:prob [ Restraint.make Restraint.Employee ]
+  in
+  let region_rule prob =
+    Project.rule ~salt:"region" ~pass_prob:prob [ Restraint.make (Restraint.Country [ region ]) ]
+  in
+  let world_rule prob =
+    Project.rule ~salt:"world" ~pass_prob:prob [ Restraint.make Restraint.Always ]
+  in
+  let dev_stage =
+    if developer_ids = [] then []
+    else [ { stage_name = "developers only"; project = Project.make ~name dev_rule } ]
+  in
+  let employee_stages =
+    List.map
+      (fun prob ->
+        {
+          stage_name = "employees " ^ pct prob;
+          project = Project.make ~name (dev_rule @ [ employee_rule prob ]);
+        })
+      employee_steps
+  in
+  let region_stage =
+    {
+      stage_name = Printf.sprintf "region %s %s" region (pct region_prob);
+      project =
+        Project.make ~name (dev_rule @ [ employee_rule 1.0; region_rule region_prob ]);
+    }
+  in
+  let world_stages =
+    (* Rules are first-match DNF: once a rule matches, the user's fate
+       is decided there (no fall-through).  The region rule must
+       therefore never lag the world probability, or region users
+       would be stuck at the old sampling rate. *)
+    List.map
+      (fun prob ->
+        {
+          stage_name = "world " ^ pct prob;
+          project =
+            Project.make ~name
+              (dev_rule
+              @ [
+                  employee_rule 1.0;
+                  region_rule (Float.max region_prob prob);
+                  world_rule prob;
+                ]);
+        })
+      world_steps
+  in
+  dev_stage @ employee_stages @ [ region_stage ] @ world_stages
+
+let kill_stage ~name =
+  { stage_name = "killed"; project = Project.kill (Project.make ~name []) }
+
+let enabled_fraction ctx project ~users =
+  match users with
+  | [] -> 0.0
+  | _ ->
+      let passing =
+        List.fold_left
+          (fun acc user -> if Project.check ctx project user then acc + 1 else acc)
+          0 users
+      in
+      float_of_int passing /. float_of_int (List.length users)

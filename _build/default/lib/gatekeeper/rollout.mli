@@ -1,0 +1,37 @@
+(** Staged feature rollouts (§4): the typical launch sequence,
+    expressed as a series of project configs.
+
+    "Initially Gatekeeper may only enable the product feature to the
+    engineers developing the feature.  Then ... an increasing
+    percentage of Facebook employees, e.g., 1%→10%→100%.  After
+    successful internal testing, it can target 5% of the users from a
+    specific region.  Finally, the feature can be launched globally
+    with an increasing coverage, e.g., 1%→10%→100%." *)
+
+type stage = {
+  stage_name : string;
+  project : Project.t;  (** the project config this stage deploys *)
+}
+
+val launch_plan :
+  name:string ->
+  ?developer_ids:int64 list ->
+  ?employee_steps:float list ->
+  ?region:string ->
+  ?region_prob:float ->
+  ?world_steps:float list ->
+  unit ->
+  stage list
+(** Builds the full sequence.  Defaults: employee steps
+    [0.01; 0.1; 1.0], region "JP" at 0.05, world steps
+    [0.01; 0.1; 1.0].  Every stage's project keeps earlier cohorts
+    enabled (monotone rollout). *)
+
+val kill_stage : name:string -> stage
+(** The instant-disable config ("the new code can be disabled
+    instantaneously"). *)
+
+val enabled_fraction :
+  Restraint.ctx -> Project.t -> users:User.t list -> float
+(** Measured share of a population passing the gate — used to verify
+    each stage hits its target. *)

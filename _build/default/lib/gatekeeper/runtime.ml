@@ -1,0 +1,153 @@
+type stat = { restraint : Restraint.t; mutable evals : int; mutable trues : int }
+
+type compiled_rule = {
+  stats : stat array;          (* written order *)
+  mutable order : int array;   (* evaluation order: indices into stats *)
+  pass_prob : float;
+  salt : string;
+}
+
+type compiled = {
+  project : Project.t;
+  crules : compiled_rule array;
+  mutable checks_since_opt : int;
+}
+
+type t = {
+  ctx : Restraint.ctx;
+  reoptimize_every : int;
+  projects : (string, compiled) Hashtbl.t;
+  mutable nchecks : int;
+  mutable nevals : int;
+  mutable cost : float;
+}
+
+let create ?(ctx = { Restraint.laser = None }) ?(reoptimize_every = 1024) () =
+  { ctx; reoptimize_every; projects = Hashtbl.create 64; nchecks = 0; nevals = 0; cost = 0.0 }
+
+let compile_project project =
+  {
+    project;
+    crules =
+      Array.of_list
+        (List.map
+           (fun r ->
+             let stats =
+               Array.of_list
+                 (List.map
+                    (fun restraint_ -> { restraint = restraint_; evals = 0; trues = 0 })
+                    r.Project.restraints)
+             in
+             {
+               stats;
+               order = Array.init (Array.length stats) (fun i -> i);
+               pass_prob = r.Project.pass_prob;
+               salt = r.Project.salt;
+             })
+           project.Project.rules);
+    checks_since_opt = 0;
+  }
+
+let load t project =
+  Hashtbl.replace t.projects project.Project.project_name (compile_project project)
+
+let load_json t json =
+  match Project.of_json json with
+  | Ok project ->
+      load t project;
+      Ok ()
+  | Error _ as e -> e
+
+let unload t name = Hashtbl.remove t.projects name
+
+let selectivity stat =
+  if stat.evals = 0 then 0.5 else float_of_int stat.trues /. float_of_int stat.evals
+
+(* Short-circuit ordering: an AND chain stops at the first false, so
+   we want restraints that are cheap and unlikely to be true first.
+   Rank by cost / P(false); lower is better. *)
+let reoptimize compiled =
+  Array.iter
+    (fun crule ->
+      let rank i =
+        let stat = crule.stats.(i) in
+        let p_false = Float.max 0.02 (1.0 -. selectivity stat) in
+        Restraint.static_cost stat.restraint /. p_false
+      in
+      let order = Array.init (Array.length crule.stats) (fun i -> i) in
+      let ranked = Array.map (fun i -> rank i, i) order in
+      Array.sort (fun (a, _) (b, _) -> Float.compare a b) ranked;
+      crule.order <- Array.map snd ranked)
+    compiled.crules
+
+let eval_rule t crule user ~use_order =
+  let n = Array.length crule.stats in
+  let rec scan i =
+    if i >= n then true
+    else begin
+      let idx = if use_order then crule.order.(i) else i in
+      let stat = crule.stats.(idx) in
+      stat.evals <- stat.evals + 1;
+      t.nevals <- t.nevals + 1;
+      t.cost <- t.cost +. Restraint.static_cost stat.restraint;
+      let verdict = Restraint.eval t.ctx stat.restraint user in
+      if verdict then begin
+        stat.trues <- stat.trues + 1;
+        scan (i + 1)
+      end
+      else false
+    end
+  in
+  scan 0
+
+let check_with t name user ~use_order =
+  t.nchecks <- t.nchecks + 1;
+  match Hashtbl.find_opt t.projects name with
+  | None -> false
+  | Some compiled ->
+      if compiled.project.Project.killed then false
+      else begin
+        compiled.checks_since_opt <- compiled.checks_since_opt + 1;
+        if use_order && compiled.checks_since_opt >= t.reoptimize_every then begin
+          compiled.checks_since_opt <- 0;
+          reoptimize compiled
+        end;
+        let nrules = Array.length compiled.crules in
+        let rec scan i =
+          if i >= nrules then false
+          else begin
+            let crule = compiled.crules.(i) in
+            if eval_rule t crule user ~use_order then
+              Project.sticky_pass compiled.project ~rule_index:i
+                {
+                  Project.restraints = [];
+                  pass_prob = crule.pass_prob;
+                  salt = crule.salt;
+                }
+                user
+            else scan (i + 1)
+          end
+        in
+        scan 0
+      end
+
+let check t name user = check_with t name user ~use_order:true
+let check_naive t name user = check_with t name user ~use_order:false
+let checks_performed t = t.nchecks
+
+let project_names t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.projects [])
+
+let restraint_stats t name =
+  match Hashtbl.find_opt t.projects name with
+  | None -> []
+  | Some compiled ->
+      Array.to_list compiled.crules
+      |> List.concat_map (fun crule ->
+             Array.to_list crule.order
+             |> List.map (fun idx ->
+                    let stat = crule.stats.(idx) in
+                    Restraint.name stat.restraint, stat.evals, selectivity stat))
+
+let evaluated_restraints t = t.nevals
+let evaluated_cost t = t.cost

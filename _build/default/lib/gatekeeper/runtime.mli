@@ -1,0 +1,50 @@
+(** The Gatekeeper runtime that production servers embed (§4).
+
+    It loads project configs (delivered as live config updates), and
+    serves [gk_check] at very high rates — the paper reports billions
+    of checks per second site-wide (Figure 15) and notes the runtime
+    "can leverage execution statistics (e.g., the execution time of a
+    restraint and its probability of returning true) to guide
+    efficient evaluation of the boolean tree", like an SQL engine's
+    cost-based optimizer.
+
+    The optimizer here does exactly that: it tracks each restraint's
+    observed selectivity, and orders every conjunction by
+    [cost / P(short-circuit)] so the cheapest, most-likely-to-fail
+    restraints run first.  Expensive restraints (laser lookups) are
+    pushed last unless they almost always fail.  The ordering is
+    re-derived periodically from live stats. *)
+
+type t
+
+val create : ?ctx:Restraint.ctx -> ?reoptimize_every:int -> unit -> t
+(** [reoptimize_every] checks between orderings (default 1024). *)
+
+val load : t -> Project.t -> unit
+(** Install or replace a project — what happens when its JSON config
+    update reaches the server. *)
+
+val load_json : t -> Cm_json.Value.t -> (unit, string) result
+val unload : t -> string -> unit
+
+val check : t -> string -> User.t -> bool
+(** [check t project user]: optimized evaluation.  Unknown projects
+    fail closed (false). *)
+
+val check_naive : t -> string -> User.t -> bool
+(** Written evaluation order; semantically identical to {!check} —
+    the property the ablation test asserts. *)
+
+val checks_performed : t -> int
+val project_names : t -> string list
+
+val restraint_stats : t -> string -> (string * int * float) list
+(** [(restraint name, evaluations, observed selectivity)] for every
+    restraint of a project, in current evaluation order. *)
+
+val evaluated_restraints : t -> int
+(** Total restraint evaluations — the work metric the cost-based
+    ordering minimizes. *)
+
+val evaluated_cost : t -> float
+(** Total static cost of evaluated restraints. *)

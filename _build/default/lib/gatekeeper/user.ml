@@ -1,0 +1,57 @@
+type platform = Web | Ios | Android
+
+let platform_name = function Web -> "web" | Ios -> "ios" | Android -> "android"
+
+type t = {
+  id : int64;
+  employee : bool;
+  country : string;
+  locale : string;
+  device_model : string;
+  platform : platform;
+  app_version : int;
+  friend_count : int;
+  account_age_days : int;
+  attrs : (string * string) list;
+}
+
+let make ?(employee = false) ?(country = "US") ?(locale = "en_US")
+    ?(device_model = "generic") ?(platform = Web) ?(app_version = 100)
+    ?(friend_count = 50) ?(account_age_days = 400) ?(attrs = []) id =
+  {
+    id;
+    employee;
+    country;
+    locale;
+    device_model;
+    platform;
+    app_version;
+    friend_count;
+    account_age_days;
+    attrs;
+  }
+
+let countries = [| "US"; "IN"; "BR"; "GB"; "DE"; "FR"; "JP"; "MX"; "ID"; "NG" |]
+let locales = [| "en_US"; "en_GB"; "pt_BR"; "hi_IN"; "de_DE"; "fr_FR"; "ja_JP"; "es_MX" |]
+
+let devices =
+  [| "iPhone6,1"; "iPhone7,2"; "SM-G900"; "SM-J500"; "Pixel-1"; "Moto-G"; "generic" |]
+
+let random rng =
+  let platform =
+    match Cm_sim.Rng.int rng 3 with 0 -> Web | 1 -> Ios | _ -> Android
+  in
+  {
+    id = Cm_sim.Rng.bits64 rng;
+    employee = Cm_sim.Rng.bernoulli rng 0.002;
+    country = Cm_sim.Rng.choice rng countries;
+    locale = Cm_sim.Rng.choice rng locales;
+    device_model = Cm_sim.Rng.choice rng devices;
+    platform;
+    app_version = 80 + Cm_sim.Rng.int rng 40;
+    friend_count = Cm_sim.Rng.int rng 2000;
+    account_age_days = Cm_sim.Rng.int rng 4000;
+    attrs = [];
+  }
+
+let attr t name = List.assoc_opt name t.attrs

@@ -1,0 +1,41 @@
+(** The user context a Gatekeeper check evaluates against (§4): the
+    attributes restraints inspect when facebook.com decides, per
+    request, which product features to enable. *)
+
+type platform = Web | Ios | Android
+
+val platform_name : platform -> string
+
+type t = {
+  id : int64;
+  employee : bool;
+  country : string;        (** ISO code, e.g. "US" *)
+  locale : string;         (** e.g. "en_US" *)
+  device_model : string;   (** e.g. "iPhone6,1" *)
+  platform : platform;
+  app_version : int;       (** monotone build number *)
+  friend_count : int;
+  account_age_days : int;
+  attrs : (string * string) list;  (** extension point for custom restraints *)
+}
+
+val make :
+  ?employee:bool ->
+  ?country:string ->
+  ?locale:string ->
+  ?device_model:string ->
+  ?platform:platform ->
+  ?app_version:int ->
+  ?friend_count:int ->
+  ?account_age_days:int ->
+  ?attrs:(string * string) list ->
+  int64 ->
+  t
+(** Defaults: non-employee, "US", "en_US", "generic", Web, version 100,
+    50 friends, 400 days old, no custom attributes. *)
+
+val random : Cm_sim.Rng.t -> t
+(** A plausible random user (for load generation): 0.2% employees,
+    country/locale/device drawn from small realistic pools. *)
+
+val attr : t -> string -> string option

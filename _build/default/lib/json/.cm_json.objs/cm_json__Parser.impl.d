@@ -1,0 +1,1 @@
+lib/json/parser.ml: Buffer Char Format List Printf String Value

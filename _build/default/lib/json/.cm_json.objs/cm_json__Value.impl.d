@@ -1,0 +1,1 @@
+lib/json/value.ml: Bool Buffer Char Digest Float Format Int List Printf String

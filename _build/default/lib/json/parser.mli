@@ -1,0 +1,17 @@
+(** Recursive-descent JSON parser.
+
+    Accepts standard JSON (RFC 8259).  Errors carry the 1-based line
+    and column of the offending character. *)
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Parse_error of error
+
+val parse : string -> (Value.t, error) result
+(** [parse s] parses the whole string; trailing non-whitespace is an
+    error. *)
+
+val parse_exn : string -> Value.t
+(** @raise Parse_error on malformed input. *)

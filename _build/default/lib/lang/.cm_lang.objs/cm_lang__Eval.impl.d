@@ -1,0 +1,1 @@
+lib/lang/eval.ml: Ast Buffer Cm_thrift Float Format Hashtbl Int Lexer List Parser Printf String

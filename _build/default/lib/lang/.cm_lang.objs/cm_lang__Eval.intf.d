@@ -1,0 +1,1 @@
+lib/lang/eval.mli: Ast Cm_thrift Format

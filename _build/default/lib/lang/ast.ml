@@ -1,0 +1,62 @@
+(** Abstract syntax of CSL, the config source language.
+
+    CSL plays the role of the Python config programs in the paper's
+    Figure 2: a small, deterministic expression language with imports,
+    struct construction against a Thrift schema, and an export
+    statement that emits the compiled JSON artifact. *)
+
+type pos = { line : int }
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type expr = { desc : desc; pos : pos }
+
+and desc =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Null
+  | Var of string
+  | List_lit of expr list
+  | Map_lit of (expr * expr) list
+  | Struct_lit of string * (string * expr) list
+  | Field of expr * string
+  | Index of expr * expr
+  | Call of expr * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | If of expr * expr * expr
+  | Let of string * expr * expr
+
+type param = { pname : string; pdefault : expr option }
+
+type stmt =
+  | Import of string          (** import "module.cinc" — merge its bindings *)
+  | Import_thrift of string   (** import_thrift "schema.thrift" *)
+  | Bind of string * expr     (** name = expr *)
+  | Def of string * param list * expr  (** def f(a, b = 1) = expr *)
+  | Export of expr            (** export_if_last *)
+
+type file = { stmts : (stmt * pos) list }
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "and" | Or -> "or"
+
+(** Static imports of a file, in order of appearance: the input to the
+    Dependency Service (§3.1's automatic dependency extraction). *)
+let imports file =
+  List.filter_map
+    (fun (stmt, _) ->
+      match stmt with
+      | Import path -> Some (`Csl path)
+      | Import_thrift path -> Some (`Thrift path)
+      | Bind _ | Def _ | Export _ -> None)
+    file.stmts

@@ -1,0 +1,836 @@
+type value =
+  | V_null
+  | V_bool of bool
+  | V_int of int
+  | V_float of float
+  | V_str of string
+  | V_list of value list
+  | V_map of (value * value) list
+  | V_struct of string * (string * value) list
+  | V_enum of string * string
+  | V_closure of closure
+  | V_builtin of string * (Ast.pos -> value list -> value)
+
+and closure = {
+  cname : string;
+  cparams : Ast.param list;
+  cbody : Ast.expr;
+  cenv : env;
+}
+
+and env = { table : (string, value) Hashtbl.t; parent : env option }
+
+type error = { line : int; message : string }
+
+exception Runtime_error of error
+
+let pp_error ppf { line; message } =
+  Format.fprintf ppf "runtime error at line %d: %s" line message
+
+let fail (pos : Ast.pos) fmt =
+  Printf.ksprintf (fun message -> raise (Runtime_error { line = pos.Ast.line; message })) fmt
+
+let rec pp_value ppf = function
+  | V_null -> Format.pp_print_string ppf "null"
+  | V_bool b -> Format.pp_print_bool ppf b
+  | V_int n -> Format.pp_print_int ppf n
+  | V_float f -> Format.fprintf ppf "%g" f
+  | V_str s -> Format.fprintf ppf "%S" s
+  | V_list items ->
+      Format.fprintf ppf "[@[%a@]]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_value)
+        items
+  | V_map pairs ->
+      let pp_pair ppf (k, v) = Format.fprintf ppf "%a: %a" pp_value k pp_value v in
+      Format.fprintf ppf "{@[%a@]}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_pair)
+        pairs
+  | V_struct (name, fields) ->
+      let pp_field ppf (k, v) = Format.fprintf ppf "%s = %a" k pp_value v in
+      Format.fprintf ppf "%s {@[%a@]}" name
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_field)
+        fields
+  | V_enum (ty, member) -> Format.fprintf ppf "%s.%s" ty member
+  | V_closure { cname; _ } -> Format.fprintf ppf "<function %s>" cname
+  | V_builtin (name, _) -> Format.fprintf ppf "<builtin %s>" name
+
+let type_name = function
+  | V_null -> "null"
+  | V_bool _ -> "bool"
+  | V_int _ -> "int"
+  | V_float _ -> "float"
+  | V_str _ -> "string"
+  | V_list _ -> "list"
+  | V_map _ -> "map"
+  | V_struct (name, _) -> "struct " ^ name
+  | V_enum (name, _) -> "enum " ^ name
+  | V_closure _ | V_builtin _ -> "function"
+
+let no_pos = { Ast.line = 0 }
+
+let rec value_equal a b =
+  match a, b with
+  | V_null, V_null -> true
+  | V_bool x, V_bool y -> x = y
+  | V_int x, V_int y -> x = y
+  | V_float x, V_float y -> x = y
+  | V_int x, V_float y | V_float y, V_int x -> float_of_int x = y
+  | V_str x, V_str y -> String.equal x y
+  | V_list xs, V_list ys ->
+      List.length xs = List.length ys && List.for_all2 value_equal xs ys
+  | V_map xs, V_map ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun (k1, v1) (k2, v2) -> value_equal k1 k2 && value_equal v1 v2) xs ys
+  | V_struct (n1, f1), V_struct (n2, f2) ->
+      String.equal n1 n2
+      && List.length f1 = List.length f2
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && value_equal v1 v2)
+           f1 f2
+  | V_enum (t1, m1), V_enum (t2, m2) -> String.equal t1 t2 && String.equal m1 m2
+  | (V_closure _ | V_builtin _), _ | _, (V_closure _ | V_builtin _) ->
+      fail no_pos "cannot compare functions"
+  | ( ( V_null | V_bool _ | V_int _ | V_float _ | V_str _ | V_list _ | V_map _
+      | V_struct _ | V_enum _ ),
+      _ ) ->
+      false
+
+(* Environments: a mutable table per scope, chained.  Mutability gives
+   Python-like visibility (a def can call a later def at call time). *)
+
+let env_create parent = { table = Hashtbl.create 16; parent }
+
+let rec env_lookup env name =
+  match Hashtbl.find_opt env.table name with
+  | Some v -> Some v
+  | None -> ( match env.parent with Some p -> env_lookup p name | None -> None)
+
+let env_bind env name v = Hashtbl.replace env.table name v
+
+(* ------------------------------------------------------------------ *)
+(* Builtins *)
+
+let want_int pos = function
+  | V_int n -> n
+  | v -> fail pos "expected int, got %s" (type_name v)
+
+let want_str pos = function
+  | V_str s -> s
+  | v -> fail pos "expected string, got %s" (type_name v)
+
+let want_list pos = function
+  | V_list items -> items
+  | v -> fail pos "expected list, got %s" (type_name v)
+
+let rec to_display = function
+  | V_null -> "null"
+  | V_bool b -> string_of_bool b
+  | V_int n -> string_of_int n
+  | V_float f -> Printf.sprintf "%g" f
+  | V_str s -> s
+  | V_list items -> "[" ^ String.concat ", " (List.map to_display items) ^ "]"
+  | V_map pairs ->
+      "{"
+      ^ String.concat ", " (List.map (fun (k, v) -> to_display k ^ ": " ^ to_display v) pairs)
+      ^ "}"
+  | V_struct (name, fields) ->
+      name ^ "{"
+      ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ to_display v) fields)
+      ^ "}"
+  | V_enum (ty, member) -> ty ^ "." ^ member
+  | V_closure { cname; _ } -> "<function " ^ cname ^ ">"
+  | V_builtin (name, _) -> "<builtin " ^ name ^ ">"
+
+let builtins ~call =
+  let arity name n pos args =
+    if List.length args <> n then
+      fail pos "%s expects %d argument(s), got %d" name n (List.length args)
+  in
+  [
+    ("len",
+     fun pos args ->
+       arity "len" 1 pos args;
+       match args with
+       | [ V_list items ] -> V_int (List.length items)
+       | [ V_str s ] -> V_int (String.length s)
+       | [ V_map pairs ] -> V_int (List.length pairs)
+       | [ v ] -> fail pos "len: unsupported type %s" (type_name v)
+       | _ -> assert false);
+    ("str", fun pos args -> arity "str" 1 pos args; V_str (to_display (List.hd args)));
+    ("int",
+     fun pos args ->
+       arity "int" 1 pos args;
+       match args with
+       | [ V_int n ] -> V_int n
+       | [ V_float f ] -> V_int (int_of_float f)
+       | [ V_str s ] -> (
+           match int_of_string_opt (String.trim s) with
+           | Some n -> V_int n
+           | None -> fail pos "int: cannot parse %S" s)
+       | [ V_bool b ] -> V_int (if b then 1 else 0)
+       | [ v ] -> fail pos "int: unsupported type %s" (type_name v)
+       | _ -> assert false);
+    ("float",
+     fun pos args ->
+       arity "float" 1 pos args;
+       match args with
+       | [ V_int n ] -> V_float (float_of_int n)
+       | [ V_float f ] -> V_float f
+       | [ V_str s ] -> (
+           match float_of_string_opt (String.trim s) with
+           | Some f -> V_float f
+           | None -> fail pos "float: cannot parse %S" s)
+       | [ v ] -> fail pos "float: unsupported type %s" (type_name v)
+       | _ -> assert false);
+    ("keys",
+     fun pos args ->
+       arity "keys" 1 pos args;
+       match args with
+       | [ V_map pairs ] -> V_list (List.map fst pairs)
+       | [ V_struct (_, fields) ] -> V_list (List.map (fun (k, _) -> V_str k) fields)
+       | [ v ] -> fail pos "keys: unsupported type %s" (type_name v)
+       | _ -> assert false);
+    ("values",
+     fun pos args ->
+       arity "values" 1 pos args;
+       match args with
+       | [ V_map pairs ] -> V_list (List.map snd pairs)
+       | [ V_struct (_, fields) ] -> V_list (List.map snd fields)
+       | [ v ] -> fail pos "values: unsupported type %s" (type_name v)
+       | _ -> assert false);
+    ("get",
+     fun pos args ->
+       arity "get" 3 pos args;
+       match args with
+       | [ V_map pairs; key; default ] -> (
+           match List.find_opt (fun (k, _) -> value_equal k key) pairs with
+           | Some (_, v) -> v
+           | None -> default)
+       | [ v; _; _ ] -> fail pos "get: expected map, got %s" (type_name v)
+       | _ -> assert false);
+    ("range",
+     fun pos args ->
+       match args with
+       | [ n ] ->
+           let n = want_int pos n in
+           V_list (List.init (max 0 n) (fun i -> V_int i))
+       | [ lo; hi ] ->
+           let lo = want_int pos lo and hi = want_int pos hi in
+           V_list (List.init (max 0 (hi - lo)) (fun i -> V_int (lo + i)))
+       | _ -> fail pos "range expects 1 or 2 arguments");
+    ("map",
+     fun pos args ->
+       arity "map" 2 pos args;
+       match args with
+       | [ f; V_list items ] -> V_list (List.map (fun item -> call f [ item ]) items)
+       | [ _; v ] -> fail pos "map: expected list, got %s" (type_name v)
+       | _ -> assert false);
+    ("filter",
+     fun pos args ->
+       arity "filter" 2 pos args;
+       match args with
+       | [ f; V_list items ] ->
+           V_list
+             (List.filter
+                (fun item ->
+                  match call f [ item ] with
+                  | V_bool b -> b
+                  | v -> fail pos "filter: predicate returned %s" (type_name v))
+                items)
+       | [ _; v ] -> fail pos "filter: expected list, got %s" (type_name v)
+       | _ -> assert false);
+    ("sorted",
+     fun pos args ->
+       arity "sorted" 1 pos args;
+       let items = want_list pos (List.hd args) in
+       let cmp a b =
+         match a, b with
+         | V_int x, V_int y -> Int.compare x y
+         | V_float x, V_float y -> Float.compare x y
+         | V_int x, V_float y -> Float.compare (float_of_int x) y
+         | V_float x, V_int y -> Float.compare x (float_of_int y)
+         | V_str x, V_str y -> String.compare x y
+         | _ -> fail pos "sorted: cannot order %s and %s" (type_name a) (type_name b)
+       in
+       V_list (List.sort cmp items));
+    ("sum",
+     fun pos args ->
+       arity "sum" 1 pos args;
+       let items = want_list pos (List.hd args) in
+       let total =
+         List.fold_left
+           (fun acc item ->
+             match acc, item with
+             | V_int a, V_int b -> V_int (a + b)
+             | V_int a, V_float b -> V_float (float_of_int a +. b)
+             | V_float a, V_int b -> V_float (a +. float_of_int b)
+             | V_float a, V_float b -> V_float (a +. b)
+             | _, v -> fail pos "sum: non-numeric element %s" (type_name v))
+           (V_int 0) items
+       in
+       total);
+    ("min",
+     fun pos args ->
+       match args with
+       | [ V_int a; V_int b ] -> V_int (min a b)
+       | [ a; b ] -> (
+           match a, b with
+           | (V_int _ | V_float _), (V_int _ | V_float _) ->
+               let fa = (match a with V_int n -> float_of_int n | V_float f -> f | _ -> 0.0) in
+               let fb = (match b with V_int n -> float_of_int n | V_float f -> f | _ -> 0.0) in
+               if fa <= fb then a else b
+           | _ -> fail pos "min: non-numeric arguments")
+       | _ -> fail pos "min expects 2 arguments");
+    ("max",
+     fun pos args ->
+       match args with
+       | [ V_int a; V_int b ] -> V_int (max a b)
+       | [ a; b ] -> (
+           match a, b with
+           | (V_int _ | V_float _), (V_int _ | V_float _) ->
+               let fa = (match a with V_int n -> float_of_int n | V_float f -> f | _ -> 0.0) in
+               let fb = (match b with V_int n -> float_of_int n | V_float f -> f | _ -> 0.0) in
+               if fa >= fb then a else b
+           | _ -> fail pos "max: non-numeric arguments")
+       | _ -> fail pos "max expects 2 arguments");
+    ("abs",
+     fun pos args ->
+       arity "abs" 1 pos args;
+       match args with
+       | [ V_int n ] -> V_int (abs n)
+       | [ V_float f ] -> V_float (Float.abs f)
+       | [ v ] -> fail pos "abs: unsupported type %s" (type_name v)
+       | _ -> assert false);
+    ("contains",
+     fun pos args ->
+       arity "contains" 2 pos args;
+       match args with
+       | [ V_list items; v ] -> V_bool (List.exists (value_equal v) items)
+       | [ V_map pairs; k ] -> V_bool (List.exists (fun (key, _) -> value_equal key k) pairs)
+       | [ V_str s; V_str sub ] ->
+           let n = String.length s and m = String.length sub in
+           let rec scan i = m = 0 || (i + m <= n && (String.sub s i m = sub || scan (i + 1))) in
+           V_bool (scan 0)
+       | [ a; _ ] -> fail pos "contains: unsupported container %s" (type_name a)
+       | _ -> assert false);
+    ("join",
+     fun pos args ->
+       arity "join" 2 pos args;
+       match args with
+       | [ V_str sep; V_list items ] ->
+           V_str (String.concat sep (List.map (fun v -> want_str pos v) items))
+       | _ -> fail pos "join expects (separator, list of strings)");
+    ("split",
+     fun pos args ->
+       arity "split" 2 pos args;
+       match args with
+       | [ V_str s; V_str sep ] when String.length sep = 1 ->
+           V_list (List.map (fun part -> V_str part) (String.split_on_char sep.[0] s))
+       | _ -> fail pos "split expects (string, single-char separator)");
+    ("upper",
+     fun pos args ->
+       arity "upper" 1 pos args;
+       V_str (String.uppercase_ascii (want_str pos (List.hd args))));
+    ("lower",
+     fun pos args ->
+       arity "lower" 1 pos args;
+       V_str (String.lowercase_ascii (want_str pos (List.hd args))));
+    ("merge",
+     fun pos args ->
+       arity "merge" 2 pos args;
+       match args with
+       | [ V_map a; V_map b ] ->
+           (* Right-biased merge: b's bindings win. *)
+           let not_in_b (k, _) = not (List.exists (fun (k2, _) -> value_equal k k2) b) in
+           V_map (List.filter not_in_b a @ b)
+       | _ -> fail pos "merge expects two maps");
+    ("format",
+     fun pos args ->
+       (* format("%s listens on %d", name, port): %s any value,
+          %d integers, %f floats, %% a literal percent. *)
+       match args with
+       | V_str template :: rest ->
+           let buf = Buffer.create (String.length template + 16) in
+           let remaining = ref rest in
+           let next kind =
+             match !remaining with
+             | [] -> fail pos "format: not enough arguments for %%%c" kind
+             | v :: more ->
+                 remaining := more;
+                 v
+           in
+           let n = String.length template in
+           let i = ref 0 in
+           while !i < n do
+             (if template.[!i] = '%' && !i + 1 < n then begin
+                (match template.[!i + 1] with
+                | 's' -> Buffer.add_string buf (to_display (next 's'))
+                | 'd' -> (
+                    match next 'd' with
+                    | V_int v -> Buffer.add_string buf (string_of_int v)
+                    | v -> fail pos "format: %%d expects int, got %s" (type_name v))
+                | 'f' -> (
+                    match next 'f' with
+                    | V_float v -> Buffer.add_string buf (Printf.sprintf "%g" v)
+                    | V_int v -> Buffer.add_string buf (Printf.sprintf "%g" (float_of_int v))
+                    | v -> fail pos "format: %%f expects number, got %s" (type_name v))
+                | '%' -> Buffer.add_char buf '%'
+                | c -> fail pos "format: unknown directive %%%c" c);
+                i := !i + 2
+              end
+              else begin
+                Buffer.add_char buf template.[!i];
+                incr i
+              end)
+           done;
+           if !remaining <> [] then
+             fail pos "format: %d unused argument(s)" (List.length !remaining);
+           V_str (Buffer.contents buf)
+       | _ -> fail pos "format: first argument must be a string");
+    ("override",
+     fun pos args ->
+       (* Config inheritance (the paper's §8 "introducing config
+          inheritance"): a derived config is a base struct/map with a
+          map of field overrides applied on top.  Nested maps merge
+          recursively; anything else is replaced. *)
+       arity "override" 2 pos args;
+       let rec apply base over =
+         match base, over with
+         | V_struct (name, fields), V_map over_pairs ->
+             let get_override fname =
+               List.find_map
+                 (fun (k, v) ->
+                   match k with
+                   | V_str key when key = fname -> Some v
+                   | _ -> None)
+                 over_pairs
+             in
+             let replaced =
+               List.map
+                 (fun (fname, old) ->
+                   match get_override fname with
+                   | Some v -> fname, apply old v
+                   | None -> fname, old)
+                 fields
+             in
+             let added =
+               List.filter_map
+                 (fun (k, v) ->
+                   match k with
+                   | V_str key when not (List.mem_assoc key fields) -> Some (key, v)
+                   | _ -> None)
+                 over_pairs
+             in
+             V_struct (name, replaced @ added)
+         | V_map base_pairs, V_map over_pairs ->
+             let replaced =
+               List.map
+                 (fun (k, old) ->
+                   match List.find_opt (fun (k2, _) -> value_equal k k2) over_pairs with
+                   | Some (_, v) -> k, apply old v
+                   | None -> k, old)
+                 base_pairs
+             in
+             let added =
+               List.filter
+                 (fun (k, _) ->
+                   not (List.exists (fun (k2, _) -> value_equal k k2) base_pairs))
+                 over_pairs
+             in
+             V_map (replaced @ added)
+         | (V_struct _ | V_map _), _ | _, _ -> over
+       in
+       match args with
+       | [ base; (V_map _ as over) ] -> apply base over
+       | [ _; v ] -> fail pos "override: second argument must be a map, got %s" (type_name v)
+       | _ -> assert false);
+    ("with_field",
+     fun pos args ->
+       arity "with_field" 3 pos args;
+       match args with
+       | [ V_struct (name, fields); V_str fname; v ] ->
+           let replaced = ref false in
+           let fields =
+             List.map
+               (fun (k, old) ->
+                 if k = fname then begin
+                   replaced := true;
+                   k, v
+                 end
+                 else k, old)
+               fields
+           in
+           V_struct (name, if !replaced then fields else fields @ [ fname, v ])
+       | _ -> fail pos "with_field expects (struct, field name, value)");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+type run_ctx = {
+  loader : string -> string option;
+  module_cache : (string, (string * value) list) Hashtbl.t;
+  mutable loading : string list;  (** stack for cycle detection *)
+  mutable schema : Cm_thrift.Schema.t;
+  mutable loaded_order : string list;  (** reversed *)
+}
+
+let rec eval ctx env (expr : Ast.expr) =
+  let pos = expr.Ast.pos in
+  match expr.Ast.desc with
+  | Ast.Int n -> V_int n
+  | Ast.Float f -> V_float f
+  | Ast.Str s -> V_str s
+  | Ast.Bool b -> V_bool b
+  | Ast.Null -> V_null
+  | Ast.Var name -> (
+      match env_lookup env name with
+      | Some v -> v
+      | None -> fail pos "unbound variable %s" name)
+  | Ast.List_lit items -> V_list (List.map (eval ctx env) items)
+  | Ast.Map_lit pairs ->
+      V_map (List.map (fun (k, v) -> eval ctx env k, eval ctx env v) pairs)
+  | Ast.Struct_lit (name, fields) ->
+      V_struct (name, List.map (fun (k, v) -> k, eval ctx env v) fields)
+  | Ast.Field (base, member) -> eval_field ctx env pos base member
+  | Ast.Index (base, idx) -> (
+      let base_v = eval ctx env base in
+      let idx_v = eval ctx env idx in
+      match base_v, idx_v with
+      | V_list items, V_int i ->
+          let n = List.length items in
+          let i = if i < 0 then n + i else i in
+          if i < 0 || i >= n then fail pos "index %d out of bounds (length %d)" i n
+          else List.nth items i
+      | V_map pairs, key -> (
+          match List.find_opt (fun (k, _) -> value_equal k key) pairs with
+          | Some (_, v) -> v
+          | None -> fail pos "key %s not found in map" (to_display key))
+      | V_str s, V_int i ->
+          let n = String.length s in
+          let i = if i < 0 then n + i else i in
+          if i < 0 || i >= n then fail pos "index %d out of bounds (length %d)" i n
+          else V_str (String.make 1 s.[i])
+      | v, _ -> fail pos "cannot index %s" (type_name v))
+  | Ast.Call (callee, args) ->
+      let callee_v = eval ctx env callee in
+      let args_v = List.map (eval ctx env) args in
+      apply ctx pos callee_v args_v
+  | Ast.Unop (Ast.Neg, operand) -> (
+      match eval ctx env operand with
+      | V_int n -> V_int (-n)
+      | V_float f -> V_float (-.f)
+      | v -> fail pos "cannot negate %s" (type_name v))
+  | Ast.Unop (Ast.Not, operand) -> (
+      match eval ctx env operand with
+      | V_bool b -> V_bool (not b)
+      | v -> fail pos "not: expected bool, got %s" (type_name v))
+  | Ast.Binop (Ast.And, left, right) -> (
+      match eval ctx env left with
+      | V_bool false -> V_bool false
+      | V_bool true -> (
+          match eval ctx env right with
+          | V_bool b -> V_bool b
+          | v -> fail pos "and: expected bool, got %s" (type_name v))
+      | v -> fail pos "and: expected bool, got %s" (type_name v))
+  | Ast.Binop (Ast.Or, left, right) -> (
+      match eval ctx env left with
+      | V_bool true -> V_bool true
+      | V_bool false -> (
+          match eval ctx env right with
+          | V_bool b -> V_bool b
+          | v -> fail pos "or: expected bool, got %s" (type_name v))
+      | v -> fail pos "or: expected bool, got %s" (type_name v))
+  | Ast.Binop (op, left, right) ->
+      eval_binop pos op (eval ctx env left) (eval ctx env right)
+  | Ast.If (cond, then_branch, else_branch) -> (
+      match eval ctx env cond with
+      | V_bool true -> eval ctx env then_branch
+      | V_bool false -> eval ctx env else_branch
+      | v -> fail pos "if condition must be bool, got %s" (type_name v))
+  | Ast.Let (name, bound, body) ->
+      let scope = env_create (Some env) in
+      env_bind scope name (eval ctx env bound);
+      eval ctx scope body
+
+and eval_field ctx env pos base member =
+  (* [Enum.MEMBER] when the base identifier is an enum type name that
+     is not shadowed by a binding. *)
+  let enum_ref =
+    match base.Ast.desc with
+    | Ast.Var name when env_lookup env name = None -> (
+        match Cm_thrift.Schema.find_enum ctx.schema name with
+        | Some enum ->
+            if Cm_thrift.Schema.enum_member enum member = None then
+              fail pos "%s is not a member of enum %s" member name
+            else Some (V_enum (name, member))
+        | None -> None)
+    | _ -> None
+  in
+  match enum_ref with
+  | Some v -> v
+  | None -> (
+      match eval ctx env base with
+      | V_struct (sname, fields) -> (
+          match List.assoc_opt member fields with
+          | Some v -> v
+          | None -> fail pos "struct %s has no field %s" sname member)
+      | V_map pairs -> (
+          match List.find_opt (fun (k, _) -> value_equal k (V_str member)) pairs with
+          | Some (_, v) -> v
+          | None -> fail pos "key %s not found in map" member)
+      | v -> fail pos "cannot access field %s of %s" member (type_name v))
+
+and eval_binop pos op left right =
+  let arith int_op float_op =
+    match left, right with
+    | V_int a, V_int b -> V_int (int_op a b)
+    | V_float a, V_float b -> V_float (float_op a b)
+    | V_int a, V_float b -> V_float (float_op (float_of_int a) b)
+    | V_float a, V_int b -> V_float (float_op a (float_of_int b))
+    | _ ->
+        fail pos "%s: unsupported operands %s and %s" (Ast.binop_name op) (type_name left)
+          (type_name right)
+  in
+  let numeric_cmp cmp =
+    match left, right with
+    | V_int a, V_int b -> V_bool (cmp (Int.compare a b) 0)
+    | (V_int _ | V_float _), (V_int _ | V_float _) ->
+        let fa = (match left with V_int n -> float_of_int n | V_float f -> f | _ -> 0.0) in
+        let fb = (match right with V_int n -> float_of_int n | V_float f -> f | _ -> 0.0) in
+        V_bool (cmp (Float.compare fa fb) 0)
+    | V_str a, V_str b -> V_bool (cmp (String.compare a b) 0)
+    | _ ->
+        fail pos "%s: cannot compare %s and %s" (Ast.binop_name op) (type_name left)
+          (type_name right)
+  in
+  match op with
+  | Ast.Add -> (
+      match left, right with
+      | V_str a, V_str b -> V_str (a ^ b)
+      | V_list a, V_list b -> V_list (a @ b)
+      | _ -> arith ( + ) ( +. ))
+  | Ast.Sub -> arith ( - ) ( -. )
+  | Ast.Mul -> (
+      match left, right with
+      | V_str s, V_int n when n >= 0 ->
+          V_str (String.concat "" (List.init n (fun _ -> s)))
+      | _ -> arith ( * ) ( *. ))
+  | Ast.Div -> (
+      match left, right with
+      | V_int _, V_int 0 -> fail pos "division by zero"
+      | _ -> arith ( / ) ( /. ))
+  | Ast.Mod -> (
+      match left, right with
+      | V_int _, V_int 0 -> fail pos "modulo by zero"
+      | V_int a, V_int b -> V_int (a mod b)
+      | _ -> fail pos "%%: integer operands required")
+  | Ast.Eq -> V_bool (value_equal left right)
+  | Ast.Ne -> V_bool (not (value_equal left right))
+  | Ast.Lt -> numeric_cmp (fun c z -> c < z)
+  | Ast.Le -> numeric_cmp (fun c z -> c <= z)
+  | Ast.Gt -> numeric_cmp (fun c z -> c > z)
+  | Ast.Ge -> numeric_cmp (fun c z -> c >= z)
+  | Ast.And | Ast.Or -> assert false (* short-circuited above *)
+
+and apply ctx pos callee args =
+  match callee with
+  | V_builtin (_, fn) -> fn pos args
+  | V_closure { cname; cparams; cbody; cenv } ->
+      let scope = env_create (Some cenv) in
+      let nparams = List.length cparams and nargs = List.length args in
+      if nargs > nparams then
+        fail pos "%s expects at most %d argument(s), got %d" cname nparams nargs;
+      List.iteri
+        (fun i param ->
+          if i < nargs then env_bind scope param.Ast.pname (List.nth args i)
+          else
+            match param.Ast.pdefault with
+            | Some default -> env_bind scope param.Ast.pname (eval ctx cenv default)
+            | None -> fail pos "%s: missing argument %s" cname param.Ast.pname)
+        cparams;
+      eval ctx scope cbody
+  | v -> fail pos "not callable: %s" (type_name v)
+
+(* ------------------------------------------------------------------ *)
+(* Files and imports *)
+
+let root_env ctx =
+  let env = env_create None in
+  let call callee args = apply ctx no_pos callee args in
+  List.iter (fun (name, fn) -> env_bind env name (V_builtin (name, fn))) (builtins ~call);
+  env
+
+let rec eval_file ctx path (file : Ast.file) =
+  let env = root_env ctx in
+  let export = ref None in
+  List.iter
+    (fun (stmt, pos) ->
+      match stmt with
+      | Ast.Import target ->
+          let bindings = load_module ctx pos target in
+          List.iter (fun (name, v) -> env_bind env name v) bindings
+      | Ast.Import_thrift target -> load_thrift ctx pos target
+      | Ast.Bind (name, expr) -> env_bind env name (eval ctx env expr)
+      | Ast.Def (name, params, body) ->
+          env_bind env name
+            (V_closure { cname = name; cparams = params; cbody = body; cenv = env })
+      | Ast.Export expr -> export := Some (eval ctx env expr))
+    file.Ast.stmts;
+  let bindings =
+    (* Top-level bindings in statement order, builtins excluded. *)
+    List.filter_map
+      (fun (stmt, _) ->
+        match stmt with
+        | Ast.Bind (name, _) | Ast.Def (name, _, _) ->
+            (match Hashtbl.find_opt env.table name with
+            | Some v -> Some (name, v)
+            | None -> None)
+        | Ast.Import _ | Ast.Import_thrift _ | Ast.Export _ -> None)
+      file.Ast.stmts
+  in
+  (* Imported bindings are also re-exported, matching the paper's
+     [import_python("x.cinc", "*")]. *)
+  let imported =
+    Hashtbl.fold
+      (fun name v acc ->
+        match v with
+        | V_builtin _ -> acc
+        | _ when List.mem_assoc name bindings -> acc
+        | _ -> (name, v) :: acc)
+      env.table []
+  in
+  ignore path;
+  imported @ bindings, !export
+
+and load_module ctx pos target =
+  match Hashtbl.find_opt ctx.module_cache target with
+  | Some bindings -> bindings
+  | None ->
+      if List.mem target ctx.loading then
+        fail pos "import cycle: %s" (String.concat " -> " (List.rev (target :: ctx.loading)));
+      (match ctx.loader target with
+      | None -> fail pos "cannot find import %s" target
+      | Some source ->
+          ctx.loading <- target :: ctx.loading;
+          ctx.loaded_order <- target :: ctx.loaded_order;
+          let file =
+            try Parser.parse_exn source with
+            | Parser.Parse_error e ->
+                fail pos "in %s: parse error at line %d: %s" target e.Parser.line
+                  e.Parser.message
+            | Lexer.Lex_error e ->
+                fail pos "in %s: lex error at line %d: %s" target e.Lexer.line e.Lexer.message
+          in
+          let bindings, _export = eval_file ctx target file in
+          ctx.loading <- List.tl ctx.loading;
+          Hashtbl.replace ctx.module_cache target bindings;
+          bindings)
+
+and load_thrift ctx pos target =
+  match ctx.loader target with
+  | None -> fail pos "cannot find thrift import %s" target
+  | Some source -> (
+      if not (List.mem target ctx.loaded_order) then
+        ctx.loaded_order <- target :: ctx.loaded_order;
+      match Cm_thrift.Idl.parse source with
+      | Ok schema -> ctx.schema <- Cm_thrift.Schema.merge ctx.schema schema
+      | Error e ->
+          fail pos "in %s: IDL error at line %d: %s" target e.Cm_thrift.Idl.line
+            e.Cm_thrift.Idl.message)
+
+type outcome = {
+  bindings : (string * value) list;
+  export : value option;
+  schema : Cm_thrift.Schema.t;
+  loaded : string list;
+}
+
+let run ~loader ~path ~source =
+  let ctx =
+    {
+      loader;
+      module_cache = Hashtbl.create 16;
+      loading = [ path ];
+      schema = Cm_thrift.Schema.empty;
+      loaded_order = [];
+    }
+  in
+  match
+    let file = Parser.parse_exn source in
+    let bindings, export = eval_file ctx path file in
+    { bindings; export; schema = ctx.schema; loaded = List.rev ctx.loaded_order }
+  with
+  | outcome -> Ok outcome
+  | exception Runtime_error e -> Error e
+  | exception Parser.Parse_error e ->
+      Error { line = e.Parser.line; message = e.Parser.message }
+  | exception Lexer.Lex_error e -> Error { line = e.Lexer.line; message = e.Lexer.message }
+
+(* ------------------------------------------------------------------ *)
+(* Conversions *)
+
+let rec to_thrift = function
+  | V_null -> Error "null is not serializable"
+  | V_bool b -> Ok (Cm_thrift.Value.Bool b)
+  | V_int n -> Ok (Cm_thrift.Value.Int n)
+  | V_float f -> Ok (Cm_thrift.Value.Double f)
+  | V_str s -> Ok (Cm_thrift.Value.Str s)
+  | V_list items ->
+      let rec convert acc = function
+        | [] -> Ok (Cm_thrift.Value.List (List.rev acc))
+        | item :: rest -> (
+            match to_thrift item with
+            | Ok v -> convert (v :: acc) rest
+            | Error _ as e -> e)
+      in
+      convert [] items
+  | V_map pairs ->
+      let rec convert acc = function
+        | [] -> Ok (Cm_thrift.Value.Map (List.rev acc))
+        | (k, v) :: rest -> (
+            match to_thrift k, to_thrift v with
+            | Ok tk, Ok tv -> convert ((tk, tv) :: acc) rest
+            | Error e, _ | _, Error e -> Error e)
+      in
+      convert [] pairs
+  | V_struct (name, fields) ->
+      let rec convert acc = function
+        | [] -> Ok (Cm_thrift.Value.Struct (name, List.rev acc))
+        | (k, v) :: rest -> (
+            match to_thrift v with
+            | Ok tv -> convert ((k, tv) :: acc) rest
+            | Error _ as e -> e)
+      in
+      convert [] fields
+  | V_enum (ty, member) -> Ok (Cm_thrift.Value.Enum (ty, member))
+  | (V_closure _ | V_builtin _) as v ->
+      Error (Printf.sprintf "%s is not serializable" (type_name v))
+
+let rec of_thrift = function
+  | Cm_thrift.Value.Bool b -> V_bool b
+  | Cm_thrift.Value.Int n -> V_int n
+  | Cm_thrift.Value.Double f -> V_float f
+  | Cm_thrift.Value.Str s -> V_str s
+  | Cm_thrift.Value.List items -> V_list (List.map of_thrift items)
+  | Cm_thrift.Value.Map pairs ->
+      V_map (List.map (fun (k, v) -> of_thrift k, of_thrift v) pairs)
+  | Cm_thrift.Value.Struct (name, fields) ->
+      V_struct (name, List.map (fun (k, v) -> k, of_thrift v) fields)
+  | Cm_thrift.Value.Enum (ty, member) -> V_enum (ty, member)
+
+let eval_expr_standalone ?(bindings = []) expr =
+  let ctx =
+    {
+      loader = (fun _ -> None);
+      module_cache = Hashtbl.create 1;
+      loading = [];
+      schema = Cm_thrift.Schema.empty;
+      loaded_order = [];
+    }
+  in
+  let env = root_env ctx in
+  List.iter (fun (name, v) -> env_bind env name v) bindings;
+  match eval ctx env expr with
+  | v -> Ok v
+  | exception Runtime_error e -> Error e

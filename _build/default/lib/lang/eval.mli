@@ -1,0 +1,65 @@
+(** CSL evaluator.
+
+    Evaluation is deterministic and side-effect free: a config program
+    maps to the same exported object every time, which is what lets
+    the Configerator compiler treat recompilation as a pure function
+    of the source files (§3.1). *)
+
+type value =
+  | V_null
+  | V_bool of bool
+  | V_int of int
+  | V_float of float
+  | V_str of string
+  | V_list of value list
+  | V_map of (value * value) list
+  | V_struct of string * (string * value) list
+  | V_enum of string * string
+  | V_closure of closure
+  | V_builtin of string * (Ast.pos -> value list -> value)
+
+and closure
+
+type error = { line : int; message : string }
+
+exception Runtime_error of error
+
+val pp_error : Format.formatter -> error -> unit
+val pp_value : Format.formatter -> value -> unit
+
+val value_equal : value -> value -> bool
+(** Structural; raises {!Runtime_error} when comparing functions. *)
+
+type outcome = {
+  bindings : (string * value) list;
+      (** top-level bindings of the root file, in definition order *)
+  export : value option;
+      (** last [export] of the root file; imported files' exports are
+          ignored — the paper's "export_if_last" semantics *)
+  schema : Cm_thrift.Schema.t;
+      (** union of all transitively imported Thrift schemas *)
+  loaded : string list;
+      (** every import path touched, in first-load order — the raw
+          material of the Dependency Service *)
+}
+
+val run :
+  loader:(string -> string option) ->
+  path:string ->
+  source:string ->
+  (outcome, error) result
+(** [run ~loader ~path ~source] evaluates a root file.  [loader] is
+    consulted for [import]/[import_thrift] targets ([None] = missing
+    file, a compile error).  Import cycles are detected and reported.
+    Each imported module is evaluated at most once per run. *)
+
+val to_thrift : value -> (Cm_thrift.Value.t, string) result
+(** Converts a runtime value to a serializable Thrift value; fails on
+    functions and null. *)
+
+val of_thrift : Cm_thrift.Value.t -> value
+
+val eval_expr_standalone :
+  ?bindings:(string * value) list -> Ast.expr -> (value, error) result
+(** Evaluates one expression with builtins plus [bindings] in scope —
+    used by Sitevars checkers and Gatekeeper laser thresholds. *)

@@ -1,0 +1,137 @@
+type token =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Ident of string
+  | Keyword of string
+  | Op of string
+  | Eof
+
+type error = { line : int; message : string }
+
+exception Lex_error of error
+
+let pp_error ppf { line; message } = Format.fprintf ppf "lex error at line %d: %s" line message
+
+let pp_token ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Ident s -> Format.fprintf ppf "%s" s
+  | Keyword s -> Format.fprintf ppf "%s" s
+  | Op s -> Format.fprintf ppf "%s" s
+  | Eof -> Format.fprintf ppf "<eof>"
+
+let keywords =
+  [ "import"; "import_thrift"; "def"; "export"; "if"; "then"; "else"; "let"; "in";
+    "and"; "or"; "not"; "true"; "false"; "null" ]
+
+let is_ident_start c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_ident_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+
+let is_digit c = match c with '0' .. '9' -> true | _ -> false
+
+let tokenize input =
+  let len = String.length input in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let fail message = raise (Lex_error { line = !line; message }) in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let peek_at off = if !pos + off < len then Some input.[!pos + off] else None in
+  while !pos < len do
+    let c = input.[!pos] in
+    match c with
+    | ' ' | '\t' | '\r' -> incr pos
+    | '\n' ->
+        incr pos;
+        incr line
+    | '#' ->
+        while !pos < len && input.[!pos] <> '\n' do
+          incr pos
+        done
+    | '/' when peek_at 1 = Some '/' ->
+        while !pos < len && input.[!pos] <> '\n' do
+          incr pos
+        done
+    | '"' ->
+        incr pos;
+        let buf = Buffer.create 16 in
+        let closed = ref false in
+        while not !closed do
+          if !pos >= len then fail "unterminated string"
+          else
+            match input.[!pos] with
+            | '"' ->
+                incr pos;
+                closed := true
+            | '\\' ->
+                (match peek_at 1 with
+                | Some 'n' -> Buffer.add_char buf '\n'
+                | Some 't' -> Buffer.add_char buf '\t'
+                | Some '"' -> Buffer.add_char buf '"'
+                | Some '\\' -> Buffer.add_char buf '\\'
+                | Some c -> Buffer.add_char buf c
+                | None -> fail "unterminated escape");
+                pos := !pos + 2
+            | '\n' -> fail "newline in string literal"
+            | c ->
+                Buffer.add_char buf c;
+                incr pos
+        done;
+        emit (Str (Buffer.contents buf))
+    | c when is_digit c ->
+        let start = !pos in
+        while !pos < len && is_digit input.[!pos] do
+          incr pos
+        done;
+        let is_float = ref false in
+        if !pos < len && input.[!pos] = '.' && !pos + 1 < len && is_digit input.[!pos + 1]
+        then begin
+          is_float := true;
+          incr pos;
+          while !pos < len && is_digit input.[!pos] do
+            incr pos
+          done
+        end;
+        if !pos < len && (input.[!pos] = 'e' || input.[!pos] = 'E') then begin
+          is_float := true;
+          incr pos;
+          if !pos < len && (input.[!pos] = '+' || input.[!pos] = '-') then incr pos;
+          while !pos < len && is_digit input.[!pos] do
+            incr pos
+          done
+        end;
+        let text = String.sub input start (!pos - start) in
+        if !is_float then emit (Float (float_of_string text))
+        else emit (Int (int_of_string text))
+    | c when is_ident_start c ->
+        let start = !pos in
+        while !pos < len && is_ident_char input.[!pos] do
+          incr pos
+        done;
+        let text = String.sub input start (!pos - start) in
+        if List.mem text keywords then emit (Keyword text) else emit (Ident text)
+    | '=' when peek_at 1 = Some '=' ->
+        pos := !pos + 2;
+        emit (Op "==")
+    | '!' when peek_at 1 = Some '=' ->
+        pos := !pos + 2;
+        emit (Op "!=")
+    | '<' when peek_at 1 = Some '=' ->
+        pos := !pos + 2;
+        emit (Op "<=")
+    | '>' when peek_at 1 = Some '=' ->
+        pos := !pos + 2;
+        emit (Op ">=")
+    | '=' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '.' | ',' | ':'
+    | '(' | ')' | '[' | ']' | '{' | '}' ->
+        incr pos;
+        emit (Op (String.make 1 c))
+    | c -> fail (Printf.sprintf "unexpected character %c" c)
+  done;
+  emit Eof;
+  Array.of_list (List.rev !tokens)

@@ -1,0 +1,20 @@
+(** Recursive-descent parser for CSL.
+
+    Statement forms: [import "x.cinc"], [import_thrift "x.thrift"],
+    [name = expr], [def f(a, b = 1) = expr], [export expr].
+    Expressions: literals, lists, maps [{k: v}], struct construction
+    [Type { field = expr, ... }] (type names are capitalized), field
+    access, indexing, calls, arithmetic/comparison/boolean operators,
+    [if .. then .. else ..] and [let x = e in e]. *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Ast.file, error) result
+val parse_exn : string -> Ast.file
+
+val parse_expr_exn : string -> Ast.expr
+(** Parses a single expression (used by Sitevars values). *)

@@ -1,0 +1,1 @@
+lib/laser/laser.ml: Hashtbl List String

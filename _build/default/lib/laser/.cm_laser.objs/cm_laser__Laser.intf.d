@@ -1,0 +1,1 @@
+lib/laser/laser.mli:

@@ -1,0 +1,28 @@
+type t = {
+  table : (string, float) Hashtbl.t;
+  mutable nreads : int;
+}
+
+let create () = { table = Hashtbl.create 1024; nreads = 0 }
+
+let get t key =
+  t.nreads <- t.nreads + 1;
+  Hashtbl.find_opt t.table key
+
+let put t key v = Hashtbl.replace t.table key v
+let size t = Hashtbl.length t.table
+let reads t = t.nreads
+
+let stream_upsert t pairs = List.iter (fun (k, v) -> Hashtbl.replace t.table k v) pairs
+
+let mapreduce_refresh t ~prefix pairs =
+  let plen = String.length prefix in
+  let stale =
+    Hashtbl.fold
+      (fun key _ acc ->
+        if String.length key >= plen && String.sub key 0 plen = prefix then key :: acc
+        else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) stale;
+  List.iter (fun (k, v) -> Hashtbl.replace t.table k v) pairs

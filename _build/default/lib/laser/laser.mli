@@ -1,0 +1,28 @@
+(** Laser: the flash/memory key-value store Gatekeeper integrates with
+    (§4).  The "laser()" restraint calls [get "<project>-<user_id>"]
+    and passes when the value exceeds a configurable threshold.
+
+    Data arrives through bulk pipelines that model the paper's two
+    feeders: a stream-processing job (incremental upserts) and a
+    periodic MapReduce job (full refresh of a keyspace). *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> string -> float option
+val put : t -> string -> float -> unit
+
+val size : t -> int
+val reads : t -> int
+(** Number of [get] calls served — Gatekeeper uses this to expose the
+    cost of data-intensive restraints. *)
+
+(** {1 Pipelines} *)
+
+val stream_upsert : t -> (string * float) list -> unit
+(** Incremental load from a stream-processing job. *)
+
+val mapreduce_refresh : t -> prefix:string -> (string * float) list -> unit
+(** Full refresh: drops every key under [prefix], then loads the new
+    batch — rerunning the MapReduce job for all users. *)

@@ -1,0 +1,1 @@
+lib/mobileconfig/device.ml: Cm_gatekeeper Cm_json Cm_sim Cm_thrift Float Hashtbl List Server

@@ -1,0 +1,1 @@
+lib/mobileconfig/device.mli: Cm_gatekeeper Cm_sim Cm_thrift Server

@@ -1,0 +1,1 @@
+lib/mobileconfig/server.ml: Cm_json Cm_sim Cm_thrift Hashtbl List Translation

@@ -1,0 +1,1 @@
+lib/mobileconfig/server.mli: Cm_gatekeeper Cm_json Cm_sim Cm_thrift Translation

@@ -1,0 +1,1 @@
+lib/mobileconfig/translation.ml: Cm_gatekeeper Cm_json Hashtbl List String

@@ -1,0 +1,1 @@
+lib/mobileconfig/translation.mli: Cm_gatekeeper Cm_json

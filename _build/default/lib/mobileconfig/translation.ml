@@ -1,0 +1,101 @@
+module Json = Cm_json.Value
+
+type backend =
+  | Gk of string
+  | Exp of string
+  | Const of Json.t
+
+type t = { map : (string * string, backend) Hashtbl.t }
+
+let create () = { map = Hashtbl.create 32 }
+let bind t ~cls ~field backend = Hashtbl.replace t.map (cls, field) backend
+let unbind t ~cls ~field = Hashtbl.remove t.map (cls, field)
+let backend_of t ~cls ~field = Hashtbl.find_opt t.map (cls, field)
+
+let fields_of t ~cls =
+  Hashtbl.fold (fun (c, field) _ acc -> if c = cls then field :: acc else acc) t.map []
+  |> List.sort String.compare
+
+let classes t =
+  Hashtbl.fold (fun (c, _) _ acc -> if List.mem c acc then acc else c :: acc) t.map []
+  |> List.sort String.compare
+
+type resolver = {
+  gatekeeper : Cm_gatekeeper.Runtime.t;
+  experiments : (string * Cm_gatekeeper.Experiment.t) list;
+  ctx : Cm_gatekeeper.Restraint.ctx;
+}
+
+let materialize t resolver ~cls user =
+  List.filter_map
+    (fun field ->
+      match backend_of t ~cls ~field with
+      | None -> None
+      | Some (Gk project) ->
+          Some (field, Json.Bool (Cm_gatekeeper.Runtime.check resolver.gatekeeper project user))
+      | Some (Exp experiment_name) -> (
+          match List.assoc_opt experiment_name resolver.experiments with
+          | None -> None
+          | Some experiment -> (
+              match Cm_gatekeeper.Experiment.assign resolver.ctx experiment user with
+              | Some variant -> Some (field, variant.Cm_gatekeeper.Experiment.param)
+              | None -> None))
+      | Some (Const v) -> Some (field, v))
+    (fields_of t ~cls)
+
+let backend_to_json = function
+  | Gk project -> Json.obj [ "backend", Json.String "gatekeeper"; "project", Json.String project ]
+  | Exp name -> Json.obj [ "backend", Json.String "experiment"; "name", Json.String name ]
+  | Const v -> Json.obj [ "backend", Json.String "const"; "value", v ]
+
+let to_json t =
+  let entries =
+    Hashtbl.fold
+      (fun (cls, field) backend acc ->
+        Json.obj
+          [ "class", Json.String cls; "field", Json.String field; "map", backend_to_json backend ]
+        :: acc)
+      t.map []
+  in
+  let sorted =
+    List.sort (fun a b -> String.compare (Json.to_compact_string a) (Json.to_compact_string b))
+      entries
+  in
+  Json.List sorted
+
+let backend_of_json json =
+  match Json.member "backend" json with
+  | Some (Json.String "gatekeeper") -> (
+      match Json.member "project" json with
+      | Some (Json.String p) -> Ok (Gk p)
+      | _ -> Error "gatekeeper backend needs project")
+  | Some (Json.String "experiment") -> (
+      match Json.member "name" json with
+      | Some (Json.String n) -> Ok (Exp n)
+      | _ -> Error "experiment backend needs name")
+  | Some (Json.String "const") -> (
+      match Json.member "value" json with
+      | Some v -> Ok (Const v)
+      | None -> Error "const backend needs value")
+  | _ -> Error "unknown backend"
+
+let of_json json =
+  match json with
+  | Json.List entries ->
+      let t = create () in
+      let rec load = function
+        | [] -> Ok t
+        | entry :: rest -> (
+            match
+              Json.member "class" entry, Json.member "field" entry, Json.member "map" entry
+            with
+            | Some (Json.String cls), Some (Json.String field), Some backend_json -> (
+                match backend_of_json backend_json with
+                | Ok backend ->
+                    bind t ~cls ~field backend;
+                    load rest
+                | Error _ as e -> e)
+            | _ -> Error "translation entry needs class, field, map")
+      in
+      load entries
+  | _ -> Error "translation map must be a JSON list"

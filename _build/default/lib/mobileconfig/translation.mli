@@ -1,0 +1,48 @@
+(** The MobileConfig translation layer (§5, Figure 6).
+
+    "Separating abstraction from implementation is a first-class
+    citizen in MobileConfig": a mobile config field is an abstract
+    name; this layer maps it to a concrete backend — a Gatekeeper
+    project, a Gatekeeper-backed experiment, or a Configerator
+    constant — and the mapping can change live.  The canonical
+    lifecycle: VOIP_ECHO starts mapped to an experiment, and once the
+    best parameter is found it is remapped to a constant. *)
+
+type backend =
+  | Gk of string
+      (** Gatekeeper project; materializes as a bool per user *)
+  | Exp of string
+      (** experiment; materializes as the user's variant parameter *)
+  | Const of Cm_json.Value.t
+      (** constant stored in Configerator *)
+
+type t
+
+val create : unit -> t
+
+val bind : t -> cls:string -> field:string -> backend -> unit
+(** Installs or replaces a mapping — a live remap. *)
+
+val unbind : t -> cls:string -> field:string -> unit
+val backend_of : t -> cls:string -> field:string -> backend option
+val fields_of : t -> cls:string -> string list
+val classes : t -> string list
+
+(** {1 Materialization} *)
+
+type resolver = {
+  gatekeeper : Cm_gatekeeper.Runtime.t;
+  experiments : (string * Cm_gatekeeper.Experiment.t) list;
+  ctx : Cm_gatekeeper.Restraint.ctx;
+}
+
+val materialize :
+  t -> resolver -> cls:string -> Cm_gatekeeper.User.t -> (string * Cm_json.Value.t) list
+(** Resolve every mapped field of a class for one user.  Fields whose
+    experiment does not enroll the user are omitted (the client falls
+    back to its schema default). *)
+
+(** {1 Serialization — the mapping itself is a Configerator config} *)
+
+val to_json : t -> Cm_json.Value.t
+val of_json : Cm_json.Value.t -> (t, string) result

@@ -1,0 +1,1 @@
+lib/monitor/rules.ml: Cm_json Format List Printf

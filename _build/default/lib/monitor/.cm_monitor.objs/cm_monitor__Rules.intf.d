@@ -1,0 +1,1 @@
+lib/monitor/rules.mli: Cm_json

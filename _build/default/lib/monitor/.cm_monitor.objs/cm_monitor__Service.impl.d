@@ -1,0 +1,1 @@
+lib/monitor/service.ml: Array Cm_sim Float Hashtbl List Printf Rules String

@@ -1,0 +1,1 @@
+lib/monitor/service.mli: Cm_sim Rules

@@ -1,0 +1,212 @@
+module Json = Cm_json.Value
+
+type op = Above | Below
+
+type detection = {
+  alert_name : string;
+  metric : string;
+  op : op;
+  threshold : float;
+  for_duration : float;
+  per_node : bool;
+}
+
+type subscription = {
+  alert_prefix : string;
+  oncall : string;
+}
+
+type action =
+  | Restart_node
+  | Reimage_node
+  | Page_only
+
+type remediation = {
+  applies_to : string;
+  action : action;
+  cooldown : float;
+}
+
+type agg = Mean | Max | P95
+
+type panel = {
+  title : string;
+  panel_metric : string;
+  agg : agg;
+}
+
+type t = {
+  collect : string list;
+  collect_interval : float;
+  detections : detection list;
+  subscriptions : subscription list;
+  remediations : remediation list;
+  dashboard : panel list;
+}
+
+let default =
+  {
+    collect = [ "error_rate"; "latency_ms" ];
+    collect_interval = 10.0;
+    detections = [];
+    subscriptions = [];
+    remediations = [];
+    dashboard = [];
+  }
+
+let agg_name = function Mean -> "mean" | Max -> "max" | P95 -> "p95"
+let op_name = function Above -> "above" | Below -> "below"
+
+let action_name = function
+  | Restart_node -> "restart_node"
+  | Reimage_node -> "reimage_node"
+  | Page_only -> "page_only"
+
+let to_json t =
+  Json.obj
+    [
+      "collect", Json.List (List.map (fun m -> Json.String m) t.collect);
+      "collect_interval", Json.Float t.collect_interval;
+      ( "detections",
+        Json.List
+          (List.map
+             (fun d ->
+               Json.obj
+                 [
+                   "alert", Json.String d.alert_name;
+                   "metric", Json.String d.metric;
+                   "op", Json.String (op_name d.op);
+                   "threshold", Json.Float d.threshold;
+                   "for", Json.Float d.for_duration;
+                   "per_node", Json.Bool d.per_node;
+                 ])
+             t.detections) );
+      ( "subscriptions",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.obj
+                 [ "prefix", Json.String s.alert_prefix; "oncall", Json.String s.oncall ])
+             t.subscriptions) );
+      ( "remediations",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.obj
+                 [
+                   "applies_to", Json.String r.applies_to;
+                   "action", Json.String (action_name r.action);
+                   "cooldown", Json.Float r.cooldown;
+                 ])
+             t.remediations) );
+      ( "dashboard",
+        Json.List
+          (List.map
+             (fun p ->
+               Json.obj
+                 [
+                   "title", Json.String p.title;
+                   "metric", Json.String p.panel_metric;
+                   "agg", Json.String (agg_name p.agg);
+                 ])
+             t.dashboard) );
+    ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let string_field json field =
+  match Json.member field json with
+  | Some (Json.String s) -> Ok s
+  | Some _ | None -> Error (Printf.sprintf "missing string field %s" field)
+
+let float_field ?default json field =
+  match Json.member field json with
+  | Some v -> (
+      match Json.to_float v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %s must be a number" field))
+  | None -> (
+      match default with
+      | Some d -> Ok d
+      | None -> Error (Printf.sprintf "missing number field %s" field))
+
+let list_field json field item_of =
+  match Json.member field json with
+  | None -> Ok []
+  | Some (Json.List items) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* v = item_of item in
+          Ok (acc @ [ v ]))
+        (Ok []) items
+  | Some _ -> Error (Printf.sprintf "field %s must be a list" field)
+
+let detection_of_json json =
+  let* alert_name = string_field json "alert" in
+  let* metric = string_field json "metric" in
+  let* op_text = string_field json "op" in
+  let* op =
+    match op_text with
+    | "above" -> Ok Above
+    | "below" -> Ok Below
+    | other -> Error (Printf.sprintf "unknown op %s" other)
+  in
+  let* threshold = float_field json "threshold" in
+  let* for_duration = float_field ~default:0.0 json "for" in
+  let per_node =
+    match Json.member "per_node" json with Some (Json.Bool b) -> b | Some _ | None -> false
+  in
+  Ok { alert_name; metric; op; threshold; for_duration; per_node }
+
+let subscription_of_json json =
+  let* alert_prefix = string_field json "prefix" in
+  let* oncall = string_field json "oncall" in
+  Ok { alert_prefix; oncall }
+
+let remediation_of_json json =
+  let* applies_to = string_field json "applies_to" in
+  let* action_text = string_field json "action" in
+  let* action =
+    match action_text with
+    | "restart_node" -> Ok Restart_node
+    | "reimage_node" -> Ok Reimage_node
+    | "page_only" -> Ok Page_only
+    | other -> Error (Printf.sprintf "unknown action %s" other)
+  in
+  let* cooldown = float_field ~default:300.0 json "cooldown" in
+  Ok { applies_to; action; cooldown }
+
+let panel_of_json json =
+  let* title = string_field json "title" in
+  let* panel_metric = string_field json "metric" in
+  let* agg =
+    match Json.member "agg" json with
+    | Some (Json.String "mean") | None -> Ok Mean
+    | Some (Json.String "max") -> Ok Max
+    | Some (Json.String "p95") -> Ok P95
+    | Some _ -> Error "panel agg must be mean/max/p95"
+  in
+  Ok { title; panel_metric; agg }
+
+let of_json json =
+  let* collect =
+    list_field json "collect" (fun item ->
+        match item with
+        | Json.String s -> Ok s
+        | _ -> Error "collect entries must be strings")
+  in
+  let* collect_interval = float_field ~default:10.0 json "collect_interval" in
+  let* detections = list_field json "detections" detection_of_json in
+  let* subscriptions = list_field json "subscriptions" subscription_of_json in
+  let* remediations = list_field json "remediations" remediation_of_json in
+  let* dashboard = list_field json "dashboard" panel_of_json in
+  if collect_interval <= 0.0 then Error "collect_interval must be positive"
+  else Ok { collect; collect_interval; detections; subscriptions; remediations; dashboard }
+
+let of_string s =
+  match Cm_json.Parser.parse s with
+  | Ok json -> of_json json
+  | Error e -> Error (Format.asprintf "%a" Cm_json.Parser.pp_error e)
+
+let to_string t = Json.to_compact_string (to_json t)

@@ -1,0 +1,67 @@
+(** Monitoring rules as configs (§2):
+
+    "Facebook's monitoring stack is controlled through config changes:
+    1) what monitoring data to collect, 2) monitoring dashboard, 3)
+    alert detection rules (i.e., what is considered an anomaly), 4)
+    alert subscription rules (i.e., who should be paged), and 5)
+    automated remediation actions, e.g., rebooting or reimaging a
+    server.  All these can be dynamically changed without a code
+    upgrade."
+
+    This module is the config schema: a rule set serializes to the
+    JSON artifact that Configerator distributes, and the running
+    {!Service} swaps it live. *)
+
+type op = Above | Below
+
+type detection = {
+  alert_name : string;
+  metric : string;        (** which collected metric to evaluate *)
+  op : op;
+  threshold : float;
+  for_duration : float;   (** seconds the condition must hold before firing *)
+  per_node : bool;        (** evaluate each node separately vs the fleet mean *)
+}
+
+type subscription = {
+  alert_prefix : string;  (** matches alert names by prefix *)
+  oncall : string;        (** who gets paged *)
+}
+
+type action =
+  | Restart_node          (** "rebooting ... a server" *)
+  | Reimage_node          (** modeled as restart + longer delay *)
+  | Page_only
+
+type remediation = {
+  applies_to : string;    (** alert-name prefix *)
+  action : action;
+  cooldown : float;       (** do not repeat on the same node within this window *)
+}
+
+type agg = Mean | Max | P95
+
+type panel = {
+  title : string;
+  panel_metric : string;
+  agg : agg;  (** how the fleet's per-node readings are summarized *)
+}
+
+type t = {
+  collect : string list;          (** metrics to collect *)
+  collect_interval : float;
+  detections : detection list;
+  subscriptions : subscription list;
+  remediations : remediation list;
+  dashboard : panel list;
+      (** "monitoring dashboard (e.g., the layout of the key-metric
+          graphs)" — also just config *)
+}
+
+val default : t
+(** Collects error_rate/latency_ms every 10 s, no rules. *)
+
+val to_json : t -> Cm_json.Value.t
+val of_json : Cm_json.Value.t -> (t, string) result
+val of_string : string -> (t, string) result
+val to_string : t -> string

@@ -1,0 +1,243 @@
+module Engine = Cm_sim.Engine
+module Topology = Cm_sim.Topology
+
+type source = node:Cm_sim.Topology.node_id -> metric:string -> float option
+
+type alert_state = {
+  alert : string;
+  node : Topology.node_id option;
+  since : float;
+  mutable fired : bool;
+}
+
+type page = {
+  page_time : float;
+  page_alert : string;
+  page_oncall : string;
+  page_node : Topology.node_id option;
+}
+
+type remediation_event = {
+  rem_time : float;
+  rem_alert : string;
+  rem_node : Topology.node_id;
+  rem_action : Rules.action;
+}
+
+type t = {
+  net : Cm_sim.Net.t;
+  source : source;
+  mutable current : Rules.t;
+  active : (string * Topology.node_id option, alert_state) Hashtbl.t;
+  mutable page_log : page list;  (* reversed *)
+  mutable rem_log : remediation_event list;  (* reversed *)
+  last_remediation : (string * Topology.node_id, float) Hashtbl.t;
+  mutable nsamples : int;
+  mutable running : bool;
+  mutable last_readings : (string * Topology.node_id, float) Hashtbl.t;
+}
+
+let engine t = Cm_sim.Net.engine t.net
+let topo t = Cm_sim.Net.topology t.net
+let rules t = t.current
+let load_rules t rules = t.current <- rules
+
+let load_rules_string t text =
+  match Rules.of_string text with
+  | Ok rules ->
+      load_rules t rules;
+      Ok ()
+  | Error _ as e -> e
+
+let prefix_matches ~prefix name =
+  String.length name >= String.length prefix
+  && String.sub name 0 (String.length prefix) = prefix
+
+let send_pages t alert node =
+  List.iter
+    (fun sub ->
+      if prefix_matches ~prefix:sub.Rules.alert_prefix alert then
+        t.page_log <-
+          {
+            page_time = Engine.now (engine t);
+            page_alert = alert;
+            page_oncall = sub.Rules.oncall;
+            page_node = node;
+          }
+          :: t.page_log)
+    t.current.Rules.subscriptions
+
+let run_remediation t alert node =
+  List.iter
+    (fun rem ->
+      if prefix_matches ~prefix:rem.Rules.applies_to alert then begin
+        let now = Engine.now (engine t) in
+        let key = alert, node in
+        let cooled =
+          match Hashtbl.find_opt t.last_remediation key with
+          | Some last -> now -. last >= rem.Rules.cooldown
+          | None -> true
+        in
+        if cooled then begin
+          Hashtbl.replace t.last_remediation key now;
+          t.rem_log <-
+            { rem_time = now; rem_alert = alert; rem_node = node; rem_action = rem.Rules.action }
+            :: t.rem_log;
+          match rem.Rules.action with
+          | Rules.Page_only -> ()
+          | Rules.Restart_node | Rules.Reimage_node ->
+              let downtime =
+                match rem.Rules.action with Rules.Reimage_node -> 60.0 | _ -> 5.0
+              in
+              Topology.crash (topo t) node;
+              ignore
+                (Engine.schedule (engine t) ~delay:downtime (fun () ->
+                     Topology.restart (topo t) node))
+        end
+      end)
+    t.current.Rules.remediations
+
+(* One detection evaluation for one scope (a node or the fleet). *)
+let evaluate_condition detection value =
+  match detection.Rules.op with
+  | Rules.Above -> value > detection.Rules.threshold
+  | Rules.Below -> value < detection.Rules.threshold
+
+let track t detection node condition =
+  let key = detection.Rules.alert_name, node in
+  let now = Engine.now (engine t) in
+  if condition then begin
+    let state =
+      match Hashtbl.find_opt t.active key with
+      | Some state -> state
+      | None ->
+          let state =
+            { alert = detection.Rules.alert_name; node; since = now; fired = false }
+          in
+          Hashtbl.replace t.active key state;
+          state
+    in
+    if (not state.fired) && now -. state.since >= detection.Rules.for_duration then begin
+      state.fired <- true;
+      send_pages t detection.Rules.alert_name node;
+      match node with
+      | Some n -> run_remediation t detection.Rules.alert_name n
+      | None -> ()
+    end
+  end
+  else Hashtbl.remove t.active key
+
+let collect_once t =
+  let topo = topo t in
+  let up_nodes =
+    Array.to_list (Topology.nodes topo)
+    |> List.filter (fun n -> n.Topology.up)
+    |> List.map (fun n -> n.Topology.id)
+  in
+  (* Collection: only configured metrics are gathered at all. *)
+  let readings = Hashtbl.create 64 in
+  List.iter
+    (fun metric ->
+      List.iter
+        (fun node ->
+          match t.source ~node ~metric with
+          | Some v ->
+              t.nsamples <- t.nsamples + 1;
+              Hashtbl.replace readings (metric, node) v
+          | None -> ())
+        up_nodes)
+    t.current.Rules.collect;
+  List.iter
+    (fun detection ->
+      let metric = detection.Rules.metric in
+      if List.mem metric t.current.Rules.collect then
+        if detection.Rules.per_node then
+          List.iter
+            (fun node ->
+              match Hashtbl.find_opt readings (metric, node) with
+              | Some v -> track t detection (Some node) (evaluate_condition detection v)
+              | None -> ())
+            up_nodes
+        else begin
+          let sum = ref 0.0 and n = ref 0 in
+          List.iter
+            (fun node ->
+              match Hashtbl.find_opt readings (metric, node) with
+              | Some v ->
+                  sum := !sum +. v;
+                  incr n
+              | None -> ())
+            up_nodes;
+          if !n > 0 then
+            track t detection None
+              (evaluate_condition detection (!sum /. float_of_int !n))
+        end)
+    t.current.Rules.detections;
+  t.last_readings <- readings
+
+let rec loop t =
+  if t.running then
+    ignore
+      (Engine.schedule (engine t) ~delay:t.current.Rules.collect_interval (fun () ->
+           if t.running then begin
+             collect_once t;
+             loop t
+           end))
+
+let create ?(rules = Rules.default) net ~source =
+  let t =
+    {
+      net;
+      source;
+      current = rules;
+      active = Hashtbl.create 32;
+      page_log = [];
+      rem_log = [];
+      last_remediation = Hashtbl.create 32;
+      nsamples = 0;
+      running = true;
+      last_readings = Hashtbl.create 64;
+    }
+  in
+  loop t;
+  t
+
+let firing t =
+  Hashtbl.fold (fun _ state acc -> if state.fired then state :: acc else acc) t.active []
+
+let pages t = List.rev t.page_log
+let remediations t = List.rev t.rem_log
+let samples_collected t = t.nsamples
+
+let dashboard t =
+  List.map
+    (fun panel ->
+      let metric = panel.Rules.panel_metric in
+      let values =
+        Hashtbl.fold
+          (fun (m, _) v acc -> if m = metric then v :: acc else acc)
+          t.last_readings []
+      in
+      let value =
+        match values with
+        | [] -> nan
+        | _ -> (
+            let n = List.length values in
+            match panel.Rules.agg with
+            | Rules.Mean -> List.fold_left ( +. ) 0.0 values /. float_of_int n
+            | Rules.Max -> List.fold_left Float.max neg_infinity values
+            | Rules.P95 ->
+                let sorted = List.sort Float.compare values in
+                let idx = min (n - 1) (int_of_float (0.95 *. float_of_int (n - 1))) in
+                List.nth sorted idx)
+      in
+      panel.Rules.title, value)
+    t.current.Rules.dashboard
+
+let dashboard_text t =
+  String.concat "\n"
+    (List.map
+       (fun (title, value) -> Printf.sprintf "%-28s %10.3f" title value)
+       (dashboard t))
+
+let stop t = t.running <- false

@@ -1,0 +1,68 @@
+(** The monitoring service: collects fleet metrics on the configured
+    interval, evaluates the configured alert rules, pages the
+    configured oncalls, and runs the configured remediations — and
+    every one of those behaviors changes live when a new rules config
+    arrives ("e.g., as troubleshooting requires collecting more
+    monitoring data", §2).
+
+    Runs entirely inside a {!Cm_sim.Engine} simulation; the metric
+    source is a callback so tests and examples can model sick nodes. *)
+
+type source = node:Cm_sim.Topology.node_id -> metric:string -> float option
+(** Instantaneous reading of one metric on one node; [None] when the
+    node does not export it. *)
+
+type alert_state = {
+  alert : string;
+  node : Cm_sim.Topology.node_id option;  (** None for fleet-level alerts *)
+  since : float;                           (** when the condition started *)
+  mutable fired : bool;                    (** passed for_duration and paged *)
+}
+
+type page = {
+  page_time : float;
+  page_alert : string;
+  page_oncall : string;
+  page_node : Cm_sim.Topology.node_id option;
+}
+
+type remediation_event = {
+  rem_time : float;
+  rem_alert : string;
+  rem_node : Cm_sim.Topology.node_id;
+  rem_action : Rules.action;
+}
+
+type t
+
+val create :
+  ?rules:Rules.t -> Cm_sim.Net.t -> source:source -> t
+(** Starts the collection loop immediately. *)
+
+val load_rules : t -> Rules.t -> unit
+(** Live reconfiguration — what a config update delivers. *)
+
+val load_rules_string : t -> string -> (unit, string) result
+
+val rules : t -> Rules.t
+
+val firing : t -> alert_state list
+(** Alerts currently past their [for_duration]. *)
+
+val pages : t -> page list
+(** Every page sent, oldest first. *)
+
+val remediations : t -> remediation_event list
+
+val samples_collected : t -> int
+
+val dashboard : t -> (string * float) list
+(** [(panel title, aggregated value)] for every configured dashboard
+    panel, computed over the latest collection round ([nan] until one
+    completes or when the metric is not collected).  The layout is
+    config: change the rules and the dashboard changes. *)
+
+val dashboard_text : t -> string
+(** Plain-text rendering of {!dashboard}. *)
+
+val stop : t -> unit

@@ -1,0 +1,1 @@
+lib/packagevessel/swarm.ml: Bytes Char Cm_sim Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/packagevessel/swarm.mli: Cm_sim

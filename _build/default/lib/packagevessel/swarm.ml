@@ -1,0 +1,253 @@
+module Engine = Cm_sim.Engine
+module Net = Cm_sim.Net
+module Topology = Cm_sim.Topology
+module Rng = Cm_sim.Rng
+
+type mode = P2p_local | P2p_random | Central
+
+type params = {
+  chunk_size : int;
+  max_parallel : int;
+  peer_upload_bw : float;
+  storage_upload_bw : float;
+}
+
+let default_params =
+  {
+    chunk_size = 4 * 1024 * 1024;
+    max_parallel = 4;
+    peer_upload_bw = 2.5e8;     (* 250 MB/s per server *)
+    storage_upload_bw = 2.0e9;  (* 2 GB/s for the whole storage tier *)
+  }
+
+type content = { cname : string; cversion : int; csize : int }
+
+let key content = content.cname ^ "#" ^ string_of_int content.cversion
+
+type download = {
+  dcontent : content;
+  dbits : Bytes.t;            (* chunk bitmap *)
+  dchunks : int;
+  mutable dhave : int;
+  mutable dinflight : int;
+  mutable dabandoned : bool;
+  mutable dcompleted : bool;
+  don_complete : unit -> unit;
+}
+
+type t = {
+  net : Net.t;
+  prm : params;
+  storage : Topology.node_id;
+  rng : Rng.t;
+  published : (string, unit) Hashtbl.t;
+  (* content key -> node -> bitmap of chunks the node holds *)
+  holders : (string, (Topology.node_id, Bytes.t) Hashtbl.t) Hashtbl.t;
+  complete : (string, (Topology.node_id, unit) Hashtbl.t) Hashtbl.t;
+  active : (Topology.node_id * string, download) Hashtbl.t;
+  (* name -> active version per node, to abandon superseded downloads *)
+  node_version : (Topology.node_id * string, int) Hashtbl.t;
+  upload_free_at : (Topology.node_id, float) Hashtbl.t;
+  mutable storage_free_at : float;
+  mutable storage_served : int;
+  mutable peer_served : int;
+}
+
+let create ?(params = default_params) net ~storage =
+  {
+    net;
+    prm = params;
+    storage;
+    rng = Rng.split (Engine.rng (Net.engine net));
+    published = Hashtbl.create 8;
+    holders = Hashtbl.create 8;
+    complete = Hashtbl.create 8;
+    active = Hashtbl.create 256;
+    node_version = Hashtbl.create 256;
+    upload_free_at = Hashtbl.create 256;
+    storage_free_at = 0.0;
+    storage_served = 0;
+    peer_served = 0;
+  }
+
+let chunks_of t content = max 1 ((content.csize + t.prm.chunk_size - 1) / t.prm.chunk_size)
+
+let chunk_bytes t content idx =
+  let n = chunks_of t content in
+  if idx = n - 1 then content.csize - ((n - 1) * t.prm.chunk_size) else t.prm.chunk_size
+
+let bit_get bits i = Char.code (Bytes.get bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let bit_set bits i =
+  Bytes.set bits (i / 8) (Char.chr (Char.code (Bytes.get bits (i / 8)) lor (1 lsl (i mod 8))))
+
+let publish t content =
+  let ingest = float_of_int content.csize /. t.prm.storage_upload_bw in
+  ignore
+    (Engine.schedule (Net.engine t.net) ~delay:ingest (fun () ->
+         Hashtbl.replace t.published (key content) ()))
+
+let holder_table t content =
+  let k = key content in
+  match Hashtbl.find_opt t.holders k with
+  | Some table -> table
+  | None ->
+      let table = Hashtbl.create 64 in
+      Hashtbl.replace t.holders k table;
+      table
+
+let complete_table t content =
+  let k = key content in
+  match Hashtbl.find_opt t.complete k with
+  | Some table -> table
+  | None ->
+      let table = Hashtbl.create 64 in
+      Hashtbl.replace t.complete k table;
+      table
+
+let has_complete t ~node content = Hashtbl.mem (complete_table t content) node
+let completed_count t content = Hashtbl.length (complete_table t content)
+let storage_bytes_served t = t.storage_served
+let peer_bytes_served t = t.peer_served
+
+(* A source's upload pipe: returns the extra queueing delay before the
+   source can start sending, and reserves the pipe. *)
+let reserve_upload t source bytes =
+  let now = Engine.now (Net.engine t.net) in
+  if source = t.storage then begin
+    let start = Float.max now t.storage_free_at in
+    let duration = float_of_int bytes /. t.prm.storage_upload_bw in
+    t.storage_free_at <- start +. duration;
+    t.storage_served <- t.storage_served + bytes;
+    start -. now +. duration
+  end
+  else begin
+    let free_at =
+      match Hashtbl.find_opt t.upload_free_at source with Some f -> f | None -> 0.0
+    in
+    let start = Float.max now free_at in
+    let duration = float_of_int bytes /. t.prm.peer_upload_bw in
+    Hashtbl.replace t.upload_free_at source (start +. duration);
+    t.peer_served <- t.peer_served + bytes;
+    start -. now +. duration
+  end
+
+(* Pick where to get chunk [idx] from, honoring the mode's locality
+   policy. *)
+let pick_source t ~node ~mode content idx =
+  match mode with
+  | Central -> t.storage
+  | P2p_local | P2p_random ->
+      let table = holder_table t content in
+      let topo = Net.topology t.net in
+      let candidates =
+        Hashtbl.fold
+          (fun peer bits acc ->
+            if peer <> node && bit_get bits idx && Topology.is_up topo peer then peer :: acc
+            else acc)
+          table []
+      in
+      if candidates = [] then t.storage
+      else begin
+        let ranked =
+          match mode with
+          | P2p_random | Central -> candidates
+          | P2p_local ->
+              let same_cluster = List.filter (Topology.same_cluster topo node) candidates in
+              if same_cluster <> [] then same_cluster
+              else
+                let same_region = List.filter (Topology.same_region topo node) candidates in
+                if same_region <> [] then same_region else candidates
+        in
+        List.nth ranked (Rng.int t.rng (List.length ranked))
+      end
+
+let missing_chunks dl =
+  let rec collect i acc =
+    if i < 0 then acc
+    else collect (i - 1) (if bit_get dl.dbits i then acc else i :: acc)
+  in
+  collect (dl.dchunks - 1) []
+
+let rec request_next t ~node ~mode dl =
+  if (not dl.dabandoned) && dl.dhave < dl.dchunks && dl.dinflight < t.prm.max_parallel then begin
+    (* Random selection among missing chunks; duplicate in-flight
+       requests are possible near the end (endgame mode) and harmless —
+       a chunk that already arrived is simply ignored. *)
+    match missing_chunks dl with
+    | [] -> ()
+    | missing ->
+        let idx = List.nth missing (Rng.int t.rng (List.length missing)) in
+        dl.dinflight <- dl.dinflight + 1;
+        let source = pick_source t ~node ~mode dl.dcontent idx in
+        let bytes = chunk_bytes t dl.dcontent idx in
+        (* Request message. *)
+        Net.send_reliable t.net ~src:node ~dst:source ~bytes:256 (fun () ->
+            let queue_delay = reserve_upload t source bytes in
+            ignore
+              (Engine.schedule (Net.engine t.net) ~delay:queue_delay (fun () ->
+                   Net.send_reliable t.net ~src:source ~dst:node ~bytes (fun () ->
+                       receive_chunk t ~node ~mode dl idx))));
+        request_next t ~node ~mode dl
+  end
+
+and receive_chunk t ~node ~mode dl idx =
+  dl.dinflight <- dl.dinflight - 1;
+  if not dl.dabandoned then begin
+    if not (bit_get dl.dbits idx) then begin
+      bit_set dl.dbits idx;
+      dl.dhave <- dl.dhave + 1;
+      (* Advertise to the swarm. *)
+      let table = holder_table t dl.dcontent in
+      let bits =
+        match Hashtbl.find_opt table node with
+        | Some bits -> bits
+        | None ->
+            let bits = Bytes.make ((dl.dchunks / 8) + 1) '\000' in
+            Hashtbl.replace table node bits;
+            bits
+      in
+      bit_set bits idx
+    end;
+    if dl.dhave = dl.dchunks then begin
+      if not dl.dcompleted then begin
+        dl.dcompleted <- true;
+        Hashtbl.replace (complete_table t dl.dcontent) node ();
+        Hashtbl.remove t.active (node, key dl.dcontent);
+        dl.don_complete ()
+      end
+    end
+    else request_next t ~node ~mode dl
+  end
+
+let fetch t ~node ~mode content ~on_complete =
+  if has_complete t ~node content then on_complete ()
+  else begin
+    (* Supersede any older in-flight version of the same name. *)
+    (match Hashtbl.find_opt t.node_version (node, content.cname) with
+    | Some version when version <> content.cversion -> (
+        let old_key = content.cname ^ "#" ^ string_of_int version in
+        match Hashtbl.find_opt t.active (node, old_key) with
+        | Some old -> old.dabandoned <- true
+        | None -> ())
+    | Some _ | None -> ());
+    Hashtbl.replace t.node_version (node, content.cname) content.cversion;
+    match Hashtbl.find_opt t.active (node, key content) with
+    | Some _ -> () (* already downloading this exact version *)
+    | None ->
+        let nchunks = chunks_of t content in
+        let dl =
+          {
+            dcontent = content;
+            dbits = Bytes.make ((nchunks / 8) + 1) '\000';
+            dchunks = nchunks;
+            dhave = 0;
+            dinflight = 0;
+            dabandoned = false;
+            dcompleted = false;
+            don_complete = on_complete;
+          }
+        in
+        Hashtbl.replace t.active (node, key content) dl;
+        request_next t ~node ~mode dl
+  end

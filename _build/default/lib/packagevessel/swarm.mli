@@ -1,0 +1,58 @@
+(** PackageVessel bulk-content distribution (§3.5).
+
+    A large config's bulk content is chunked and spread through a
+    locality-aware peer-to-peer swarm; only the small metadata travels
+    through Zeus.  This module implements the swarm itself plus the
+    centralized-download baseline the P2P design is compared against.
+
+    Capacity model: every server (and the storage service) has an
+    upload pipe that serves one chunk at a time; a busy source queues
+    requests.  That is what makes the centralized baseline collapse as
+    the fleet grows — its aggregate upload capacity is constant while
+    the swarm's grows with the number of peers. *)
+
+type t
+
+type mode =
+  | P2p_local   (** prefer same-cluster, then same-region, then any peer, then storage *)
+  | P2p_random  (** ignore locality: any peer with the chunk (ablation) *)
+  | Central     (** every chunk straight from storage (baseline) *)
+
+type params = {
+  chunk_size : int;          (** bytes, e.g. 4 MB *)
+  max_parallel : int;        (** concurrent chunk downloads per node *)
+  peer_upload_bw : float;    (** bytes/s a server can serve *)
+  storage_upload_bw : float; (** bytes/s the central storage can serve *)
+}
+
+val default_params : params
+
+val create : ?params:params -> Cm_sim.Net.t -> storage:Cm_sim.Topology.node_id -> t
+
+type content = { cname : string; cversion : int; csize : int }
+
+val publish : t -> content -> unit
+(** Uploads the bulk content to storage, making it fetchable.  Takes
+    simulated time (size / storage ingest bandwidth) before the
+    content becomes available. *)
+
+val fetch :
+  t ->
+  node:Cm_sim.Topology.node_id ->
+  mode:mode ->
+  content ->
+  on_complete:(unit -> unit) ->
+  unit
+(** Starts downloading on a node; [on_complete] fires when every chunk
+    has arrived.  Fetching a content the node already completed calls
+    [on_complete] immediately.  Starting a fetch for a different
+    version of the same name abandons the old download (metadata
+    updates win — the hybrid subscription-P2P consistency story). *)
+
+val has_complete : t -> node:Cm_sim.Topology.node_id -> content -> bool
+
+val completed_count : t -> content -> int
+(** Peers holding every chunk. *)
+
+val storage_bytes_served : t -> int
+val peer_bytes_served : t -> int

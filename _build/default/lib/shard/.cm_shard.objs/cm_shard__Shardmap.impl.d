@@ -1,0 +1,1 @@
+lib/shard/shardmap.ml: Array Char Cm_json Cm_sim Digest Float Format Hashtbl Int List Option Printf String

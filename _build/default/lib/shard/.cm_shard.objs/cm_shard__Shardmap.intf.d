@@ -1,0 +1,1 @@
+lib/shard/shardmap.mli: Cm_json Cm_sim

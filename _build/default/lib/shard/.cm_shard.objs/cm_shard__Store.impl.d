@@ -1,0 +1,1 @@
+lib/shard/store.ml: Array Cm_sim Hashtbl List Shardmap

@@ -1,0 +1,1 @@
+lib/shard/store.mli: Cm_sim Shardmap

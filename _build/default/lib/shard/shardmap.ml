@@ -1,0 +1,191 @@
+module Json = Cm_json.Value
+
+type assignment = {
+  shard : int;
+  primary : Cm_sim.Topology.node_id;
+  replicas : Cm_sim.Topology.node_id list;
+}
+
+type t = {
+  generation : int;
+  nshards : int;
+  assignments : assignment list;
+}
+
+let pick_replicas ~replication ~nodes ~primary ~shard =
+  let candidates = List.filter (fun n -> n <> primary) nodes in
+  let count = List.length candidates in
+  let rec take i acc =
+    if List.length acc >= replication - 1 || i >= count then List.rev acc
+    else begin
+      (* Deterministic spread: walk the candidate ring starting at a
+         per-shard offset. *)
+      let candidate = List.nth candidates ((shard + i) mod count) in
+      if List.mem candidate acc then take (i + 1) acc else take (i + 1) (candidate :: acc)
+    end
+  in
+  take 0 []
+
+let create ~nshards ~replication ~nodes =
+  if List.length nodes < replication then
+    invalid_arg "Shardmap.create: fewer nodes than the replication factor";
+  if nshards <= 0 then invalid_arg "Shardmap.create: nshards must be positive";
+  let node_array = Array.of_list nodes in
+  let assignments =
+    List.init nshards (fun shard ->
+        let primary = node_array.(shard mod Array.length node_array) in
+        { shard; primary; replicas = pick_replicas ~replication ~nodes ~primary ~shard })
+  in
+  { generation = 1; nshards; assignments }
+
+let assignment t shard =
+  match List.nth_opt t.assignments shard with
+  | Some a when a.shard = shard -> a
+  | Some _ | None -> (
+      match List.find_opt (fun a -> a.shard = shard) t.assignments with
+      | Some a -> a
+      | None -> invalid_arg (Printf.sprintf "Shardmap.assignment: no shard %d" shard))
+
+let key_to_shard ~nshards key =
+  let digest = Digest.string key in
+  let acc = ref 0 in
+  for i = 0 to 3 do
+    acc := (!acc * 256) + Char.code digest.[i]
+  done;
+  !acc mod nshards
+
+let shard_of_key t key = key_to_shard ~nshards:t.nshards key
+
+let nodes_of t =
+  List.sort_uniq Int.compare
+    (List.concat_map (fun a -> a.primary :: a.replicas) t.assignments)
+
+let load t =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun a ->
+      Hashtbl.replace counts a.primary
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts a.primary)))
+    t.assignments;
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun node n acc -> (node, n) :: acc) counts [])
+
+let imbalance t =
+  match load t with
+  | [] -> 1.0
+  | loads ->
+      let counts = List.map (fun (_, n) -> float_of_int n) loads in
+      let mx = List.fold_left Float.max 0.0 counts in
+      let mean = List.fold_left ( +. ) 0.0 counts /. float_of_int (List.length counts) in
+      if mean = 0.0 then 1.0 else mx /. mean
+
+let rebalance t ~nodes =
+  if nodes = [] then invalid_arg "Shardmap.rebalance: empty node set";
+  let cap = (t.nshards + List.length nodes - 1) / List.length nodes in
+  let counts = Hashtbl.create 32 in
+  let count node = Option.value ~default:0 (Hashtbl.find_opt counts node) in
+  let bump node = Hashtbl.replace counts node (count node + 1) in
+  let replication =
+    match t.assignments with [] -> 1 | a :: _ -> 1 + List.length a.replicas
+  in
+  (* Pass 1: keep shards whose primary survives and is under the cap
+     (move as little data as possible). *)
+  let kept =
+    List.map
+      (fun a ->
+        if List.mem a.primary nodes && count a.primary < cap then begin
+          bump a.primary;
+          a.shard, Some a.primary
+        end
+        else a.shard, None)
+      t.assignments
+  in
+  (* Pass 2: place the rest on the least-loaded nodes. *)
+  let least_loaded () =
+    List.fold_left
+      (fun best node ->
+        match best with
+        | None -> Some node
+        | Some b -> if count node < count b then Some node else best)
+      None nodes
+  in
+  let assignments =
+    List.map
+      (fun (shard, placed) ->
+        let primary =
+          match placed with
+          | Some node -> node
+          | None ->
+              let node = Option.get (least_loaded ()) in
+              bump node;
+              node
+        in
+        { shard; primary; replicas = pick_replicas ~replication ~nodes ~primary ~shard })
+      kept
+  in
+  { generation = t.generation + 1; nshards = t.nshards; assignments }
+
+let drain_node t node = rebalance t ~nodes:(List.filter (fun n -> n <> node) (nodes_of t))
+
+let diff ~old_map ~new_map =
+  List.filter_map
+    (fun a ->
+      let old_assignment = assignment old_map a.shard in
+      if old_assignment.primary <> a.primary then Some (a.shard, a.primary) else None)
+    new_map.assignments
+
+let to_json t =
+  Json.obj
+    [
+      "generation", Json.Int t.generation;
+      "nshards", Json.Int t.nshards;
+      ( "assignments",
+        Json.List
+          (List.map
+             (fun a ->
+               Json.obj
+                 [
+                   "shard", Json.Int a.shard;
+                   "primary", Json.Int a.primary;
+                   "replicas", Json.List (List.map (fun n -> Json.Int n) a.replicas);
+                 ])
+             t.assignments) );
+    ]
+
+let of_json json =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let int_field j field =
+    match Json.member field j with
+    | Some (Json.Int n) -> Ok n
+    | Some _ | None -> Error (Printf.sprintf "missing int field %s" field)
+  in
+  let* generation = int_field json "generation" in
+  let* nshards = int_field json "nshards" in
+  let* assignments =
+    match Json.member "assignments" json with
+    | Some (Json.List items) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* shard = int_field item "shard" in
+            let* primary = int_field item "primary" in
+            let replicas =
+              match Json.member "replicas" item with
+              | Some (Json.List rs) ->
+                  List.filter_map (fun r -> match r with Json.Int n -> Some n | _ -> None) rs
+              | Some _ | None -> []
+            in
+            Ok (acc @ [ { shard; primary; replicas } ]))
+          (Ok []) items
+    | Some _ | None -> Error "missing assignments list"
+  in
+  if List.length assignments <> nshards then Error "assignment count does not match nshards"
+  else Ok { generation; nshards; assignments }
+
+let to_string t = Json.to_compact_string (to_json t)
+
+let of_string s =
+  match Cm_json.Parser.parse s with
+  | Ok json -> of_json json
+  | Error e -> Error (Format.asprintf "%a" Cm_json.Parser.pp_error e)

@@ -1,0 +1,69 @@
+(** Shard maps as configs — the paper's TAO use case (§2):
+
+    "Facebook stores user data in a large-scale distributed data store
+    called TAO.  As the hardware setup changes (e.g., a new cluster is
+    brought online), the macro traffic pattern shifts, or failure
+    happens, the application-level configs are updated to drive
+    topology changes for TAO and rebalance the load."
+
+    A shard map assigns every shard a primary and replicas; it is a
+    JSON config distributed to every router.  Rebalancing — bringing a
+    new cluster online, draining a node — is a pure function producing
+    the next generation of the map, deployed as a config update. *)
+
+type assignment = {
+  shard : int;
+  primary : Cm_sim.Topology.node_id;
+  replicas : Cm_sim.Topology.node_id list;  (** primary excluded *)
+}
+
+type t = {
+  generation : int;   (** monotone; routers only move forward *)
+  nshards : int;
+  assignments : assignment list;  (** one per shard, dense by shard id *)
+}
+
+val create :
+  nshards:int -> replication:int -> nodes:Cm_sim.Topology.node_id list -> t
+(** Round-robin initial placement over [nodes].
+    @raise Invalid_argument when nodes are fewer than [replication]. *)
+
+val assignment : t -> int -> assignment
+(** @raise Invalid_argument on an unknown shard. *)
+
+val key_to_shard : nshards:int -> string -> int
+(** Deterministic key hashing. *)
+
+val shard_of_key : t -> string -> int
+(** [key_to_shard] over the map's shard count. *)
+
+val nodes_of : t -> Cm_sim.Topology.node_id list
+(** Every node appearing in the map, sorted, deduplicated. *)
+
+val load : t -> (Cm_sim.Topology.node_id * int) list
+(** [(node, shards as primary)] for every node in the map. *)
+
+val imbalance : t -> float
+(** max primary load / mean primary load; 1.0 is perfectly even. *)
+
+(** {1 Topology changes (the config updates)} *)
+
+val rebalance : t -> nodes:Cm_sim.Topology.node_id list -> t
+(** Next generation spanning exactly [nodes]: shards on removed nodes
+    move; load is spread evenly over the new node set while moving as
+    few shards as possible (greedy: keep placements on surviving
+    nodes when under the per-node cap). *)
+
+val drain_node : t -> Cm_sim.Topology.node_id -> t
+(** Rebalance without the node (emergency drain). *)
+
+val diff : old_map:t -> new_map:t -> (int * Cm_sim.Topology.node_id) list
+(** [(shard, new primary)] for every shard whose primary moved — the
+    migrations a map change implies. *)
+
+(** {1 Serialization} *)
+
+val to_json : t -> Cm_json.Value.t
+val of_json : Cm_json.Value.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result

@@ -1,0 +1,102 @@
+module Topology = Cm_sim.Topology
+module Net = Cm_sim.Net
+
+type t = {
+  net : Net.t;
+  shard_bytes : int;
+  serving : Shardmap.assignment array;
+  mutable current_generation : int;
+  (* shard -> generation of the migration in flight (newest wins) *)
+  inflight : (int, int) Hashtbl.t;
+  mutable ndone : int;
+  mutable moved : int;
+}
+
+let create net ~map ~shard_bytes =
+  {
+    net;
+    shard_bytes;
+    serving = Array.of_list map.Shardmap.assignments;
+    current_generation = map.Shardmap.generation;
+    inflight = Hashtbl.create 16;
+    ndone = 0;
+    moved = 0;
+  }
+
+let generation t = t.current_generation
+let migrations_in_flight t = Hashtbl.length t.inflight
+let migrations_done t = t.ndone
+let bytes_moved t = t.moved
+
+let serving_primary t shard =
+  if shard < 0 || shard >= Array.length t.serving then
+    invalid_arg "Store.serving_primary: bad shard";
+  t.serving.(shard).Shardmap.primary
+
+let apply_map t map =
+  if map.Shardmap.generation > t.current_generation then begin
+    t.current_generation <- map.Shardmap.generation;
+    List.iter
+      (fun target ->
+        let shard = target.Shardmap.shard in
+        let now_serving = t.serving.(shard) in
+        if now_serving.Shardmap.primary = target.Shardmap.primary then begin
+          (* Same primary: replicas adopt instantly (metadata only). *)
+          t.serving.(shard) <- target;
+          Hashtbl.remove t.inflight shard
+        end
+        else begin
+          (* Copy data from a live holder to the new primary, then cut
+             over — unless a newer map supersedes this migration. *)
+          let this_generation = map.Shardmap.generation in
+          Hashtbl.replace t.inflight shard this_generation;
+          let source =
+            let candidates =
+              now_serving.Shardmap.primary :: now_serving.Shardmap.replicas
+            in
+            List.find_opt (Topology.is_up (Net.topology t.net)) candidates
+          in
+          let finish () =
+            match Hashtbl.find_opt t.inflight shard with
+            | Some g when g = this_generation ->
+                Hashtbl.remove t.inflight shard;
+                t.serving.(shard) <- target;
+                t.ndone <- t.ndone + 1
+            | Some _ | None -> () (* superseded *)
+          in
+          match source with
+          | Some src ->
+              t.moved <- t.moved + t.shard_bytes;
+              Net.send_reliable t.net ~src ~dst:target.Shardmap.primary
+                ~bytes:t.shard_bytes finish
+          | None ->
+              (* No live holder: the data must be restored from the new
+                 primary's replica set later; cut over immediately so
+                 writes have a home. *)
+              finish ()
+        end)
+      map.Shardmap.assignments
+  end
+
+let route t key =
+  let shard = Shardmap.key_to_shard ~nshards:(Array.length t.serving) key in
+  let a = t.serving.(shard) in
+  let topo = Net.topology t.net in
+  if Topology.is_up topo a.Shardmap.primary then a.Shardmap.primary
+  else (
+    match List.find_opt (Topology.is_up topo) a.Shardmap.replicas with
+    | Some replica -> replica
+    | None -> raise Not_found)
+
+let read t key =
+  match route t key with
+  | node -> Ok node
+  | exception Not_found -> Error "every replica of the shard is down"
+
+let imbalance_now t =
+  Shardmap.imbalance
+    {
+      Shardmap.generation = t.current_generation;
+      nshards = Array.length t.serving;
+      assignments = Array.to_list t.serving;
+    }

@@ -1,0 +1,39 @@
+(** A sharded data store driven by shard-map configs.
+
+    Routers keep serving from the {e old} placement while the data of
+    a moved shard is copied to its new primary, and cut over only when
+    the copy lands — so a shard-map config update rebalances the store
+    with zero routing downtime, the §2 TAO story.  Stale map
+    generations are ignored (Zeus delivers configs in order, but a
+    router that was down may reconnect and replay). *)
+
+type t
+
+val create : Cm_sim.Net.t -> map:Shardmap.t -> shard_bytes:int -> t
+(** [shard_bytes] is the data volume a shard migration copies. *)
+
+val apply_map : t -> Shardmap.t -> unit
+(** The config-update entry point.  Computes moved shards, starts the
+    copies, and cuts each shard over when its copy completes.  A map
+    whose generation is not newer than the last applied one is
+    dropped. *)
+
+val serving_primary : t -> int -> Cm_sim.Topology.node_id
+(** Where reads/writes for a shard go right now (old primary while its
+    migration is in flight). *)
+
+val route : t -> string -> Cm_sim.Topology.node_id
+(** [serving_primary] of the key's shard, with failover to a live
+    replica when the primary is down.  Raises [Not_found] only when
+    every replica of the shard is down. *)
+
+val read : t -> string -> (Cm_sim.Topology.node_id, string) result
+(** Like {!route} but returns an error instead of raising. *)
+
+val generation : t -> int
+val migrations_in_flight : t -> int
+val migrations_done : t -> int
+val bytes_moved : t -> int
+
+val imbalance_now : t -> float
+(** Imbalance of the {e serving} placement (not the target map). *)

@@ -1,0 +1,1 @@
+lib/sim/rng.ml: Array Char Digest Float Int64 String

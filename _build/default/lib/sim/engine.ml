@@ -1,0 +1,79 @@
+type handle = int
+
+type t = {
+  heap : (unit -> unit) Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable live : int;
+  random : Rng.t;
+}
+
+let create ?(seed = 42L) () =
+  {
+    heap = Heap.create ();
+    cancelled = Hashtbl.create 64;
+    clock = 0.0;
+    next_seq = 0;
+    live = 0;
+    random = Rng.create seed;
+  }
+
+let now t = t.clock
+let rng t = t.random
+
+let at t ~time f =
+  let time = Float.max time t.clock in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.heap ~time ~seq f;
+  seq
+
+let schedule t ~delay f = at t ~time:(t.clock +. Float.max 0.0 delay) f
+
+let cancel t handle =
+  if not (Hashtbl.mem t.cancelled handle) then begin
+    Hashtbl.replace t.cancelled handle ();
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let rec step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some (time, seq, f) ->
+      if Hashtbl.mem t.cancelled seq then begin
+        Hashtbl.remove t.cancelled seq;
+        step t
+      end
+      else begin
+        t.clock <- time;
+        t.live <- t.live - 1;
+        f ();
+        true
+      end
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.heap with
+        | None -> continue := false
+        | Some (time, seq, _) ->
+            if Hashtbl.mem t.cancelled seq then begin
+              (* Drop dead entries eagerly so peek makes progress. *)
+              ignore (Heap.pop t.heap);
+              Hashtbl.remove t.cancelled seq
+            end
+            else if time <= limit then ignore (step t)
+            else continue := false
+      done
+
+let run_for t d =
+  let target = t.clock +. d in
+  run ~until:target t;
+  t.clock <- Float.max t.clock target

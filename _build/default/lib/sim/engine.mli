@@ -1,0 +1,44 @@
+(** Discrete-event simulation engine.
+
+    Time is a [float] in seconds.  Events are closures; they may
+    schedule further events.  The engine is single-threaded and
+    deterministic: ties at the same instant fire in scheduling order,
+    and all randomness comes from the engine's seeded {!Rng.t}. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Default seed is 42. *)
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val rng : t -> Rng.t
+(** The engine's generator; components needing an independent stream
+    should [Rng.split] it at setup time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. max 0 delay]. *)
+
+val at : t -> time:float -> (unit -> unit) -> handle
+(** [at t ~time f] runs [f] at absolute [time] (clamped to now). *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of live (not cancelled, not fired) events. *)
+
+val step : t -> bool
+(** Fires the next event; [false] when the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Runs until the queue drains or simulated time exceeds [until].
+    Events scheduled beyond [until] remain pending. *)
+
+val run_for : t -> float -> unit
+(** [run_for t d] is [run ~until:(now t +. d) t], then advances the
+    clock to exactly [now + d] even if the queue drained earlier. *)

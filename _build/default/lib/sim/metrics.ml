@@ -1,0 +1,152 @@
+module Histogram = struct
+  type t = {
+    mutable data : float array;
+    mutable len : int;
+    mutable sorted : bool;
+  }
+
+  let create () = { data = Array.make 16 0.0; len = 0; sorted = true }
+
+  let add t v =
+    if t.len = Array.length t.data then begin
+      let fresh = Array.make (2 * t.len) 0.0 in
+      Array.blit t.data 0 fresh 0 t.len;
+      t.data <- fresh
+    end;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1;
+    t.sorted <- false
+
+  let count t = t.len
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let sub = Array.sub t.data 0 t.len in
+      Array.sort Float.compare sub;
+      Array.blit sub 0 t.data 0 t.len;
+      t.sorted <- true
+    end
+
+  let mean t =
+    if t.len = 0 then nan
+    else begin
+      let sum = ref 0.0 in
+      for i = 0 to t.len - 1 do
+        sum := !sum +. t.data.(i)
+      done;
+      !sum /. float_of_int t.len
+    end
+
+  let min t =
+    ensure_sorted t;
+    if t.len = 0 then nan else t.data.(0)
+
+  let max t =
+    ensure_sorted t;
+    if t.len = 0 then nan else t.data.(t.len - 1)
+
+  let quantile t q =
+    ensure_sorted t;
+    if t.len = 0 then nan
+    else if t.len = 1 then t.data.(0)
+    else begin
+      let q = Float.min 1.0 (Float.max 0.0 q) in
+      let pos = q *. float_of_int (t.len - 1) in
+      let lo = int_of_float (Float.floor pos) in
+      let hi = Stdlib.min (lo + 1) (t.len - 1) in
+      let frac = pos -. float_of_int lo in
+      t.data.(lo) +. (frac *. (t.data.(hi) -. t.data.(lo)))
+    end
+
+  let cdf_at t v =
+    ensure_sorted t;
+    if t.len = 0 then nan
+    else begin
+      (* Count of samples <= v by binary search for the upper bound. *)
+      let rec search lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if t.data.(mid) <= v then search (mid + 1) hi else search lo mid
+      in
+      float_of_int (search 0 t.len) /. float_of_int t.len
+    end
+
+  let stddev t =
+    if t.len < 2 then 0.0
+    else begin
+      let m = mean t in
+      let sum = ref 0.0 in
+      for i = 0 to t.len - 1 do
+        let d = t.data.(i) -. m in
+        sum := !sum +. (d *. d)
+      done;
+      sqrt (!sum /. float_of_int (t.len - 1))
+    end
+
+  let values t =
+    ensure_sorted t;
+    Array.sub t.data 0 t.len
+end
+
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr ?(by = 1) t = t.n <- t.n + by
+  let value t = t.n
+  let reset t = t.n <- 0
+end
+
+module Series = struct
+  type bucket = { mutable sum : float; mutable n : int }
+
+  type t = { width : float; table : (int, bucket) Hashtbl.t }
+
+  let create ~bucket_width =
+    assert (bucket_width > 0.0);
+    { width = bucket_width; table = Hashtbl.create 64 }
+
+  let add t ~time v =
+    let idx = int_of_float (Float.floor (time /. t.width)) in
+    match Hashtbl.find_opt t.table idx with
+    | Some b ->
+        b.sum <- b.sum +. v;
+        b.n <- b.n + 1
+    | None -> Hashtbl.replace t.table idx { sum = v; n = 1 }
+
+  let sorted_range t =
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] in
+    match List.sort Int.compare keys with
+    | [] -> None
+    | first :: _ as keys -> Some (first, List.fold_left Stdlib.max first keys)
+
+  let dense t extract =
+    match sorted_range t with
+    | None -> [||]
+    | Some (lo, hi) ->
+        Array.init (hi - lo + 1) (fun i ->
+            let idx = lo + i in
+            let start = float_of_int idx *. t.width in
+            match Hashtbl.find_opt t.table idx with
+            | Some b -> start, extract b
+            | None -> start, extract { sum = 0.0; n = 0 })
+
+  let buckets t = dense t (fun b -> b.sum)
+
+  let counts t =
+    match sorted_range t with
+    | None -> [||]
+    | Some (lo, hi) ->
+        Array.init (hi - lo + 1) (fun i ->
+            let idx = lo + i in
+            let start = float_of_int idx *. t.width in
+            match Hashtbl.find_opt t.table idx with
+            | Some b -> start, b.n
+            | None -> start, 0)
+
+  let means t =
+    let all = dense t (fun b -> if b.n = 0 then nan else b.sum /. float_of_int b.n) in
+    Array.of_list
+      (List.filter (fun (_, m) -> not (Float.is_nan m)) (Array.to_list all))
+end

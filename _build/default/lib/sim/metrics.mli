@@ -1,0 +1,53 @@
+(** Measurement helpers shared by the experiments: histograms with
+    quantiles, counters, and fixed-width time series. *)
+
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile t q] with [q] in [\[0,1\]]; linear interpolation.
+      Returns [nan] when empty. *)
+
+  val cdf_at : t -> float -> float
+  (** Fraction of samples <= the given value. *)
+
+  val stddev : t -> float
+  val values : t -> float array
+  (** Sorted copy of the samples. *)
+end
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Series : sig
+  (** Accumulates samples into fixed-width time buckets — used to plot
+      "per hour" / "per day" curves like the paper's Figures 11-14. *)
+
+  type t
+
+  val create : bucket_width:float -> t
+  val add : t -> time:float -> float -> unit
+
+  val buckets : t -> (float * float) array
+  (** [(bucket_start_time, sum)] in time order; empty buckets between
+      populated ones are included with sum 0. *)
+
+  val counts : t -> (float * int) array
+  (** [(bucket_start_time, sample_count)]. *)
+
+  val means : t -> (float * float) array
+  (** [(bucket_start_time, mean)] for non-empty buckets. *)
+end

@@ -1,0 +1,95 @@
+type params = {
+  same_cluster_lat : float;
+  same_region_lat : float;
+  cross_region_lat : float;
+  same_cluster_bw : float;
+  same_region_bw : float;
+  cross_region_bw : float;
+  jitter : float;
+  drop_prob : float;
+}
+
+let default_params =
+  {
+    same_cluster_lat = 0.0005;
+    same_region_lat = 0.002;
+    cross_region_lat = 0.075;
+    same_cluster_bw = 1.0e9;
+    same_region_bw = 4.0e8;
+    cross_region_bw = 5.0e7;
+    jitter = 0.1;
+    drop_prob = 0.0;
+  }
+
+let lossy p ~drop_prob = { p with drop_prob }
+
+type t = {
+  params : params;
+  engine : Engine.t;
+  topology : Topology.t;
+  rng : Rng.t;
+  mutable bytes : int;
+  mutable messages : int;
+  mutable xregion_bytes : int;
+  mutable xcluster_bytes : int;
+}
+
+let create ?(params = default_params) engine topology =
+  { params; engine; topology; rng = Rng.split (Engine.rng engine);
+    bytes = 0; messages = 0; xregion_bytes = 0; xcluster_bytes = 0 }
+
+let engine t = t.engine
+let topology t = t.topology
+
+type locality = Same_cluster | Same_region | Cross_region
+
+let locality t ~src ~dst =
+  if Topology.same_cluster t.topology src dst then Same_cluster
+  else if Topology.same_region t.topology src dst then Same_region
+  else Cross_region
+
+let transfer_time t ~src ~dst ~bytes =
+  let lat, bw =
+    match locality t ~src ~dst with
+    | Same_cluster -> t.params.same_cluster_lat, t.params.same_cluster_bw
+    | Same_region -> t.params.same_region_lat, t.params.same_region_bw
+    | Cross_region -> t.params.cross_region_lat, t.params.cross_region_bw
+  in
+  let base = lat +. (float_of_int bytes /. bw) in
+  let noise = 1.0 +. (t.params.jitter *. ((2.0 *. Rng.float t.rng 1.0) -. 1.0)) in
+  base *. Float.max 0.01 noise
+
+let account t ~src ~dst ~bytes =
+  t.bytes <- t.bytes + bytes;
+  t.messages <- t.messages + 1;
+  (match locality t ~src ~dst with
+  | Same_cluster -> ()
+  | Same_region -> t.xcluster_bytes <- t.xcluster_bytes + bytes
+  | Cross_region ->
+      t.xcluster_bytes <- t.xcluster_bytes + bytes;
+      t.xregion_bytes <- t.xregion_bytes + bytes)
+
+let deliver t ~dst callback () = if Topology.is_up t.topology dst then callback ()
+
+let send t ~src ~dst ~bytes callback =
+  account t ~src ~dst ~bytes;
+  if not (Rng.bernoulli t.rng t.params.drop_prob) then begin
+    let delay = transfer_time t ~src ~dst ~bytes in
+    ignore (Engine.schedule t.engine ~delay (deliver t ~dst callback))
+  end
+
+let send_reliable t ~src ~dst ~bytes callback =
+  account t ~src ~dst ~bytes;
+  let delay = transfer_time t ~src ~dst ~bytes in
+  ignore (Engine.schedule t.engine ~delay (deliver t ~dst callback))
+
+let bytes_sent t = t.bytes
+let messages_sent t = t.messages
+let cross_region_bytes t = t.xregion_bytes
+let cross_cluster_bytes t = t.xcluster_bytes
+
+let reset_counters t =
+  t.bytes <- 0;
+  t.messages <- 0;
+  t.xregion_bytes <- 0;
+  t.xcluster_bytes <- 0

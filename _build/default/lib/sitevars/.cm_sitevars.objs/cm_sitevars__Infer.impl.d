@@ -1,0 +1,1 @@
+lib/sitevars/infer.ml: Cm_json Cm_lang List Printf String

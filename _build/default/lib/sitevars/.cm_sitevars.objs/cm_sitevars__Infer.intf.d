@@ -1,0 +1,1 @@
+lib/sitevars/infer.mli: Cm_lang

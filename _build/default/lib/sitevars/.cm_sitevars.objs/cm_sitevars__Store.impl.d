@@ -1,0 +1,1 @@
+lib/sitevars/store.ml: Cm_json Cm_lang Cm_thrift Format Hashtbl Infer List Printf String

@@ -1,0 +1,1 @@
+lib/sitevars/store.mli: Cm_json Cm_lang Cm_thrift Infer

@@ -1,0 +1,99 @@
+type string_kind =
+  | Json_string
+  | Timestamp_string
+  | General_string
+
+type ty =
+  | Bool
+  | Int
+  | Float
+  | Str of string_kind
+  | List_of of ty
+  | Map_ty
+  | Null
+  | Mixed
+
+let rec ty_name = function
+  | Bool -> "bool"
+  | Int -> "int"
+  | Float -> "float"
+  | Str Json_string -> "json string"
+  | Str Timestamp_string -> "timestamp string"
+  | Str General_string -> "string"
+  | List_of inner -> "list of " ^ ty_name inner
+  | Map_ty -> "map"
+  | Null -> "null"
+  | Mixed -> "mixed"
+
+let all_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let looks_like_iso_date s =
+  (* YYYY-MM-DD optionally followed by a time part. *)
+  String.length s >= 10
+  && all_digits (String.sub s 0 4)
+  && s.[4] = '-'
+  && all_digits (String.sub s 5 2)
+  && s.[7] = '-'
+  && all_digits (String.sub s 8 2)
+
+let looks_like_epoch s =
+  (* Seconds or milliseconds since 1970, within a plausible range. *)
+  all_digits s
+  &&
+  match int_of_string_opt s with
+  | Some n -> (n >= 100_000_000 && n <= 9_999_999_999) || (n >= 100_000_000_000 && n <= 9_999_999_999_999)
+  | None -> false
+
+let string_kind_of s =
+  let trimmed = String.trim s in
+  if looks_like_iso_date trimmed || looks_like_epoch trimmed then Timestamp_string
+  else
+    match Cm_json.Parser.parse trimmed with
+    | Ok (Cm_json.Value.Assoc _ | Cm_json.Value.List _) -> Json_string
+    | Ok _ | Error _ -> General_string
+
+let rec of_value = function
+  | Cm_lang.Eval.V_null -> Null
+  | Cm_lang.Eval.V_bool _ -> Bool
+  | Cm_lang.Eval.V_int _ -> Int
+  | Cm_lang.Eval.V_float _ -> Float
+  | Cm_lang.Eval.V_str s -> Str (string_kind_of s)
+  | Cm_lang.Eval.V_list [] -> List_of Mixed
+  | Cm_lang.Eval.V_list (x :: _) -> List_of (of_value x)
+  | Cm_lang.Eval.V_map _ -> Map_ty
+  | Cm_lang.Eval.V_struct _ -> Map_ty
+  | Cm_lang.Eval.V_enum _ -> Str General_string
+  | Cm_lang.Eval.V_closure _ | Cm_lang.Eval.V_builtin _ -> Mixed
+
+let rec combine a b =
+  if a = b then a
+  else
+    match a, b with
+    | (Int, Float | Float, Int) -> Float
+    | Str _, Str _ -> Str General_string
+    | List_of x, List_of y -> List_of (combine x y)
+    | List_of Mixed, other | other, List_of Mixed -> other
+    | _ -> Mixed
+
+let of_history values =
+  match List.map of_value values with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left combine first rest)
+
+let rec fits expected value_ty =
+  match expected, value_ty with
+  | Mixed, _ -> true
+  | Float, Int -> true
+  | Str General_string, Str _ -> true
+  | List_of e, List_of v -> fits e v
+  | _, List_of Mixed when (match expected with List_of _ -> true | _ -> false) -> true
+  | e, v -> e = v
+
+let deviation ~expected value =
+  let value_ty = of_value value in
+  if fits expected value_ty then None
+  else
+    Some
+      (Printf.sprintf
+         "sitevar value looks like %s but its history is consistently %s — possible typo?"
+         (ty_name value_ty) (ty_name expected))

@@ -1,0 +1,43 @@
+(** Historical type inference for sitevars (§3.2).
+
+    "A legacy sitevar may predate this best practice [declaring a
+    schema].  The tool automatically infers its data type from its
+    historical values.  For example, it infers whether a sitevar's
+    field is a string.  If so, it further infers whether it is a JSON
+    string, a timestamp string, or a general string.  If a sitevar
+    update deviates from the inferred data type, the UI displays a
+    warning message." *)
+
+type string_kind =
+  | Json_string       (** parses as a JSON object or array *)
+  | Timestamp_string  (** ISO date/datetime or epoch seconds *)
+  | General_string
+
+type ty =
+  | Bool
+  | Int
+  | Float
+  | Str of string_kind
+  | List_of of ty
+  | Map_ty
+  | Null
+  | Mixed  (** history disagrees; inference gives up *)
+
+val ty_name : ty -> string
+
+val of_value : Cm_lang.Eval.value -> ty
+(** Type of a single value. *)
+
+val combine : ty -> ty -> ty
+(** Least upper bound across history: equal types stand,
+    [Int]/[Float] widen to [Float], string kinds widen to
+    [Str General_string], anything else to [Mixed]. *)
+
+val of_history : Cm_lang.Eval.value list -> ty option
+(** [None] for empty history. *)
+
+val string_kind_of : string -> string_kind
+
+val deviation : expected:ty -> Cm_lang.Eval.value -> string option
+(** Warning message when a new value does not fit the inferred type;
+    [None] when it fits. *)

@@ -1,0 +1,134 @@
+type update_report = { warnings : string list }
+
+type entry = {
+  mutable expr : string;
+  checker : string option;
+  schema : (Cm_thrift.Schema.t * string) option;
+  mutable current : Cm_lang.Eval.value;
+  mutable history : Cm_lang.Eval.value list;  (* newest first *)
+}
+
+type t = { vars : (string, entry) Hashtbl.t }
+
+let create () = { vars = Hashtbl.create 64 }
+
+let evaluate expr_text =
+  match Cm_lang.Parser.parse_expr_exn expr_text with
+  | exception Cm_lang.Parser.Parse_error e ->
+      Error (Printf.sprintf "parse error at line %d: %s" e.Cm_lang.Parser.line e.Cm_lang.Parser.message)
+  | exception Cm_lang.Lexer.Lex_error e ->
+      Error (Printf.sprintf "lex error at line %d: %s" e.Cm_lang.Lexer.line e.Cm_lang.Lexer.message)
+  | expr -> (
+      match Cm_lang.Eval.eval_expr_standalone expr with
+      | Ok v -> Ok v
+      | Error e -> Error (Printf.sprintf "evaluation error: %s" e.Cm_lang.Eval.message))
+
+let run_checker checker value =
+  match checker with
+  | None -> Ok ()
+  | Some source -> (
+      match Cm_lang.Parser.parse_expr_exn source with
+      | exception Cm_lang.Parser.Parse_error e ->
+          Error (Printf.sprintf "checker parse error: %s" e.Cm_lang.Parser.message)
+      | exception Cm_lang.Lexer.Lex_error e ->
+          Error (Printf.sprintf "checker lex error: %s" e.Cm_lang.Lexer.message)
+      | expr -> (
+          match Cm_lang.Eval.eval_expr_standalone ~bindings:[ "value", value ] expr with
+          | Ok (Cm_lang.Eval.V_bool true) -> Ok ()
+          | Ok (Cm_lang.Eval.V_bool false) -> Error "checker rejected the value"
+          | Ok _ -> Error "checker must return a bool"
+          | Error e -> Error (Printf.sprintf "checker error: %s" e.Cm_lang.Eval.message)))
+
+(* Typecheck a value against a declared schema (a struct name or any
+   named type). *)
+let run_schema schema value =
+  match schema with
+  | None -> Ok value
+  | Some (sch, type_name) -> (
+      match Cm_lang.Eval.to_thrift value with
+      | Error reason -> Error ("schema: " ^ reason)
+      | Ok tv -> (
+          match Cm_thrift.Check.check sch (Cm_thrift.Schema.Named type_name) tv with
+          | Ok normalized -> Ok (Cm_lang.Eval.of_thrift normalized)
+          | Error e -> Error (Format.asprintf "schema: %a" Cm_thrift.Check.pp_error e)))
+
+let define t ~name ?checker ?schema ~expr () =
+  if Hashtbl.mem t.vars name then Error (Printf.sprintf "sitevar %s already exists" name)
+  else
+    match evaluate expr with
+    | Error _ as e -> e
+    | Ok value -> (
+        match run_schema schema value with
+        | Error _ as e -> e
+        | Ok value -> (
+            match run_checker checker value with
+            | Error _ as e -> e
+            | Ok () ->
+                Hashtbl.replace t.vars name
+                  { expr; checker; schema; current = value; history = [ value ] };
+                Ok { warnings = [] }))
+
+let update t ~name ~expr =
+  match Hashtbl.find_opt t.vars name with
+  | None -> Error (Printf.sprintf "no such sitevar %s" name)
+  | Some entry -> (
+      match evaluate expr with
+      | Error _ as e -> e
+      | Ok value -> (
+          match run_schema entry.schema value with
+          | Error _ as e -> e
+          | Ok value -> (
+          match run_checker entry.checker value with
+          | Error _ as e -> e
+          | Ok () ->
+              let warnings =
+                match Infer.of_history entry.history with
+                | Some expected -> (
+                    match Infer.deviation ~expected value with
+                    | Some warning -> [ warning ]
+                    | None -> [])
+                | None -> []
+              in
+              entry.expr <- expr;
+              entry.current <- value;
+              entry.history <- value :: entry.history;
+              Ok { warnings })))
+
+let get t name =
+  match Hashtbl.find_opt t.vars name with
+  | Some entry -> Some entry.current
+  | None -> None
+
+let get_json t name =
+  match get t name with
+  | None -> None
+  | Some value -> (
+      match Cm_lang.Eval.to_thrift value with
+      | Ok tv -> Some (Cm_thrift.Codec.encode tv)
+      | Error _ -> None)
+
+let expr_of t name =
+  match Hashtbl.find_opt t.vars name with Some entry -> Some entry.expr | None -> None
+
+let inferred_type t name =
+  match Hashtbl.find_opt t.vars name with
+  | Some entry -> Infer.of_history entry.history
+  | None -> None
+
+let history_length t name =
+  match Hashtbl.find_opt t.vars name with
+  | Some entry -> List.length entry.history
+  | None -> 0
+
+let declared_schema t name =
+  match Hashtbl.find_opt t.vars name with
+  | Some entry -> entry.schema
+  | None -> None
+
+let names t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.vars [])
+
+let artifact t name =
+  match get_json t name with
+  | Some json -> Some ("sitevars/" ^ name ^ ".json", Cm_json.Value.to_compact_string json)
+  | None -> None

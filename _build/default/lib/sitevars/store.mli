@@ -1,0 +1,57 @@
+(** The Sitevars store (§3.2): configurable name-value pairs for the
+    frontend, with value expressions, optional checkers, and
+    history-based type-drift warnings.
+
+    The shim sits conceptually on top of Configerator — values export
+    as JSON artifacts like any other config; {!artifact} produces the
+    distribution payload. *)
+
+type update_report = {
+  warnings : string list;
+      (** non-fatal: type deviations from inferred history *)
+}
+
+type t
+
+val create : unit -> t
+
+val define :
+  t ->
+  name:string ->
+  ?checker:string ->
+  ?schema:Cm_thrift.Schema.t * string ->
+  expr:string ->
+  unit ->
+  (update_report, string) result
+(** Create a sitevar.  [expr] is a CSL expression (the role PHP plays
+    in the paper); [checker] is a CSL predicate over [value] that must
+    hold for every update — "a sitevar can have a checker ... to
+    verify the invariants".  [schema] is the §3.2 best practice:
+    "engineers are encouraged to define a data schema for a newly
+    created sitevar" — when given [(schema, type name)], every value
+    must typecheck against it (a hard error, unlike the inference
+    warnings legacy sitevars get).  Fails if the name exists, the
+    expression does not evaluate, the schema rejects the value, or the
+    checker rejects it. *)
+
+val declared_schema : t -> string -> (Cm_thrift.Schema.t * string) option
+
+val update : t -> name:string -> expr:string -> (update_report, string) result
+(** Replace the expression.  Hard failures: unknown name, evaluation
+    error, checker rejection.  Type drift against inferred history is
+    a warning, not an error (the engineer may proceed — but the §6.1
+    data says they usually should not). *)
+
+val get : t -> string -> Cm_lang.Eval.value option
+(** Current evaluated value. *)
+
+val get_json : t -> string -> Cm_json.Value.t option
+
+val expr_of : t -> string -> string option
+val inferred_type : t -> string -> Infer.ty option
+val history_length : t -> string -> int
+val names : t -> string list
+
+val artifact : t -> string -> (string * string) option
+(** [(artifact path, JSON text)] for distribution, of the form
+    ["sitevars/<name>.json"]. *)

@@ -1,0 +1,1 @@
+lib/thrift/check.ml: Format List Printf Schema Value

@@ -1,0 +1,1 @@
+lib/thrift/check.mli: Format Schema Value

@@ -1,0 +1,1 @@
+lib/thrift/codec.ml: Cm_json Format List Printf Schema Value

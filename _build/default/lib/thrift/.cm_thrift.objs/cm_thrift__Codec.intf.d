@@ -1,0 +1,1 @@
+lib/thrift/codec.mli: Cm_json Format Schema Value

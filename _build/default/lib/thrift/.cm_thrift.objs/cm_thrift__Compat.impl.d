@@ -1,0 +1,1 @@
+lib/thrift/compat.ml: Format List Printf Schema

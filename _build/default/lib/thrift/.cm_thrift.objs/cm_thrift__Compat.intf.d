@@ -1,0 +1,1 @@
+lib/thrift/compat.mli: Format Schema

@@ -1,0 +1,1 @@
+lib/thrift/idl.ml: Buffer Format Hashtbl List Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/thrift/idl.mli: Format Schema

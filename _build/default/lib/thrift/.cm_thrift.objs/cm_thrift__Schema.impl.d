@@ -1,0 +1,1 @@
+lib/thrift/schema.ml: Buffer Digest Format List String Value

@@ -1,0 +1,1 @@
+lib/thrift/schema.mli: Format Value

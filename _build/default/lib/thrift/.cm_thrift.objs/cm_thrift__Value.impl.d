@@ -1,0 +1,1 @@
+lib/thrift/value.ml: Format List Stdlib String

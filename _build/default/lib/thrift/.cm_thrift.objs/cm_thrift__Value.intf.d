@@ -1,0 +1,1 @@
+lib/thrift/value.mli: Format

@@ -1,0 +1,121 @@
+type error = { context : string; message : string }
+
+let pp_error ppf { context; message } =
+  if context = "" then Format.pp_print_string ppf message
+  else Format.fprintf ppf "%s: %s" context message
+
+exception Err of error
+
+let fail context fmt = Printf.ksprintf (fun message -> raise (Err { context; message })) fmt
+
+let i32_min = -2147483648 and i32_max = 2147483647
+
+let rec check_ty schema context ty v =
+  match ty, v with
+  | Schema.Bool, Value.Bool _ -> v
+  | Schema.I32, Value.Int n ->
+      if n < i32_min || n > i32_max then fail context "value %d out of i32 range" n else v
+  | Schema.I64, Value.Int _ -> v
+  | Schema.Double, Value.Double _ -> v
+  | Schema.Double, Value.Int n -> Value.Double (float_of_int n)
+  | Schema.Str, Value.Str _ -> v
+  | Schema.List inner, Value.List items ->
+      Value.List
+        (List.mapi (fun i item -> check_ty schema (context ^ "[" ^ string_of_int i ^ "]") inner item) items)
+  | Schema.Map (kty, vty), Value.Map pairs ->
+      Value.Map
+        (List.map
+           (fun (k, value) ->
+             ( check_ty schema (context ^ ".key") kty k,
+               check_ty schema (context ^ ".value") vty value ))
+           pairs)
+  | Schema.Named name, _ -> check_named schema context name v
+  | expected, got ->
+      fail context "expected %s, got %s" (Schema.ty_to_string expected) (Value.to_string got)
+
+and check_named schema context name v =
+  match Schema.find_struct schema name, Schema.find_enum schema name with
+  | Some strct, _ -> check_struct_value schema context strct v
+  | None, Some enum -> check_enum_value context enum v
+  | None, None -> (
+      match Schema.find_typedef schema name with
+      | Some aliased -> (
+          match Schema.resolve schema aliased with
+          | Schema.Named n when Schema.find_typedef schema n <> None ->
+              fail context "typedef cycle involving %s" name
+          | resolved -> check_ty schema context resolved v)
+      | None -> fail context "unknown type %s" name)
+
+and check_enum_value context enum v =
+  match v with
+  | Value.Enum (ty, member) ->
+      if ty <> enum.Schema.ename then
+        fail context "expected enum %s, got %s" enum.Schema.ename ty
+      else if Schema.enum_member enum member = None then
+        fail context "%s is not a member of enum %s" member enum.Schema.ename
+      else v
+  | Value.Int n -> (
+      (* Accept the numeric form and normalize to the symbolic one. *)
+      match Schema.enum_of_int enum n with
+      | Some member -> Value.Enum (enum.Schema.ename, member)
+      | None -> fail context "%d is not a value of enum %s" n enum.Schema.ename)
+  | Value.Str member -> (
+      match Schema.enum_member enum member with
+      | Some _ -> Value.Enum (enum.Schema.ename, member)
+      | None -> fail context "%s is not a member of enum %s" member enum.Schema.ename)
+  | other -> fail context "expected enum %s, got %s" enum.Schema.ename (Value.to_string other)
+
+and check_struct_value schema context strct v =
+  match v with
+  | Value.Struct (name, fields) ->
+      if name <> strct.Schema.sname && name <> "" then
+        fail context "expected struct %s, got %s" strct.Schema.sname name;
+      (* Unknown fields are errors: they are almost always typos. *)
+      List.iter
+        (fun (fname, _) ->
+          if not (List.exists (fun f -> f.Schema.fname = fname) strct.Schema.fields) then
+            fail context "struct %s has no field %s" strct.Schema.sname fname)
+        fields;
+      let normalized =
+        List.filter_map
+          (fun f ->
+            let fcontext = context ^ "." ^ f.Schema.fname in
+            match List.assoc_opt f.Schema.fname fields with
+            | Some fv -> Some (f.Schema.fname, check_ty schema fcontext f.Schema.fty fv)
+            | None -> (
+                match f.Schema.fdefault with
+                | Some d -> Some (f.Schema.fname, check_ty schema fcontext f.Schema.fty d)
+                | None -> (
+                    match f.Schema.freq with
+                    | Schema.Required ->
+                        fail fcontext "required field missing in struct %s" strct.Schema.sname
+                    | Schema.Optional -> None)))
+          strct.Schema.fields
+      in
+      Value.Struct (strct.Schema.sname, normalized)
+  | other -> fail context "expected struct %s, got %s" strct.Schema.sname (Value.to_string other)
+
+let check schema ty v =
+  match check_ty schema "" ty v with
+  | normalized -> Ok normalized
+  | exception Err e -> Error e
+
+let check_struct schema name v = check schema (Schema.Named name) v
+
+let rec type_of_value schema = function
+  | Value.Bool _ -> Some Schema.Bool
+  | Value.Int _ -> Some Schema.I64
+  | Value.Double _ -> Some Schema.Double
+  | Value.Str _ -> Some Schema.Str
+  | Value.List [] -> None
+  | Value.List (x :: _) -> (
+      match type_of_value schema x with
+      | Some inner -> Some (Schema.List inner)
+      | None -> None)
+  | Value.Map [] -> None
+  | Value.Map ((k, v) :: _) -> (
+      match type_of_value schema k, type_of_value schema v with
+      | Some kty, Some vty -> Some (Schema.Map (kty, vty))
+      | _ -> None)
+  | Value.Struct (name, _) -> Some (Schema.Named name)
+  | Value.Enum (name, _) -> Some (Schema.Named name)

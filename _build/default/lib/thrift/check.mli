@@ -1,0 +1,22 @@
+(** Schema-directed validation and normalization of Thrift values.
+
+    The Configerator compiler runs this on every constructed config
+    object: unknown fields, missing required fields, out-of-range i32s
+    and enum mismatches are configuration errors caught at compile
+    time (§3.3's first line of defense). *)
+
+type error = { context : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Schema.t -> Schema.ty -> Value.t -> (Value.t, error) result
+(** [check schema ty v] verifies [v] against [ty] and returns the
+    normalized value: struct fields are reordered to schema order and
+    missing optional fields with defaults are filled in. *)
+
+val check_struct : Schema.t -> string -> Value.t -> (Value.t, error) result
+(** Convenience for the common top-level case. *)
+
+val type_of_value : Schema.t -> Value.t -> Schema.ty option
+(** Best-effort inferred type; [None] for empty containers whose
+    element type cannot be known. *)

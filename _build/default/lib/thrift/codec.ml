@@ -1,0 +1,120 @@
+module Json = Cm_json.Value
+
+type error = { context : string; message : string }
+
+let pp_error ppf { context; message } =
+  if context = "" then Format.pp_print_string ppf message
+  else Format.fprintf ppf "%s: %s" context message
+
+exception Err of error
+
+let fail context fmt = Printf.ksprintf (fun message -> raise (Err { context; message })) fmt
+
+let rec encode = function
+  | Value.Bool b -> Json.Bool b
+  | Value.Int n -> Json.Int n
+  | Value.Double f -> Json.Float f
+  | Value.Str s -> Json.String s
+  | Value.List items -> Json.List (List.map encode items)
+  | Value.Map pairs ->
+      let all_string_keys =
+        List.for_all (fun (k, _) -> match k with Value.Str _ -> true | _ -> false) pairs
+      in
+      if all_string_keys then
+        Json.Assoc
+          (List.map
+             (fun (k, v) ->
+               match k with
+               | Value.Str s -> s, encode v
+               | _ -> assert false)
+             pairs)
+      else Json.List (List.map (fun (k, v) -> Json.List [ encode k; encode v ]) pairs)
+  | Value.Struct (_, fields) -> Json.Assoc (List.map (fun (k, v) -> k, encode v) fields)
+  | Value.Enum (_, member) -> Json.String member
+
+let rec decode_ty schema context ty json =
+  match ty, json with
+  | Schema.Bool, Json.Bool b -> Value.Bool b
+  | Schema.I32, Json.Int n -> Value.Int n
+  | Schema.I64, Json.Int n -> Value.Int n
+  | Schema.Double, Json.Float f -> Value.Double f
+  | Schema.Double, Json.Int n -> Value.Double (float_of_int n)
+  | Schema.Str, Json.String s -> Value.Str s
+  | Schema.List inner, Json.List items ->
+      Value.List
+        (List.mapi
+           (fun i item -> decode_ty schema (context ^ "[" ^ string_of_int i ^ "]") inner item)
+           items)
+  | Schema.Map (Schema.Str, vty), Json.Assoc fields ->
+      Value.Map
+        (List.map (fun (k, v) -> Value.Str k, decode_ty schema (context ^ "." ^ k) vty v) fields)
+  | Schema.Map (kty, vty), Json.List pairs ->
+      Value.Map
+        (List.map
+           (fun pair ->
+             match pair with
+             | Json.List [ k; v ] ->
+                 decode_ty schema (context ^ ".key") kty k,
+                 decode_ty schema (context ^ ".value") vty v
+             | _ -> fail context "expected [key, value] pair in map")
+           pairs)
+  | Schema.Named name, _ -> decode_named schema context name json
+  | expected, got ->
+      fail context "expected %s, got JSON %s" (Schema.ty_to_string expected)
+        (Json.to_compact_string got)
+
+and decode_named schema context name json =
+  match Schema.find_struct schema name, Schema.find_enum schema name with
+  | Some strct, _ -> decode_struct_value schema context strct json
+  | None, Some enum -> (
+      match json with
+      | Json.String member -> (
+          match Schema.enum_member enum member with
+          | Some _ -> Value.Enum (enum.Schema.ename, member)
+          | None -> fail context "%s is not a member of enum %s" member enum.Schema.ename)
+      | Json.Int n -> (
+          match Schema.enum_of_int enum n with
+          | Some member -> Value.Enum (enum.Schema.ename, member)
+          | None -> fail context "%d is not a value of enum %s" n enum.Schema.ename)
+      | other ->
+          fail context "expected enum %s, got %s" enum.Schema.ename (Json.to_compact_string other))
+  | None, None -> (
+      match Schema.find_typedef schema name with
+      | Some aliased -> (
+          match Schema.resolve schema aliased with
+          | Schema.Named n when Schema.find_typedef schema n <> None ->
+              fail context "typedef cycle involving %s" name
+          | resolved -> decode_ty schema context resolved json)
+      | None -> fail context "unknown type %s" name)
+
+and decode_struct_value schema context strct json =
+  match json with
+  | Json.Assoc fields ->
+      let decoded =
+        List.filter_map
+          (fun f ->
+            let fcontext = context ^ "." ^ f.Schema.fname in
+            match List.assoc_opt f.Schema.fname fields with
+            | Some fjson -> Some (f.Schema.fname, decode_ty schema fcontext f.Schema.fty fjson)
+            | None -> (
+                match f.Schema.fdefault with
+                | Some d -> Some (f.Schema.fname, d)
+                | None -> (
+                    match f.Schema.freq with
+                    | Schema.Required ->
+                        fail fcontext
+                          "required field missing while reading struct %s (schema mismatch?)"
+                          strct.Schema.sname
+                    | Schema.Optional -> None)))
+          strct.Schema.fields
+      in
+      Value.Struct (strct.Schema.sname, decoded)
+  | other ->
+      fail context "expected struct %s, got %s" strct.Schema.sname (Json.to_compact_string other)
+
+let decode schema ty json =
+  match decode_ty schema "" ty json with
+  | v -> Ok v
+  | exception Err e -> Error e
+
+let decode_struct schema name json = decode schema (Schema.Named name) json

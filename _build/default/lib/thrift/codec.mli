@@ -1,0 +1,24 @@
+(** Schema-directed JSON encoding/decoding of Thrift values.
+
+    Encoding is what "export_if_last" in Figure 2 does: the Thrift
+    object becomes the JSON artifact that is version-controlled and
+    distributed.  Decoding is what application clients and
+    MobileConfig do when reading a config back under a (possibly
+    older) schema. *)
+
+type error = { context : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : Value.t -> Cm_json.Value.t
+(** Structs and string-keyed maps become JSON objects; other maps
+    become lists of [k, v] pairs; enums become their member name. *)
+
+val decode : Schema.t -> Schema.ty -> Cm_json.Value.t -> (Value.t, error) result
+(** [decode schema ty json] rebuilds a typed value.  Fields present in
+    the JSON but unknown to [schema] are ignored (new-writer/old-reader
+    tolerance); missing required fields without defaults are errors —
+    exactly the §6.4 incident where old client code could not read a
+    config written under a new schema. *)
+
+val decode_struct : Schema.t -> string -> Cm_json.Value.t -> (Value.t, error) result

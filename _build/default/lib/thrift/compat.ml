@@ -1,0 +1,80 @@
+type issue = { where : string; what : string; breaking : bool }
+
+let pp_issue ppf { where; what; breaking } =
+  Format.fprintf ppf "[%s] %s: %s" (if breaking then "BREAKING" else "info") where what
+
+let struct_issues reader_struct writer_struct =
+  let open Schema in
+  let issues = ref [] in
+  let add where what breaking = issues := { where; what; breaking } :: !issues in
+  List.iter
+    (fun rf ->
+      let where = reader_struct.sname ^ "." ^ rf.fname in
+      match List.find_opt (fun wf -> wf.fid = rf.fid) writer_struct.fields with
+      | None ->
+          (* Writer no longer produces this field. *)
+          if rf.freq = Required && rf.fdefault = None then
+            add where "required by reader but absent from writer schema" true
+          else add where "absent from writer schema; reader default applies" false
+      | Some wf ->
+          if wf.fname <> rf.fname then
+            add where (Printf.sprintf "field id %d renamed to %s" rf.fid wf.fname) false;
+          if wf.fty <> rf.fty then
+            add where
+              (Printf.sprintf "type changed: reader %s, writer %s" (ty_to_string rf.fty)
+                 (ty_to_string wf.fty))
+              true)
+    reader_struct.fields;
+  List.iter
+    (fun wf ->
+      if not (List.exists (fun rf -> rf.Schema.fid = wf.Schema.fid) reader_struct.fields) then
+        add
+          (writer_struct.sname ^ "." ^ wf.Schema.fname)
+          "added by writer; old reader ignores it" false)
+    writer_struct.fields;
+  List.rev !issues
+
+let enum_issues reader_enum writer_enum =
+  let open Schema in
+  List.filter_map
+    (fun (name, value) ->
+      match List.assoc_opt name writer_enum.members with
+      | Some wvalue when wvalue = value -> None
+      | Some wvalue ->
+          Some
+            {
+              where = reader_enum.ename ^ "." ^ name;
+              what = Printf.sprintf "value changed from %d to %d" value wvalue;
+              breaking = true;
+            }
+      | None ->
+          Some
+            {
+              where = reader_enum.ename ^ "." ^ name;
+              what = "member dropped by writer";
+              breaking = false;
+            })
+    reader_enum.members
+
+let can_read ~reader ~writer =
+  let struct_results =
+    List.concat_map
+      (fun (name, rs) ->
+        match Schema.find_struct writer name with
+        | Some ws -> struct_issues rs ws
+        | None ->
+            [ { where = name; what = "struct missing from writer schema"; breaking = true } ])
+      reader.Schema.structs
+  in
+  let enum_results =
+    List.concat_map
+      (fun (name, re) ->
+        match Schema.find_enum writer name with
+        | Some we -> enum_issues re we
+        | None -> [ { where = name; what = "enum missing from writer schema"; breaking = true } ])
+      reader.Schema.enums
+  in
+  struct_results @ enum_results
+
+let is_backward_compatible ~reader ~writer =
+  List.for_all (fun issue -> not issue.breaking) (can_read ~reader ~writer)

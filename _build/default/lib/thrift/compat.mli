@@ -1,0 +1,26 @@
+(** Cross-version schema compatibility analysis.
+
+    §5 and §6.4: legacy mobile apps read configs written under newer
+    schemas, and one production incident came from old client code
+    that could not read a new config schema.  This module decides,
+    before deployment, whether a reader schema can safely consume data
+    written by a writer schema. *)
+
+type issue = {
+  where : string;   (** "Struct.field" or enum name *)
+  what : string;    (** human-readable description *)
+  breaking : bool;  (** true: the old reader would fail at runtime *)
+}
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val can_read : reader:Schema.t -> writer:Schema.t -> issue list
+(** All detected issues; an empty list means fully compatible.
+    Breaking cases: a field required by the reader (without default)
+    that the writer no longer produces; a shared field id/name whose
+    type changed; an enum member the reader requires that the writer
+    dropped.  Non-breaking cases (reported with [breaking = false]):
+    writer-added fields the reader ignores, relaxed requiredness. *)
+
+val is_backward_compatible : reader:Schema.t -> writer:Schema.t -> bool
+(** True when no breaking issue exists. *)

@@ -1,0 +1,19 @@
+(** Parser for a Thrift IDL subset.
+
+    Supported: [struct] with numbered fields, [required]/[optional]
+    markers, defaults, [enum], base types ([bool i32 i64 double
+    string]), [list<...>], [map<...,...>], named type references, and
+    [//], [#], [/* */] comments.  This is what "job.thrift" in the
+    paper's Figure 2 is written in. *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Schema.t, error) result
+
+val parse_exn : string -> Schema.t
+(** @raise Parse_error on malformed input, including duplicate field
+    ids or names within one struct. *)

@@ -1,0 +1,115 @@
+type ty =
+  | Bool
+  | I32
+  | I64
+  | Double
+  | Str
+  | List of ty
+  | Map of ty * ty
+  | Named of string
+
+type requiredness = Required | Optional
+
+type field = {
+  fid : int;
+  fname : string;
+  fty : ty;
+  freq : requiredness;
+  fdefault : Value.t option;
+}
+
+and strct = { sname : string; fields : field list }
+
+and enum = { ename : string; members : (string * int) list }
+
+and t = {
+  structs : (string * strct) list;
+  enums : (string * enum) list;
+  typedefs : (string * ty) list;
+}
+
+let empty = { structs = []; enums = []; typedefs = [] }
+
+(* Later definitions win: keep [b]'s entry when names collide. *)
+let merge a b =
+  let keep_b kept (name, _) = not (List.mem_assoc name kept) in
+  {
+    structs = b.structs @ List.filter (keep_b b.structs) a.structs;
+    enums = b.enums @ List.filter (keep_b b.enums) a.enums;
+    typedefs = b.typedefs @ List.filter (keep_b b.typedefs) a.typedefs;
+  }
+
+let find_struct t name = List.assoc_opt name t.structs
+let find_enum t name = List.assoc_opt name t.enums
+let find_typedef t name = List.assoc_opt name t.typedefs
+
+let resolve t ty =
+  let rec chase ty hops =
+    if hops = 0 then ty
+    else
+      match ty with
+      | Named name -> (
+          match find_typedef t name with
+          | Some aliased -> chase aliased (hops - 1)
+          | None -> ty)
+      | _ -> ty
+  in
+  chase ty 16
+let enum_member e name = List.assoc_opt name e.members
+
+let enum_of_int e n =
+  List.fold_left
+    (fun acc (name, v) -> if v = n && acc = None then Some name else acc)
+    None e.members
+
+let rec ty_to_string = function
+  | Bool -> "bool"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | Double -> "double"
+  | Str -> "string"
+  | List inner -> "list<" ^ ty_to_string inner ^ ">"
+  | Map (k, v) -> "map<" ^ ty_to_string k ^ "," ^ ty_to_string v ^ ">"
+  | Named n -> n
+
+let pp_ty ppf ty = Format.pp_print_string ppf (ty_to_string ty)
+
+let canonical_string t =
+  let buf = Buffer.create 256 in
+  let structs = List.sort (fun (a, _) (b, _) -> String.compare a b) t.structs in
+  let enums = List.sort (fun (a, _) (b, _) -> String.compare a b) t.enums in
+  let typedefs = List.sort (fun (a, _) (b, _) -> String.compare a b) t.typedefs in
+  List.iter
+    (fun (name, ty) ->
+      Buffer.add_string buf ("typedef " ^ ty_to_string ty ^ " " ^ name ^ ";"))
+    typedefs;
+  List.iter
+    (fun (_, s) ->
+      Buffer.add_string buf ("struct " ^ s.sname ^ "{");
+      List.iter
+        (fun f ->
+          Buffer.add_string buf (string_of_int f.fid);
+          Buffer.add_char buf ':';
+          Buffer.add_string buf (match f.freq with Required -> "req " | Optional -> "opt ");
+          Buffer.add_string buf (ty_to_string f.fty);
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf f.fname;
+          (match f.fdefault with
+          | Some d -> Buffer.add_string buf ("=" ^ Value.to_string d)
+          | None -> ());
+          Buffer.add_char buf ';')
+        s.fields;
+      Buffer.add_char buf '}')
+    structs;
+  List.iter
+    (fun (_, e) ->
+      Buffer.add_string buf ("enum " ^ e.ename ^ "{");
+      List.iter
+        (fun (name, v) -> Buffer.add_string buf (name ^ "=" ^ string_of_int v ^ ","))
+        e.members;
+      Buffer.add_char buf '}')
+    enums;
+  Buffer.contents buf
+
+let hash t = Digest.to_hex (Digest.string (canonical_string t))
+let struct_names t = List.map fst t.structs

@@ -1,0 +1,67 @@
+(** Thrift-like schema definitions.
+
+    The paper defines every config's data schema in Thrift
+    ("job.thrift" in Figure 2); this module is the corresponding type
+    system: structs with numbered fields, enums, containers,
+    requiredness and defaults.  Schemas are first-class values so the
+    MobileConfig experiments can hash them and check cross-version
+    compatibility. *)
+
+type ty =
+  | Bool
+  | I32
+  | I64
+  | Double
+  | Str
+  | List of ty
+  | Map of ty * ty
+  | Named of string  (** reference to a struct or enum by name *)
+
+type requiredness = Required | Optional
+
+type field = {
+  fid : int;            (** Thrift field id, unique within the struct *)
+  fname : string;
+  fty : ty;
+  freq : requiredness;
+  fdefault : Value.t option;
+}
+
+and strct = { sname : string; fields : field list }
+
+and enum = { ename : string; members : (string * int) list }
+
+and t = {
+  structs : (string * strct) list;
+  enums : (string * enum) list;
+  typedefs : (string * ty) list;
+      (** [typedef i64 UserId] introduces an alias usable anywhere a
+          type is *)
+}
+(** A schema: a set of named structs, enums and typedefs, as produced
+    by parsing one .thrift source. *)
+
+val empty : t
+val merge : t -> t -> t
+(** Later definitions win on name clashes — models re-importing. *)
+
+val find_struct : t -> string -> strct option
+val find_enum : t -> string -> enum option
+val find_typedef : t -> string -> ty option
+
+val resolve : t -> ty -> ty
+(** Chases typedef aliases to the underlying type (cycle-safe: gives
+    up after a bounded number of hops). *)
+
+val enum_member : enum -> string -> int option
+val enum_of_int : enum -> int -> string option
+
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string
+
+val hash : t -> string
+(** Canonical digest: field order, names, ids, types, requiredness and
+    defaults all contribute.  MobileConfig clients send this hash to
+    the server for schema versioning (§5). *)
+
+val struct_names : t -> string list

@@ -1,0 +1,60 @@
+type t =
+  | Bool of bool
+  | Int of int
+  | Double of float
+  | Str of string
+  | List of t list
+  | Map of (t * t) list
+  | Struct of string * (string * t) list
+  | Enum of string * string
+
+let rec equal a b =
+  match a, b with
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Double x, Double y -> x = y
+  | Str x, Str y -> String.equal x y
+  | List xs, List ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Map xs, Map ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun (k1, v1) (k2, v2) -> equal k1 k2 && equal v1 v2) xs ys
+  | Struct (n1, f1), Struct (n2, f2) ->
+      String.equal n1 n2
+      && List.length f1 = List.length f2
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+           f1 f2
+  | Enum (t1, m1), Enum (t2, m2) -> String.equal t1 t2 && String.equal m1 m2
+  | (Bool _ | Int _ | Double _ | Str _ | List _ | Map _ | Struct _ | Enum _), _ -> false
+
+let compare = Stdlib.compare
+
+let rec pp ppf = function
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | Double f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | List items ->
+      Format.fprintf ppf "[@[%a@]]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp)
+        items
+  | Map pairs ->
+      let pp_pair ppf (k, v) = Format.fprintf ppf "%a -> %a" pp k pp v in
+      Format.fprintf ppf "{@[%a@]}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_pair)
+        pairs
+  | Struct (name, fields) ->
+      let pp_field ppf (k, v) = Format.fprintf ppf "%s = %a" k pp v in
+      Format.fprintf ppf "%s {@[%a@]}" name
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_field)
+        fields
+  | Enum (ty, member) -> Format.fprintf ppf "%s.%s" ty member
+
+let to_string v = Format.asprintf "%a" pp v
+
+let field name = function
+  | Struct (_, fields) -> List.assoc_opt name fields
+  | Bool _ | Int _ | Double _ | Str _ | List _ | Map _ | Enum _ -> None
+
+let field_exn name v =
+  match field name v with Some x -> x | None -> raise Not_found

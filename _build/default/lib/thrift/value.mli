@@ -1,0 +1,24 @@
+(** Typed Thrift values — the objects that config programs construct
+    and the Configerator compiler serializes to JSON. *)
+
+type t =
+  | Bool of bool
+  | Int of int        (** carries both i32 and i64; range-checked against the schema *)
+  | Double of float
+  | Str of string
+  | List of t list
+  | Map of (t * t) list
+  | Struct of string * (string * t) list
+      (** struct type name, field-name/value pairs *)
+  | Enum of string * string
+      (** enum type name, member name *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val field : string -> t -> t option
+(** [field name v] reads a struct field. *)
+
+val field_exn : string -> t -> t

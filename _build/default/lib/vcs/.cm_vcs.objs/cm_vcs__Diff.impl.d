@@ -1,0 +1,1 @@
+lib/vcs/diff.ml: Array Format List String

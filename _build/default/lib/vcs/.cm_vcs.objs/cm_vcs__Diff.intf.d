@@ -1,0 +1,1 @@
+lib/vcs/diff.mli: Format

@@ -1,0 +1,1 @@
+lib/vcs/multirepo.ml: Hashtbl Int List Repo String

@@ -1,0 +1,1 @@
+lib/vcs/multirepo.mli: Repo Store

@@ -1,0 +1,1 @@
+lib/vcs/repo.ml: Hashtbl List Option Store String

@@ -1,0 +1,1 @@
+lib/vcs/store.ml: Buffer Digest Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/vcs/store.mli:

@@ -1,0 +1,95 @@
+type edit =
+  | Keep of string
+  | Del of string
+  | Add of string
+
+let split_lines text = if text = "" then [||] else Array.of_list (String.split_on_char '\n' text)
+
+(* Standard dynamic-programming LCS.  Config files are small (median
+   1KB per the paper), so the O(n*m) table is fine; pathological pairs
+   are clamped by the common prefix/suffix stripping below. *)
+let diff old_text new_text =
+  let a = split_lines old_text and b = split_lines new_text in
+  let n = Array.length a and m = Array.length b in
+  (* Strip common prefix and suffix first. *)
+  let prefix = ref 0 in
+  while !prefix < n && !prefix < m && a.(!prefix) = b.(!prefix) do
+    incr prefix
+  done;
+  let suffix = ref 0 in
+  while
+    !suffix < n - !prefix && !suffix < m - !prefix
+    && a.(n - 1 - !suffix) = b.(m - 1 - !suffix)
+  do
+    incr suffix
+  done;
+  let p = !prefix and s = !suffix in
+  let an = n - p - s and bm = m - p - s in
+  let lcs = Array.make_matrix (an + 1) (bm + 1) 0 in
+  for i = an - 1 downto 0 do
+    for j = bm - 1 downto 0 do
+      if a.(p + i) = b.(p + j) then lcs.(i).(j) <- 1 + lcs.(i + 1).(j + 1)
+      else lcs.(i).(j) <- max lcs.(i + 1).(j) lcs.(i).(j + 1)
+    done
+  done;
+  let edits = ref [] in
+  for i = 0 to p - 1 do
+    edits := Keep a.(i) :: !edits
+  done;
+  let rec walk i j =
+    if i < an && j < bm && a.(p + i) = b.(p + j) then begin
+      edits := Keep a.(p + i) :: !edits;
+      walk (i + 1) (j + 1)
+    end
+    else if j < bm && (i = an || lcs.(i).(j + 1) >= lcs.(i + 1).(j)) then begin
+      edits := Add b.(p + j) :: !edits;
+      walk i (j + 1)
+    end
+    else if i < an then begin
+      edits := Del a.(p + i) :: !edits;
+      walk (i + 1) j
+    end
+  in
+  walk 0 0;
+  for i = n - s to n - 1 do
+    edits := Keep a.(i) :: !edits
+  done;
+  List.rev !edits
+
+let stats edits =
+  List.fold_left
+    (fun (added, deleted) edit ->
+      match edit with
+      | Add _ -> added + 1, deleted
+      | Del _ -> added, deleted + 1
+      | Keep _ -> added, deleted)
+    (0, 0) edits
+
+let line_changes old_text new_text =
+  let added, deleted = stats (diff old_text new_text) in
+  added + deleted
+
+let apply old_text edits =
+  let lines = Array.to_list (split_lines old_text) in
+  let rec replay remaining edits acc =
+    match edits, remaining with
+    | [], [] -> Some (List.rev acc)
+    | [], _ :: _ -> None
+    | Keep line :: rest, current :: others when line = current ->
+        replay others rest (line :: acc)
+    | Del line :: rest, current :: others when line = current -> replay others rest acc
+    | Add line :: rest, _ -> replay remaining rest (line :: acc)
+    | (Keep _ | Del _) :: _, _ -> None
+  in
+  match replay lines edits [] with
+  | Some lines -> Some (String.concat "\n" lines)
+  | None -> None
+
+let pp ppf edits =
+  List.iter
+    (fun edit ->
+      match edit with
+      | Keep line -> Format.fprintf ppf " %s@." line
+      | Del line -> Format.fprintf ppf "-%s@." line
+      | Add line -> Format.fprintf ppf "+%s@." line)
+    edits

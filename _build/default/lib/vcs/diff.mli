@@ -1,0 +1,28 @@
+(** Line-based diff, in the style of Unix [diff].
+
+    The paper's Table 2 counts config changes in these units: adding
+    or deleting a line is one line change, modifying a line is two
+    (one delete plus one add).  {!stats} computes exactly that. *)
+
+type edit =
+  | Keep of string
+  | Del of string
+  | Add of string
+
+val diff : string -> string -> edit list
+(** [diff old_text new_text] computes a minimal line edit script
+    (longest-common-subsequence based).  Inputs are split on
+    newlines. *)
+
+val stats : edit list -> int * int
+(** [(added, deleted)] line counts. *)
+
+val line_changes : string -> string -> int
+(** [added + deleted]: the paper's "number of line changes". *)
+
+val apply : string -> edit list -> string option
+(** Replays an edit script against the old text; [None] when the
+    script does not match (the [Keep]/[Del] lines disagree). *)
+
+val pp : Format.formatter -> edit list -> unit
+(** Unified-ish rendering: prefix ' ', '-', '+'. *)

@@ -1,0 +1,51 @@
+type t = { parts : (string * Repo.t) list }
+(** Sorted by descending prefix length so the first match is the
+    longest. *)
+
+let create ~partitions =
+  let named prefix = Repo.create ~name:(if prefix = "" then "<root>" else prefix) () in
+  let parts = List.map (fun prefix -> prefix, named prefix) partitions in
+  let parts = (("", named "") :: parts) in
+  let parts =
+    List.sort (fun (a, _) (b, _) -> Int.compare (String.length b) (String.length a)) parts
+  in
+  { parts }
+
+let partitions t = t.parts
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let route t path =
+  let rec find = function
+    | [] -> assert false (* "" always matches *)
+    | (prefix, repo) :: rest -> if starts_with ~prefix path then repo else find rest
+  in
+  find t.parts
+
+let repo_of_prefix t prefix = List.assoc_opt prefix t.parts
+
+let commit t ~author ~message ~timestamp changes =
+  let by_repo = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun ((path, _) as change) ->
+      let prefix, _ =
+        List.find (fun (prefix, _) -> starts_with ~prefix path) t.parts
+      in
+      (match Hashtbl.find_opt by_repo prefix with
+      | Some acc -> Hashtbl.replace by_repo prefix (change :: acc)
+      | None ->
+          Hashtbl.replace by_repo prefix [ change ];
+          order := prefix :: !order))
+    changes;
+  List.rev_map
+    (fun prefix ->
+      let repo = List.assoc prefix t.parts in
+      let repo_changes = List.rev (Hashtbl.find by_repo prefix) in
+      prefix, Repo.commit repo ~author ~message ~timestamp repo_changes)
+    !order
+
+let read_file t path = Repo.read_file (route t path) path
+let file_count t = List.fold_left (fun acc (_, repo) -> acc + Repo.file_count repo) 0 t.parts

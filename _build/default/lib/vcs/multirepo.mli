@@ -1,0 +1,38 @@
+(** Partitioned global namespace over multiple repositories (§3.6).
+
+    Files under different path prefixes (e.g. "/feed", "/tao") live in
+    different repositories that accept commits independently; this is
+    Configerator's remedy for the single-repository commit-throughput
+    wall.  A change set spanning several partitions is split into one
+    commit per repository. *)
+
+type t
+
+val create : partitions:string list -> t
+(** [partitions] are path prefixes, e.g. [\["/feed"; "/tao"\]].  Paths
+    matching no prefix go to the catch-all root partition "".
+    The longest matching prefix wins. *)
+
+val partitions : t -> (string * Repo.t) list
+(** [(prefix, repo)] pairs, catch-all included. *)
+
+val route : t -> string -> Repo.t
+(** Repository owning a path. *)
+
+val repo_of_prefix : t -> string -> Repo.t option
+
+val commit :
+  t ->
+  author:string ->
+  message:string ->
+  timestamp:float ->
+  Repo.change list ->
+  (string * Store.oid) list
+(** Splits the changes by partition and commits to each affected
+    repository; returns [(prefix, commit id)] per repository touched.
+    Matches the paper: "the code is the same regardless of whether
+    those configs are in the same repository or not". *)
+
+val read_file : t -> string -> string option
+val file_count : t -> int
+(** Total across partitions. *)

@@ -1,0 +1,178 @@
+type t = {
+  rname : string;
+  rstore : Store.t;
+  mutable rhead : Store.oid option;
+  mutable ncommits : int;
+}
+
+type change = string * string option
+
+let create ?(name = "configerator") () =
+  { rname = name; rstore = Store.create (); rhead = None; ncommits = 0 }
+
+let name t = t.rname
+let store t = t.rstore
+let head t = t.rhead
+
+let tree_of_commit t oid =
+  match Store.get_exn t.rstore oid with
+  | Store.Commit c -> (
+      match Store.get_exn t.rstore c.Store.tree with
+      | Store.Tree entries -> entries
+      | Store.Blob _ | Store.Commit _ -> invalid_arg "corrupt commit: tree id is not a tree")
+  | Store.Blob _ | Store.Tree _ -> invalid_arg "not a commit"
+
+let head_tree t = match t.rhead with None -> [] | Some oid -> tree_of_commit t oid
+
+(* Merge sorted tree entries with sorted changes; both lists are kept
+   sorted by path so this is a linear merge — but the full O(n) walk
+   per commit is deliberate: it is what makes throughput fall as the
+   repository grows (Figure 13). *)
+let apply_changes t entries changes =
+  let changes =
+    List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) changes
+  in
+  let rec merge entries changes acc =
+    match entries, changes with
+    | rest, [] -> List.rev_append acc rest
+    | [], (path, content) :: more -> (
+        match content with
+        | Some data ->
+            let oid = Store.put t.rstore (Store.Blob data) in
+            merge [] more ((path, oid) :: acc)
+        | None -> invalid_arg ("delete of missing path " ^ path))
+    | (epath, eoid) :: erest, (cpath, content) :: crest ->
+        let cmp = String.compare epath cpath in
+        if cmp < 0 then merge erest changes ((epath, eoid) :: acc)
+        else if cmp > 0 then
+          match content with
+          | Some data ->
+              let oid = Store.put t.rstore (Store.Blob data) in
+              merge entries crest ((cpath, oid) :: acc)
+          | None -> invalid_arg ("delete of missing path " ^ cpath)
+        else
+          (* Same path: change replaces or deletes the entry. *)
+          (match content with
+          | Some data ->
+              let oid = Store.put t.rstore (Store.Blob data) in
+              merge erest crest ((cpath, oid) :: acc)
+          | None -> merge erest crest acc)
+  in
+  merge entries changes []
+
+let commit t ~author ~message ~timestamp changes =
+  if changes = [] then invalid_arg "Repo.commit: empty change list";
+  let entries = apply_changes t (head_tree t) changes in
+  let tree = Store.put t.rstore (Store.Tree entries) in
+  let parents = match t.rhead with None -> [] | Some oid -> [ oid ] in
+  let oid =
+    Store.put t.rstore (Store.Commit { Store.tree; parents; author; message; timestamp })
+  in
+  t.rhead <- Some oid;
+  t.ncommits <- t.ncommits + 1;
+  oid
+
+let resolve_tree t = function
+  | Some rev -> tree_of_commit t rev
+  | None -> head_tree t
+
+let read_file ?rev t path =
+  let entries = match rev with Some _ -> resolve_tree t rev | None -> head_tree t in
+  match List.assoc_opt path entries with
+  | Some oid -> (
+      match Store.get_exn t.rstore oid with
+      | Store.Blob data -> Some data
+      | Store.Tree _ | Store.Commit _ -> None)
+  | None -> None
+
+let ls ?rev t =
+  let entries = match rev with Some _ -> resolve_tree t rev | None -> head_tree t in
+  List.map fst entries
+
+let file_count t = List.length (head_tree t)
+let commit_count t = t.ncommits
+
+let commit_info t oid =
+  match Store.get t.rstore oid with
+  | Some (Store.Commit c) -> Some c
+  | Some (Store.Blob _ | Store.Tree _) | None -> None
+
+let log ?limit t =
+  let rec walk oid acc remaining =
+    match oid, remaining with
+    | None, _ -> List.rev acc
+    | _, Some 0 -> List.rev acc
+    | Some oid, _ -> (
+        match commit_info t oid with
+        | None -> List.rev acc
+        | Some c ->
+            let remaining = Option.map (fun n -> n - 1) remaining in
+            let parent = match c.Store.parents with [] -> None | p :: _ -> Some p in
+            walk parent ((oid, c) :: acc) remaining)
+  in
+  walk t.rhead [] limit
+
+let diff_trees old_entries new_entries =
+  (* Both sorted by path: linear scan for changed/added/removed. *)
+  let rec scan old_entries new_entries acc =
+    match old_entries, new_entries with
+    | [], rest -> List.rev_append acc (List.map fst rest)
+    | rest, [] -> List.rev_append acc (List.map fst rest)
+    | (opath, ooid) :: orest, (npath, noid) :: nrest ->
+        let cmp = String.compare opath npath in
+        if cmp < 0 then scan orest new_entries (opath :: acc)
+        else if cmp > 0 then scan old_entries nrest (npath :: acc)
+        else if ooid = noid then scan orest nrest acc
+        else scan orest nrest (opath :: acc)
+  in
+  scan old_entries new_entries []
+
+let changed_paths_of_commit t oid =
+  match commit_info t oid with
+  | None -> []
+  | Some c ->
+      let current = tree_of_commit t oid in
+      let parent =
+        match c.Store.parents with [] -> [] | p :: _ -> tree_of_commit t p
+      in
+      diff_trees parent current
+
+let changed_since t ~base =
+  match t.rhead with
+  | None -> []
+  | Some head_oid ->
+      if base = Some head_oid then []
+      else begin
+        let seen = Hashtbl.create 16 in
+        let rec walk oid =
+          match oid with
+          | None -> ()
+          | Some oid when base = Some oid -> ()
+          | Some oid -> (
+              match commit_info t oid with
+              | None -> ()
+              | Some c ->
+                  List.iter
+                    (fun path -> Hashtbl.replace seen path ())
+                    (changed_paths_of_commit t oid);
+                  walk (match c.Store.parents with [] -> None | p :: _ -> Some p))
+        in
+        walk (Some head_oid);
+        List.sort String.compare (Hashtbl.fold (fun path () acc -> path :: acc) seen [])
+      end
+
+let conflicts t ~base ~paths =
+  let touched = changed_since t ~base in
+  List.filter (fun path -> List.mem path touched) paths
+
+let is_ancestor t candidate ~of_ =
+  let rec walk oid =
+    match oid with
+    | None -> false
+    | Some oid when oid = candidate -> true
+    | Some oid -> (
+        match commit_info t oid with
+        | None -> false
+        | Some c -> walk (match c.Store.parents with [] -> None | p :: _ -> Some p))
+  in
+  walk (Some of_)

@@ -1,0 +1,50 @@
+(** A version-controlled repository with linear history.
+
+    Configerator serializes all commits through the landing strip
+    (§3.6), so the master history is a straight line; this module
+    models exactly that.  Costs are real: committing rebuilds and
+    rehashes the flat tree, so operations genuinely slow down as the
+    repository grows — the effect measured in the paper's Figure 13. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+val store : t -> Store.t
+
+val head : t -> Store.oid option
+(** [None] before the first commit. *)
+
+type change = string * string option
+(** [(path, Some content)] writes a file; [(path, None)] deletes it. *)
+
+val commit :
+  t -> author:string -> message:string -> timestamp:float -> change list -> Store.oid
+(** Applies changes on top of head; returns the new commit id.
+    @raise Invalid_argument on an empty change list or a delete of a
+    missing path. *)
+
+val read_file : ?rev:Store.oid -> t -> string -> string option
+val ls : ?rev:Store.oid -> t -> string list
+(** All paths at a revision (default head), sorted. *)
+
+val file_count : t -> int
+val commit_count : t -> int
+
+val log : ?limit:int -> t -> (Store.oid * Store.commit) list
+(** Newest first. *)
+
+val commit_info : t -> Store.oid -> Store.commit option
+
+val changed_paths_of_commit : t -> Store.oid -> string list
+(** Paths the commit touched relative to its first parent. *)
+
+val changed_since : t -> base:Store.oid option -> string list
+(** Union of paths touched by commits after [base] up to head.
+    [base = None] means "everything at head". *)
+
+val conflicts : t -> base:Store.oid option -> paths:string list -> string list
+(** Of [paths], those also modified between [base] and head — the
+    landing strip's true-conflict test. *)
+
+val is_ancestor : t -> Store.oid -> of_:Store.oid -> bool

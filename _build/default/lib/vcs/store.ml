@@ -1,0 +1,58 @@
+type oid = string
+
+type obj =
+  | Blob of string
+  | Tree of (string * oid) list
+  | Commit of commit
+
+and commit = {
+  tree : oid;
+  parents : oid list;
+  author : string;
+  message : string;
+  timestamp : float;
+}
+
+type t = {
+  objects : (oid, obj) Hashtbl.t;
+  mutable bytes : int;
+}
+
+let create () = { objects = Hashtbl.create 1024; bytes = 0 }
+
+let serialize = function
+  | Blob data -> "blob\000" ^ data
+  | Tree entries ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "tree\000";
+      List.iter
+        (fun (path, oid) ->
+          Buffer.add_string buf path;
+          Buffer.add_char buf '\000';
+          Buffer.add_string buf oid;
+          Buffer.add_char buf '\n')
+        entries;
+      Buffer.contents buf
+  | Commit { tree; parents; author; message; timestamp } ->
+      Printf.sprintf "commit\000%s\000%s\000%s\000%s\000%.6f" tree
+        (String.concat "," parents) author message timestamp
+
+let put t obj =
+  let serialized = serialize obj in
+  let oid = Digest.to_hex (Digest.string serialized) in
+  if not (Hashtbl.mem t.objects oid) then begin
+    Hashtbl.replace t.objects oid obj;
+    t.bytes <- t.bytes + String.length serialized
+  end;
+  oid
+
+let get t oid = Hashtbl.find_opt t.objects oid
+
+let get_exn t oid =
+  match get t oid with
+  | Some obj -> obj
+  | None -> invalid_arg ("Store.get_exn: unknown object " ^ oid)
+
+let mem t oid = Hashtbl.mem t.objects oid
+let object_count t = Hashtbl.length t.objects
+let total_bytes t = t.bytes

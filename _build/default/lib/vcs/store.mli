@@ -1,0 +1,37 @@
+(** Content-addressable object store (the ".git/objects" of our git
+    substitute).  Objects are addressed by the hex digest of their
+    serialized form; storing the same content twice is free. *)
+
+type oid = string
+(** Hex digest. *)
+
+type obj =
+  | Blob of string
+  | Tree of (string * oid) list
+      (** flat sorted [path -> blob oid] listing; config repositories
+          are wide and shallow, a flat namespace matches them *)
+  | Commit of commit
+
+and commit = {
+  tree : oid;
+  parents : oid list;
+  author : string;
+  message : string;
+  timestamp : float;
+}
+
+type t
+
+val create : unit -> t
+
+val put : t -> obj -> oid
+(** Serializes, hashes, stores; returns the id.  Idempotent. *)
+
+val get : t -> oid -> obj option
+val get_exn : t -> oid -> obj
+
+val mem : t -> oid -> bool
+val object_count : t -> int
+
+val total_bytes : t -> int
+(** Sum of serialized sizes of all stored objects. *)

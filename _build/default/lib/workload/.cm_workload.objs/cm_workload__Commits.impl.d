@@ -1,0 +1,1 @@
+lib/workload/commits.ml: Array Cm_sim Float

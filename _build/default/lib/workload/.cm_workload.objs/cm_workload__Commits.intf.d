@@ -1,0 +1,1 @@
+lib/workload/commits.mli: Cm_sim

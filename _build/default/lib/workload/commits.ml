@@ -1,0 +1,136 @@
+module Rng = Cm_sim.Rng
+
+type repo_profile = {
+  profile_name : string;
+  base_daily : float;
+  growth_per_day : float;
+  automated_fraction : float;
+  weekend_human_factor : float;
+}
+
+(* Peak daily commit throughput grows by 180% in 10 months (§6.3):
+   factor 2.8 over ~300 days -> exp rate ln(2.8)/300. *)
+let configerator =
+  {
+    profile_name = "configerator";
+    base_daily = 2500.0;
+    growth_per_day = log 2.8 /. 300.0;
+    automated_fraction = 0.39;
+    weekend_human_factor = 0.02;
+  }
+
+let www =
+  {
+    profile_name = "www";
+    base_daily = 4000.0;
+    growth_per_day = log 1.6 /. 300.0;
+    automated_fraction = 0.04;
+    weekend_human_factor = 0.07;
+  }
+
+let fbcode =
+  {
+    profile_name = "fbcode";
+    base_daily = 3500.0;
+    growth_per_day = log 1.7 /. 300.0;
+    automated_fraction = 0.03;
+    weekend_human_factor = 0.04;
+  }
+
+(* Automated commits/day so that tools contribute [automated_fraction]
+   of a week's commits given the human weekly pattern:
+   s = 7A / (7A + (5 + 2w) H). *)
+let auto_daily profile =
+  let s = profile.automated_fraction and w = profile.weekend_human_factor in
+  s *. (5.0 +. (2.0 *. w)) *. profile.base_daily /. (7.0 *. (1.0 -. s))
+
+(* Hour-of-day activity for humans, normalized to mean 1.0 over 24h. *)
+let raw_hour_factor h =
+  if h < 7.0 then 0.10
+  else if h < 9.0 then 0.50
+  else if h < 12.0 then 1.60
+  else if h < 13.0 then 1.20
+  else if h < 18.0 then 1.80
+  else if h < 21.0 then 0.70
+  else 0.25
+
+let hour_norm =
+  let total = ref 0.0 in
+  for h = 0 to 23 do
+    total := !total +. raw_hour_factor (float_of_int h)
+  done;
+  !total /. 24.0
+
+let hour_factor h = raw_hour_factor h /. hour_norm
+
+(* Day 0 is a Monday. *)
+let is_weekend day = match int_of_float day mod 7 with 5 | 6 -> true | _ -> false
+
+let rate_at profile ~day ~hour_of_day =
+  let growth = exp (profile.growth_per_day *. day) in
+  let weekday = if is_weekend day then profile.weekend_human_factor else 1.0 in
+  let human = profile.base_daily /. 24.0 *. hour_factor hour_of_day *. weekday in
+  let automated = auto_daily profile /. 24.0 in
+  growth *. (human +. automated)
+
+let poisson rng lambda =
+  (* Knuth for small lambda, normal approximation for large. *)
+  if lambda > 64.0 then
+    max 0 (int_of_float (Float.round (Rng.normal rng ~mu:lambda ~sigma:(sqrt lambda))))
+  else begin
+    let limit = exp (-.lambda) in
+    let rec loop k p =
+      let p = p *. Rng.float rng 1.0 in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end
+
+let hourly_series rng profile ~days =
+  Array.init (days * 24) (fun i ->
+      let day = float_of_int (i / 24) in
+      let hour = float_of_int (i mod 24) in
+      poisson rng (rate_at profile ~day ~hour_of_day:hour))
+
+let daily_series rng profile ~days =
+  let hourly = hourly_series rng profile ~days in
+  Array.init days (fun d ->
+      let total = ref 0 in
+      for h = 0 to 23 do
+        total := !total + hourly.((d * 24) + h)
+      done;
+      !total)
+
+let weekend_ratio daily =
+  let weekend_sum = ref 0 and weekend_n = ref 0 in
+  let weekday_sum = ref 0 and weekday_n = ref 0 in
+  Array.iteri
+    (fun d count ->
+      if is_weekend (float_of_int d) then begin
+        weekend_sum := !weekend_sum + count;
+        incr weekend_n
+      end
+      else begin
+        weekday_sum := !weekday_sum + count;
+        incr weekday_n
+      end)
+    daily;
+  if !weekend_n = 0 || !weekday_n = 0 || !weekday_sum = 0 then 0.0
+  else
+    float_of_int !weekend_sum /. float_of_int !weekend_n
+    /. (float_of_int !weekday_sum /. float_of_int !weekday_n)
+
+let automated_share_measured rng profile ~days =
+  let auto = ref 0 and total = ref 0 in
+  for i = 0 to (days * 24) - 1 do
+    let day = float_of_int (i / 24) in
+    let hour = float_of_int (i mod 24) in
+    let growth = exp (profile.growth_per_day *. day) in
+    let weekday = if is_weekend day then profile.weekend_human_factor else 1.0 in
+    let human_rate = growth *. (profile.base_daily /. 24.0 *. hour_factor hour *. weekday) in
+    let auto_rate = growth *. (auto_daily profile /. 24.0) in
+    let h = poisson rng human_rate and a = poisson rng auto_rate in
+    auto := !auto + a;
+    total := !total + h + a
+  done;
+  if !total = 0 then 0.0 else float_of_int !auto /. float_of_int !total

@@ -1,0 +1,38 @@
+(** Commit-arrival models for Figures 11, 12 and 14.
+
+    Configerator's commit stream has an unusual shape among Facebook's
+    repositories: a large automated baseline keeps weekends at ~33% of
+    the weekday peak (vs ~10% for www, ~7% for fbcode), on top of the
+    usual weekday/working-hours seasonality and month-over-month
+    growth. *)
+
+type repo_profile = {
+  profile_name : string;
+  base_daily : float;         (** human commits per weekday at t=0 *)
+  growth_per_day : float;     (** exponential growth rate per day *)
+  automated_fraction : float; (** target share of commits from tools *)
+  weekend_human_factor : float; (** human weekend activity vs weekday *)
+}
+
+val configerator : repo_profile
+(** 39% automated (§6.3). *)
+
+val www : repo_profile
+val fbcode : repo_profile
+
+val rate_at : repo_profile -> day:float -> hour_of_day:float -> float
+(** Instantaneous commits/hour: growth x weekday factor x hour-of-day
+    factor for the human share, plus the flat automated share. *)
+
+val hourly_series : Cm_sim.Rng.t -> repo_profile -> days:int -> int array
+(** Poisson draws per hour over [days] days (Figure 12's shape). *)
+
+val daily_series : Cm_sim.Rng.t -> repo_profile -> days:int -> int array
+(** Figure 11's shape. *)
+
+val weekend_ratio : int array -> float
+(** Mean weekend-day commits / mean weekday commits, over a daily
+    series that starts on a Monday (paper: 33% / 10% / 7%). *)
+
+val automated_share_measured : Cm_sim.Rng.t -> repo_profile -> days:int -> float
+(** Splits draws into human/tool and reports the tool share. *)

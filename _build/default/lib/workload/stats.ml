@@ -1,0 +1,169 @@
+let of_kind trace kind =
+  List.filter (fun c -> c.Trace.ckind = kind) trace.Trace.configs
+
+let growth_series trace ~every =
+  let n = int_of_float (trace.Trace.horizon /. every) + 1 in
+  Array.init n (fun i ->
+      let day = float_of_int i *. every in
+      let count kind =
+        List.fold_left
+          (fun acc c -> if c.Trace.ckind = kind && c.Trace.created <= day then acc + 1 else acc)
+          0 trace.Trace.configs
+      in
+      day, count Trace.Compiled, count Trace.Raw_cfg)
+
+let compiled_share trace =
+  let total = List.length trace.Trace.configs in
+  if total = 0 then 0.0
+  else float_of_int (List.length (of_kind trace Trace.Compiled)) /. float_of_int total
+
+let size_percentiles trace kind percentiles =
+  let sizes =
+    List.map (fun c -> c.Trace.size) (of_kind trace kind) |> List.sort Int.compare
+  in
+  let arr = Array.of_list sizes in
+  let n = Array.length arr in
+  List.map
+    (fun p ->
+      if n = 0 then p, 0
+      else begin
+        let idx = int_of_float (Float.of_int (n - 1) *. p /. 100.0) in
+        p, arr.(max 0 (min (n - 1) idx))
+      end)
+    percentiles
+
+let last_write c = c.Trace.writes.(Array.length c.Trace.writes - 1)
+
+let freshness_cdf trace day_points =
+  let total = List.length trace.Trace.configs in
+  List.map
+    (fun days ->
+      let fresh =
+        List.fold_left
+          (fun acc c ->
+            if trace.Trace.horizon -. last_write c <= days then acc + 1 else acc)
+          0 trace.Trace.configs
+      in
+      days, if total = 0 then 0.0 else float_of_int fresh /. float_of_int total)
+    day_points
+
+(* Every write after the first is an update; its "age" is the config's
+   age at that moment. *)
+let update_ages trace =
+  List.concat_map
+    (fun c ->
+      let ages = ref [] in
+      for i = 1 to Array.length c.Trace.writes - 1 do
+        ages := (c.Trace.writes.(i) -. c.Trace.created) :: !ages
+      done;
+      !ages)
+    trace.Trace.configs
+
+let age_at_update_cdf trace day_points =
+  let ages = update_ages trace in
+  let total = List.length ages in
+  List.map
+    (fun days ->
+      let young = List.fold_left (fun acc age -> if age <= days then acc + 1 else acc) 0 ages in
+      days, if total = 0 then 0.0 else float_of_int young /. float_of_int total)
+    day_points
+
+let bucket_table buckets ~value_of items =
+  let total = List.length items in
+  List.map
+    (fun (label, lo, hi) ->
+      let count =
+        List.fold_left
+          (fun acc item ->
+            let v = value_of item in
+            if v >= lo && v <= hi then acc + 1 else acc)
+          0 items
+      in
+      label, if total = 0 then 0.0 else 100.0 *. float_of_int count /. float_of_int total)
+    buckets
+
+let write_count_buckets =
+  [ "1", 1, 1; "2", 2, 2; "3", 3, 3; "4", 4, 4; "[5,10]", 5, 10; "[11,100]", 11, 100;
+    "[101,1000]", 101, 1000; "[1001,inf)", 1001, max_int ]
+
+let updates_per_config_table trace kind =
+  bucket_table write_count_buckets
+    ~value_of:(fun c -> Array.length c.Trace.writes)
+    (of_kind trace kind)
+
+let top_share trace kind ~top_fraction =
+  let updates =
+    List.map (fun c -> Array.length c.Trace.writes - 1) (of_kind trace kind)
+    |> List.sort (fun a b -> Int.compare b a)
+  in
+  let total = List.fold_left ( + ) 0 updates in
+  if total = 0 then 0.0
+  else begin
+    let k = max 1 (int_of_float (top_fraction *. float_of_int (List.length updates))) in
+    let rec take acc i = function
+      | [] -> acc
+      | x :: rest -> if i >= k then acc else take (acc + x) (i + 1) rest
+    in
+    float_of_int (take 0 0 updates) /. float_of_int total
+  end
+
+let never_updated_share trace kind =
+  let configs = of_kind trace kind in
+  if configs = [] then 0.0
+  else begin
+    let never =
+      List.fold_left
+        (fun acc c -> if Array.length c.Trace.writes = 1 then acc + 1 else acc)
+        0 configs
+    in
+    float_of_int never /. float_of_int (List.length configs)
+  end
+
+let line_change_buckets =
+  [ "1", 1, 1; "2", 2, 2; "[3,4]", 3, 4; "[5,6]", 5, 6; "[7,10]", 7, 10; "[11,50]", 11, 50;
+    "[51,100]", 51, 100; "[101,inf)", 101, max_int ]
+
+let line_changes_table trace kind =
+  let changes =
+    List.concat_map (fun c -> Array.to_list c.Trace.line_changes) (of_kind trace kind)
+  in
+  bucket_table line_change_buckets ~value_of:(fun n -> n) changes
+
+let coauthor_buckets =
+  [ "1", 1, 1; "2", 2, 2; "3", 3, 3; "4", 4, 4; "[5,10]", 5, 10; "[11,50]", 11, 50;
+    "[51,100]", 51, 100; "[101,inf)", 101, max_int ]
+
+let distinct_authors c =
+  let seen = Hashtbl.create 8 in
+  Array.iter (fun a -> Hashtbl.replace seen a ()) c.Trace.authors;
+  Hashtbl.length seen
+
+let coauthors_table trace kind =
+  bucket_table coauthor_buckets ~value_of:distinct_authors (of_kind trace kind)
+
+let is_tool author =
+  String.length author >= 5 && String.sub author 0 5 = "tool_"
+
+let automation_update_share trace kind =
+  let tool_updates, updates =
+    List.fold_left
+      (fun (tools, total) c ->
+        let tools = ref tools and total = ref total in
+        for i = 1 to Array.length c.Trace.writes - 1 do
+          incr total;
+          if is_tool c.Trace.authors.(i) then incr tools
+        done;
+        !tools, !total)
+      (0, 0) (of_kind trace kind)
+  in
+  if updates = 0 then 0.0 else float_of_int tool_updates /. float_of_int updates
+
+let mean_updates_per_config trace kind =
+  let configs = of_kind trace kind in
+  if configs = [] then 0.0
+  else begin
+    let updates =
+      List.fold_left (fun acc c -> acc + Array.length c.Trace.writes - 1) 0 configs
+    in
+    float_of_int updates /. float_of_int (List.length configs)
+  end

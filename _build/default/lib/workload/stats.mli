@@ -1,0 +1,42 @@
+(** Analysis over a config trace: recomputes every statistic the paper
+    reports in §6.1-6.2 from the raw per-config write history, the way
+    the authors computed theirs from git history. *)
+
+val growth_series : Trace.t -> every:float -> (float * int * int) array
+(** [(day, compiled configs existing, raw configs existing)] sampled
+    every [every] days — Figure 7. *)
+
+val compiled_share : Trace.t -> float
+(** Fraction of configs that are compiled at the horizon (paper: 75%). *)
+
+val size_percentiles : Trace.t -> Trace.kind -> float list -> (float * int) list
+(** [(percentile, bytes)] — Figure 8's CDF read at chosen points. *)
+
+val freshness_cdf : Trace.t -> float list -> (float * float) list
+(** [(days, fraction of configs modified within the last N days)] —
+    Figure 9.  "Modified" includes creation. *)
+
+val age_at_update_cdf : Trace.t -> float list -> (float * float) list
+(** [(days, fraction of updates hitting configs at most N days old)]
+    — Figure 10.  Creation writes are excluded (they are not
+    updates). *)
+
+val updates_per_config_table : Trace.t -> Trace.kind -> (string * float) list
+(** [(bucket label, percent of configs)] — Table 1. *)
+
+val top_share : Trace.t -> Trace.kind -> top_fraction:float -> float
+(** Share of all updates owned by the most-updated [top_fraction] of
+    configs (paper: top 1% of raw configs owns 92.8% of updates). *)
+
+val never_updated_share : Trace.t -> Trace.kind -> float
+
+val line_changes_table : Trace.t -> Trace.kind -> (string * float) list
+(** [(bucket label, percent of updates)] — Table 2. *)
+
+val coauthors_table : Trace.t -> Trace.kind -> (string * float) list
+(** [(bucket label, percent of configs)] — Table 3. *)
+
+val automation_update_share : Trace.t -> Trace.kind -> float
+(** Fraction of updates authored by tools (paper: 89% of raw). *)
+
+val mean_updates_per_config : Trace.t -> Trace.kind -> float

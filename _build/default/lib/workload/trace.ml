@@ -1,0 +1,202 @@
+module Rng = Cm_sim.Rng
+
+type kind = Compiled | Raw_cfg
+
+let kind_name = function Compiled -> "compiled" | Raw_cfg -> "raw"
+
+type config = {
+  path : string;
+  ckind : kind;
+  created : float;
+  size : int;
+  writes : float array;
+  authors : string array;
+  line_changes : int array;
+}
+
+type t = {
+  configs : config list;
+  horizon : float;
+}
+
+type params = {
+  horizon_days : float;
+  target_configs : int;
+  compiled_share : float;
+  migration_day : float;
+  migration_configs : int;
+  automation_share_raw : float;
+}
+
+let default_params =
+  {
+    horizon_days = 1400.0;
+    target_configs = 20_000;
+    compiled_share = 0.75;
+    migration_day = 950.0;
+    migration_configs = 2_000;
+    automation_share_raw = 0.89;
+  }
+
+(* --- calibrated samplers -------------------------------------------- *)
+
+(* Bucket lookup at a given percentile [u]; the value inside the
+   bucket is drawn log-uniformly.  Exposing the percentile lets two
+   distributions be sampled comonotonically (see make_config: heavily
+   updated configs are also the many-author configs, as in the paper's
+   data where Tables 1 and 3 describe the same population). *)
+let bucket_quantile rng buckets u =
+  let total = List.fold_left (fun acc (w, _, _) -> acc +. w) 0.0 buckets in
+  let draw = u *. total in
+  let rec pick acc = function
+    | [] -> ( match List.rev buckets with (_, lo, hi) :: _ -> lo, hi | [] -> 1, 1)
+    | (w, lo, hi) :: rest -> if draw < acc +. w then lo, hi else pick (acc +. w) rest
+  in
+  let lo, hi = pick 0.0 buckets in
+  if lo >= hi then lo
+  else begin
+    let log_lo = log (float_of_int lo) and log_hi = log (float_of_int hi +. 1.0) in
+    let v = exp (log_lo +. Rng.float rng (log_hi -. log_lo)) in
+    max lo (min hi (int_of_float v))
+  end
+
+let bucket_sample rng buckets = bucket_quantile rng buckets (Rng.float rng 1.0)
+
+(* Figure 8: lognormal size fits.  sigma from (ln P95 - ln P50) / 1.645. *)
+let sample_size rng kind =
+  let mu, sigma, cap =
+    match kind with
+    | Raw_cfg -> log 400.0, (log 25_000.0 -. log 400.0) /. 1.645, 8_400_000
+    | Compiled -> log 1_000.0, (log 45_000.0 -. log 1_000.0) /. 1.645, 14_800_000
+  in
+  let v = Rng.lognormal rng ~mu ~sigma in
+  max 8 (min cap (int_of_float v))
+
+(* Table 1 buckets: total writes per config (creation included). *)
+let write_buckets = function
+  | Compiled ->
+      [ 25.0, 1, 1; 24.9, 2, 2; 14.1, 3, 3; 7.5, 4, 4; 15.9, 5, 10; 11.6, 11, 100;
+        0.8, 101, 1000; 0.2, 1001, 20000 ]
+  | Raw_cfg ->
+      [ 56.9, 1, 1; 23.7, 2, 2; 5.2, 3, 3; 3.2, 4, 4; 6.6, 5, 10; 3.0, 11, 100;
+        0.7, 101, 1000; 0.7, 1001, 50000 ]
+
+let sample_write_count rng kind = bucket_sample rng (write_buckets kind)
+
+(* Table 2 buckets: line changes per update. *)
+let line_change_buckets = function
+  | Compiled ->
+      [ 2.5, 1, 1; 49.5, 2, 2; 9.9, 3, 4; 3.9, 5, 6; 7.4, 7, 10; 15.3, 11, 50;
+        2.8, 51, 100; 8.7, 101, 5000 ]
+  | Raw_cfg ->
+      [ 2.3, 1, 1; 48.6, 2, 2; 32.5, 3, 4; 4.2, 5, 6; 3.6, 7, 10; 5.7, 11, 50;
+        1.1, 51, 100; 2.0, 101, 5000 ]
+
+let sample_line_changes rng kind = bucket_sample rng (line_change_buckets kind)
+
+(* Table 3 buckets: co-authors per config. *)
+let coauthor_buckets = function
+  | Compiled ->
+      [ 49.5, 1, 1; 30.1, 2, 2; 9.2, 3, 3; 3.9, 4, 4; 5.7, 5, 10; 1.3, 11, 50;
+        0.2, 51, 100; 0.04, 101, 800 ]
+  | Raw_cfg ->
+      [ 70.0, 1, 1; 21.5, 2, 2; 5.1, 3, 3; 1.4, 4, 4; 1.2, 5, 10; 0.6, 11, 50;
+        0.1, 51, 100; 0.002, 101, 800 ]
+
+let sample_coauthor_count rng kind = bucket_sample rng (coauthor_buckets kind)
+
+(* --- generation ------------------------------------------------------ *)
+
+(* Creation-time model: convex growth (count ~ t^2, matching Figure
+   7's accelerating curve) via inverse-CDF sampling. *)
+let sample_created rng horizon =
+  let u = Rng.float rng 1.0 in
+  horizon *. (u ** (1.0 /. 2.0))
+
+(* Update-time model: churn right after creation plus a heavy tail of
+   late-life updates — "the configs do not stabilize as quickly as we
+   initially thought" (§6.2).  Calibrated against Figures 9-10:
+   ~29% of updates land on configs at most 60 days old and ~71% within
+   300 days. *)
+let sample_update_day rng ~created ~horizon =
+  let day =
+    if Rng.bernoulli rng 0.30 then created +. Rng.exponential rng 40.0
+    else created +. ((horizon -. created) *. (Rng.float rng 1.0 ** 0.9))
+  in
+  Float.min horizon (Float.max created day)
+
+let engineer_pool = 4000
+let tool_pool = 60
+
+let make_config rng params ~index ~kind ~created ~horizon =
+  (* One latent activity level drives both the write count and the
+     co-author count (comonotone coupling), so both marginals match
+     their tables while co-authors never exceed writes. *)
+  let activity = Rng.float rng 1.0 in
+  (* Heavily updated configs skew old (Figure 10: 29% of updates hit
+     configs older than 300 days): pull the creation time of the most
+     active configs toward the repository's early days. *)
+  let created = created *. (1.0 -. (0.15 *. (activity ** 6.0))) in
+  let writes_total = bucket_quantile rng (write_buckets kind) activity in
+  let writes = Array.make writes_total created in
+  for i = 1 to writes_total - 1 do
+    writes.(i) <- sample_update_day rng ~created ~horizon
+  done;
+  Array.sort Float.compare writes;
+  let coauthors = min writes_total (bucket_quantile rng (coauthor_buckets kind) activity) in
+  let owner =
+    match kind with
+    | Raw_cfg when Rng.bernoulli rng params.automation_share_raw ->
+        Printf.sprintf "tool_%d" (Rng.int rng tool_pool)
+    | Raw_cfg | Compiled -> Printf.sprintf "eng_%d" (Rng.int rng engineer_pool)
+  in
+  let random_author () =
+    (* Raw-config co-authors are mostly other automation tools; the
+       89% tool share of raw updates (§6.1) holds across the cast, not
+       just the owner. *)
+    match kind with
+    | Raw_cfg when Rng.bernoulli rng params.automation_share_raw ->
+        Printf.sprintf "tool_%d" (Rng.int rng tool_pool)
+    | Raw_cfg | Compiled -> Printf.sprintf "eng_%d" (Rng.int rng engineer_pool)
+  in
+  let cast = Array.init coauthors (fun i -> if i = 0 then owner else random_author ()) in
+  let authors =
+    Array.init writes_total (fun i ->
+        if i = 0 then owner
+        else if i < coauthors then cast.(i) (* everyone in the cast writes at least once *)
+        else if Rng.bernoulli rng 0.7 then owner
+        else cast.(Rng.int rng coauthors))
+  in
+  let line_changes =
+    Array.init (max 0 (writes_total - 1)) (fun _ -> sample_line_changes rng kind)
+  in
+  {
+    path = Printf.sprintf "configs/%s_%05d.%s" (kind_name kind) index
+        (match kind with Compiled -> "cconf" | Raw_cfg -> "raw");
+    ckind = kind;
+    created;
+    size = sample_size rng kind;
+    writes;
+    authors;
+    line_changes;
+  }
+
+let generate ?(params = default_params) rng =
+  let horizon = params.horizon_days in
+  let organic = params.target_configs - params.migration_configs in
+  let configs = ref [] in
+  for index = 0 to organic - 1 do
+    let kind = if Rng.bernoulli rng params.compiled_share then Compiled else Raw_cfg in
+    let created = sample_created rng horizon in
+    configs := make_config rng params ~index ~kind ~created ~horizon :: !configs
+  done;
+  (* The Gatekeeper migration: a burst of compiled configs arriving in
+     a narrow window (the visible step in Figure 7). *)
+  for index = organic to params.target_configs - 1 do
+    let created = params.migration_day +. Rng.float rng 45.0 in
+    configs :=
+      make_config rng params ~index ~kind:Compiled ~created:(Float.min horizon created)
+        ~horizon
+      :: !configs
+  done;
+  { configs = List.rev !configs; horizon }

@@ -1,0 +1,60 @@
+(** Synthetic config-repository trace generator.
+
+    Facebook's production trace is proprietary; this module generates
+    a synthetic population of configs with creation times, update
+    times, sizes, authors and per-update diff sizes whose marginal
+    statistics are calibrated to what the paper reports (§6.1-6.2:
+    Figures 7-10, Tables 1-3).  The analysis code in {!Stats} then
+    {e recomputes} those statistics from the raw trace, exactly as the
+    authors did from their git history.
+
+    Time is measured in days since the creation of the repository;
+    the default horizon is 1400 days (Figure 7's x-axis). *)
+
+type kind = Compiled | Raw_cfg
+
+val kind_name : kind -> string
+
+type config = {
+  path : string;
+  ckind : kind;
+  created : float;          (** day *)
+  size : int;               (** bytes of the current artifact *)
+  writes : float array;     (** write days, ascending; index 0 = creation *)
+  authors : string array;   (** author of each write; same length as writes *)
+  line_changes : int array; (** diff size of each write after the first *)
+}
+
+type t = {
+  configs : config list;
+  horizon : float;  (** "now", in days *)
+}
+
+type params = {
+  horizon_days : float;
+  target_configs : int;         (** population size at the horizon *)
+  compiled_share : float;       (** 0.75 per §6.1 *)
+  migration_day : float;        (** Gatekeeper-to-Configerator bump (Fig. 7) *)
+  migration_configs : int;      (** configs added in the bump *)
+  automation_share_raw : float; (** 0.89: raw updates by tools *)
+}
+
+val default_params : params
+
+val generate : ?params:params -> Cm_sim.Rng.t -> t
+
+(** {1 Calibrated samplers (exposed for unit tests)} *)
+
+val sample_size : Cm_sim.Rng.t -> kind -> int
+(** Lognormal fit to Figure 8: raw P50 400 B / P95 25 KB, compiled
+    P50 1 KB / P95 45 KB, capped near the reported maxima. *)
+
+val sample_write_count : Cm_sim.Rng.t -> kind -> int
+(** Total writes (creation included), from the Table 1 bucket mix with
+    log-uniform intra-bucket placement and a Pareto tail. *)
+
+val sample_line_changes : Cm_sim.Rng.t -> kind -> int
+(** Lines changed by one update (Table 2 buckets). *)
+
+val sample_coauthor_count : Cm_sim.Rng.t -> kind -> int
+(** Distinct authors over a config's life (Table 3 buckets). *)

@@ -1,0 +1,1 @@
+lib/zeus/pull.ml: Cm_sim Hashtbl List Service String

@@ -1,0 +1,1 @@
+lib/zeus/pull.mli: Cm_sim Service

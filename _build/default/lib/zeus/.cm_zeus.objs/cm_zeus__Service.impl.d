@@ -1,0 +1,1 @@
+lib/zeus/service.ml: Array Cm_sim Hashtbl List String

@@ -1,0 +1,1 @@
+lib/zeus/service.mli: Cm_sim

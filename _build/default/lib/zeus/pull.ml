@@ -1,0 +1,104 @@
+module Engine = Cm_sim.Engine
+module Net = Cm_sim.Net
+module Topology = Cm_sim.Topology
+
+(* Bytes to name one config in a poll request: the client must
+   enumerate everything it needs on every poll. *)
+let per_path_request_bytes = 48
+
+type t = {
+  service : Service.t;
+  node : Topology.node_id;
+  poll_interval : float;
+  cache : (string, int * string) Hashtbl.t;
+  subs : (string, (zxid:int -> string -> unit) list ref) Hashtbl.t;
+  mutable npolls : int;
+  mutable nempty : int;
+  mutable running : bool;
+}
+
+let paths t = Hashtbl.fold (fun path _ acc -> path :: acc) t.subs []
+
+let engine t = Net.engine (Service.net_of t.service)
+
+let deliver t path zxid data =
+  let newer =
+    match Hashtbl.find_opt t.cache path with
+    | Some (cached, _) -> zxid > cached
+    | None -> true
+  in
+  if newer then begin
+    Hashtbl.replace t.cache path (zxid, data);
+    match Hashtbl.find_opt t.subs path with
+    | None -> ()
+    | Some callbacks -> List.iter (fun f -> f ~zxid data) !callbacks
+  end
+
+let rec poll_loop t =
+  if t.running then
+    ignore
+      (Engine.schedule (engine t) ~delay:t.poll_interval (fun () ->
+           if t.running then begin
+             let wanted = paths t in
+             if wanted <> [] then begin
+               t.npolls <- t.npolls + 1;
+               let request_bytes =
+                 Service.msg_overhead t.service
+                 + (per_path_request_bytes * List.length wanted)
+               in
+               let observer_node = Service.nearest_observer_node t.service t.node in
+               let net = Service.net_of t.service in
+               Net.send net ~src:t.node ~dst:observer_node ~bytes:request_bytes (fun () ->
+                   (* Observer answers with configs newer than the
+                      client's cached versions. *)
+                   let fresh =
+                     List.filter_map
+                       (fun path ->
+                         match Service.observer_value_at t.service observer_node path with
+                         | Some (zxid, data) -> (
+                             match Hashtbl.find_opt t.cache path with
+                             | Some (cached, _) when cached >= zxid -> None
+                             | Some _ | None -> Some (path, zxid, data))
+                         | None -> None)
+                       wanted
+                   in
+                   let reply_bytes =
+                     List.fold_left
+                       (fun acc (_, _, data) -> acc + String.length data)
+                       (Service.msg_overhead t.service)
+                       fresh
+                   in
+                   if fresh = [] then t.nempty <- t.nempty + 1;
+                   Net.send net ~src:observer_node ~dst:t.node ~bytes:reply_bytes (fun () ->
+                       List.iter (fun (path, zxid, data) -> deliver t path zxid data) fresh))
+             end;
+             poll_loop t
+           end))
+
+let create service ~node ~poll_interval =
+  let t =
+    {
+      service;
+      node;
+      poll_interval;
+      cache = Hashtbl.create 16;
+      subs = Hashtbl.create 16;
+      npolls = 0;
+      nempty = 0;
+      running = true;
+    }
+  in
+  poll_loop t;
+  t
+
+let subscribe t ~path callback =
+  match Hashtbl.find_opt t.subs path with
+  | Some callbacks -> callbacks := !callbacks @ [ callback ]
+  | None -> Hashtbl.replace t.subs path (ref [ callback ])
+
+let get t path =
+  match Hashtbl.find_opt t.cache path with Some (_, data) -> Some data | None -> None
+
+let polls t = t.npolls
+let empty_polls t = t.nempty
+let stop t = t.running <- false

@@ -1,0 +1,551 @@
+module Engine = Cm_sim.Engine
+module Net = Cm_sim.Net
+module Topology = Cm_sim.Topology
+module Rng = Cm_sim.Rng
+
+type params = {
+  followers : int;
+  observers_per_cluster : int;
+  detect_timeout : float;
+  catchup_interval : float;
+  msg_overhead : int;
+  fanout_stagger : float;
+  snapshot_threshold : int;
+}
+
+let default_params =
+  {
+    followers = 4;
+    observers_per_cluster = 2;
+    detect_timeout = 2.0;
+    catchup_interval = 0.5;
+    msg_overhead = 128;
+    fanout_stagger = 0.0;
+    snapshot_threshold = 500;
+  }
+
+type write_rec = { zxid : int; wpath : string; wdata : string; created : float }
+
+(* Growable array for the commit log; zxid n lives at index n-1. *)
+module Log = struct
+  type t = { mutable data : write_rec array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+  let length t = t.len
+
+  let append t entry =
+    if t.len = Array.length t.data then begin
+      let fresh = Array.make (max 16 (2 * t.len)) entry in
+      Array.blit t.data 0 fresh 0 t.len;
+      t.data <- fresh
+    end;
+    t.data.(t.len) <- entry;
+    t.len <- t.len + 1
+
+  let get t zxid =
+    if zxid < 1 || zxid > t.len then invalid_arg "Log.get: zxid out of range";
+    t.data.(zxid - 1)
+
+  let truncate t len = t.len <- min t.len (max 0 len)
+end
+
+type member = { mnode : Topology.node_id; mutable mlog : int }
+
+type observer = {
+  onode : Topology.node_id;
+  oregion : int;
+  ocluster : int;
+  odata : (string, write_rec) Hashtbl.t;
+  mutable olast : int;
+  opending : (int, write_rec) Hashtbl.t;
+  mutable ocatchup_inflight : bool;
+  owatchers : (string, proxy list ref) Hashtbl.t;
+}
+
+and proxy = {
+  pnode : Topology.node_id;
+  pservice : t;
+  mutable pobserver : observer;
+  pmem : (string, int * string) Hashtbl.t;   (* in-memory cache: path -> zxid, data *)
+  pdisk : (string, int * string) Hashtbl.t;  (* on-disk cache: survives proxy crash *)
+  psubs : (string, (zxid:int -> string -> unit) list ref) Hashtbl.t;
+  mutable pup : bool;
+  mutable pdelivered : (string * int) list;  (* reversed delivery log *)
+}
+
+and t = {
+  net : Net.t;
+  prm : params;
+  members : member array;
+  mutable leader : int;  (* index into members *)
+  log : Log.t;
+  mutable committed : int;
+  acks : (int, int) Hashtbl.t;
+  observers : observer array;
+  proxies : (Topology.node_id, proxy) Hashtbl.t;
+  rng : Rng.t;
+  mutable write_queue : (string * string) list;  (* buffered while leader down *)
+  mutable election_pending : bool;
+}
+
+let params t = t.prm
+let engine t = Net.engine t.net
+let topo t = Net.topology t.net
+let leader_member t = t.members.(t.leader)
+let leader_node t = (leader_member t).mnode
+let quorum t = (Array.length t.members / 2) + 1
+
+(* --- placement ----------------------------------------------------- *)
+
+let create ?(params = default_params) net =
+  let topology = Net.topology net in
+  let regions = Topology.region_count topology in
+  let per_cluster = Array.length (Topology.nodes_in_cluster topology ~region:0 ~cluster:0) in
+  let member_count = params.followers + 1 in
+  let members =
+    Array.init member_count (fun i ->
+        let region = i mod regions in
+        let slot = i / regions in
+        let nodes = Topology.nodes_in_cluster topology ~region ~cluster:0 in
+        (* Members occupy the tail of cluster 0 so they do not collide
+           with observers, which occupy the head of every cluster. *)
+        let idx = per_cluster - 1 - slot in
+        if idx < params.observers_per_cluster then
+          invalid_arg "Zeus: cluster too small for members + observers";
+        { mnode = nodes.(idx).Topology.id; mlog = 0 })
+  in
+  let observers = ref [] in
+  for region = regions - 1 downto 0 do
+    let clusters =
+      Array.length (Topology.nodes_in_region topology ~region) / per_cluster
+    in
+    for cluster = clusters - 1 downto 0 do
+      let nodes = Topology.nodes_in_cluster topology ~region ~cluster in
+      for i = params.observers_per_cluster - 1 downto 0 do
+        observers :=
+          {
+            onode = nodes.(i).Topology.id;
+            oregion = region;
+            ocluster = cluster;
+            odata = Hashtbl.create 64;
+            olast = 0;
+            opending = Hashtbl.create 8;
+            ocatchup_inflight = false;
+            owatchers = Hashtbl.create 64;
+          }
+          :: !observers
+      done
+    done
+  done;
+  {
+    net;
+    prm = params;
+    members;
+    leader = 0;
+    log = Log.create ();
+    committed = 0;
+    acks = Hashtbl.create 64;
+    observers = Array.of_list !observers;
+    proxies = Hashtbl.create 256;
+    rng = Rng.split (Engine.rng (Net.engine net));
+    write_queue = [];
+    election_pending = false;
+  }
+
+(* --- observer side -------------------------------------------------- *)
+
+let rec observer_apply t obs w =
+  Hashtbl.replace obs.odata w.wpath w;
+  obs.olast <- w.zxid;
+  notify_watchers t obs w;
+  (* Drain any buffered successor. *)
+  match Hashtbl.find_opt obs.opending (obs.olast + 1) with
+  | Some next ->
+      Hashtbl.remove obs.opending (obs.olast + 1);
+      observer_apply t obs next
+  | None -> ()
+
+and notify_watchers t obs w =
+  match Hashtbl.find_opt obs.owatchers w.wpath with
+  | None -> ()
+  | Some watchers ->
+      List.iter
+        (fun proxy ->
+          if proxy.pup then
+            (* notify -> fetch -> response round trips *)
+            Net.send t.net ~src:obs.onode ~dst:proxy.pnode ~bytes:t.prm.msg_overhead
+              (fun () -> proxy_fetch t proxy obs w.wpath))
+        !watchers
+
+and proxy_fetch t proxy obs path =
+  if proxy.pup && Topology.is_up (topo t) proxy.pnode then
+    Net.send t.net ~src:proxy.pnode ~dst:obs.onode ~bytes:t.prm.msg_overhead (fun () ->
+        if Topology.is_up (topo t) obs.onode then
+          match Hashtbl.find_opt obs.odata path with
+          | None -> ()
+          | Some w ->
+              Net.send t.net ~src:obs.onode ~dst:proxy.pnode
+                ~bytes:(t.prm.msg_overhead + String.length w.wdata) (fun () ->
+                  proxy_deliver proxy w))
+
+and proxy_deliver proxy w =
+  if proxy.pup then begin
+    let newer =
+      match Hashtbl.find_opt proxy.pmem w.wpath with
+      | Some (zxid, _) -> w.zxid > zxid
+      | None -> true
+    in
+    if newer then begin
+      Hashtbl.replace proxy.pmem w.wpath (w.zxid, w.wdata);
+      Hashtbl.replace proxy.pdisk w.wpath (w.zxid, w.wdata);
+      proxy.pdelivered <- (w.wpath, w.zxid) :: proxy.pdelivered;
+      match Hashtbl.find_opt proxy.psubs w.wpath with
+      | None -> ()
+      | Some callbacks -> List.iter (fun f -> f ~zxid:w.zxid w.wdata) !callbacks
+    end
+  end
+
+let observer_request_catchup t obs =
+  if (not obs.ocatchup_inflight) && Topology.is_up (topo t) obs.onode then begin
+    obs.ocatchup_inflight <- true;
+    let from_zxid = obs.olast + 1 in
+    Net.send t.net ~src:obs.onode ~dst:(leader_node t) ~bytes:t.prm.msg_overhead (fun () ->
+        if Topology.is_up (topo t) (leader_node t) then begin
+          let upto = t.committed in
+          let gap = upto - from_zxid + 1 in
+          if gap > t.prm.snapshot_threshold then begin
+            (* Snapshot catch-up: ship the latest committed value per
+               path instead of replaying a long log suffix. *)
+            let latest = Hashtbl.create 64 in
+            for zxid = 1 to upto do
+              let w = Log.get t.log zxid in
+              Hashtbl.replace latest w.wpath w
+            done;
+            let snapshot = Hashtbl.fold (fun _ w acc -> w :: acc) latest [] in
+            let bytes =
+              List.fold_left
+                (fun acc w -> acc + String.length w.wdata + t.prm.msg_overhead)
+                t.prm.msg_overhead snapshot
+            in
+            Net.send t.net ~src:(leader_node t) ~dst:obs.onode ~bytes (fun () ->
+                obs.ocatchup_inflight <- false;
+                if upto > obs.olast then begin
+                  obs.olast <- upto;
+                  Hashtbl.reset obs.opending;
+                  List.iter
+                    (fun w ->
+                      let changed =
+                        match Hashtbl.find_opt obs.odata w.wpath with
+                        | Some old -> old.zxid < w.zxid
+                        | None -> true
+                      in
+                      if changed then begin
+                        Hashtbl.replace obs.odata w.wpath w;
+                        notify_watchers t obs w
+                      end)
+                    snapshot
+                end)
+          end
+          else begin
+            (* Small gap: replay the committed suffix in one batch. *)
+            let entries = ref [] in
+            for zxid = upto downto from_zxid do
+              entries := Log.get t.log zxid :: !entries
+            done;
+            let bytes =
+              List.fold_left
+                (fun acc w -> acc + String.length w.wdata + t.prm.msg_overhead)
+                t.prm.msg_overhead !entries
+            in
+            let payload = !entries in
+            Net.send t.net ~src:(leader_node t) ~dst:obs.onode ~bytes (fun () ->
+                obs.ocatchup_inflight <- false;
+                List.iter
+                  (fun w ->
+                    if w.zxid = obs.olast + 1 then observer_apply t obs w
+                    else if w.zxid > obs.olast + 1 then Hashtbl.replace obs.opending w.zxid w)
+                  payload)
+          end
+        end
+        else obs.ocatchup_inflight <- false);
+    (* Retry guard: if the reply never arrives (crashes), re-arm. *)
+    ignore
+      (Engine.schedule (engine t) ~delay:(t.prm.catchup_interval *. 4.0) (fun () ->
+           obs.ocatchup_inflight <- false))
+  end
+
+let observer_receive t obs w =
+  if w.zxid <= obs.olast then () (* duplicate *)
+  else if w.zxid = obs.olast + 1 then observer_apply t obs w
+  else begin
+    Hashtbl.replace obs.opending w.zxid w;
+    observer_request_catchup t obs
+  end
+
+(* --- leader side ---------------------------------------------------- *)
+
+let fanout_to_observers t w =
+  Array.iteri
+    (fun i obs ->
+      if Topology.is_up (topo t) obs.onode then begin
+        let push () =
+          Net.send t.net ~src:(leader_node t) ~dst:obs.onode
+            ~bytes:(t.prm.msg_overhead + String.length w.wdata) (fun () ->
+              if Topology.is_up (topo t) obs.onode then observer_receive t obs w)
+        in
+        if t.prm.fanout_stagger <= 0.0 then push ()
+        else
+          ignore
+            (Engine.schedule (engine t) ~delay:(t.prm.fanout_stagger *. float_of_int i) push)
+      end)
+    t.observers
+
+let rec advance_commit t =
+  if t.committed < Log.length t.log then begin
+    let next = t.committed + 1 in
+    let acked = (match Hashtbl.find_opt t.acks next with Some n -> n | None -> 0) + 1 in
+    if acked >= quorum t then begin
+      t.committed <- next;
+      Hashtbl.remove t.acks next;
+      fanout_to_observers t (Log.get t.log next);
+      advance_commit t
+    end
+  end
+
+let replicate t w =
+  Array.iteri
+    (fun i member ->
+      if i <> t.leader && Topology.is_up (topo t) member.mnode then
+        Net.send t.net ~src:(leader_node t) ~dst:member.mnode
+          ~bytes:(t.prm.msg_overhead + String.length w.wdata) (fun () ->
+            (* The proposal implicitly carries the follower's missing
+               prefix, so persistence is monotone in zxid. *)
+            member.mlog <- max member.mlog w.zxid;
+            Net.send t.net ~src:member.mnode ~dst:(leader_node t) ~bytes:t.prm.msg_overhead
+              (fun () ->
+                if Topology.is_up (topo t) (leader_node t) then begin
+                  let count =
+                    match Hashtbl.find_opt t.acks w.zxid with Some n -> n | None -> 0
+                  in
+                  Hashtbl.replace t.acks w.zxid (count + 1);
+                  advance_commit t
+                end)))
+    t.members
+
+let do_write t path data =
+  let w =
+    { zxid = Log.length t.log + 1; wpath = path; wdata = data; created = Engine.now (engine t) }
+  in
+  Log.append t.log w;
+  (leader_member t).mlog <- Log.length t.log;
+  replicate t w
+
+let write t ~path ~data =
+  if Topology.is_up (topo t) (leader_node t) then do_write t path data
+  else t.write_queue <- t.write_queue @ [ path, data ]
+
+let last_committed_zxid t = t.committed
+
+let committed_value t path =
+  (* Scan the committed prefix backwards for the latest write. *)
+  let rec scan zxid =
+    if zxid < 1 then None
+    else
+      let w = Log.get t.log zxid in
+      if w.wpath = path then Some w.wdata else scan (zxid - 1)
+  in
+  scan t.committed
+
+(* --- failover ------------------------------------------------------- *)
+
+let elect t =
+  t.election_pending <- false;
+  let best = ref None in
+  Array.iteri
+    (fun i member ->
+      if Topology.is_up (topo t) member.mnode then
+        match !best with
+        | None -> best := Some i
+        | Some j -> if member.mlog > t.members.(j).mlog then best := Some i)
+    t.members;
+  match !best with
+  | None -> () (* no quorum possible; cluster stays headless *)
+  | Some i ->
+      t.leader <- i;
+      (* Uncommitted suffix beyond the new leader's log is lost. *)
+      assert (t.committed <= t.members.(i).mlog);
+      Log.truncate t.log t.members.(i).mlog;
+      Hashtbl.reset t.acks;
+      (* Un-acked but persisted entries must be re-replicated. *)
+      let rec repropose zxid =
+        if zxid <= Log.length t.log then begin
+          if zxid > t.committed then replicate t (Log.get t.log zxid);
+          repropose (zxid + 1)
+        end
+      in
+      repropose (t.committed + 1);
+      let queued = t.write_queue in
+      t.write_queue <- [];
+      List.iter (fun (path, data) -> do_write t path data) queued
+
+let crash_leader t =
+  Topology.crash (topo t) (leader_node t);
+  if not t.election_pending then begin
+    t.election_pending <- true;
+    ignore (Engine.schedule (engine t) ~delay:t.prm.detect_timeout (fun () -> elect t))
+  end
+
+(* --- observer failure injection ------------------------------------ *)
+
+let find_observer t ~region ~cluster i =
+  let matching =
+    Array.to_list t.observers
+    |> List.filter (fun obs -> obs.oregion = region && obs.ocluster = cluster)
+  in
+  match List.nth_opt matching i with
+  | Some obs -> obs
+  | None -> invalid_arg "Zeus: no such observer"
+
+let crash_observer t ~region ~cluster i =
+  Topology.crash (topo t) (find_observer t ~region ~cluster i).onode
+
+let restart_observer t ~region ~cluster i =
+  let obs = find_observer t ~region ~cluster i in
+  Topology.restart (topo t) obs.onode;
+  observer_request_catchup t obs
+
+let observer_last_zxid t ~region ~cluster i = (find_observer t ~region ~cluster i).olast
+let observer_count t = Array.length t.observers
+
+(* --- proxy side ----------------------------------------------------- *)
+
+let pick_observer t node =
+  let region, cluster = Topology.cluster_of (topo t) node in
+  let local =
+    Array.to_list t.observers
+    |> List.filter (fun obs ->
+           obs.oregion = region && obs.ocluster = cluster
+           && Topology.is_up (topo t) obs.onode)
+  in
+  match local with
+  | [] ->
+      (* Whole cluster's observers down: fall back to any live one. *)
+      let any =
+        Array.to_list t.observers
+        |> List.filter (fun obs -> Topology.is_up (topo t) obs.onode)
+      in
+      (match any with
+      | [] -> t.observers.(0) (* all down; keep a reference, reads hit disk *)
+      | candidates -> List.nth candidates (Rng.int t.rng (List.length candidates)))
+  | candidates -> List.nth candidates (Rng.int t.rng (List.length candidates))
+
+let register_watch t proxy path =
+  let obs = proxy.pobserver in
+  Net.send t.net ~src:proxy.pnode ~dst:obs.onode ~bytes:t.prm.msg_overhead (fun () ->
+      if Topology.is_up (topo t) obs.onode then begin
+        (match Hashtbl.find_opt obs.owatchers path with
+        | Some watchers -> if not (List.memq proxy !watchers) then watchers := proxy :: !watchers
+        | None -> Hashtbl.replace obs.owatchers path (ref [ proxy ]));
+        (* Initial read: push the current value if any. *)
+        match Hashtbl.find_opt obs.odata path with
+        | Some w ->
+            Net.send t.net ~src:obs.onode ~dst:proxy.pnode
+              ~bytes:(t.prm.msg_overhead + String.length w.wdata) (fun () ->
+                proxy_deliver proxy w)
+        | None -> ()
+      end)
+
+let rec proxy_health_loop t proxy =
+  ignore
+    (Engine.schedule (engine t) ~delay:(t.prm.catchup_interval *. 2.0) (fun () ->
+         if proxy.pup then begin
+           if not (Topology.is_up (topo t) proxy.pobserver.onode) then begin
+             proxy.pobserver <- pick_observer t proxy.pnode;
+             Hashtbl.iter (fun path _ -> register_watch t proxy path) proxy.psubs
+           end;
+           proxy_health_loop t proxy
+         end))
+
+let proxy_on t node =
+  match Hashtbl.find_opt t.proxies node with
+  | Some proxy -> proxy
+  | None ->
+      let proxy =
+        {
+          pnode = node;
+          pservice = t;
+          pobserver = t.observers.(0);
+          pmem = Hashtbl.create 16;
+          pdisk = Hashtbl.create 16;
+          psubs = Hashtbl.create 16;
+          pup = true;
+          pdelivered = [];
+        }
+      in
+      proxy.pobserver <- pick_observer t node;
+      Hashtbl.replace t.proxies node proxy;
+      proxy_health_loop t proxy;
+      proxy
+
+let subscribe proxy ~path callback =
+  let t = proxy.pservice in
+  (match Hashtbl.find_opt proxy.psubs path with
+  | Some callbacks -> callbacks := !callbacks @ [ callback ]
+  | None ->
+      Hashtbl.replace proxy.psubs path (ref [ callback ]);
+      register_watch t proxy path);
+  (* Replay the cached value immediately if we already have one. *)
+  match Hashtbl.find_opt proxy.pmem path with
+  | Some (zxid, data) -> callback ~zxid data
+  | None -> ()
+
+let proxy_get proxy path =
+  if proxy.pup then
+    match Hashtbl.find_opt proxy.pmem path with
+    | Some (_, data) -> Some data
+    | None -> (
+        match Hashtbl.find_opt proxy.pdisk path with
+        | Some (_, data) -> Some data
+        | None -> None)
+  else
+    (* Proxy process dead: the application reads the on-disk cache. *)
+    match Hashtbl.find_opt proxy.pdisk path with
+    | Some (_, data) -> Some data
+    | None -> None
+
+let proxy_cached_zxid proxy path =
+  match Hashtbl.find_opt proxy.pmem path with
+  | Some (zxid, _) -> Some zxid
+  | None -> None
+
+let crash_proxy proxy =
+  proxy.pup <- false;
+  Hashtbl.reset proxy.pmem
+
+let restart_proxy proxy =
+  let t = proxy.pservice in
+  proxy.pup <- true;
+  (* Warm the memory cache from disk, reconnect, resubscribe. *)
+  Hashtbl.iter (fun path entry -> Hashtbl.replace proxy.pmem path entry) proxy.pdisk;
+  proxy.pobserver <- pick_observer t proxy.pnode;
+  Hashtbl.iter (fun path _ -> register_watch t proxy path) proxy.psubs;
+  proxy_health_loop t proxy
+
+let proxy_count t = Hashtbl.length t.proxies
+let delivery_log proxy = List.rev proxy.pdelivered
+
+(* --- hooks for the pull-model ablation ------------------------------ *)
+
+let net_of t = t.net
+let msg_overhead t = t.prm.msg_overhead
+let nearest_observer_node t node = (pick_observer t node).onode
+
+let observer_value_at t node path =
+  let found = ref None in
+  Array.iter (fun obs -> if obs.onode = node then found := Some obs) t.observers;
+  match !found with
+  | None -> None
+  | Some obs -> (
+      match Hashtbl.find_opt obs.odata path with
+      | Some w -> Some (w.zxid, w.wdata)
+      | None -> None)

@@ -1,0 +1,116 @@
+(** Zeus: the forked-ZooKeeper config store and its three-level
+    distribution tree (leader -> observer -> proxy), §3.4.
+
+    Everything runs inside a {!Cm_sim.Engine} simulation:
+
+    - An {b ensemble} of members (one leader, several followers)
+      spread across regions runs a quorum commit log.  Writes are
+      totally ordered by zxid and committed in order once a majority
+      acks.
+    - Each cluster hosts {b observers}: full read-only replicas fed
+      asynchronously by the leader.  An observer that detects a gap in
+      zxids requests a catch-up, so delivery to observers is in-order
+      despite network jitter.
+    - Every production server runs a {b proxy} that connects to a
+      random observer in its cluster, subscribes to the configs its
+      applications need (watches), caches them on disk, and falls back
+      to that on-disk cache when everything else is down — the
+      paper's availability story.
+
+    Failure injection: leaders, observers and proxies can crash and
+    restart; invariants (in-order delivery, no lost committed writes,
+    cache availability) are exercised in the test suite. *)
+
+type t
+
+type params = {
+  followers : int;           (** ensemble size is [followers + 1] *)
+  observers_per_cluster : int;
+  detect_timeout : float;    (** leader-failure detection, seconds *)
+  catchup_interval : float;  (** observer gap-repair retry, seconds *)
+  msg_overhead : int;        (** bytes of protocol framing per message *)
+  fanout_stagger : float;
+      (** extra delay between successive observer pushes for one
+          write, modeling the serialization of a very high fan-out at
+          the leader (hundreds of observers in production).  0 for
+          small simulations; the Figure 14 experiment calibrates the
+          paper's ~4.5s tree-propagation stage with it. *)
+  snapshot_threshold : int;
+      (** an observer whose zxid gap exceeds this catches up from a
+          state snapshot (latest value per path) instead of replaying
+          the log suffix — ZooKeeper's snapshot mechanism *)
+}
+
+val default_params : params
+
+val create : ?params:params -> Cm_sim.Net.t -> t
+
+val params : t -> params
+
+(** {1 Write path} *)
+
+val write : t -> path:string -> data:string -> unit
+(** Initiates a write at the current simulated time from the leader's
+    node (the git tailer colocates with the ensemble).  Commit and
+    fan-out happen asynchronously as the simulation runs. *)
+
+val last_committed_zxid : t -> int
+val committed_value : t -> string -> string option
+(** Latest committed data for a path, from the leader's log. *)
+
+(** {1 Proxies (per-server)} *)
+
+type proxy
+
+val proxy_on : t -> Cm_sim.Topology.node_id -> proxy
+(** Creates (or returns the existing) proxy for a server node. *)
+
+val subscribe : proxy -> path:string -> (zxid:int -> string -> unit) -> unit
+(** Registers interest; the callback fires for every update of the
+    path, in zxid order, including the initial fetch if the config
+    already exists.  Multiple subscriptions per path are allowed. *)
+
+val proxy_get : proxy -> string -> string option
+(** Read through the proxy: in-memory cache first, then the on-disk
+    cache.  Works even while the proxy process is crashed (the
+    application reads the on-disk cache directly, §3.4). *)
+
+val proxy_cached_zxid : proxy -> string -> int option
+
+(** {1 Failure injection} *)
+
+val crash_leader : t -> unit
+(** Kills the current leader node; a follower with the longest log is
+    elected after [detect_timeout]. *)
+
+val leader_node : t -> Cm_sim.Topology.node_id
+val crash_observer : t -> region:int -> cluster:int -> int -> unit
+(** Crash the i-th observer of a cluster. *)
+
+val restart_observer : t -> region:int -> cluster:int -> int -> unit
+val crash_proxy : proxy -> unit
+val restart_proxy : proxy -> unit
+
+(** {1 Introspection for tests and benches} *)
+
+val observer_count : t -> int
+val observer_last_zxid : t -> region:int -> cluster:int -> int -> int
+val proxy_count : t -> int
+
+val delivery_log : proxy -> (string * int) list
+(** [(path, zxid)] of every update delivered to subscribers of this
+    proxy, oldest first — used by the in-order-delivery property
+    tests. *)
+
+(** {1 Hooks for the pull-model ablation ({!Pull})} *)
+
+val net_of : t -> Cm_sim.Net.t
+val msg_overhead : t -> int
+
+val nearest_observer_node : t -> Cm_sim.Topology.node_id -> Cm_sim.Topology.node_id
+(** A live observer in the node's cluster (or any live observer). *)
+
+val observer_value_at :
+  t -> Cm_sim.Topology.node_id -> string -> (int * string) option
+(** [(zxid, data)] the observer running on that node currently holds
+    for a path. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Cm_json Cm_sim Cm_thrift Cm_vcs Cm_zeus Core Float Hashtbl List Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_gatekeeper.ml: Alcotest Cm_gatekeeper Cm_json Cm_laser Cm_sim Float Int64 List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Cm_lang Int List Printf QCheck2 QCheck_alcotest String

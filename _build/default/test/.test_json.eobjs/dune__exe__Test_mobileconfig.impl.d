@@ -1,0 +1,1 @@
+test/test_mobileconfig.ml: Alcotest Cm_gatekeeper Cm_json Cm_mobileconfig Cm_sim Cm_thrift Hashtbl Int64 List Printf

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Cm_monitor Cm_sim Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+test/test_packagevessel.ml: Alcotest Cm_packagevessel Cm_sim Cm_zeus List Printf

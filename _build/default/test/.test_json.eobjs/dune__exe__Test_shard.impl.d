@@ -1,0 +1,1 @@
+test/test_shard.ml: Alcotest Cm_shard Cm_sim List Printf QCheck2 QCheck_alcotest

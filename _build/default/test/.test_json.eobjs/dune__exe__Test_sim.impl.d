@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cm_sim Float Int List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sitevars.ml: Alcotest Cm_lang Cm_sitevars Cm_thrift Format List

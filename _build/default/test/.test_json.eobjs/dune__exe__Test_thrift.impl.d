@@ -1,0 +1,1 @@
+test/test_thrift.ml: Alcotest Cm_json Cm_thrift Hashtbl List Option Printf QCheck2 QCheck_alcotest String

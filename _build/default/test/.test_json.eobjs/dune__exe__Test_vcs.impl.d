@@ -1,0 +1,1 @@
+test/test_vcs.ml: Alcotest Cm_vcs Hashtbl List Option QCheck2 QCheck_alcotest String

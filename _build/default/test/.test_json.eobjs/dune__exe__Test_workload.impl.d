@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cm_sim Cm_workload Float Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_zeus.ml: Alcotest Cm_sim Cm_zeus Float Int Int64 List Printf QCheck2 QCheck_alcotest

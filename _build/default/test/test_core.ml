@@ -1,0 +1,1147 @@
+module ST = Core.Source_tree
+module Validator = Core.Validator
+module Compiler = Core.Compiler
+module Depgraph = Core.Depgraph
+module Review = Core.Review
+module Sandcastle = Core.Sandcastle
+module Landing = Core.Landing_strip
+module Tailer = Core.Tailer
+module Canary = Core.Canary
+module Pipeline = Core.Pipeline
+module Mutator = Core.Mutator
+module Client = Core.Client
+module Faults = Core.Faults
+module Engine = Cm_sim.Engine
+module TValue = Cm_thrift.Value
+
+(* The paper's Figure 2 source tree. *)
+let figure2_tree () =
+  ST.of_alist
+    [
+      ( "schemas/job.thrift",
+        {|
+enum JobKind { BATCH = 0, SERVICE = 1 }
+struct Job {
+  1: required string name;
+  2: optional i32 memory_mb = 1024;
+  3: list<string> args;
+  4: JobKind kind = JobKind.SERVICE;
+}
+|} );
+      ( "modules/create_job.cinc",
+        {|
+import_thrift "schemas/job.thrift"
+def create_job(name, memory = 1024) =
+  Job { name = name, memory_mb = memory, args = ["--service", name] }
+|} );
+      ( "jobs/cache_job.cconf",
+        {|
+import "modules/create_job.cinc"
+export create_job("cache", 2048)
+|} );
+      ( "jobs/security_job.cconf",
+        {|
+import "modules/create_job.cinc"
+export create_job("security")
+|} );
+      "raw/knob.json", {|{"threshold": 5}|};
+    ]
+
+let source_tree_tests =
+  [
+    Alcotest.test_case "kind_of_path" `Quick (fun () ->
+        Alcotest.(check bool) "cconf" true (ST.kind_of_path "a/b.cconf" = ST.Cconf);
+        Alcotest.(check bool) "cinc" true (ST.kind_of_path "a.cinc" = ST.Cinc);
+        Alcotest.(check bool) "thrift" true (ST.kind_of_path "x.thrift" = ST.Thrift);
+        Alcotest.(check bool) "validator" true
+          (ST.kind_of_path "Job.thrift-cvalidator" = ST.Cvalidator);
+        Alcotest.(check bool) "raw" true (ST.kind_of_path "data.json" = ST.Raw));
+    Alcotest.test_case "write/read/remove" `Quick (fun () ->
+        let tree = ST.create () in
+        ST.write tree "a" "1";
+        Alcotest.(check (option string)) "read" (Some "1") (ST.read tree "a");
+        ST.remove tree "a";
+        Alcotest.(check (option string)) "gone" None (ST.read tree "a"));
+    Alcotest.test_case "loader resolves absolute form" `Quick (fun () ->
+        let tree = ST.of_alist [ "mod/x.cinc", "X = 1" ] in
+        Alcotest.(check (option string)) "plain" (Some "X = 1")
+          (ST.loader tree "mod/x.cinc");
+        Alcotest.(check (option string)) "leading slash" (Some "X = 1")
+          (ST.loader tree "/mod/x.cinc"));
+  ]
+
+let validator_tests =
+  [
+    Alcotest.test_case "field_int_range" `Quick (fun () ->
+        let rule = Validator.field_int_range ~field:"x" ~min:0 ~max:10 in
+        Alcotest.(check bool) "pass" true
+          (rule.Validator.check (TValue.Struct ("S", [ "x", TValue.Int 5 ])) = Validator.Pass);
+        Alcotest.(check bool) "fail" true
+          (match rule.Validator.check (TValue.Struct ("S", [ "x", TValue.Int 50 ])) with
+          | Validator.Fail _ -> true
+          | Validator.Pass -> false));
+    Alcotest.test_case "missing field passes range rule" `Quick (fun () ->
+        let rule = Validator.field_int_range ~field:"x" ~min:0 ~max:10 in
+        Alcotest.(check bool) "pass" true
+          (rule.Validator.check (TValue.Struct ("S", [])) = Validator.Pass));
+    Alcotest.test_case "all combinator fails fast" `Quick (fun () ->
+        let rule =
+          Validator.all
+            [
+              Validator.field_nonempty_string ~field:"name";
+              Validator.field_int_range ~field:"x" ~min:0 ~max:1;
+            ]
+        in
+        match
+          rule.Validator.check
+            (TValue.Struct ("S", [ "name", TValue.Str ""; "x", TValue.Int 9 ]))
+        with
+        | Validator.Fail message ->
+            Alcotest.(check bool) "first failure reported" true
+              (String.length message > 0)
+        | Validator.Pass -> Alcotest.fail "expected failure");
+    Alcotest.test_case "registry per type" `Quick (fun () ->
+        let registry = Validator.create () in
+        Validator.register registry ~type_name:"Job"
+          (Validator.field_int_range ~field:"memory_mb" ~min:1 ~max:65536);
+        Alcotest.(check bool) "pass other type" true
+          (Validator.validate registry ~type_name:"Other" (TValue.Struct ("Other", []))
+          = Validator.Pass);
+        Alcotest.(check bool) "fail job" true
+          (match
+             Validator.validate registry ~type_name:"Job"
+               (TValue.Struct ("Job", [ "memory_mb", TValue.Int 0 ]))
+           with
+          | Validator.Fail _ -> true
+          | Validator.Pass -> false));
+    Alcotest.test_case "CSL source validator" `Quick (fun () ->
+        let source = "def validate(cfg) = cfg.memory_mb >= 64" in
+        match Validator.of_source ~type_name:"Job" ~source with
+        | Error e -> Alcotest.fail e
+        | Ok rule ->
+            Alcotest.(check bool) "pass" true
+              (rule.Validator.check (TValue.Struct ("Job", [ "memory_mb", TValue.Int 128 ]))
+              = Validator.Pass);
+            Alcotest.(check bool) "fail" true
+              (match
+                 rule.Validator.check (TValue.Struct ("Job", [ "memory_mb", TValue.Int 8 ]))
+               with
+              | Validator.Fail _ -> true
+              | Validator.Pass -> false));
+    Alcotest.test_case "CSL validator returning message" `Quick (fun () ->
+        let source =
+          {|def validate(cfg) = if cfg.memory_mb < 64 then "too little memory" else ""|}
+        in
+        match Validator.of_source ~type_name:"Job" ~source with
+        | Error e -> Alcotest.fail e
+        | Ok rule -> (
+            match
+              rule.Validator.check (TValue.Struct ("Job", [ "memory_mb", TValue.Int 8 ]))
+            with
+            | Validator.Fail "too little memory" -> ()
+            | Validator.Fail other -> Alcotest.failf "wrong message %s" other
+            | Validator.Pass -> Alcotest.fail "expected failure"));
+    Alcotest.test_case "validator source without validate rejected" `Quick (fun () ->
+        match Validator.of_source ~type_name:"J" ~source:"x = 1" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+  ]
+
+let compiler_tests =
+  [
+    Alcotest.test_case "figure 2 compiles" `Quick (fun () ->
+        let compiler = Compiler.create (figure2_tree ()) in
+        match Compiler.compile compiler "jobs/cache_job.cconf" with
+        | Error e -> Alcotest.failf "compile: %a" Compiler.pp_error e
+        | Ok compiled ->
+            Alcotest.(check string) "artifact path" "jobs/cache_job.json"
+              compiled.Compiler.artifact_path;
+            Alcotest.(check (option string)) "type" (Some "Job") compiled.Compiler.type_name;
+            Alcotest.(check bool) "schema hash" true (compiled.Compiler.schema_hash <> None);
+            Alcotest.(check string) "json"
+              {|{"name":"cache","memory_mb":2048,"args":["--service","cache"],"kind":"SERVICE"}|}
+              compiled.Compiler.json_text;
+            Alcotest.(check (list string)) "deps"
+              [ "modules/create_job.cinc"; "schemas/job.thrift" ]
+              compiled.Compiler.deps);
+    Alcotest.test_case "compile_all covers cconf and raw" `Quick (fun () ->
+        let compiler = Compiler.create (figure2_tree ()) in
+        let compiled, errors = Compiler.compile_all compiler in
+        Alcotest.(check int) "no errors" 0 (List.length errors);
+        Alcotest.(check int) "3 configs" 3 (List.length compiled));
+    Alcotest.test_case "eval error stage" `Quick (fun () ->
+        let tree = ST.of_alist [ "bad.cconf", "export nosuch" ] in
+        match Compiler.compile (Compiler.create tree) "bad.cconf" with
+        | Error e -> Alcotest.(check string) "stage" "eval" (Compiler.stage_name e.Compiler.stage)
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "schema error stage" `Quick (fun () ->
+        let tree = figure2_tree () in
+        ST.write tree "jobs/broken.cconf"
+          {|
+import_thrift "schemas/job.thrift"
+export Job { name = "x", memory_mb = "lots" }
+|};
+        match Compiler.compile (Compiler.create tree) "jobs/broken.cconf" with
+        | Error e ->
+            Alcotest.(check string) "stage" "schema" (Compiler.stage_name e.Compiler.stage)
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "validation error stage (registered rule)" `Quick (fun () ->
+        let validators = Validator.create () in
+        Validator.register validators ~type_name:"Job"
+          (Validator.field_int_range ~field:"memory_mb" ~min:1 ~max:4096);
+        let tree = figure2_tree () in
+        ST.write tree "jobs/huge.cconf"
+          {|
+import "modules/create_job.cinc"
+export create_job("huge", 999999)
+|};
+        match Compiler.compile (Compiler.create ~validators tree) "jobs/huge.cconf" with
+        | Error e ->
+            Alcotest.(check string) "stage" "validation"
+              (Compiler.stage_name e.Compiler.stage)
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "source validator discovered from tree" `Quick (fun () ->
+        let tree = figure2_tree () in
+        ST.write tree "schemas/Job.thrift-cvalidator"
+          "def validate(cfg) = cfg.memory_mb <= 4096";
+        ST.write tree "jobs/huge.cconf"
+          {|
+import "modules/create_job.cinc"
+export create_job("huge", 999999)
+|};
+        let compiler = Compiler.create tree in
+        (match Compiler.compile compiler "jobs/huge.cconf" with
+        | Error e ->
+            Alcotest.(check string) "stage" "validation"
+              (Compiler.stage_name e.Compiler.stage)
+        | Ok _ -> Alcotest.fail "expected error");
+        (* The validator guards every config of the type, §3.1. *)
+        match Compiler.compile compiler "jobs/cache_job.cconf" with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "cache job should pass: %a" Compiler.pp_error e);
+    Alcotest.test_case "raw json must parse" `Quick (fun () ->
+        let tree = ST.of_alist [ "bad.json", "{oops" ] in
+        match Compiler.compile (Compiler.create tree) "bad.json" with
+        | Error e -> Alcotest.(check string) "stage" "parse" (Compiler.stage_name e.Compiler.stage)
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "untyped export allowed" `Quick (fun () ->
+        let tree = ST.of_alist [ "plain.cconf", "export { a: 1, b: [2, 3] }" ] in
+        match Compiler.compile (Compiler.create tree) "plain.cconf" with
+        | Ok compiled ->
+            Alcotest.(check (option string)) "no type" None compiled.Compiler.type_name;
+            Alcotest.(check string) "json" {|{"a":1,"b":[2,3]}|} compiled.Compiler.json_text
+        | Error e -> Alcotest.failf "compile: %a" Compiler.pp_error e);
+  ]
+
+let depgraph_tests =
+  [
+    Alcotest.test_case "paper's app_port example" `Quick (fun () ->
+        let tree =
+          ST.of_alist
+            [
+              "app_port.cinc", "APP_PORT = 8089";
+              "app.cconf", "import \"app_port.cinc\"\nexport { port: APP_PORT }";
+              "firewall.cconf", "import \"app_port.cinc\"\nexport { allow: APP_PORT }";
+              "unrelated.cconf", "export { x: 1 }";
+            ]
+        in
+        let dep = Depgraph.create () in
+        Depgraph.scan dep tree;
+        Alcotest.(check (list string)) "both recompiled"
+          [ "app.cconf"; "firewall.cconf" ]
+          (Depgraph.affected_configs dep [ "app_port.cinc" ]);
+        Alcotest.(check (list string)) "dependents"
+          [ "app.cconf"; "firewall.cconf" ]
+          (Depgraph.dependents dep "app_port.cinc"));
+    Alcotest.test_case "changed config recompiles itself" `Quick (fun () ->
+        let tree = ST.of_alist [ "a.cconf", "export { x: 1 }" ] in
+        let dep = Depgraph.create () in
+        Depgraph.scan dep tree;
+        Alcotest.(check (list string)) "self" [ "a.cconf" ]
+          (Depgraph.affected_configs dep [ "a.cconf" ]));
+    Alcotest.test_case "transitive chains" `Quick (fun () ->
+        let tree =
+          ST.of_alist
+            [
+              "base.cinc", "B = 1";
+              "mid.cinc", "import \"base.cinc\"\nM = B + 1";
+              "top.cconf", "import \"mid.cinc\"\nexport { m: M }";
+            ]
+        in
+        let dep = Depgraph.create () in
+        Depgraph.scan dep tree;
+        Alcotest.(check (list string)) "base affects top" [ "top.cconf" ]
+          (Depgraph.affected_configs dep [ "base.cinc" ]);
+        Alcotest.(check (list string)) "closure"
+          [ "base.cinc"; "mid.cinc" ]
+          (Depgraph.transitive_deps dep "top.cconf"));
+    Alcotest.test_case "update_file rewires edges" `Quick (fun () ->
+        let tree =
+          ST.of_alist
+            [ "a.cinc", "A = 1"; "b.cinc", "B = 2"; "c.cconf", "import \"a.cinc\"\nexport { a: A }" ]
+        in
+        let dep = Depgraph.create () in
+        Depgraph.scan dep tree;
+        ST.write tree "c.cconf" "import \"b.cinc\"\nexport { b: B }";
+        Depgraph.update_file dep tree "c.cconf";
+        Alcotest.(check (list string)) "a no longer affects" []
+          (Depgraph.affected_configs dep [ "a.cinc" ]);
+        Alcotest.(check (list string)) "b affects" [ "c.cconf" ]
+          (Depgraph.affected_configs dep [ "b.cinc" ]));
+  ]
+
+let review_tests =
+  [
+    Alcotest.test_case "approve by peer" `Quick (fun () ->
+        let review = Review.create () in
+        let id = Review.submit review ~author:"alice" ~title:"t" ~base:None [] in
+        Alcotest.(check bool) "ok" true (Review.approve review id ~reviewer:"bob" = Ok ()));
+    Alcotest.test_case "self review forbidden" `Quick (fun () ->
+        let review = Review.create () in
+        let id = Review.submit review ~author:"alice" ~title:"t" ~base:None [] in
+        Alcotest.(check bool) "rejected" true
+          (Review.approve review id ~reviewer:"alice" <> Ok ()));
+    Alcotest.test_case "double approve fails" `Quick (fun () ->
+        let review = Review.create () in
+        let id = Review.submit review ~author:"a" ~title:"t" ~base:None [] in
+        ignore (Review.approve review id ~reviewer:"b");
+        Alcotest.(check bool) "second fails" true
+          (Review.approve review id ~reviewer:"c" <> Ok ()));
+    Alcotest.test_case "test results posted" `Quick (fun () ->
+        let review = Review.create () in
+        let id = Review.submit review ~author:"a" ~title:"t" ~base:None [] in
+        Review.post_test_result review id ~name:"ci" ~passed:true ~detail:"ok";
+        let diff = Option.get (Review.get review id) in
+        Alcotest.(check int) "one result" 1 (List.length diff.Review.test_results));
+    Alcotest.test_case "pending excludes decided" `Quick (fun () ->
+        let review = Review.create () in
+        let a = Review.submit review ~author:"a" ~title:"1" ~base:None [] in
+        let _b = Review.submit review ~author:"a" ~title:"2" ~base:None [] in
+        ignore (Review.reject review a ~reviewer:"r" ~reason:"nope");
+        Alcotest.(check int) "one pending" 1 (List.length (Review.pending review)));
+  ]
+
+let compiled_of tree path =
+  match Compiler.compile (Compiler.create tree) path with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "compile: %a" Compiler.pp_error e
+
+let sandcastle_tests =
+  [
+    Alcotest.test_case "healthy artifacts pass defaults" `Quick (fun () ->
+        let sandcastle = Sandcastle.create () in
+        let tree = figure2_tree () in
+        let report = Sandcastle.run sandcastle [ compiled_of tree "jobs/cache_job.cconf" ] in
+        Alcotest.(check bool) "passed" true (Sandcastle.passed report));
+    Alcotest.test_case "oversize artifact fails" `Quick (fun () ->
+        let sandcastle = Sandcastle.create () in
+        let tree =
+          ST.of_alist [ "big.cconf", Printf.sprintf "export { blob: \"%s\" }"
+                          (String.make 1_100_000 'x') ]
+        in
+        let report = Sandcastle.run sandcastle [ compiled_of tree "big.cconf" ] in
+        Alcotest.(check bool) "failed" false (Sandcastle.passed report));
+    Alcotest.test_case "empty export fails" `Quick (fun () ->
+        let sandcastle = Sandcastle.create () in
+        let tree = ST.of_alist [ "empty.cconf", "export {}" ] in
+        let report = Sandcastle.run sandcastle [ compiled_of tree "empty.cconf" ] in
+        Alcotest.(check bool) "failed" false (Sandcastle.passed report));
+    Alcotest.test_case "custom check runs" `Quick (fun () ->
+        let sandcastle = Sandcastle.create ~with_defaults:false () in
+        Sandcastle.add_check sandcastle
+          { Sandcastle.check_name = "always-no"; run = (fun _ -> false, "nope") };
+        let report = Sandcastle.run sandcastle [] in
+        Alcotest.(check bool) "failed" false (Sandcastle.passed report));
+  ]
+
+let landing_tests =
+  [
+    Alcotest.test_case "serialized commits in FCFS order" `Quick (fun () ->
+        let engine = Engine.create () in
+        let repo = Cm_vcs.Repo.create () in
+        let landing = Landing.create engine repo in
+        let done_order = ref [] in
+        List.iter
+          (fun (name, path) ->
+            Landing.submit landing
+              { Landing.author = name; message = name; base = None;
+                changes = [ path, Some name ] }
+              ~on_result:(fun result ->
+                match result with
+                | Landing.Committed _ -> done_order := name :: !done_order
+                | Landing.Conflict _ -> Alcotest.fail "unexpected conflict"))
+          [ "first", "a"; "second", "b"; "third", "c" ];
+        Engine.run engine;
+        Alcotest.(check (list string)) "order" [ "first"; "second"; "third" ]
+          (List.rev !done_order);
+        Alcotest.(check int) "3 commits" 3 (Landing.committed landing));
+    Alcotest.test_case "true conflict rejected without blocking others" `Quick (fun () ->
+        let engine = Engine.create () in
+        let repo = Cm_vcs.Repo.create () in
+        let base0 = None in
+        let landing = Landing.create engine repo in
+        let outcomes = ref [] in
+        let submit name base changes =
+          Landing.submit landing
+            { Landing.author = name; message = name; base; changes }
+            ~on_result:(fun result -> outcomes := (name, result) :: !outcomes)
+        in
+        submit "w1" base0 [ "shared", Some "v1" ];
+        Engine.run engine;
+        let head1 = Cm_vcs.Repo.head repo in
+        (* w2 edits "shared" against the stale base: true conflict.
+           w3 edits another file against the stale base: fine. *)
+        submit "w2" base0 [ "shared", Some "v2" ];
+        submit "w3" base0 [ "other", Some "x" ];
+        Engine.run engine;
+        (match List.assoc "w2" !outcomes with
+        | Landing.Conflict [ "shared" ] -> ()
+        | _ -> Alcotest.fail "expected conflict on shared");
+        (match List.assoc "w3" !outcomes with
+        | Landing.Committed _ -> ()
+        | _ -> Alcotest.fail "expected w3 to land");
+        Alcotest.(check bool) "head moved" true (Cm_vcs.Repo.head repo <> head1));
+    Alcotest.test_case "direct mode pays retries under contention" `Quick (fun () ->
+        let engine = Engine.create () in
+        let repo = Cm_vcs.Repo.create () in
+        let landing = Landing.create ~mode:Landing.Direct engine repo in
+        let landed = ref 0 in
+        (* Ten committers race from the same base on distinct files. *)
+        for i = 1 to 10 do
+          Landing.submit landing
+            { Landing.author = Printf.sprintf "e%d" i; message = "m"; base = None;
+              changes = [ Printf.sprintf "f%d" i, Some "v" ] }
+            ~on_result:(fun result ->
+              match result with
+              | Landing.Committed _ -> incr landed
+              | Landing.Conflict _ -> Alcotest.fail "no true conflicts here")
+        done;
+        Engine.run engine;
+        Alcotest.(check int) "all land eventually" 10 !landed;
+        Alcotest.(check bool) "retries happened" true (Landing.retries landing > 0));
+    Alcotest.test_case "landing mode has no retries for the same race" `Quick (fun () ->
+        let engine = Engine.create () in
+        let repo = Cm_vcs.Repo.create () in
+        let landing = Landing.create engine repo in
+        for i = 1 to 10 do
+          Landing.submit landing
+            { Landing.author = Printf.sprintf "e%d" i; message = "m"; base = None;
+              changes = [ Printf.sprintf "f%d" i, Some "v" ] }
+            ~on_result:(fun _ -> ())
+        done;
+        Engine.run engine;
+        Alcotest.(check int) "no retries" 0 (Landing.retries landing);
+        Alcotest.(check int) "all landed" 10 (Landing.committed landing));
+  ]
+
+let tailer_tests =
+  [
+    Alcotest.test_case "tailer publishes committed artifacts" `Quick (fun () ->
+        let engine = Engine.create () in
+        let topo = Cm_sim.Topology.create ~regions:1 ~clusters_per_region:1 ~nodes_per_cluster:20 in
+        let net = Cm_sim.Net.create engine topo in
+        let zeus = Cm_zeus.Service.create net in
+        let repo = Cm_vcs.Repo.create () in
+        let tailer = Tailer.create ~poll_interval:2.0 engine repo zeus in
+        Tailer.start tailer;
+        ignore
+          (Cm_vcs.Repo.commit repo ~author:"a" ~message:"m" ~timestamp:0.0
+             [ "x.json", Some "{\"v\":1}"; "x.cconf", Some "export { v: 1 }" ]);
+        Engine.run_for engine 30.0;
+        (* Only the artifact, not the source, is distributed. *)
+        Alcotest.(check int) "one write" 1 (Tailer.writes_issued tailer);
+        Alcotest.(check (option string)) "in zeus" (Some "{\"v\":1}")
+          (Cm_zeus.Service.committed_value zeus "x.json");
+        Tailer.stop tailer);
+    Alcotest.test_case "no new commits, no writes" `Quick (fun () ->
+        let engine = Engine.create () in
+        let topo = Cm_sim.Topology.create ~regions:1 ~clusters_per_region:1 ~nodes_per_cluster:20 in
+        let net = Cm_sim.Net.create engine topo in
+        let zeus = Cm_zeus.Service.create net in
+        let repo = Cm_vcs.Repo.create () in
+        let tailer = Tailer.create engine repo zeus in
+        Tailer.start tailer;
+        Engine.run_for engine 60.0;
+        Alcotest.(check int) "zero" 0 (Tailer.writes_issued tailer);
+        Tailer.stop tailer);
+  ]
+
+let canary_env () =
+  let engine = Engine.create ~seed:11L () in
+  let topo =
+    Cm_sim.Topology.create ~regions:2 ~clusters_per_region:2 ~nodes_per_cluster:100
+  in
+  engine, topo
+
+let canary_tests =
+  [
+    Alcotest.test_case "healthy config passes all phases" `Quick (fun () ->
+        let engine, topo = canary_env () in
+        match Canary.run_sync engine topo ~sampler:Pipeline.healthy_sampler with
+        | Canary.Passed -> ()
+        | Canary.Failed f -> Alcotest.failf "failed: %s %s" f.Canary.failed_phase f.Canary.detail);
+    Alcotest.test_case "type I error spike caught in small phase" `Quick (fun () ->
+        let engine, topo = canary_env () in
+        let rng = Cm_sim.Rng.create 3L in
+        let sampler = Faults.type_i_sampler rng ~detectable:true in
+        match Canary.run_sync engine topo ~sampler with
+        | Canary.Failed f ->
+            Alcotest.(check string) "phase 1" "p1-20-servers" f.Canary.failed_phase
+        | Canary.Passed -> Alcotest.fail "should have failed");
+    Alcotest.test_case "type II load issue only caught at cluster scale (6.4 incident)"
+      `Quick (fun () ->
+        let engine, topo = canary_env () in
+        let rng = Cm_sim.Rng.create 4L in
+        let sampler = Faults.type_ii_sampler rng ~detectable:true in
+        match Canary.run_sync engine topo ~sampler with
+        | Canary.Failed f ->
+            Alcotest.(check string) "phase 2" "p2-cluster" f.Canary.failed_phase
+        | Canary.Passed -> Alcotest.fail "should have failed");
+    Alcotest.test_case "type III crash aborts quickly" `Quick (fun () ->
+        let engine, topo = canary_env () in
+        let rng = Cm_sim.Rng.create 5L in
+        let sampler = Faults.type_iii_sampler rng ~manifests:true in
+        let start = Engine.now engine in
+        match Canary.run_sync engine topo ~sampler with
+        | Canary.Failed f ->
+            Alcotest.(check string) "no crashes check" "no crashes" f.Canary.failed_check;
+            Alcotest.(check bool) "fast abort" true (Engine.now engine -. start < 60.0)
+        | Canary.Passed -> Alcotest.fail "should have failed");
+    Alcotest.test_case "undetectable type II escapes the canary" `Quick (fun () ->
+        let engine, topo = canary_env () in
+        let rng = Cm_sim.Rng.create 6L in
+        let sampler = Faults.type_ii_sampler rng ~detectable:false in
+        match Canary.run_sync engine topo ~sampler with
+        | Canary.Passed -> () (* it ships, and becomes a production incident *)
+        | Canary.Failed _ -> Alcotest.fail "undetectable error should slip through");
+  ]
+
+(* --- pipeline end-to-end --------------------------------------------- *)
+
+let pipeline_env ?validators () =
+  let tree = figure2_tree () in
+  let engine = Engine.create ~seed:21L () in
+  let topo =
+    Cm_sim.Topology.create ~regions:2 ~clusters_per_region:2 ~nodes_per_cluster:60
+  in
+  let net = Cm_sim.Net.create engine topo in
+  let zeus = Cm_zeus.Service.create net in
+  let pipeline = Pipeline.create ?validators net zeus tree in
+  Pipeline.bootstrap pipeline;
+  Pipeline.start pipeline;
+  engine, zeus, pipeline
+
+let cache_job_v2 =
+  {|
+import "modules/create_job.cinc"
+export create_job("cache", 4096)
+|}
+
+let pipeline_tests =
+  [
+    Alcotest.test_case "good change lands and reaches clients" `Quick (fun () ->
+        let engine, zeus, pipeline = pipeline_env () in
+        let client = Client.create zeus ~node:40 in
+        Client.want client "jobs/cache_job.json";
+        Engine.run_for engine 10.0;
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"dana"
+            [ "jobs/cache_job.cconf", cache_job_v2 ]
+        in
+        Alcotest.(check string) "landed" "landed" (Pipeline.outcome_stage outcome);
+        Engine.run_for engine 30.0;
+        (match Client.get_json client "jobs/cache_job.json" with
+        | Some json ->
+            Alcotest.(check bool) "memory updated" true
+              (Cm_json.Value.member "memory_mb" json = Some (Cm_json.Value.Int 4096))
+        | None -> Alcotest.fail "client missing config");
+        Alcotest.(check int) "landed count" 1 (Pipeline.landed_count pipeline));
+    Alcotest.test_case "compile error rejected before review" `Quick (fun () ->
+        let _, _, pipeline = pipeline_env () in
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"dana"
+            [ "jobs/cache_job.cconf", "export nosuchthing" ]
+        in
+        Alcotest.(check string) "compile" "compile" (Pipeline.outcome_stage outcome));
+    Alcotest.test_case "validator rejects at compile stage" `Quick (fun () ->
+        let validators = Validator.create () in
+        Validator.register validators ~type_name:"Job"
+          (Validator.field_int_range ~field:"memory_mb" ~min:1 ~max:4096);
+        let _, _, pipeline = pipeline_env ~validators () in
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"dana"
+            [ "jobs/cache_job.cconf",
+              "import \"modules/create_job.cinc\"\nexport create_job(\"cache\", 99999)" ]
+        in
+        Alcotest.(check string) "compile" "compile" (Pipeline.outcome_stage outcome));
+    Alcotest.test_case "editing a shared module recompiles importers" `Quick (fun () ->
+        let engine, zeus, pipeline = pipeline_env () in
+        let client = Client.create zeus ~node:41 in
+        Client.want client "jobs/cache_job.json";
+        Client.want client "jobs/security_job.json";
+        Engine.run_for engine 10.0;
+        (* Change the default args in the shared module: both job
+           configs must be recompiled and redistributed in one commit. *)
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"dana"
+            [ "modules/create_job.cinc",
+              {|
+import_thrift "schemas/job.thrift"
+def create_job(name, memory = 1024) =
+  Job { name = name, memory_mb = memory, args = ["--service2", name] }
+|} ]
+        in
+        Alcotest.(check string) "landed" "landed" (Pipeline.outcome_stage outcome);
+        Engine.run_for engine 30.0;
+        List.iter
+          (fun path ->
+            match Client.get_json client path with
+            | Some json ->
+                let args = Option.get (Cm_json.Value.member "args" json) in
+                Alcotest.(check bool)
+                  (path ^ " recompiled")
+                  true
+                  (Cm_json.Value.index 0 args = Some (Cm_json.Value.String "--service2"))
+            | None -> Alcotest.failf "missing %s" path)
+          [ "jobs/cache_job.json"; "jobs/security_job.json" ]);
+    Alcotest.test_case "bad canary rolls back" `Quick (fun () ->
+        let _, _, pipeline = pipeline_env () in
+        let rng = Cm_sim.Rng.create 8L in
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"dana"
+            ~sampler:(Faults.type_i_sampler rng ~detectable:true)
+            [ "jobs/cache_job.cconf", cache_job_v2 ]
+        in
+        Alcotest.(check string) "canary" "canary" (Pipeline.outcome_stage outcome);
+        (* Tree unchanged: the change never landed. *)
+        let current =
+          Option.get (ST.read (Pipeline.tree pipeline) "jobs/cache_job.cconf")
+        in
+        Alcotest.(check bool) "rolled back" false (current = cache_job_v2));
+    Alcotest.test_case "skip_canary lands directly" `Quick (fun () ->
+        let _, _, pipeline = pipeline_env () in
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"tool" ~skip_canary:true
+            [ "raw/knob.json", {|{"threshold": 9}|} ]
+        in
+        Alcotest.(check string) "landed" "landed" (Pipeline.outcome_stage outcome));
+    Alcotest.test_case "emergency rollback restores the previous version" `Quick (fun () ->
+        let engine, zeus, pipeline = pipeline_env () in
+        let client = Client.create zeus ~node:45 in
+        Client.want client "raw/knob.json";
+        Engine.run_for engine 10.0;
+        (* Land a bad value, then roll it back. *)
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"dana" ~skip_canary:true
+            [ "raw/knob.json", {|{"threshold": 9999}|} ]
+        in
+        Alcotest.(check string) "bad landed" "landed" (Pipeline.outcome_stage outcome);
+        let mutator = Mutator.create pipeline in
+        let result = ref None in
+        Mutator.rollback mutator ~tool:"oncall" ~path:"raw/knob.json"
+          ~on_done:(fun o -> result := Some o);
+        let rec drive () =
+          match !result with
+          | Some o -> o
+          | None -> if Engine.step engine then drive () else Alcotest.fail "drained"
+        in
+        Alcotest.(check string) "rollback landed" "landed" (Pipeline.outcome_stage (drive ()));
+        Alcotest.(check (option string)) "tree restored" (Some {|{"threshold": 5}|})
+          (ST.read (Pipeline.tree pipeline) "raw/knob.json");
+        Engine.run_for engine 30.0;
+        match Client.get_json client "raw/knob.json" with
+        | Some json ->
+            Alcotest.(check bool) "fleet restored" true
+              (Cm_json.Value.member "threshold" json = Some (Cm_json.Value.Int 5))
+        | None -> Alcotest.fail "client missing config");
+    Alcotest.test_case "rollback without history is refused" `Quick (fun () ->
+        let _, _, pipeline = pipeline_env () in
+        let mutator = Mutator.create pipeline in
+        match
+          Mutator.rollback mutator ~tool:"oncall" ~path:"raw/knob.json" ~on_done:(fun _ -> ())
+        with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "breaking thrift change flagged on the review (6.4 incident)" `Quick
+      (fun () ->
+        let _, _, pipeline = pipeline_env () in
+        (* Drop a field old clients require and change a type. *)
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"dana" ~skip_canary:true
+            [ "schemas/job.thrift",
+              {|
+enum JobKind { BATCH = 0, SERVICE = 1 }
+struct Job {
+  1: required i64 name;
+  3: list<string> args;
+  4: JobKind kind = JobKind.SERVICE;
+}
+|};
+              "modules/create_job.cinc",
+              {|
+import_thrift "schemas/job.thrift"
+def create_job(name, memory = 1024) =
+  Job { name = 7, args = [str(memory)] }
+|} ]
+        in
+        Alcotest.(check string) "landed (flag is informational)" "landed"
+          (Pipeline.outcome_stage outcome);
+        let review = Pipeline.review pipeline in
+        let flagged =
+          List.exists
+            (fun id ->
+              match Review.get review id with
+              | Some diff ->
+                  List.exists
+                    (fun (name, passed, _) ->
+                      (not passed)
+                      && String.length name >= 13
+                      && String.sub name 0 13 = "schema-compat")
+                    diff.Review.test_results
+              | None -> false)
+            [ 1; 2; 3 ]
+        in
+        Alcotest.(check bool) "compat flag posted" true flagged);
+    Alcotest.test_case "mutator transforms raw config" `Quick (fun () ->
+        let engine, _, pipeline = pipeline_env () in
+        let mutator = Mutator.create pipeline in
+        let result = ref None in
+        Mutator.set_raw mutator ~tool:"traffic-bot" ~path:"raw/knob.json"
+          ~content:{|{"threshold": 42}|} ~on_done:(fun o -> result := Some o);
+        let rec drive () =
+          match !result with
+          | Some o -> o
+          | None ->
+              if Engine.step engine then drive () else Alcotest.fail "drained"
+        in
+        Alcotest.(check string) "landed" "landed" (Pipeline.outcome_stage (drive ()));
+        Alcotest.(check (option string)) "tree updated" (Some {|{"threshold": 42}|})
+          (Mutator.read mutator "raw/knob.json"));
+  ]
+
+let client_tests =
+  [
+    Alcotest.test_case "typed read under application schema" `Quick (fun () ->
+        let engine, zeus, pipeline = pipeline_env () in
+        ignore pipeline;
+        let client = Client.create zeus ~node:42 in
+        Client.want client "jobs/cache_job.json";
+        Engine.run_for engine 10.0;
+        let schema =
+          Cm_thrift.Idl.parse_exn
+            "enum JobKind { BATCH = 0, SERVICE = 1 } struct Job { 1: required string name; 2: i32 memory_mb; }"
+        in
+        match Client.get_typed client ~schema ~type_name:"Job" "jobs/cache_job.json" with
+        | Ok v ->
+            Alcotest.(check bool) "name" true
+              (TValue.field "name" v = Some (TValue.Str "cache"))
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "old client schema mismatch surfaces as error" `Quick (fun () ->
+        let engine, zeus, pipeline = pipeline_env () in
+        ignore pipeline;
+        let client = Client.create zeus ~node:43 in
+        Client.want client "jobs/cache_job.json";
+        Engine.run_for engine 10.0;
+        let old_schema =
+          Cm_thrift.Idl.parse_exn "struct Job { 1: required string legacy_field; }"
+        in
+        match Client.get_typed client ~schema:old_schema ~type_name:"Job" "jobs/cache_job.json" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected schema mismatch");
+  ]
+
+let faults_tests =
+  [
+    Alcotest.test_case "injection mix follows configured shares" `Quick (fun () ->
+        let rng = Cm_sim.Rng.create 17L in
+        let counts = Hashtbl.create 4 in
+        for _ = 1 to 5000 do
+          let injected = Faults.inject rng Faults.default_rates in
+          let key = Faults.error_type_name injected.Faults.etype in
+          Hashtbl.replace counts key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+        done;
+        let share name =
+          float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts name)) /. 5000.0
+        in
+        Alcotest.(check bool) "type I ~85%" true
+          (Float.abs (share (Faults.error_type_name Faults.Type_i) -. 0.85) < 0.03);
+        Alcotest.(check bool) "type II ~11%" true
+          (Float.abs (share (Faults.error_type_name Faults.Type_ii) -. 0.11) < 0.02));
+    Alcotest.test_case "healthy sampler has no crashes" `Quick (fun () ->
+        let rng = Cm_sim.Rng.create 18L in
+        let sampler = Faults.healthy rng in
+        for _ = 1 to 100 do
+          let metrics = sampler ~node:0 ~test:true ~cohort:500 in
+          Alcotest.(check (float 1e-9)) "no crash" 0.0 (List.assoc "crashes" metrics)
+        done);
+  ]
+
+let risk_tests =
+  [
+    Alcotest.test_case "quiet config, regular author: low risk" `Quick (fun () ->
+        let history =
+          { Core.Risk.write_days = [ 0.0; 10.0; 20.0 ]; authors = [ "dana" ]; fanout = 1 }
+        in
+        let a =
+          Core.Risk.assess ~history ~now:30.0 ~old_text:(Some "a\nb") ~new_text:"a\nc"
+            ~author:"dana" ()
+        in
+        Alcotest.(check string) "low" "low" (Core.Risk.level_name a.Core.Risk.level));
+    Alcotest.test_case "dormant config suddenly changed (the paper's example)" `Quick
+      (fun () ->
+        let history =
+          { Core.Risk.write_days = [ 0.0; 5.0 ]; authors = [ "dana" ]; fanout = 0 }
+        in
+        let a =
+          Core.Risk.assess ~history ~now:400.0 ~old_text:(Some "x") ~new_text:"y"
+            ~author:"dana" ()
+        in
+        Alcotest.(check bool) "dormant signal" true
+          (List.exists
+             (fun s -> s.Core.Risk.signal_name = "dormant-awakened")
+             a.Core.Risk.signals));
+    Alcotest.test_case "dormant + stranger + big diff = HIGH" `Quick (fun () ->
+        let history =
+          { Core.Risk.write_days = [ 0.0 ]; authors = [ "dana" ]; fanout = 20 }
+        in
+        let old_text = String.concat "\n" (List.init 10 string_of_int) in
+        let new_text = String.concat "\n" (List.init 200 (fun i -> string_of_int (i * 7))) in
+        let a =
+          Core.Risk.assess ~history ~now:400.0 ~old_text:(Some old_text) ~new_text
+            ~author:"intern" ()
+        in
+        Alcotest.(check string) "high" "HIGH" (Core.Risk.level_name a.Core.Risk.level);
+        Alcotest.(check bool) "several signals" true (List.length a.Core.Risk.signals >= 3));
+    Alcotest.test_case "highly-shared config flagged" `Quick (fun () ->
+        let history =
+          {
+            Core.Risk.write_days = [ 0.0; 1.0; 2.0 ];
+            authors = List.init 30 (fun i -> Printf.sprintf "eng%d" i);
+            fanout = 0;
+          }
+        in
+        let a =
+          Core.Risk.assess ~history ~now:3.0 ~old_text:(Some "x") ~new_text:"y"
+            ~author:"eng0" ()
+        in
+        Alcotest.(check bool) "shared signal" true
+          (List.exists (fun s -> s.Core.Risk.signal_name = "highly-shared") a.Core.Risk.signals));
+    Alcotest.test_case "history_of_repo extracts writes, authors, fanout" `Quick (fun () ->
+        let repo = Cm_vcs.Repo.create () in
+        ignore
+          (Cm_vcs.Repo.commit repo ~author:"a" ~message:"m" ~timestamp:(1.0 *. 86400.0)
+             [ "base.cinc", Some "B = 1"; "top.cconf", Some "import \"base.cinc\"\nexport { b: B }" ]);
+        ignore
+          (Cm_vcs.Repo.commit repo ~author:"b" ~message:"m" ~timestamp:(5.0 *. 86400.0)
+             [ "base.cinc", Some "B = 2" ]);
+        let tree =
+          ST.of_alist
+            [ "base.cinc", "B = 2"; "top.cconf", "import \"base.cinc\"\nexport { b: B }" ]
+        in
+        let dep = Depgraph.create () in
+        Depgraph.scan dep tree;
+        let history = Core.Risk.history_of_repo repo dep ~path:"base.cinc" ~now:10.0 in
+        Alcotest.(check int) "two writes" 2 (List.length history.Core.Risk.write_days);
+        Alcotest.(check (list string)) "authors" [ "a"; "b" ] history.Core.Risk.authors;
+        Alcotest.(check int) "fanout" 1 history.Core.Risk.fanout);
+    Alcotest.test_case "pipeline posts risk flags to the review" `Quick (fun () ->
+        let engine, _, pipeline = pipeline_env () in
+        ignore engine;
+        (* An author who never touched the file + a much bigger config. *)
+        let big =
+          "import \"modules/create_job.cinc\"\n"
+          ^ String.concat "\n"
+              (List.init 60 (fun i -> Printf.sprintf "x%d = %d" i i))
+          ^ "\nexport create_job(\"cache\", 4096)"
+        in
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"stranger"
+            [ "jobs/cache_job.cconf", big ]
+        in
+        Alcotest.(check string) "landed" "landed" (Pipeline.outcome_stage outcome);
+        let review = Pipeline.review pipeline in
+        let flagged =
+          List.exists
+            (fun diff ->
+              List.exists
+                (fun (name, _, _) ->
+                  String.length name >= 9 && String.sub name 0 9 = "risk-flag")
+                diff.Review.test_results)
+            (List.filter_map (fun id -> Review.get review id) [ 1; 2; 3 ])
+        in
+        Alcotest.(check bool) "flag posted" true flagged);
+  ]
+
+let canary_spec_tests =
+  [
+    Alcotest.test_case "spec json round trip" `Quick (fun () ->
+        let spec = Canary.default_spec in
+        match Canary.spec_of_json (Canary.spec_to_json spec) with
+        | Ok back ->
+            Alcotest.(check int) "phases" (List.length spec.Canary.phases)
+              (List.length back.Canary.phases);
+            let p = List.hd back.Canary.phases in
+            Alcotest.(check string) "name" "p1-20-servers" p.Canary.phase_name;
+            Alcotest.(check int) "checks" 4 (List.length p.Canary.checks)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "spec parse errors" `Quick (fun () ->
+        List.iter
+          (fun text ->
+            match Canary.spec_of_string text with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "should reject %s" text)
+          [ "{}"; "{\"phases\": []}"; "{\"phases\": [{\"name\": \"p\"}]}"; "not json" ]);
+    Alcotest.test_case "per-config .canary file drives the pipeline" `Quick (fun () ->
+        let engine, _, pipeline = pipeline_env () in
+        (* A quick one-phase spec: 10 servers for 20 seconds. *)
+        let spec_json =
+          {|{"phases":[{"name":"quick","target":{"servers":10},"duration":20,"sample_every":5}]}|}
+        in
+        let t0 = Engine.now engine in
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"dana"
+            [ "jobs/cache_job.cconf.canary", spec_json;
+              "jobs/cache_job.cconf", cache_job_v2 ]
+        in
+        Alcotest.(check string) "landed" "landed" (Pipeline.outcome_stage outcome);
+        (* Default spec takes 600s of canary; the quick one ~20s. *)
+        Alcotest.(check bool) "fast canary" true (Engine.now engine -. t0 < 400.0));
+    Alcotest.test_case "invalid .canary file rejected at compile" `Quick (fun () ->
+        let _, _, pipeline = pipeline_env () in
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"dana"
+            [ "jobs/cache_job.cconf.canary", "{\"phases\": 3}";
+              "jobs/cache_job.cconf", cache_job_v2 ]
+        in
+        Alcotest.(check string) "compile" "compile" (Pipeline.outcome_stage outcome));
+  ]
+
+let ui_tests =
+  [
+    Alcotest.test_case "apply_edits navigates structs and maps" `Quick (fun () ->
+        let schema =
+          Cm_thrift.Idl.parse_exn
+            "struct S { 1: required string name; 2: i32 n; 3: map<string, i64> limits; }"
+        in
+        let v =
+          TValue.Struct
+            ( "S",
+              [ "name", TValue.Str "x"; "n", TValue.Int 1;
+                "limits", TValue.Map [ TValue.Str "cpu", TValue.Int 4 ] ] )
+        in
+        match
+          Core.Ui.apply_edits ~schema ~type_name:"S" v
+            [ Core.Ui.set [ "n" ] (TValue.Int 9);
+              Core.Ui.set [ "limits"; "cpu" ] (TValue.Int 8) ]
+        with
+        | Ok updated ->
+            Alcotest.(check bool) "n" true (TValue.field "n" updated = Some (TValue.Int 9));
+            Alcotest.(check bool) "cpu" true
+              (TValue.field "limits" updated
+              = Some (TValue.Map [ TValue.Str "cpu", TValue.Int 8 ]))
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "edit violating the schema fails before review" `Quick (fun () ->
+        let schema = Cm_thrift.Idl.parse_exn "struct S { 1: i32 n; }" in
+        let v = TValue.Struct ("S", [ "n", TValue.Int 1 ]) in
+        match
+          Core.Ui.apply_edits ~schema ~type_name:"S" v
+            [ Core.Ui.set [ "n" ] (TValue.Str "not an int") ]
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected schema rejection");
+    Alcotest.test_case "unknown field rejected" `Quick (fun () ->
+        let schema = Cm_thrift.Idl.parse_exn "struct S { 1: i32 n; }" in
+        let v = TValue.Struct ("S", [ "n", TValue.Int 1 ]) in
+        match
+          Core.Ui.apply_edits ~schema ~type_name:"S" v
+            [ Core.Ui.set [ "typo" ] (TValue.Int 2) ]
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    Alcotest.test_case "describe_edits renders the review text" `Quick (fun () ->
+        let v = TValue.Struct ("S", [ "sampling", TValue.Int 1 ]) in
+        let text =
+          Core.Ui.describe_edits ~old_value:v
+            [ Core.Ui.set [ "sampling" ] (TValue.Int 10) ]
+        in
+        Alcotest.(check string) "text" "Updated sampling from 1 to 10" text);
+    Alcotest.test_case "source_of_value compiles back to the same JSON" `Quick (fun () ->
+        let tree = figure2_tree () in
+        let compiler = Compiler.create tree in
+        let compiled =
+          match Compiler.compile compiler "jobs/cache_job.cconf" with
+          | Ok c -> c
+          | Error e -> Alcotest.failf "compile: %a" Compiler.pp_error e
+        in
+        let value =
+          match
+            Cm_thrift.Codec.decode_struct compiled.Compiler.schema "Job"
+              compiled.Compiler.json
+          with
+          | Ok v -> v
+          | Error e -> Alcotest.failf "decode: %a" Cm_thrift.Codec.pp_error e
+        in
+        match Core.Ui.source_of_value ~thrift_imports:[ "schemas/job.thrift" ] value with
+        | Error e -> Alcotest.fail e
+        | Ok source -> (
+            ST.write tree "jobs/cache_job_ui.cconf" source;
+            match Compiler.compile compiler "jobs/cache_job_ui.cconf" with
+            | Ok c2 ->
+                Alcotest.(check string) "same artifact" compiled.Compiler.json_text
+                  c2.Compiler.json_text
+            | Error e -> Alcotest.failf "generated source failed: %a" Compiler.pp_error e));
+    Alcotest.test_case "full UI round trip through the pipeline" `Quick (fun () ->
+        let engine, zeus, pipeline = pipeline_env () in
+        let client = Client.create zeus ~node:44 in
+        Client.want client "jobs/cache_job.json";
+        Engine.run_for engine 10.0;
+        let result = ref None in
+        Core.Ui.propose pipeline ~author:"pm-edit" ~config_path:"jobs/cache_job.cconf"
+          [ Core.Ui.set [ "memory_mb" ] (TValue.Int 3072) ]
+          ~on_done:(fun outcome -> result := Some outcome);
+        let rec drive () =
+          match !result with
+          | Some outcome -> outcome
+          | None -> if Engine.step engine then drive () else Alcotest.fail "drained"
+        in
+        Alcotest.(check string) "landed" "landed" (Pipeline.outcome_stage (drive ()));
+        (* The diff title is the generated description. *)
+        let review = Pipeline.review pipeline in
+        let titled =
+          List.exists
+            (fun id ->
+              match Review.get review id with
+              | Some diff -> diff.Review.title = "Updated memory_mb from 2048 to 3072"
+              | None -> false)
+            [ 1; 2; 3 ]
+        in
+        Alcotest.(check bool) "review title" true titled;
+        Engine.run_for engine 30.0;
+        match Client.get_json client "jobs/cache_job.json" with
+        | Some json ->
+            Alcotest.(check bool) "fleet updated" true
+              (Cm_json.Value.member "memory_mb" json = Some (Cm_json.Value.Int 3072))
+        | None -> Alcotest.fail "client missing config");
+  ]
+
+(* --- property tests --------------------------------------------------- *)
+
+let gen_spec =
+  let open QCheck2.Gen in
+  let predicate =
+    oneof
+      [
+        pure Canary.No_crashes;
+        map2 (fun m x -> Canary.Metric_below (m, x)) (oneofl [ "error_rate"; "latency_ms" ])
+          (float_range 0.1 100.0);
+        map2
+          (fun m x -> Canary.Relative_increase_at_most (m, x))
+          (oneofl [ "error_rate"; "latency_ms" ])
+          (float_range 0.01 1.0);
+        map2
+          (fun m x -> Canary.Relative_drop_at_most (m, x))
+          (oneofl [ "ctr" ])
+          (float_range 0.01 1.0);
+      ]
+  in
+  let phase =
+    let* name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+    let* target = oneof [ pure Canary.Cluster; map (fun n -> Canary.Servers n) (int_range 1 50) ] in
+    let* duration = float_range 10.0 600.0 in
+    let* sample_every = float_range 1.0 60.0 in
+    let* checks = list_size (int_range 0 4) predicate in
+    pure { Canary.phase_name = name; target; duration; sample_every; checks }
+  in
+  QCheck2.Gen.map (fun phases -> { Canary.phases }) (list_size (int_range 1 4) phase)
+
+let spec_roundtrip_property =
+  QCheck2.Test.make ~name:"canary spec JSON round-trips" ~count:200 gen_spec (fun spec ->
+      match Canary.spec_of_json (Canary.spec_to_json spec) with
+      | Error _ -> false
+      | Ok back ->
+          List.length back.Canary.phases = List.length spec.Canary.phases
+          && List.for_all2
+               (fun a b ->
+                 a.Canary.phase_name = b.Canary.phase_name
+                 && a.Canary.target = b.Canary.target
+                 && a.Canary.checks = b.Canary.checks)
+               spec.Canary.phases back.Canary.phases)
+
+let gen_job_value =
+  let open QCheck2.Gen in
+  let* name = string_size ~gen:(char_range 'a' 'z') (int_range 1 10) in
+  let* memory = int_range 64 65536 in
+  let* args = list_size (int_range 0 4) (string_size ~gen:(char_range 'a' 'z') (int_range 0 6)) in
+  let* kind = oneofl [ "BATCH"; "SERVICE" ] in
+  pure
+    (TValue.Struct
+       ( "Job",
+         [
+           "name", TValue.Str name;
+           "memory_mb", TValue.Int memory;
+           "args", TValue.List (List.map (fun a -> TValue.Str a) args);
+           "kind", TValue.Enum ("JobKind", kind);
+         ] ))
+
+let ui_source_roundtrip_property =
+  QCheck2.Test.make ~name:"UI-generated CSL compiles back to the same JSON" ~count:150
+    gen_job_value (fun value ->
+      let tree = figure2_tree () in
+      let compiler = Compiler.create tree in
+      match Core.Ui.source_of_value ~thrift_imports:[ "schemas/job.thrift" ] value with
+      | Error _ -> false
+      | Ok source -> (
+          ST.write tree "generated.cconf" source;
+          match Compiler.compile compiler "generated.cconf" with
+          | Error _ -> false
+          | Ok compiled -> (
+              let schema = Cm_thrift.Idl.parse_exn
+                  "enum JobKind { BATCH = 0, SERVICE = 1 }\nstruct Job { 1: required string name; 2: optional i32 memory_mb = 1024; 3: list<string> args; 4: JobKind kind = JobKind.SERVICE; }"
+              in
+              match Cm_thrift.Check.check_struct schema "Job" value with
+              | Error _ -> false
+              | Ok normalized ->
+                  Cm_json.Value.equal (Cm_thrift.Codec.encode normalized)
+                    compiled.Compiler.json)))
+
+let risk_monotone_property =
+  QCheck2.Test.make ~name:"risk score never decreases when a signal is added" ~count:200
+    QCheck2.Gen.(pair (float_range 0.0 500.0) (int_range 1 40))
+    (fun (idle, nauthors) ->
+      let history_small =
+        { Core.Risk.write_days = [ 0.0 ];
+          authors = List.init nauthors (fun i -> Printf.sprintf "e%d" i); fanout = 0 }
+      in
+      let history_fanout = { history_small with Core.Risk.fanout = 50 } in
+      let assess history =
+        (Core.Risk.assess ~history ~now:idle ~old_text:(Some "x") ~new_text:"y"
+           ~author:"e0" ())
+          .Core.Risk.score
+      in
+      assess history_fanout >= assess history_small)
+
+let core_properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ spec_roundtrip_property; ui_source_roundtrip_property; risk_monotone_property ]
+
+let () =
+  Alcotest.run "core"
+    [
+      "source_tree", source_tree_tests;
+      "validator", validator_tests;
+      "compiler", compiler_tests;
+      "depgraph", depgraph_tests;
+      "review", review_tests;
+      "sandcastle", sandcastle_tests;
+      "landing_strip", landing_tests;
+      "tailer", tailer_tests;
+      "canary", canary_tests;
+      "pipeline", pipeline_tests;
+      "client", client_tests;
+      "faults", faults_tests;
+      "risk", risk_tests;
+      "canary_spec", canary_spec_tests;
+      "ui", ui_tests;
+      "properties", core_properties;
+    ]

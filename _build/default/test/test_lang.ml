@@ -1,0 +1,456 @@
+module Parser = Cm_lang.Parser
+module Eval = Cm_lang.Eval
+module Ast = Cm_lang.Ast
+module Lexer = Cm_lang.Lexer
+
+(* Evaluate a single root file with an optional module environment. *)
+let run ?(files = []) source =
+  let loader target = List.assoc_opt target files in
+  Eval.run ~loader ~path:"main.cconf" ~source
+
+let export_of source ~files =
+  match run ~files source with
+  | Ok { Eval.export = Some v; _ } -> v
+  | Ok { Eval.export = None; _ } -> Alcotest.fail "no export"
+  | Error e -> Alcotest.failf "eval error: %a" Eval.pp_error e
+
+let eval_expr source =
+  match run ("result = " ^ source ^ "\nexport result") with
+  | Ok { Eval.export = Some v; _ } -> v
+  | Ok _ -> Alcotest.fail "no export"
+  | Error e -> Alcotest.failf "eval error: %a" Eval.pp_error e
+
+let check_value expected source () =
+  let v = eval_expr source in
+  if not (Eval.value_equal expected v) then
+    Alcotest.failf "expected %a, got %a" Eval.pp_value expected Eval.pp_value v
+
+let check_runtime_error source () =
+  match run ("result = " ^ source ^ "\nexport result") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "expected error for %s" source
+
+let expr_tests =
+  [
+    Alcotest.test_case "arithmetic precedence" `Quick
+      (check_value (Eval.V_int 14) "2 + 3 * 4");
+    Alcotest.test_case "parens" `Quick (check_value (Eval.V_int 20) "(2 + 3) * 4");
+    Alcotest.test_case "unary minus" `Quick (check_value (Eval.V_int (-5)) "-(2 + 3)");
+    Alcotest.test_case "float arithmetic" `Quick
+      (check_value (Eval.V_float 7.5) "2.5 * 3.0");
+    Alcotest.test_case "mixed int float" `Quick (check_value (Eval.V_float 3.5) "3 + 0.5");
+    Alcotest.test_case "modulo" `Quick (check_value (Eval.V_int 2) "17 % 5");
+    Alcotest.test_case "division by zero" `Quick (check_runtime_error "1 / 0");
+    Alcotest.test_case "string concat" `Quick
+      (check_value (Eval.V_str "ab") {|"a" + "b"|});
+    Alcotest.test_case "string repeat" `Quick (check_value (Eval.V_str "xxx") {|"x" * 3|});
+    Alcotest.test_case "list concat" `Quick
+      (check_value (Eval.V_list [ Eval.V_int 1; Eval.V_int 2 ]) "[1] + [2]");
+    Alcotest.test_case "comparisons" `Quick (check_value (Eval.V_bool true) "3 < 4");
+    Alcotest.test_case "string compare" `Quick
+      (check_value (Eval.V_bool true) {|"abc" <= "abd"|});
+    Alcotest.test_case "equality structural" `Quick
+      (check_value (Eval.V_bool true) "[1, 2] == [1, 2]");
+    Alcotest.test_case "boolean and short-circuits" `Quick
+      (check_value (Eval.V_bool false) "false and (1 / 0 == 0)");
+    Alcotest.test_case "boolean or short-circuits" `Quick
+      (check_value (Eval.V_bool true) "true or (1 / 0 == 0)");
+    Alcotest.test_case "not" `Quick (check_value (Eval.V_bool false) "not true");
+    Alcotest.test_case "if expression" `Quick
+      (check_value (Eval.V_str "big") {|if 10 > 5 then "big" else "small"|});
+    Alcotest.test_case "non-bool condition fails" `Quick
+      (check_runtime_error {|if 1 then 2 else 3|});
+    Alcotest.test_case "let in" `Quick
+      (check_value (Eval.V_int 30) "let x = 10 in x * 3");
+    Alcotest.test_case "let shadows" `Quick
+      (check_value (Eval.V_int 2) "let x = 1 in let x = 2 in x");
+    Alcotest.test_case "list index" `Quick (check_value (Eval.V_int 20) "[10, 20, 30][1]");
+    Alcotest.test_case "negative index" `Quick
+      (check_value (Eval.V_int 30) "[10, 20, 30][-1]");
+    Alcotest.test_case "index out of bounds" `Quick (check_runtime_error "[1][5]");
+    Alcotest.test_case "map literal and lookup" `Quick
+      (check_value (Eval.V_int 1) {|{a: 1, b: 2}["a"]|});
+    Alcotest.test_case "map dot access" `Quick
+      (check_value (Eval.V_int 2) "{a: 1, b: 2}.b");
+    Alcotest.test_case "string index" `Quick (check_value (Eval.V_str "b") {|"abc"[1]|});
+    Alcotest.test_case "unbound variable" `Quick (check_runtime_error "nosuchvar");
+  ]
+
+let builtin_tests =
+  [
+    Alcotest.test_case "len" `Quick (check_value (Eval.V_int 3) "len([1, 2, 3])");
+    Alcotest.test_case "len string" `Quick (check_value (Eval.V_int 2) {|len("ab")|});
+    Alcotest.test_case "str" `Quick (check_value (Eval.V_str "42") "str(42)");
+    Alcotest.test_case "int of string" `Quick (check_value (Eval.V_int 7) {|int("7")|});
+    Alcotest.test_case "int parse failure" `Quick (check_runtime_error {|int("x")|});
+    Alcotest.test_case "float of int" `Quick (check_value (Eval.V_float 3.0) "float(3)");
+    Alcotest.test_case "range" `Quick
+      (check_value (Eval.V_list [ Eval.V_int 0; Eval.V_int 1; Eval.V_int 2 ]) "range(3)");
+    Alcotest.test_case "range lo hi" `Quick
+      (check_value (Eval.V_list [ Eval.V_int 5; Eval.V_int 6 ]) "range(5, 7)");
+    Alcotest.test_case "keys values get" `Quick
+      (check_value (Eval.V_int 9) {|get({a: 9}, "a", 0)|});
+    Alcotest.test_case "get default" `Quick
+      (check_value (Eval.V_int 0) {|get({a: 9}, "z", 0)|});
+    Alcotest.test_case "sorted" `Quick
+      (check_value
+         (Eval.V_list [ Eval.V_int 1; Eval.V_int 2; Eval.V_int 3 ])
+         "sorted([3, 1, 2])");
+    Alcotest.test_case "sum" `Quick (check_value (Eval.V_int 6) "sum([1, 2, 3])");
+    Alcotest.test_case "min max abs" `Quick
+      (check_value (Eval.V_int 7) "max(min(9, 7), abs(-3))");
+    Alcotest.test_case "contains list" `Quick
+      (check_value (Eval.V_bool true) "contains([1, 2], 2)");
+    Alcotest.test_case "contains string" `Quick
+      (check_value (Eval.V_bool true) {|contains("hello", "ell")|});
+    Alcotest.test_case "join split" `Quick
+      (check_value (Eval.V_str "a-b") {|join("-", split("a b", " "))|});
+    Alcotest.test_case "upper lower" `Quick
+      (check_value (Eval.V_str "AB") {|upper(lower("AB"))|});
+    Alcotest.test_case "merge right bias" `Quick
+      (check_value (Eval.V_int 2) {|merge({a: 1}, {a: 2})["a"]|});
+    Alcotest.test_case "override on map replaces and adds" `Quick
+      (check_value (Eval.V_int 5) {|override({a: 1, b: 2}, {b: 5})["b"]|});
+    Alcotest.test_case "override keeps untouched fields" `Quick
+      (check_value (Eval.V_int 1) {|override({a: 1, b: 2}, {b: 5})["a"]|});
+    Alcotest.test_case "override adds new keys" `Quick
+      (check_value (Eval.V_int 9) {|override({a: 1}, {c: 9})["c"]|});
+    Alcotest.test_case "override merges nested maps recursively" `Quick
+      (check_value (Eval.V_int 1)
+         {|override({limits: {cpu: 1, io: 2}}, {limits: {io: 8}})["limits"]["cpu"]|});
+    Alcotest.test_case "override non-map second arg fails" `Quick
+      (check_runtime_error {|override({a: 1}, 3)|});
+    Alcotest.test_case "format directives" `Quick
+      (check_value (Eval.V_str "cache listens on 8089 (75% warm)")
+         {|format("%s listens on %d (%d%% warm)", "cache", 8089, 75)|});
+    Alcotest.test_case "format floats" `Quick
+      (check_value (Eval.V_str "ratio 0.25") {|format("ratio %f", 0.25)|});
+    Alcotest.test_case "format missing args fails" `Quick
+      (check_runtime_error {|format("%s %s", "only-one")|});
+    Alcotest.test_case "format extra args fails" `Quick
+      (check_runtime_error {|format("%s", 1, 2)|});
+    Alcotest.test_case "format type mismatch fails" `Quick
+      (check_runtime_error {|format("%d", "not an int")|});
+  ]
+
+let program_tests =
+  [
+    Alcotest.test_case "def and call" `Quick (fun () ->
+        let v =
+          export_of ~files:[]
+            {|
+def double(x) = x * 2
+result = double(21)
+export result
+|}
+        in
+        Alcotest.(check bool) "42" true (Eval.value_equal (Eval.V_int 42) v));
+    Alcotest.test_case "default parameters" `Quick (fun () ->
+        let v =
+          export_of ~files:[]
+            {|
+def greet(name, prefix = "hello ") = prefix + name
+export greet("world")
+|}
+        in
+        Alcotest.(check bool) "hello world" true
+          (Eval.value_equal (Eval.V_str "hello world") v));
+    Alcotest.test_case "recursion" `Quick (fun () ->
+        let v =
+          export_of ~files:[]
+            {|
+def fact(n) = if n <= 1 then 1 else n * fact(n - 1)
+export fact(6)
+|}
+        in
+        Alcotest.(check bool) "720" true (Eval.value_equal (Eval.V_int 720) v));
+    Alcotest.test_case "forward reference at call time" `Quick (fun () ->
+        let v =
+          export_of ~files:[]
+            {|
+def f(x) = g(x) + 1
+def g(x) = x * 10
+export f(4)
+|}
+        in
+        Alcotest.(check bool) "41" true (Eval.value_equal (Eval.V_int 41) v));
+    Alcotest.test_case "higher-order map/filter" `Quick (fun () ->
+        let v =
+          export_of ~files:[]
+            {|
+def square(x) = x * x
+def big(x) = x > 5
+export filter(big, map(square, [1, 2, 3, 4]))
+|}
+        in
+        Alcotest.(check bool) "[9;16]" true
+          (Eval.value_equal (Eval.V_list [ Eval.V_int 9; Eval.V_int 16 ]) v));
+    Alcotest.test_case "missing argument" `Quick (fun () ->
+        match run {|
+def f(a, b) = a + b
+export f(1)
+|} with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "last export wins" `Quick (fun () ->
+        let v = export_of ~files:[] {|
+export 1
+export 2
+|} in
+        Alcotest.(check bool) "2" true (Eval.value_equal (Eval.V_int 2) v));
+  ]
+
+(* --- imports, modules, thrift --------------------------------------- *)
+
+let port_cinc = "APP_PORT = 8089"
+
+let app_files =
+  [
+    "app_port.cinc", port_cinc;
+    ( "shared.cinc",
+      {|
+import "app_port.cinc"
+def mk(name) = { name: name, port: APP_PORT }
+|} );
+  ]
+
+let import_tests =
+  [
+    Alcotest.test_case "import shares constants (paper's app_port)" `Quick (fun () ->
+        let v =
+          export_of ~files:app_files
+            {|
+import "app_port.cinc"
+export APP_PORT
+|}
+        in
+        Alcotest.(check bool) "8089" true (Eval.value_equal (Eval.V_int 8089) v));
+    Alcotest.test_case "transitive import" `Quick (fun () ->
+        let v =
+          export_of ~files:app_files
+            {|
+import "shared.cinc"
+export mk("app")["port"]
+|}
+        in
+        Alcotest.(check bool) "8089" true (Eval.value_equal (Eval.V_int 8089) v));
+    Alcotest.test_case "imported exports are ignored" `Quick (fun () ->
+        let files = [ "m.cinc", "x = 1\nexport 99" ] in
+        let v = export_of ~files {|
+import "m.cinc"
+export x
+|} in
+        Alcotest.(check bool) "1 not 99" true (Eval.value_equal (Eval.V_int 1) v));
+    Alcotest.test_case "missing import is an error" `Quick (fun () ->
+        match run {|
+import "nope.cinc"
+export 1
+|} with
+        | Error e -> Alcotest.(check bool) "mentions file" true
+            (String.length e.Eval.message > 0)
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "import cycle detected" `Quick (fun () ->
+        let files =
+          [ "a.cinc", "import \"b.cinc\"\nx = 1"; "b.cinc", "import \"a.cinc\"\ny = 2" ]
+        in
+        match run ~files {|
+import "a.cinc"
+export x
+|} with
+        | Error e -> Alcotest.(check bool) "cycle" true
+            (String.length e.Eval.message > 0)
+        | Ok _ -> Alcotest.fail "expected cycle error");
+    Alcotest.test_case "module evaluated once" `Quick (fun () ->
+        (* Diamond import: shared module loaded twice, evaluated once;
+           loaded list deduplicates. *)
+        let files =
+          [
+            "base.cinc", "B = 5";
+            "left.cinc", "import \"base.cinc\"\nl = B + 1";
+            "right.cinc", "import \"base.cinc\"\nr = B + 2";
+          ]
+        in
+        match
+          run ~files {|
+import "left.cinc"
+import "right.cinc"
+export l + r
+|}
+        with
+        | Ok { Eval.export = Some v; loaded; _ } ->
+            Alcotest.(check bool) "13" true (Eval.value_equal (Eval.V_int 13) v);
+            let base_loads =
+              List.length (List.filter (fun p -> p = "base.cinc") loaded)
+            in
+            Alcotest.(check int) "base loaded once" 1 base_loads
+        | Ok _ -> Alcotest.fail "no export"
+        | Error e -> Alcotest.failf "error: %a" Eval.pp_error e);
+    Alcotest.test_case "thrift struct and enum" `Quick (fun () ->
+        let files =
+          [
+            "job.thrift",
+            "enum K { A = 0, B = 1 } struct Job { 1: string name; 2: K kind; }";
+          ]
+        in
+        let v =
+          export_of ~files
+            {|
+import_thrift "job.thrift"
+export Job { name = "x", kind = K.B }
+|}
+        in
+        match v with
+        | Eval.V_struct ("Job", fields) ->
+            Alcotest.(check bool) "enum value" true
+              (List.assoc "kind" fields = Eval.V_enum ("K", "B"))
+        | other -> Alcotest.failf "unexpected %a" Eval.pp_value other);
+    Alcotest.test_case "bad enum member fails at eval" `Quick (fun () ->
+        let files = [ "e.thrift", "enum K { A = 0 }" ] in
+        match run ~files {|
+import_thrift "e.thrift"
+export K.NOPE
+|} with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "config inheritance: derived job overrides base (paper §8)" `Quick
+      (fun () ->
+        let v =
+          export_of ~files:[]
+            {|
+base = Job { name = "base", memory_mb = 1024, args = ["-v"] }
+derived = override(base, { name: "cache", memory_mb: 4096 })
+export derived
+|}
+        in
+        match v with
+        | Eval.V_struct ("Job", fields) ->
+            Alcotest.(check bool) "name overridden" true
+              (List.assoc "name" fields = Eval.V_str "cache");
+            Alcotest.(check bool) "memory overridden" true
+              (List.assoc "memory_mb" fields = Eval.V_int 4096);
+            Alcotest.(check bool) "args inherited" true
+              (List.assoc "args" fields = Eval.V_list [ Eval.V_str "-v" ])
+        | other -> Alcotest.failf "unexpected %a" Eval.pp_value other);
+    Alcotest.test_case "struct field access" `Quick (fun () ->
+        let v =
+          export_of ~files:[]
+            {|
+cfg = Widget { size = 10, label = "hi" }
+export cfg.size
+|}
+        in
+        Alcotest.(check bool) "10" true (Eval.value_equal (Eval.V_int 10) v));
+  ]
+
+let dep_tests =
+  [
+    Alcotest.test_case "static imports extracted" `Quick (fun () ->
+        let file =
+          Parser.parse_exn
+            {|
+import "a.cinc"
+import_thrift "b.thrift"
+x = 1
+import "c.cinc"
+|}
+        in
+        Alcotest.(check int) "3 imports" 3 (List.length (Ast.imports file)));
+    Alcotest.test_case "loaded reflects eval order" `Quick (fun () ->
+        let files = [ "a.cinc", "x = 1"; "b.thrift", "struct S { 1: i32 f; }" ] in
+        match run ~files {|
+import "a.cinc"
+import_thrift "b.thrift"
+export x
+|} with
+        | Ok { Eval.loaded; _ } ->
+            Alcotest.(check (list string)) "order" [ "a.cinc"; "b.thrift" ] loaded
+        | Error e -> Alcotest.failf "error: %a" Eval.pp_error e);
+  ]
+
+let error_tests =
+  [
+    Alcotest.test_case "runtime error carries line" `Quick (fun () ->
+        match run "x = 1\ny = 2\nz = nosuch\nexport z" with
+        | Error e -> Alcotest.(check int) "line 3" 3 e.Eval.line
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "parse error carries line" `Quick (fun () ->
+        match Parser.parse "x = 1\ny = = 2" with
+        | Error e -> Alcotest.(check int) "line 2" 2 e.Parser.line
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "lex error" `Quick (fun () ->
+        match Parser.parse "x = 1 ~ 2" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "comments ignored" `Quick
+      (check_value (Eval.V_int 3) "1 + 2 # trailing\n// whole line\n");
+  ]
+
+let conversion_tests =
+  [
+    Alcotest.test_case "to_thrift round trip" `Quick (fun () ->
+        let v =
+          Eval.V_struct
+            ( "S",
+              [
+                "a", Eval.V_int 1;
+                "b", Eval.V_list [ Eval.V_str "x" ];
+                "c", Eval.V_map [ Eval.V_str "k", Eval.V_bool true ];
+              ] )
+        in
+        match Eval.to_thrift v with
+        | Ok tv ->
+            Alcotest.(check bool) "round trip" true
+              (Eval.value_equal v (Eval.of_thrift tv))
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "functions not serializable" `Quick (fun () ->
+        match run {|
+def f(x) = x
+export f
+|} with
+        | Ok { Eval.export = Some v; _ } -> (
+            match Eval.to_thrift v with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "expected serialization failure")
+        | Ok _ | Error _ -> Alcotest.fail "expected export of function");
+  ]
+
+(* Property: integer arithmetic in CSL matches OCaml. *)
+let arith_property =
+  QCheck2.Test.make ~name:"CSL integer arithmetic matches OCaml" ~count:300
+    QCheck2.Gen.(triple (int_range (-10000) 10000) (int_range (-10000) 10000) (oneofl [ "+"; "-"; "*" ]))
+    (fun (a, b, op) ->
+      let source = Printf.sprintf "export (%d) %s (%d)" a op b in
+      let expected =
+        match op with "+" -> a + b | "-" -> a - b | "*" -> a * b | _ -> assert false
+      in
+      match run source with
+      | Ok { Eval.export = Some (Eval.V_int got); _ } -> got = expected
+      | _ -> false)
+
+let sorted_property =
+  QCheck2.Test.make ~name:"sorted() sorts" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 20) (int_range (-100) 100))
+    (fun xs ->
+      let literal = "[" ^ String.concat ", " (List.map string_of_int xs) ^ "]" in
+      match run ("export sorted(" ^ literal ^ ")") with
+      | Ok { Eval.export = Some (Eval.V_list got); _ } ->
+          let ints =
+            List.map (fun v -> match v with Eval.V_int n -> n | _ -> 0) got
+          in
+          ints = List.sort Int.compare xs
+      | _ -> false)
+
+let properties = List.map QCheck_alcotest.to_alcotest [ arith_property; sorted_property ]
+
+let () =
+  Alcotest.run "cm_lang"
+    [
+      "expressions", expr_tests;
+      "builtins", builtin_tests;
+      "programs", program_tests;
+      "imports", import_tests;
+      "dependencies", dep_tests;
+      "errors", error_tests;
+      "conversion", conversion_tests;
+      "properties", properties;
+    ]

@@ -1,0 +1,348 @@
+module Translation = Cm_mobileconfig.Translation
+module Server = Cm_mobileconfig.Server
+module Device = Cm_mobileconfig.Device
+module Runtime = Cm_gatekeeper.Runtime
+module Project = Cm_gatekeeper.Project
+module Restraint = Cm_gatekeeper.Restraint
+module Experiment = Cm_gatekeeper.Experiment
+module User = Cm_gatekeeper.User
+module Engine = Cm_sim.Engine
+module Json = Cm_json.Value
+
+let session_schema =
+  Cm_thrift.Idl.parse_exn
+    {|
+struct SessionConfig {
+  1: bool feature_x = false;
+  2: i32 voip_echo = 10;
+  3: string greeting = "hi";
+}
+|}
+
+let legacy_schema =
+  Cm_thrift.Idl.parse_exn {| struct SessionConfig { 1: bool feature_x = false; } |}
+
+let make_env ?(employee_prob = 1.0) () =
+  let engine = Engine.create ~seed:33L () in
+  let runtime = Runtime.create () in
+  Runtime.load runtime
+    (Project.staged ~name:"ProjX" ~employee_prob ~world_prob:0.0);
+  let experiment =
+    Experiment.create ~name:"ECHO"
+      [
+        { Experiment.variant_name = "low"; weight = 1.0; param = Json.Int 5 };
+        { Experiment.variant_name = "high"; weight = 1.0; param = Json.Int 50 };
+      ]
+  in
+  let resolver =
+    {
+      Translation.gatekeeper = runtime;
+      experiments = [ "ECHO", experiment ];
+      ctx = { Restraint.laser = None };
+    }
+  in
+  let translation = Translation.create () in
+  Translation.bind translation ~cls:"SessionConfig" ~field:"feature_x"
+    (Translation.Gk "ProjX");
+  Translation.bind translation ~cls:"SessionConfig" ~field:"voip_echo"
+    (Translation.Exp "ECHO");
+  let server = Server.create engine ~translation ~resolver in
+  engine, server, translation
+
+let translation_tests =
+  [
+    Alcotest.test_case "bind and materialize" `Quick (fun () ->
+        let _, server, _ = make_env () in
+        ignore server;
+        ());
+    Alcotest.test_case "gatekeeper field materializes per user" `Quick (fun () ->
+        let _, server, _ = make_env () in
+        let employee = User.make ~employee:true 1L in
+        let outsider = User.make 2L in
+        let field user =
+          match
+            Server.sync server ~session:None ~user ~cls:"SessionConfig" ~client_schema:session_schema
+              ~values_hash:None
+          with
+          | Server.Payload fields -> List.assoc "feature_x" fields
+          | Server.Not_modified -> Alcotest.fail "expected payload"
+        in
+        Alcotest.(check bool) "employee on" true (field employee = Json.Bool true);
+        Alcotest.(check bool) "outsider off" true (field outsider = Json.Bool false));
+    Alcotest.test_case "experiment field gives variant params" `Quick (fun () ->
+        let _, server, _ = make_env () in
+        let seen = Hashtbl.create 4 in
+        for i = 1 to 200 do
+          match
+            Server.sync server ~session:None ~user:(User.make (Int64.of_int i)) ~cls:"SessionConfig"
+              ~client_schema:session_schema ~values_hash:None
+          with
+          | Server.Payload fields -> Hashtbl.replace seen (List.assoc "voip_echo" fields) ()
+          | Server.Not_modified -> ()
+        done;
+        Alcotest.(check bool) "both arms observed" true
+          (Hashtbl.mem seen (Json.Int 5) && Hashtbl.mem seen (Json.Int 50)));
+    Alcotest.test_case "unmapped field falls back to schema default" `Quick (fun () ->
+        let _, server, _ = make_env () in
+        match
+          Server.sync server ~session:None ~user:(User.make 3L) ~cls:"SessionConfig"
+            ~client_schema:session_schema ~values_hash:None
+        with
+        | Server.Payload fields ->
+            Alcotest.(check bool) "greeting default" true
+              (List.assoc "greeting" fields = Json.String "hi")
+        | Server.Not_modified -> Alcotest.fail "expected payload");
+    Alcotest.test_case "legacy schema gets trimmed payload" `Quick (fun () ->
+        let _, server, _ = make_env () in
+        match
+          Server.sync server ~session:None ~user:(User.make 4L) ~cls:"SessionConfig"
+            ~client_schema:legacy_schema ~values_hash:None
+        with
+        | Server.Payload fields ->
+            Alcotest.(check int) "only one field" 1 (List.length fields);
+            Alcotest.(check bool) "it is feature_x" true (List.mem_assoc "feature_x" fields)
+        | Server.Not_modified -> Alcotest.fail "expected payload");
+    Alcotest.test_case "live remap experiment -> constant (paper's VOIP_ECHO)" `Quick
+      (fun () ->
+        let _, server, translation = make_env () in
+        Translation.bind translation ~cls:"SessionConfig" ~field:"voip_echo"
+          (Translation.Const (Json.Int 42));
+        Server.set_translation server translation;
+        match
+          Server.sync server ~session:None ~user:(User.make 5L) ~cls:"SessionConfig"
+            ~client_schema:session_schema ~values_hash:None
+        with
+        | Server.Payload fields ->
+            Alcotest.(check bool) "constant now" true
+              (List.assoc "voip_echo" fields = Json.Int 42)
+        | Server.Not_modified -> Alcotest.fail "expected payload");
+    Alcotest.test_case "translation json round trip" `Quick (fun () ->
+        let translation = Translation.create () in
+        Translation.bind translation ~cls:"C" ~field:"a" (Translation.Gk "P");
+        Translation.bind translation ~cls:"C" ~field:"b" (Translation.Exp "E");
+        Translation.bind translation ~cls:"C" ~field:"c" (Translation.Const (Json.Int 7));
+        match Translation.of_json (Translation.to_json translation) with
+        | Ok back ->
+            Alcotest.(check (list string)) "fields" [ "a"; "b"; "c" ]
+              (Translation.fields_of back ~cls:"C");
+            Alcotest.(check bool) "const kept" true
+              (Translation.backend_of back ~cls:"C" ~field:"c"
+              = Some (Translation.Const (Json.Int 7)))
+        | Error e -> Alcotest.fail e);
+  ]
+
+let sync_tests =
+  [
+    Alcotest.test_case "not modified on matching hash" `Quick (fun () ->
+        let _, server, _ = make_env () in
+        let user = User.make 6L in
+        let first =
+          Server.sync server ~session:None ~user ~cls:"SessionConfig" ~client_schema:session_schema
+            ~values_hash:None
+        in
+        let hash =
+          match first with
+          | Server.Payload fields -> Server.payload_hash fields
+          | Server.Not_modified -> Alcotest.fail "expected payload"
+        in
+        match
+          Server.sync server ~session:None ~user ~cls:"SessionConfig" ~client_schema:session_schema
+            ~values_hash:(Some hash)
+        with
+        | Server.Not_modified -> ()
+        | Server.Payload _ -> Alcotest.fail "expected not-modified");
+    Alcotest.test_case "hash mismatch returns fresh payload" `Quick (fun () ->
+        let _, server, _ = make_env () in
+        match
+          Server.sync server ~session:None ~user:(User.make 7L) ~cls:"SessionConfig"
+            ~client_schema:session_schema ~values_hash:(Some "stale")
+        with
+        | Server.Payload _ -> ()
+        | Server.Not_modified -> Alcotest.fail "expected payload");
+  ]
+
+let device_tests =
+  [
+    Alcotest.test_case "device syncs and getters work" `Quick (fun () ->
+        let engine, server, _ = make_env () in
+        let device =
+          Device.create engine server ~user:(User.make ~employee:true 8L)
+            ~cls:"SessionConfig" ~schema:session_schema ~poll_interval:3600.0
+        in
+        Device.start device;
+        Engine.run_for engine 10.0;
+        Alcotest.(check bool) "feature on" true (Device.get_bool device "feature_x");
+        Alcotest.(check string) "greeting" "hi" (Device.get_string device "greeting");
+        Alcotest.(check bool) "echo is an experiment arm" true
+          (List.mem (Device.get_int device "voip_echo") [ 5; 50 ]);
+        Alcotest.(check int) "one sync" 1 (Device.syncs_completed device));
+    Alcotest.test_case "missing field returns zero value, never crashes" `Quick (fun () ->
+        let engine, server, _ = make_env () in
+        let device =
+          Device.create engine server ~user:(User.make 9L) ~cls:"SessionConfig"
+            ~schema:session_schema ~poll_interval:3600.0
+        in
+        Device.start device;
+        Engine.run_for engine 10.0;
+        Alcotest.(check int) "unknown int" 0 (Device.get_int device "nonexistent");
+        Alcotest.(check bool) "unknown bool" false (Device.get_bool device "nonexistent"));
+    Alcotest.test_case "poll picks up config changes within interval" `Quick (fun () ->
+        let engine, server, translation = make_env () in
+        let device =
+          Device.create engine server ~user:(User.make 10L) ~cls:"SessionConfig"
+            ~schema:session_schema ~poll_interval:3600.0
+        in
+        Device.start device;
+        Engine.run_for engine 10.0;
+        Translation.bind translation ~cls:"SessionConfig" ~field:"greeting"
+          (Translation.Const (Json.String "hello"));
+        Server.set_translation server translation;
+        Engine.run_for engine 1800.0;
+        Alcotest.(check string) "still old" "hi" (Device.get_string device "greeting");
+        Engine.run_for engine 2200.0;
+        Alcotest.(check string) "updated after poll" "hello"
+          (Device.get_string device "greeting"));
+    Alcotest.test_case "unchanged polls are not-modified (bandwidth saver)" `Quick
+      (fun () ->
+        let engine, server, _ = make_env () in
+        let device =
+          Device.create engine server ~user:(User.make 11L) ~cls:"SessionConfig"
+            ~schema:session_schema ~poll_interval:100.0
+        in
+        Device.start device;
+        Engine.run_for engine 1000.0;
+        Alcotest.(check bool) "several syncs" true (Device.syncs_completed device >= 8);
+        Alcotest.(check bool) "most were not-modified" true
+          (Device.not_modified device >= Device.syncs_completed device - 1);
+        let paid = Device.bytes_down device in
+        Alcotest.(check bool) "cheap" true (paid < Device.syncs_completed device * 200));
+    Alcotest.test_case "emergency push triggers immediate sync" `Quick (fun () ->
+        let engine, server, translation = make_env () in
+        let device =
+          Device.create engine server ~user:(User.make ~employee:true 12L)
+            ~cls:"SessionConfig" ~schema:session_schema ~poll_interval:3600.0
+        in
+        Device.start device;
+        Engine.run_for engine 10.0;
+        Alcotest.(check bool) "on" true (Device.get_bool device "feature_x");
+        (* Kill the feature and push. *)
+        Runtime.load
+          (let r = Runtime.create () in
+           r)
+          (Project.staged ~name:"unused" ~employee_prob:0.0 ~world_prob:0.0);
+        Translation.bind translation ~cls:"SessionConfig" ~field:"feature_x"
+          (Translation.Const (Json.Bool false));
+        Server.set_translation server translation;
+        Server.emergency_push server ~cls:"SessionConfig" ~loss_prob:0.0
+          ~latency:(fun () -> 1.0);
+        Engine.run_for engine 30.0;
+        Alcotest.(check bool) "killed within seconds, not an hour" false
+          (Device.get_bool device "feature_x"));
+    Alcotest.test_case "lost push is recovered by the next poll (hybrid model)" `Quick
+      (fun () ->
+        let engine, server, translation = make_env () in
+        let device =
+          Device.create engine server ~user:(User.make ~employee:true 13L)
+            ~cls:"SessionConfig" ~schema:session_schema ~poll_interval:600.0
+        in
+        Device.start device;
+        Engine.run_for engine 10.0;
+        Translation.bind translation ~cls:"SessionConfig" ~field:"feature_x"
+          (Translation.Const (Json.Bool false));
+        Server.set_translation server translation;
+        (* Push notification lost for everyone. *)
+        Server.emergency_push server ~cls:"SessionConfig" ~loss_prob:1.0
+          ~latency:(fun () -> 1.0);
+        Engine.run_for engine 30.0;
+        Alcotest.(check bool) "push lost, still on" true (Device.get_bool device "feature_x");
+        Engine.run_for engine 700.0;
+        Alcotest.(check bool) "poll recovered" false (Device.get_bool device "feature_x"));
+    Alcotest.test_case "legacy device coexists with new schema" `Quick (fun () ->
+        let engine, server, _ = make_env () in
+        let old_device =
+          Device.create engine server ~user:(User.make 14L) ~cls:"SessionConfig"
+            ~schema:legacy_schema ~poll_interval:3600.0
+        in
+        let new_device =
+          Device.create engine server ~user:(User.make 15L) ~cls:"SessionConfig"
+            ~schema:session_schema ~poll_interval:3600.0
+        in
+        Device.start old_device;
+        Device.start new_device;
+        Engine.run_for engine 10.0;
+        Alcotest.(check bool) "old has no voip field" false
+          (Device.has_value old_device "voip_echo");
+        Alcotest.(check bool) "new has voip field" true
+          (Device.has_value new_device "voip_echo"));
+  ]
+
+let stateful_tests =
+  [
+    Alcotest.test_case "stateful server remembers client hashes (footnote 2)" `Quick
+      (fun () ->
+        let engine = Engine.create ~seed:44L () in
+        let translation = Translation.create () in
+        Translation.bind translation ~cls:"SessionConfig" ~field:"greeting"
+          (Translation.Const (Json.String "yo"));
+        let resolver =
+          { Translation.gatekeeper = Runtime.create (); experiments = [];
+            ctx = { Restraint.laser = None } }
+        in
+        let server = Server.create ~stateful:true engine ~translation ~resolver in
+        Alcotest.(check bool) "stateful" true (Server.stateful server);
+        let session = Some (Server.new_session server) in
+        let user = User.make 20L in
+        (* First sync: payload; the server records the hash itself. *)
+        (match
+           Server.sync server ~session ~user ~cls:"SessionConfig"
+             ~client_schema:session_schema ~values_hash:None
+         with
+        | Server.Payload _ -> ()
+        | Server.Not_modified -> Alcotest.fail "expected payload");
+        (* Second sync with NO hash on the wire: still not-modified. *)
+        (match
+           Server.sync server ~session ~user ~cls:"SessionConfig"
+             ~client_schema:session_schema ~values_hash:None
+         with
+        | Server.Not_modified -> ()
+        | Server.Payload _ -> Alcotest.fail "server should remember the hash");
+        (* A different session is independent. *)
+        let other = Some (Server.new_session server) in
+        match
+          Server.sync server ~session:other ~user ~cls:"SessionConfig"
+            ~client_schema:session_schema ~values_hash:None
+        with
+        | Server.Payload _ -> ()
+        | Server.Not_modified -> Alcotest.fail "fresh session must get a payload");
+    Alcotest.test_case "stateful devices send smaller requests" `Quick (fun () ->
+        let run stateful =
+          let engine = Engine.create ~seed:45L () in
+          let translation = Translation.create () in
+          Translation.bind translation ~cls:"SessionConfig" ~field:"greeting"
+            (Translation.Const (Json.String "yo"));
+          let resolver =
+            { Translation.gatekeeper = Runtime.create (); experiments = [];
+              ctx = { Restraint.laser = None } }
+          in
+          let server = Server.create ~stateful engine ~translation ~resolver in
+          let device =
+            Device.create engine server ~user:(User.make 21L) ~cls:"SessionConfig"
+              ~schema:session_schema ~poll_interval:200.0
+          in
+          Device.start device;
+          Engine.run_for engine 2000.0;
+          Device.bytes_up device, Device.not_modified device
+        in
+        let stateful_up, stateful_nm = run true in
+        let plain_up, plain_nm = run false in
+        Alcotest.(check bool) "same cache behavior" true (abs (stateful_nm - plain_nm) <= 1);
+        Alcotest.(check bool)
+          (Printf.sprintf "uplink shrinks: %d < %d" stateful_up plain_up)
+          true
+          (stateful_up * 2 < plain_up));
+  ]
+
+let () =
+  Alcotest.run "cm_mobileconfig"
+    [ "translation", translation_tests; "sync", sync_tests; "device", device_tests;
+      "stateful", stateful_tests ]

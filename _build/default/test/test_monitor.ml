@@ -1,0 +1,321 @@
+module Rules = Cm_monitor.Rules
+module Service = Cm_monitor.Service
+module Engine = Cm_sim.Engine
+module Topology = Cm_sim.Topology
+
+let setup () =
+  let engine = Engine.create ~seed:71L () in
+  let topo = Topology.create ~regions:1 ~clusters_per_region:2 ~nodes_per_cluster:10 in
+  let net = Cm_sim.Net.create engine topo in
+  engine, topo, net
+
+(* A metric source where node 3 is sick (high error rate) until healed. *)
+let sick = Hashtbl.create 4
+
+let source ~node ~metric =
+  match metric with
+  | "error_rate" -> Some (if Hashtbl.mem sick node then 0.5 else 0.01)
+  | "latency_ms" -> Some 100.0
+  | _ -> None
+
+let alert_rules =
+  {
+    Rules.default with
+    Rules.detections =
+      [
+        {
+          Rules.alert_name = "errors-high";
+          metric = "error_rate";
+          op = Rules.Above;
+          threshold = 0.2;
+          for_duration = 30.0;
+          per_node = true;
+        };
+      ];
+    subscriptions = [ { Rules.alert_prefix = "errors"; oncall = "oncall-a" } ];
+  }
+
+let rules_tests =
+  [
+    Alcotest.test_case "json round trip" `Quick (fun () ->
+        let rules =
+          {
+            alert_rules with
+            Rules.remediations =
+              [ { Rules.applies_to = "errors"; action = Rules.Restart_node; cooldown = 60.0 } ];
+            dashboard =
+              [ { Rules.title = "errs"; panel_metric = "error_rate"; agg = Rules.P95 } ];
+          }
+        in
+        match Rules.of_string (Rules.to_string rules) with
+        | Ok back ->
+            Alcotest.(check int) "detections" 1 (List.length back.Rules.detections);
+            Alcotest.(check int) "subscriptions" 1 (List.length back.Rules.subscriptions);
+            Alcotest.(check int) "remediations" 1 (List.length back.Rules.remediations);
+            Alcotest.(check int) "panels" 1 (List.length back.Rules.dashboard);
+            let d = List.hd back.Rules.detections in
+            Alcotest.(check string) "alert" "errors-high" d.Rules.alert_name;
+            Alcotest.(check bool) "per_node" true d.Rules.per_node
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "bad configs rejected" `Quick (fun () ->
+        List.iter
+          (fun text ->
+            match Rules.of_string text with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "should reject %s" text)
+          [
+            "not json";
+            {|{"collect_interval": -1}|};
+            {|{"detections": [{"alert": "a"}]}|};
+            {|{"detections": [{"alert": "a", "metric": "m", "op": "sideways", "threshold": 1}]}|};
+            {|{"remediations": [{"applies_to": "a", "action": "explode"}]}|};
+          ]);
+  ]
+
+let service_tests =
+  [
+    Alcotest.test_case "alert fires only after for_duration" `Quick (fun () ->
+        Hashtbl.reset sick;
+        let engine, _, net = setup () in
+        let monitor = Service.create ~rules:alert_rules net ~source in
+        Hashtbl.replace sick 3 ();
+        Engine.run_for engine 25.0;
+        Alcotest.(check int) "not yet" 0 (List.length (Service.firing monitor));
+        Engine.run_for engine 30.0;
+        (match Service.firing monitor with
+        | [ state ] ->
+            Alcotest.(check string) "alert" "errors-high" state.Service.alert;
+            Alcotest.(check (option int)) "node" (Some 3) state.Service.node
+        | other -> Alcotest.failf "expected one firing alert, got %d" (List.length other));
+        Service.stop monitor);
+    Alcotest.test_case "subscription pages the right oncall once" `Quick (fun () ->
+        Hashtbl.reset sick;
+        let engine, _, net = setup () in
+        let monitor = Service.create ~rules:alert_rules net ~source in
+        Hashtbl.replace sick 5 ();
+        Engine.run_for engine 120.0;
+        (match Service.pages monitor with
+        | [ page ] ->
+            Alcotest.(check string) "oncall" "oncall-a" page.Service.page_oncall;
+            Alcotest.(check string) "alert" "errors-high" page.Service.page_alert
+        | other -> Alcotest.failf "expected exactly one page, got %d" (List.length other));
+        Service.stop monitor);
+    Alcotest.test_case "alert clears when the metric recovers" `Quick (fun () ->
+        Hashtbl.reset sick;
+        let engine, _, net = setup () in
+        let monitor = Service.create ~rules:alert_rules net ~source in
+        Hashtbl.replace sick 2 ();
+        Engine.run_for engine 120.0;
+        Alcotest.(check int) "firing" 1 (List.length (Service.firing monitor));
+        Hashtbl.remove sick 2;
+        Engine.run_for engine 30.0;
+        Alcotest.(check int) "cleared" 0 (List.length (Service.firing monitor));
+        Service.stop monitor);
+    Alcotest.test_case "remediation restarts the sick node (self-healing)" `Quick (fun () ->
+        Hashtbl.reset sick;
+        let engine, topo, net = setup () in
+        let rules =
+          {
+            alert_rules with
+            Rules.remediations =
+              [ { Rules.applies_to = "errors"; action = Rules.Restart_node; cooldown = 600.0 } ];
+          }
+        in
+        let monitor = Service.create ~rules net ~source in
+        Hashtbl.replace sick 4 ();
+        (* The reboot heals the fault: restart clears the sick flag
+           when the node comes back. *)
+        let rec watch_reboot () =
+          ignore
+            (Engine.schedule engine ~delay:1.0 (fun () ->
+                 if not (Topology.is_up topo 4) then Hashtbl.remove sick 4
+                 else watch_reboot ()))
+        in
+        watch_reboot ();
+        Engine.run_for engine 240.0;
+        (match Service.remediations monitor with
+        | [ event ] ->
+            Alcotest.(check int) "node" 4 event.Service.rem_node;
+            Alcotest.(check bool) "restart" true (event.Service.rem_action = Rules.Restart_node)
+        | other -> Alcotest.failf "expected one remediation, got %d" (List.length other));
+        Alcotest.(check bool) "node healthy again" true (Topology.is_up topo 4);
+        Alcotest.(check int) "alert cleared" 0 (List.length (Service.firing monitor));
+        Service.stop monitor);
+    Alcotest.test_case "cooldown prevents remediation storms" `Quick (fun () ->
+        Hashtbl.reset sick;
+        let engine, _, net = setup () in
+        let rules =
+          {
+            alert_rules with
+            Rules.detections =
+              [ { (List.hd alert_rules.Rules.detections) with Rules.for_duration = 10.0 } ];
+            remediations =
+              [ { Rules.applies_to = "errors"; action = Rules.Page_only; cooldown = 1000.0 } ];
+          }
+        in
+        let monitor = Service.create ~rules net ~source in
+        (* Permanently sick: the alert would re-fire constantly but the
+           remediation must respect the cooldown. *)
+        Hashtbl.replace sick 7 ();
+        Engine.run_for engine 600.0;
+        Alcotest.(check int) "one remediation despite constant alert" 1
+          (List.length (Service.remediations monitor));
+        Service.stop monitor);
+    Alcotest.test_case "fleet-level alert uses the mean" `Quick (fun () ->
+        Hashtbl.reset sick;
+        let engine, _, net = setup () in
+        let rules =
+          {
+            Rules.default with
+            Rules.detections =
+              [
+                {
+                  Rules.alert_name = "fleet-errors";
+                  metric = "error_rate";
+                  op = Rules.Above;
+                  threshold = 0.2;
+                  for_duration = 0.0;
+                  per_node = false;
+                };
+              ];
+          }
+        in
+        let monitor = Service.create ~rules net ~source in
+        (* 3/20 nodes sick: mean = (3*0.5 + 17*0.01)/20 = 0.083 < 0.2. *)
+        Hashtbl.replace sick 0 ();
+        Hashtbl.replace sick 1 ();
+        Hashtbl.replace sick 2 ();
+        Engine.run_for engine 60.0;
+        Alcotest.(check int) "below fleet threshold" 0 (List.length (Service.firing monitor));
+        (* 12/20 sick: mean = (12*0.5 + 8*0.01)/20 = 0.304 > 0.2. *)
+        for i = 3 to 11 do
+          Hashtbl.replace sick i ()
+        done;
+        Engine.run_for engine 60.0;
+        Alcotest.(check int) "fleet alert" 1 (List.length (Service.firing monitor));
+        Service.stop monitor);
+    Alcotest.test_case "live rule update changes behavior without restart" `Quick (fun () ->
+        Hashtbl.reset sick;
+        let engine, _, net = setup () in
+        let monitor = Service.create ~rules:alert_rules net ~source in
+        Hashtbl.replace sick 6 ();
+        Engine.run_for engine 120.0;
+        Alcotest.(check int) "firing under old threshold" 1
+          (List.length (Service.firing monitor));
+        (* Troubleshooting done: raise the threshold via config update. *)
+        let relaxed =
+          {
+            alert_rules with
+            Rules.detections =
+              [ { (List.hd alert_rules.Rules.detections) with Rules.threshold = 0.9 } ];
+          }
+        in
+        (match Service.load_rules_string monitor (Rules.to_string relaxed) with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Engine.run_for engine 30.0;
+        Alcotest.(check int) "cleared by config change" 0
+          (List.length (Service.firing monitor));
+        Service.stop monitor);
+    Alcotest.test_case "uncollected metric disables its detections" `Quick (fun () ->
+        Hashtbl.reset sick;
+        let engine, _, net = setup () in
+        let rules = { alert_rules with Rules.collect = [ "latency_ms" ] } in
+        let monitor = Service.create ~rules net ~source in
+        Hashtbl.replace sick 8 ();
+        Engine.run_for engine 120.0;
+        Alcotest.(check int) "no data, no alert" 0 (List.length (Service.firing monitor));
+        (* "Troubleshooting requires collecting more monitoring data":
+           add error_rate to collection, live. *)
+        Service.load_rules monitor alert_rules;
+        Engine.run_for engine 120.0;
+        Alcotest.(check int) "alert after enabling collection" 1
+          (List.length (Service.firing monitor));
+        Service.stop monitor);
+    Alcotest.test_case "collection volume follows the config" `Quick (fun () ->
+        Hashtbl.reset sick;
+        let engine, _, net = setup () in
+        let monitor = Service.create ~rules:Rules.default net ~source in
+        Engine.run_for engine 100.0;
+        let base = Service.samples_collected monitor in
+        (* Half the metrics -> roughly half the samples per interval. *)
+        Service.load_rules monitor { Rules.default with Rules.collect = [ "latency_ms" ] };
+        Engine.run_for engine 100.0;
+        let delta = Service.samples_collected monitor - base in
+        Alcotest.(check bool)
+          (Printf.sprintf "fewer samples: %d then %d" base delta)
+          true
+          (delta * 3 < base * 2);
+        Service.stop monitor);
+  ]
+
+let dashboard_tests =
+  [
+    Alcotest.test_case "dashboard panels aggregate the latest readings" `Quick (fun () ->
+        Hashtbl.reset sick;
+        let engine, _, net = setup () in
+        let rules =
+          {
+            Rules.default with
+            Rules.dashboard =
+              [
+                { Rules.title = "fleet error rate"; panel_metric = "error_rate"; agg = Rules.Mean };
+                { Rules.title = "worst error rate"; panel_metric = "error_rate"; agg = Rules.Max };
+                { Rules.title = "p95 latency"; panel_metric = "latency_ms"; agg = Rules.P95 };
+              ];
+          }
+        in
+        let monitor = Service.create ~rules net ~source in
+        Hashtbl.replace sick 1 ();
+        Engine.run_for engine 30.0;
+        let board = Service.dashboard monitor in
+        let value title = List.assoc title board in
+        (* 1/20 nodes at 0.5, rest at 0.01. *)
+        Alcotest.(check bool) "mean between" true
+          (value "fleet error rate" > 0.01 && value "fleet error rate" < 0.1);
+        Alcotest.(check (float 1e-9)) "max is the sick node" 0.5 (value "worst error rate");
+        Alcotest.(check (float 1e-9)) "latency flat" 100.0 (value "p95 latency");
+        Alcotest.(check bool) "text renders" true
+          (String.length (Service.dashboard_text monitor) > 10);
+        Service.stop monitor);
+    Alcotest.test_case "dashboard layout is config too" `Quick (fun () ->
+        Hashtbl.reset sick;
+        let engine, _, net = setup () in
+        let monitor = Service.create ~rules:Rules.default net ~source in
+        Engine.run_for engine 30.0;
+        Alcotest.(check int) "no panels" 0 (List.length (Service.dashboard monitor));
+        let with_panel =
+          {
+            Rules.default with
+            Rules.dashboard =
+              [ { Rules.title = "errs"; panel_metric = "error_rate"; agg = Rules.Mean } ];
+          }
+        in
+        (match Service.load_rules_string monitor (Rules.to_string with_panel) with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Engine.run_for engine 30.0;
+        Alcotest.(check int) "panel appeared via config" 1
+          (List.length (Service.dashboard monitor));
+        Service.stop monitor);
+    Alcotest.test_case "uncollected panel metric reads nan" `Quick (fun () ->
+        Hashtbl.reset sick;
+        let engine, _, net = setup () in
+        let rules =
+          {
+            Rules.default with
+            Rules.collect = [ "latency_ms" ];
+            dashboard =
+              [ { Rules.title = "errs"; panel_metric = "error_rate"; agg = Rules.Mean } ];
+          }
+        in
+        let monitor = Service.create ~rules net ~source in
+        Engine.run_for engine 30.0;
+        Alcotest.(check bool) "nan" true
+          (Float.is_nan (List.assoc "errs" (Service.dashboard monitor)));
+        Service.stop monitor);
+  ]
+
+let () =
+  Alcotest.run "cm_monitor"
+    [ "rules", rules_tests; "service", service_tests; "dashboard", dashboard_tests ]

@@ -1,0 +1,167 @@
+module Swarm = Cm_packagevessel.Swarm
+module Engine = Cm_sim.Engine
+module Topology = Cm_sim.Topology
+module Net = Cm_sim.Net
+module Zeus = Cm_zeus.Service
+
+let setup_full ?(seed = 42L) ?(regions = 2) ?(clusters = 2) ?(nodes = 25) () =
+  let engine = Engine.create ~seed () in
+  let topo =
+    Topology.create ~regions ~clusters_per_region:clusters ~nodes_per_cluster:nodes
+  in
+  let net = Net.create engine topo in
+  (* Storage lives on the last node. *)
+  let storage = Topology.node_count topo - 1 in
+  let swarm = Swarm.create net ~storage in
+  engine, topo, net, swarm
+
+let setup ?seed ?regions ?clusters ?nodes () =
+  let engine, topo, _, swarm = setup_full ?seed ?regions ?clusters ?nodes () in
+  engine, topo, swarm
+
+let mb n = n * 1024 * 1024
+
+let fetch_all engine swarm ~mode ~nodes content =
+  let finished = ref 0 in
+  List.iter
+    (fun node -> Swarm.fetch swarm ~node ~mode content ~on_complete:(fun () -> incr finished))
+    nodes;
+  Engine.run engine;
+  !finished
+
+let basic_tests =
+  [
+    Alcotest.test_case "single node fetch completes" `Quick (fun () ->
+        let engine, _, swarm = setup () in
+        let content = { Swarm.cname = "model"; cversion = 1; csize = mb 32 } in
+        Swarm.publish swarm content;
+        let finished = fetch_all engine swarm ~mode:Swarm.P2p_local ~nodes:[ 0 ] content in
+        Alcotest.(check int) "done" 1 finished;
+        Alcotest.(check bool) "complete" true (Swarm.has_complete swarm ~node:0 content));
+    Alcotest.test_case "many nodes all complete" `Quick (fun () ->
+        let engine, topo, swarm = setup () in
+        let content = { Swarm.cname = "model"; cversion = 1; csize = mb 64 } in
+        Swarm.publish swarm content;
+        let nodes = List.init (Topology.node_count topo - 1) (fun i -> i) in
+        let finished = fetch_all engine swarm ~mode:Swarm.P2p_local ~nodes content in
+        Alcotest.(check int) "all done" (List.length nodes) finished;
+        Alcotest.(check int) "count agrees" (List.length nodes)
+          (Swarm.completed_count swarm content));
+    Alcotest.test_case "refetching a completed content is immediate" `Quick (fun () ->
+        let engine, _, swarm = setup () in
+        let content = { Swarm.cname = "m"; cversion = 1; csize = mb 8 } in
+        Swarm.publish swarm content;
+        ignore (fetch_all engine swarm ~mode:Swarm.Central ~nodes:[ 3 ] content);
+        let hit = ref false in
+        Swarm.fetch swarm ~node:3 ~mode:Swarm.Central content ~on_complete:(fun () ->
+            hit := true);
+        Alcotest.(check bool) "immediate" true !hit);
+    Alcotest.test_case "peers serve most bytes in P2P mode" `Quick (fun () ->
+        let engine, topo, swarm = setup () in
+        let content = { Swarm.cname = "model"; cversion = 3; csize = mb 64 } in
+        Swarm.publish swarm content;
+        let nodes = List.init (Topology.node_count topo - 1) (fun i -> i) in
+        ignore (fetch_all engine swarm ~mode:Swarm.P2p_local ~nodes content);
+        Alcotest.(check bool) "peer bytes dominate" true
+          (Swarm.peer_bytes_served swarm > Swarm.storage_bytes_served swarm));
+    Alcotest.test_case "central mode never touches peers" `Quick (fun () ->
+        let engine, _, swarm = setup () in
+        let content = { Swarm.cname = "model"; cversion = 4; csize = mb 16 } in
+        Swarm.publish swarm content;
+        ignore (fetch_all engine swarm ~mode:Swarm.Central ~nodes:[ 0; 1; 2; 3 ] content);
+        Alcotest.(check int) "no peer traffic" 0 (Swarm.peer_bytes_served swarm));
+  ]
+
+let consistency_tests =
+  [
+    Alcotest.test_case "new version supersedes in-flight download" `Quick (fun () ->
+        let engine, _, swarm = setup () in
+        let v1 = { Swarm.cname = "model"; cversion = 1; csize = mb 128 } in
+        let v2 = { Swarm.cname = "model"; cversion = 2; csize = mb 16 } in
+        Swarm.publish swarm v1;
+        Swarm.publish swarm v2;
+        let v1_done = ref false and v2_done = ref false in
+        Swarm.fetch swarm ~node:0 ~mode:Swarm.Central v1 ~on_complete:(fun () ->
+            v1_done := true);
+        (* Metadata update arrives almost immediately: abandon v1. *)
+        ignore
+          (Engine.schedule engine ~delay:0.01 (fun () ->
+               Swarm.fetch swarm ~node:0 ~mode:Swarm.Central v2 ~on_complete:(fun () ->
+                   v2_done := true)));
+        Engine.run engine;
+        Alcotest.(check bool) "v2 completed" true !v2_done;
+        Alcotest.(check bool) "v1 abandoned" false !v1_done;
+        Alcotest.(check bool) "node holds v2" true (Swarm.has_complete swarm ~node:0 v2));
+    Alcotest.test_case "zeus metadata drives the swarm (hybrid model)" `Quick (fun () ->
+        (* The §3.5 integration: bulk content keyed by metadata
+           distributed through Zeus; every subscriber converges on the
+           version named by the latest metadata. *)
+        let engine, topo, swarm = setup () in
+        let net = Net.create engine topo in
+        ignore net;
+        let engine2 = engine in
+        let zeus = Zeus.create (Net.create engine2 topo) in
+        let v2 = { Swarm.cname = "ranker"; cversion = 2; csize = mb 8 } in
+        Swarm.publish swarm { Swarm.cname = "ranker"; cversion = 1; csize = mb 8 };
+        Swarm.publish swarm v2;
+        let fetchers = [ 0; 1; 2 ] in
+        List.iter
+          (fun node ->
+            let proxy = Zeus.proxy_on zeus node in
+            Zeus.subscribe proxy ~path:"pv/ranker" (fun ~zxid:_ data ->
+                let version = int_of_string data in
+                Swarm.fetch swarm ~node ~mode:Swarm.P2p_local
+                  { Swarm.cname = "ranker"; cversion = version; csize = mb 8 }
+                  ~on_complete:(fun () -> ())))
+          fetchers;
+        Zeus.write zeus ~path:"pv/ranker" ~data:"1";
+        Zeus.write zeus ~path:"pv/ranker" ~data:"2";
+        Engine.run_for engine 600.0;
+        List.iter
+          (fun node ->
+            Alcotest.(check bool)
+              (Printf.sprintf "node %d has v2" node)
+              true
+              (Swarm.has_complete swarm ~node v2))
+          fetchers);
+  ]
+
+let locality_tests =
+  [
+    Alcotest.test_case "locality-aware mode moves fewer cross-region bytes" `Quick
+      (fun () ->
+        let run mode =
+          let engine, topo, net, swarm = setup_full () in
+          let content = { Swarm.cname = "m"; cversion = 1; csize = mb 64 } in
+          Swarm.publish swarm content;
+          let nodes = List.init (Topology.node_count topo - 1) (fun i -> i) in
+          ignore (fetch_all engine swarm ~mode ~nodes content);
+          Net.cross_region_bytes net
+        in
+        let local = run Swarm.P2p_local and random = run Swarm.P2p_random in
+        Alcotest.(check bool)
+          (Printf.sprintf "local %d < random %d" local random)
+          true
+          (local * 2 < random));
+    Alcotest.test_case "p2p finishes fleet faster than central at scale" `Quick (fun () ->
+        let run mode =
+          let engine, topo, _, swarm = setup_full ~nodes:40 () in
+          let content = { Swarm.cname = "m"; cversion = 1; csize = mb 128 } in
+          Swarm.publish swarm content;
+          let nodes = List.init (Topology.node_count topo - 1) (fun i -> i) in
+          ignore (fetch_all engine swarm ~mode ~nodes content);
+          Engine.now engine
+        in
+        let p2p = run Swarm.P2p_local and central = run Swarm.Central in
+        Alcotest.(check bool)
+          (Printf.sprintf "p2p %.1fs < central %.1fs" p2p central)
+          true (p2p < central));
+  ]
+
+let () =
+  Alcotest.run "cm_packagevessel"
+    [
+      "basic", basic_tests;
+      "consistency", consistency_tests;
+      "locality", locality_tests;
+    ]

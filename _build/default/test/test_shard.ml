@@ -1,0 +1,178 @@
+module Shardmap = Cm_shard.Shardmap
+module Store = Cm_shard.Store
+module Engine = Cm_sim.Engine
+module Topology = Cm_sim.Topology
+
+let setup () =
+  let engine = Engine.create ~seed:81L () in
+  let topo = Topology.create ~regions:1 ~clusters_per_region:2 ~nodes_per_cluster:8 in
+  let net = Cm_sim.Net.create engine topo in
+  engine, topo, net
+
+let nodes n = List.init n (fun i -> i)
+
+let map_tests =
+  [
+    Alcotest.test_case "initial placement is balanced and replicated" `Quick (fun () ->
+        let map = Shardmap.create ~nshards:64 ~replication:3 ~nodes:(nodes 8) in
+        Alcotest.(check bool) "balanced" true (Shardmap.imbalance map <= 1.01);
+        List.iter
+          (fun a ->
+            Alcotest.(check int) "2 replicas" 2 (List.length a.Shardmap.replicas);
+            Alcotest.(check bool) "primary not a replica" false
+              (List.mem a.Shardmap.primary a.Shardmap.replicas))
+          map.Shardmap.assignments);
+    Alcotest.test_case "create guards" `Quick (fun () ->
+        (match Shardmap.create ~nshards:4 ~replication:5 ~nodes:(nodes 3) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+        match Shardmap.create ~nshards:0 ~replication:1 ~nodes:(nodes 3) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    Alcotest.test_case "key hashing stable and in range" `Quick (fun () ->
+        let map = Shardmap.create ~nshards:16 ~replication:2 ~nodes:(nodes 4) in
+        for i = 0 to 500 do
+          let key = Printf.sprintf "user:%d" i in
+          let s1 = Shardmap.shard_of_key map key and s2 = Shardmap.shard_of_key map key in
+          Alcotest.(check int) "stable" s1 s2;
+          Alcotest.(check bool) "in range" true (s1 >= 0 && s1 < 16)
+        done);
+    Alcotest.test_case "rebalance onto new cluster spreads load" `Quick (fun () ->
+        let map = Shardmap.create ~nshards:64 ~replication:2 ~nodes:(nodes 4) in
+        let grown = Shardmap.rebalance map ~nodes:(nodes 8) in
+        Alcotest.(check int) "generation bumped" 2 grown.Shardmap.generation;
+        Alcotest.(check bool) "still balanced" true (Shardmap.imbalance grown <= 1.01);
+        Alcotest.(check int) "all 8 nodes used" 8 (List.length (Shardmap.load grown)));
+    Alcotest.test_case "rebalance moves the minimum" `Quick (fun () ->
+        (* 4 -> 8 nodes: at most half the shards should move. *)
+        let map = Shardmap.create ~nshards:64 ~replication:2 ~nodes:(nodes 4) in
+        let grown = Shardmap.rebalance map ~nodes:(nodes 8) in
+        let moved = List.length (Shardmap.diff ~old_map:map ~new_map:grown) in
+        Alcotest.(check bool) (Printf.sprintf "moved %d <= 32" moved) true (moved <= 32);
+        Alcotest.(check bool) "but some moved" true (moved > 0));
+    Alcotest.test_case "drain removes a node entirely" `Quick (fun () ->
+        let map = Shardmap.create ~nshards:32 ~replication:2 ~nodes:(nodes 4) in
+        let drained = Shardmap.drain_node map 2 in
+        Alcotest.(check bool) "node 2 gone" false (List.mem 2 (Shardmap.nodes_of drained));
+        Alcotest.(check bool) "balanced" true (Shardmap.imbalance drained <= 1.20));
+    Alcotest.test_case "json round trip" `Quick (fun () ->
+        let map = Shardmap.create ~nshards:8 ~replication:2 ~nodes:(nodes 4) in
+        match Shardmap.of_string (Shardmap.to_string map) with
+        | Ok back ->
+            Alcotest.(check int) "generation" map.Shardmap.generation back.Shardmap.generation;
+            Alcotest.(check bool) "assignments equal" true
+              (map.Shardmap.assignments = back.Shardmap.assignments)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "corrupt json rejected" `Quick (fun () ->
+        match Shardmap.of_string {|{"generation": 1, "nshards": 5, "assignments": []}|} with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected count mismatch rejection");
+  ]
+
+let store_tests =
+  [
+    Alcotest.test_case "routing follows the serving map" `Quick (fun () ->
+        let _, _, net = setup () in
+        let map = Shardmap.create ~nshards:16 ~replication:2 ~nodes:(nodes 4) in
+        let store = Store.create net ~map ~shard_bytes:1024 in
+        let node = Store.serving_primary store 3 in
+        Alcotest.(check int) "matches map" (Shardmap.assignment map 3).Shardmap.primary node);
+    Alcotest.test_case "map update migrates with zero routing downtime" `Quick (fun () ->
+        let engine, _, net = setup () in
+        let map = Shardmap.create ~nshards:32 ~replication:2 ~nodes:(nodes 4) in
+        let store = Store.create net ~map ~shard_bytes:(8 * 1024 * 1024) in
+        let grown = Shardmap.rebalance map ~nodes:(nodes 8) in
+        Store.apply_map store grown;
+        Alcotest.(check bool) "migrations started" true (Store.migrations_in_flight store > 0);
+        (* During migration every key still routes somewhere live. *)
+        for i = 0 to 100 do
+          match Store.read store (Printf.sprintf "k%d" i) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e
+        done;
+        Engine.run engine;
+        Alcotest.(check int) "all done" 0 (Store.migrations_in_flight store);
+        Alcotest.(check bool) "cut over" true (Store.imbalance_now store <= 1.01);
+        Alcotest.(check bool) "data moved" true (Store.bytes_moved store > 0));
+    Alcotest.test_case "stale map generation ignored" `Quick (fun () ->
+        let engine, _, net = setup () in
+        let map = Shardmap.create ~nshards:8 ~replication:2 ~nodes:(nodes 4) in
+        let store = Store.create net ~map ~shard_bytes:1024 in
+        let grown = Shardmap.rebalance map ~nodes:(nodes 8) in
+        Store.apply_map store grown;
+        Engine.run engine;
+        let gen_after = Store.generation store in
+        Store.apply_map store map (* old generation replayed *);
+        Alcotest.(check int) "unchanged" gen_after (Store.generation store);
+        Alcotest.(check int) "no new migrations" 0 (Store.migrations_in_flight store));
+    Alcotest.test_case "newer map supersedes in-flight migration" `Quick (fun () ->
+        let engine, _, net = setup () in
+        let map = Shardmap.create ~nshards:8 ~replication:2 ~nodes:(nodes 4) in
+        (* Huge shards so the first migration is still in flight when
+           the second map arrives. *)
+        let store = Store.create net ~map ~shard_bytes:(512 * 1024 * 1024) in
+        let m2 = Shardmap.rebalance map ~nodes:(nodes 6) in
+        let m3 = Shardmap.rebalance m2 ~nodes:(nodes 8) in
+        Store.apply_map store m2;
+        Store.apply_map store m3;
+        Engine.run engine;
+        Alcotest.(check int) "generation is the newest" m3.Shardmap.generation
+          (Store.generation store);
+        (* Serving placement equals m3's where migrations completed; no
+           shard may be left on a node absent from BOTH maps. *)
+        for shard = 0 to 7 do
+          let serving = Store.serving_primary store shard in
+          let in_m3 = (Shardmap.assignment m3 shard).Shardmap.primary = serving in
+          let in_m2 = (Shardmap.assignment m2 shard).Shardmap.primary = serving in
+          let in_m1 = (Shardmap.assignment map shard).Shardmap.primary = serving in
+          Alcotest.(check bool) "known placement" true (in_m3 || in_m2 || in_m1)
+        done);
+    Alcotest.test_case "failover to replica when primary dies" `Quick (fun () ->
+        let _, topo, net = setup () in
+        let map = Shardmap.create ~nshards:4 ~replication:3 ~nodes:(nodes 4) in
+        let store = Store.create net ~map ~shard_bytes:1024 in
+        (* Find a key and kill its primary. *)
+        let key = "user:77" in
+        let primary = Store.route store key in
+        Topology.crash topo primary;
+        let fallback = Store.route store key in
+        Alcotest.(check bool) "moved off the dead node" true (fallback <> primary);
+        Alcotest.(check bool) "fallback is up" true (Topology.is_up topo fallback));
+    Alcotest.test_case "all replicas down reports an error" `Quick (fun () ->
+        let _, topo, net = setup () in
+        let map = Shardmap.create ~nshards:2 ~replication:2 ~nodes:[ 0; 1 ] in
+        let store = Store.create net ~map ~shard_bytes:1024 in
+        Topology.crash topo 0;
+        Topology.crash topo 1;
+        match Store.read store "anything" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+  ]
+
+(* Property: any sequence of grow/shrink rebalances keeps the map
+   dense, replicated, and reasonably balanced. *)
+let rebalance_property =
+  QCheck2.Test.make ~name:"rebalance keeps invariants over random node sets" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 6) (int_range 3 16))
+    (fun sizes ->
+      let map = ref (Shardmap.create ~nshards:48 ~replication:2 ~nodes:(nodes 8)) in
+      List.for_all
+        (fun size ->
+          map := Shardmap.rebalance !map ~nodes:(nodes size);
+          let m = !map in
+          List.length m.Shardmap.assignments = 48
+          && Shardmap.imbalance m <= 1.51
+          && List.for_all
+               (fun a ->
+                 a.Shardmap.primary < size
+                 && List.for_all (fun r -> r < size) a.Shardmap.replicas)
+               m.Shardmap.assignments)
+        sizes)
+
+let () =
+  Alcotest.run "cm_shard"
+    [
+      "shardmap", map_tests;
+      "store", store_tests;
+      "properties", [ QCheck_alcotest.to_alcotest rebalance_property ];
+    ]

@@ -1,0 +1,322 @@
+module Rng = Cm_sim.Rng
+module Heap = Cm_sim.Heap
+module Engine = Cm_sim.Engine
+module Topology = Cm_sim.Topology
+module Net = Cm_sim.Net
+module Metrics = Cm_sim.Metrics
+
+(* --- rng ------------------------------------------------------------- *)
+
+let rng_tests =
+  [
+    Alcotest.test_case "deterministic from seed" `Quick (fun () ->
+        let a = Rng.create 5L and b = Rng.create 5L in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+        done);
+    Alcotest.test_case "int bounds" `Quick (fun () ->
+        let rng = Rng.create 1L in
+        for _ = 1 to 10000 do
+          let v = Rng.int rng 7 in
+          Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+        done);
+    Alcotest.test_case "int_in bounds" `Quick (fun () ->
+        let rng = Rng.create 2L in
+        for _ = 1 to 1000 do
+          let v = Rng.int_in rng (-3) 3 in
+          Alcotest.(check bool) "in [-3,3]" true (v >= -3 && v <= 3)
+        done);
+    Alcotest.test_case "split independence" `Quick (fun () ->
+        let a = Rng.create 5L in
+        let b = Rng.split a in
+        Alcotest.(check bool) "different streams" true (Rng.bits64 a <> Rng.bits64 b));
+    Alcotest.test_case "exponential mean" `Quick (fun () ->
+        let rng = Rng.create 3L in
+        let n = 20000 in
+        let sum = ref 0.0 in
+        for _ = 1 to n do
+          sum := !sum +. Rng.exponential rng 10.0
+        done;
+        let mean = !sum /. float_of_int n in
+        Alcotest.(check bool) "mean ~ 10" true (mean > 9.0 && mean < 11.0));
+    Alcotest.test_case "normal moments" `Quick (fun () ->
+        let rng = Rng.create 4L in
+        let n = 20000 in
+        let sum = ref 0.0 and sq = ref 0.0 in
+        for _ = 1 to n do
+          let v = Rng.normal rng ~mu:5.0 ~sigma:2.0 in
+          sum := !sum +. v;
+          sq := !sq +. (v *. v)
+        done;
+        let mean = !sum /. float_of_int n in
+        let var = (!sq /. float_of_int n) -. (mean *. mean) in
+        Alcotest.(check bool) "mean ~ 5" true (Float.abs (mean -. 5.0) < 0.1);
+        Alcotest.(check bool) "var ~ 4" true (Float.abs (var -. 4.0) < 0.3));
+    Alcotest.test_case "bernoulli rate" `Quick (fun () ->
+        let rng = Rng.create 6L in
+        let hits = ref 0 in
+        for _ = 1 to 20000 do
+          if Rng.bernoulli rng 0.3 then incr hits
+        done;
+        let rate = float_of_int !hits /. 20000.0 in
+        Alcotest.(check bool) "rate ~ 0.3" true (Float.abs (rate -. 0.3) < 0.02));
+    Alcotest.test_case "zipf in range and skewed" `Quick (fun () ->
+        let rng = Rng.create 7L in
+        let dist = Rng.Zipf.make ~n:100 ~s:1.1 in
+        let ones = ref 0 in
+        for _ = 1 to 10000 do
+          let r = Rng.Zipf.draw rng dist in
+          Alcotest.(check bool) "in [1,100]" true (r >= 1 && r <= 100);
+          if r = 1 then incr ones
+        done;
+        Alcotest.(check bool) "rank 1 dominates" true (!ones > 1000));
+    Alcotest.test_case "hash_to_unit deterministic and spread" `Quick (fun () ->
+        Alcotest.(check (float 0.0)) "stable" (Rng.hash_to_unit "user42")
+          (Rng.hash_to_unit "user42");
+        let below = ref 0 in
+        for i = 1 to 10000 do
+          let v = Rng.hash_to_unit (Printf.sprintf "user%d" i) in
+          Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0);
+          if v < 0.5 then incr below
+        done;
+        Alcotest.(check bool) "roughly uniform" true (!below > 4700 && !below < 5300));
+    Alcotest.test_case "shuffle permutes" `Quick (fun () ->
+        let rng = Rng.create 8L in
+        let arr = Array.init 50 (fun i -> i) in
+        Rng.shuffle rng arr;
+        let sorted = Array.copy arr in
+        Array.sort Int.compare sorted;
+        Alcotest.(check bool) "same elements" true (sorted = Array.init 50 (fun i -> i)));
+  ]
+
+(* --- heap ------------------------------------------------------------ *)
+
+let heap_property =
+  QCheck2.Test.make ~name:"heap pops in (time, seq) order" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 200) (pair (float_range 0.0 100.0) nat))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri (fun seq (time, payload) -> Heap.push h ~time ~seq payload) entries;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some (time, seq, _) -> (
+            match prev with
+            | Some (ptime, pseq) when time < ptime || (time = ptime && seq < pseq) -> false
+            | Some _ | None -> drain (Some (time, seq)))
+      in
+      drain None)
+
+let heap_tests =
+  [
+    Alcotest.test_case "empty heap" `Quick (fun () ->
+        let h = Heap.create () in
+        Alcotest.(check bool) "empty" true (Heap.is_empty h);
+        Alcotest.(check bool) "pop none" true (Heap.pop h = None));
+    Alcotest.test_case "fifo at same time" `Quick (fun () ->
+        let h = Heap.create () in
+        Heap.push h ~time:1.0 ~seq:0 "a";
+        Heap.push h ~time:1.0 ~seq:1 "b";
+        Heap.push h ~time:1.0 ~seq:2 "c";
+        let order =
+          List.init 3 (fun _ ->
+              match Heap.pop h with Some (_, _, x) -> x | None -> "?")
+        in
+        Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c" ] order);
+    QCheck_alcotest.to_alcotest heap_property;
+  ]
+
+(* --- engine ---------------------------------------------------------- *)
+
+let engine_tests =
+  [
+    Alcotest.test_case "events fire in time order" `Quick (fun () ->
+        let engine = Engine.create () in
+        let log = ref [] in
+        ignore (Engine.schedule engine ~delay:3.0 (fun () -> log := 3 :: !log));
+        ignore (Engine.schedule engine ~delay:1.0 (fun () -> log := 1 :: !log));
+        ignore (Engine.schedule engine ~delay:2.0 (fun () -> log := 2 :: !log));
+        Engine.run engine;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+        Alcotest.(check (float 1e-9)) "clock" 3.0 (Engine.now engine));
+    Alcotest.test_case "cancel" `Quick (fun () ->
+        let engine = Engine.create () in
+        let fired = ref false in
+        let h = Engine.schedule engine ~delay:1.0 (fun () -> fired := true) in
+        Engine.cancel engine h;
+        Engine.run engine;
+        Alcotest.(check bool) "not fired" false !fired;
+        Alcotest.(check int) "no pending" 0 (Engine.pending engine));
+    Alcotest.test_case "run until leaves future events" `Quick (fun () ->
+        let engine = Engine.create () in
+        let fired = ref 0 in
+        ignore (Engine.schedule engine ~delay:1.0 (fun () -> incr fired));
+        ignore (Engine.schedule engine ~delay:10.0 (fun () -> incr fired));
+        Engine.run ~until:5.0 engine;
+        Alcotest.(check int) "one fired" 1 !fired;
+        Alcotest.(check int) "one pending" 1 (Engine.pending engine));
+    Alcotest.test_case "run_for advances clock" `Quick (fun () ->
+        let engine = Engine.create () in
+        Engine.run_for engine 42.0;
+        Alcotest.(check (float 1e-9)) "clock" 42.0 (Engine.now engine));
+    Alcotest.test_case "nested scheduling" `Quick (fun () ->
+        let engine = Engine.create () in
+        let times = ref [] in
+        ignore
+          (Engine.schedule engine ~delay:1.0 (fun () ->
+               times := Engine.now engine :: !times;
+               ignore
+                 (Engine.schedule engine ~delay:2.0 (fun () ->
+                      times := Engine.now engine :: !times))));
+        Engine.run engine;
+        Alcotest.(check (list (float 1e-9))) "times" [ 1.0; 3.0 ] (List.rev !times));
+    Alcotest.test_case "same-time events fire in scheduling order" `Quick (fun () ->
+        let engine = Engine.create () in
+        let log = ref [] in
+        for i = 0 to 9 do
+          ignore (Engine.schedule engine ~delay:1.0 (fun () -> log := i :: !log))
+        done;
+        Engine.run engine;
+        Alcotest.(check (list int)) "order" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log));
+  ]
+
+(* --- topology & net -------------------------------------------------- *)
+
+let topo_tests =
+  [
+    Alcotest.test_case "counts" `Quick (fun () ->
+        let t = Topology.create ~regions:3 ~clusters_per_region:4 ~nodes_per_cluster:10 in
+        Alcotest.(check int) "nodes" 120 (Topology.node_count t);
+        Alcotest.(check int) "regions" 3 (Topology.region_count t);
+        Alcotest.(check int) "clusters" 12 (Topology.cluster_count t));
+    Alcotest.test_case "placement" `Quick (fun () ->
+        let t = Topology.create ~regions:2 ~clusters_per_region:2 ~nodes_per_cluster:5 in
+        Alcotest.(check bool) "same cluster" true (Topology.same_cluster t 0 4);
+        Alcotest.(check bool) "diff cluster same region" true
+          (Topology.same_region t 0 5 && not (Topology.same_cluster t 0 5));
+        Alcotest.(check bool) "diff region" false (Topology.same_region t 0 10);
+        let region, cluster = Topology.cluster_of t 17 in
+        Alcotest.(check (pair int int)) "cluster_of" (1, 1) (region, cluster));
+    Alcotest.test_case "crash/restart" `Quick (fun () ->
+        let t = Topology.create ~regions:1 ~clusters_per_region:1 ~nodes_per_cluster:4 in
+        Topology.crash t 2;
+        Alcotest.(check bool) "down" false (Topology.is_up t 2);
+        Topology.restart t 2;
+        Alcotest.(check bool) "up" true (Topology.is_up t 2));
+    Alcotest.test_case "random_up_node avoids down nodes" `Quick (fun () ->
+        let t = Topology.create ~regions:1 ~clusters_per_region:1 ~nodes_per_cluster:4 in
+        Topology.crash t 0;
+        Topology.crash t 1;
+        Topology.crash t 2;
+        let rng = Rng.create 11L in
+        for _ = 1 to 50 do
+          Alcotest.(check (option int)) "only node 3" (Some 3) (Topology.random_up_node rng t)
+        done);
+  ]
+
+let net_tests =
+  [
+    Alcotest.test_case "latency classes ordered" `Quick (fun () ->
+        let engine = Engine.create () in
+        let topo = Topology.create ~regions:2 ~clusters_per_region:2 ~nodes_per_cluster:5 in
+        let params = { Net.default_params with jitter = 0.0 } in
+        let net = Net.create ~params engine topo in
+        let t_cluster = Net.transfer_time net ~src:0 ~dst:1 ~bytes:0 in
+        let t_region = Net.transfer_time net ~src:0 ~dst:5 ~bytes:0 in
+        let t_world = Net.transfer_time net ~src:0 ~dst:10 ~bytes:0 in
+        Alcotest.(check bool) "cluster < region" true (t_cluster < t_region);
+        Alcotest.(check bool) "region < world" true (t_region < t_world));
+    Alcotest.test_case "bandwidth term grows with size" `Quick (fun () ->
+        let engine = Engine.create () in
+        let topo = Topology.create ~regions:1 ~clusters_per_region:1 ~nodes_per_cluster:2 in
+        let params = { Net.default_params with jitter = 0.0 } in
+        let net = Net.create ~params engine topo in
+        let small = Net.transfer_time net ~src:0 ~dst:1 ~bytes:1000 in
+        let large = Net.transfer_time net ~src:0 ~dst:1 ~bytes:100_000_000 in
+        Alcotest.(check bool) "large slower" true (large > small));
+    Alcotest.test_case "delivery and accounting" `Quick (fun () ->
+        let engine = Engine.create () in
+        let topo = Topology.create ~regions:2 ~clusters_per_region:1 ~nodes_per_cluster:2 in
+        let net = Net.create engine topo in
+        let got = ref 0 in
+        Net.send net ~src:0 ~dst:1 ~bytes:100 (fun () -> incr got);
+        Net.send net ~src:0 ~dst:2 ~bytes:100 (fun () -> incr got);
+        Engine.run engine;
+        Alcotest.(check int) "both delivered" 2 !got;
+        Alcotest.(check int) "messages" 2 (Net.messages_sent net);
+        Alcotest.(check int) "bytes" 200 (Net.bytes_sent net);
+        Alcotest.(check int) "cross region bytes" 100 (Net.cross_region_bytes net));
+    Alcotest.test_case "down node receives nothing" `Quick (fun () ->
+        let engine = Engine.create () in
+        let topo = Topology.create ~regions:1 ~clusters_per_region:1 ~nodes_per_cluster:2 in
+        let net = Net.create engine topo in
+        Topology.crash topo 1;
+        let got = ref 0 in
+        Net.send_reliable net ~src:0 ~dst:1 ~bytes:10 (fun () -> incr got);
+        Engine.run engine;
+        Alcotest.(check int) "nothing" 0 !got);
+    Alcotest.test_case "lossy drops roughly drop_prob" `Quick (fun () ->
+        let engine = Engine.create () in
+        let topo = Topology.create ~regions:1 ~clusters_per_region:1 ~nodes_per_cluster:2 in
+        let params = Net.lossy Net.default_params ~drop_prob:0.5 in
+        let net = Net.create ~params engine topo in
+        let got = ref 0 in
+        for _ = 1 to 1000 do
+          Net.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> incr got)
+        done;
+        Engine.run engine;
+        Alcotest.(check bool) "about half" true (!got > 400 && !got < 600));
+  ]
+
+(* --- metrics --------------------------------------------------------- *)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "histogram quantiles" `Quick (fun () ->
+        let h = Metrics.Histogram.create () in
+        for i = 1 to 100 do
+          Metrics.Histogram.add h (float_of_int i)
+        done;
+        Alcotest.(check (float 1.0)) "p50" 50.5 (Metrics.Histogram.quantile h 0.5);
+        Alcotest.(check (float 1.0)) "p95" 95.0 (Metrics.Histogram.quantile h 0.95);
+        Alcotest.(check (float 1e-9)) "min" 1.0 (Metrics.Histogram.min h);
+        Alcotest.(check (float 1e-9)) "max" 100.0 (Metrics.Histogram.max h);
+        Alcotest.(check (float 1e-6)) "mean" 50.5 (Metrics.Histogram.mean h);
+        Alcotest.(check (float 1e-6)) "cdf(50)" 0.5 (Metrics.Histogram.cdf_at h 50.0));
+    Alcotest.test_case "histogram interleaved add/query" `Quick (fun () ->
+        let h = Metrics.Histogram.create () in
+        Metrics.Histogram.add h 5.0;
+        Alcotest.(check (float 1e-9)) "single" 5.0 (Metrics.Histogram.quantile h 0.5);
+        Metrics.Histogram.add h 1.0;
+        Alcotest.(check (float 1e-9)) "min updates" 1.0 (Metrics.Histogram.min h));
+    Alcotest.test_case "counter" `Quick (fun () ->
+        let c = Metrics.Counter.create () in
+        Metrics.Counter.incr c;
+        Metrics.Counter.incr ~by:5 c;
+        Alcotest.(check int) "value" 6 (Metrics.Counter.value c);
+        Metrics.Counter.reset c;
+        Alcotest.(check int) "reset" 0 (Metrics.Counter.value c));
+    Alcotest.test_case "series buckets dense" `Quick (fun () ->
+        let s = Metrics.Series.create ~bucket_width:10.0 in
+        Metrics.Series.add s ~time:5.0 1.0;
+        Metrics.Series.add s ~time:7.0 2.0;
+        Metrics.Series.add s ~time:35.0 4.0;
+        let buckets = Metrics.Series.buckets s in
+        Alcotest.(check int) "4 buckets incl gaps" 4 (Array.length buckets);
+        Alcotest.(check (float 1e-9)) "first sum" 3.0 (snd buckets.(0));
+        Alcotest.(check (float 1e-9)) "gap sum" 0.0 (snd buckets.(1));
+        Alcotest.(check (float 1e-9)) "last sum" 4.0 (snd buckets.(3));
+        let counts = Metrics.Series.counts s in
+        Alcotest.(check int) "first count" 2 (snd counts.(0)));
+  ]
+
+let () =
+  Alcotest.run "cm_sim"
+    [
+      "rng", rng_tests;
+      "heap", heap_tests;
+      "engine", engine_tests;
+      "topology", topo_tests;
+      "net", net_tests;
+      "metrics", metrics_tests;
+    ]

@@ -1,0 +1,199 @@
+module Store = Cm_sitevars.Store
+module Infer = Cm_sitevars.Infer
+module Eval = Cm_lang.Eval
+
+let ok = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let store_tests =
+  [
+    Alcotest.test_case "define and get" `Quick (fun () ->
+        let store = Store.create () in
+        ignore (ok (Store.define store ~name:"max_upload_mb" ~expr:"25" ()));
+        Alcotest.(check bool) "value" true
+          (Store.get store "max_upload_mb" = Some (Eval.V_int 25)));
+    Alcotest.test_case "expressions evaluate" `Quick (fun () ->
+        let store = Store.create () in
+        ignore (ok (Store.define store ~name:"computed" ~expr:"10 * 60 * 24" ()));
+        Alcotest.(check bool) "value" true
+          (Store.get store "computed" = Some (Eval.V_int 14400)));
+    Alcotest.test_case "duplicate define rejected" `Quick (fun () ->
+        let store = Store.create () in
+        ignore (ok (Store.define store ~name:"v" ~expr:"1" ()));
+        match Store.define store ~name:"v" ~expr:"2" () with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "bad expression rejected" `Quick (fun () ->
+        let store = Store.create () in
+        match Store.define store ~name:"bad" ~expr:"1 +" () with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "update changes value and history" `Quick (fun () ->
+        let store = Store.create () in
+        ignore (ok (Store.define store ~name:"v" ~expr:"1" ()));
+        ignore (ok (Store.update store ~name:"v" ~expr:"2"));
+        Alcotest.(check bool) "updated" true (Store.get store "v" = Some (Eval.V_int 2));
+        Alcotest.(check int) "history" 2 (Store.history_length store "v"));
+    Alcotest.test_case "update unknown name fails" `Quick (fun () ->
+        let store = Store.create () in
+        match Store.update store ~name:"ghost" ~expr:"1" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "checker guards every update" `Quick (fun () ->
+        let store = Store.create () in
+        ignore
+          (ok
+             (Store.define store ~name:"rate" ~checker:"value >= 0 and value <= 100"
+                ~expr:"50" ()));
+        (match Store.update store ~name:"rate" ~expr:"150" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "checker should reject 150");
+        Alcotest.(check bool) "old value kept" true
+          (Store.get store "rate" = Some (Eval.V_int 50)));
+    Alcotest.test_case "checker rejects bad initial value" `Quick (fun () ->
+        let store = Store.create () in
+        match Store.define store ~name:"neg" ~checker:"value > 0" ~expr:"-5" () with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    Alcotest.test_case "artifact produced" `Quick (fun () ->
+        let store = Store.create () in
+        ignore (ok (Store.define store ~name:"flags" ~expr:"{ dark_mode: true }" ()));
+        match Store.artifact store "flags" with
+        | Some (path, json) ->
+            Alcotest.(check string) "path" "sitevars/flags.json" path;
+            Alcotest.(check string) "json" {|{"dark_mode":true}|} json
+        | None -> Alcotest.fail "no artifact");
+    Alcotest.test_case "names sorted" `Quick (fun () ->
+        let store = Store.create () in
+        ignore (ok (Store.define store ~name:"b" ~expr:"1" ()));
+        ignore (ok (Store.define store ~name:"a" ~expr:"2" ()));
+        Alcotest.(check (list string)) "names" [ "a"; "b" ] (Store.names store));
+  ]
+
+let infer_tests =
+  [
+    Alcotest.test_case "scalar kinds" `Quick (fun () ->
+        Alcotest.(check string) "int" "int" (Infer.ty_name (Infer.of_value (Eval.V_int 1)));
+        Alcotest.(check string) "bool" "bool"
+          (Infer.ty_name (Infer.of_value (Eval.V_bool true)));
+        Alcotest.(check string) "float" "float"
+          (Infer.ty_name (Infer.of_value (Eval.V_float 1.5))));
+    Alcotest.test_case "string subkinds (paper's json/timestamp/general)" `Quick (fun () ->
+        Alcotest.(check bool) "json" true
+          (Infer.string_kind_of {|{"a": 1}|} = Infer.Json_string);
+        Alcotest.(check bool) "json list" true
+          (Infer.string_kind_of {|[1, 2]|} = Infer.Json_string);
+        Alcotest.(check bool) "iso date" true
+          (Infer.string_kind_of "2015-10-04" = Infer.Timestamp_string);
+        Alcotest.(check bool) "datetime" true
+          (Infer.string_kind_of "2015-10-04 12:30:00" = Infer.Timestamp_string);
+        Alcotest.(check bool) "epoch" true
+          (Infer.string_kind_of "1443934800" = Infer.Timestamp_string);
+        Alcotest.(check bool) "general" true
+          (Infer.string_kind_of "hello world" = Infer.General_string);
+        Alcotest.(check bool) "number-ish is not timestamp" true
+          (Infer.string_kind_of "42" = Infer.General_string));
+    Alcotest.test_case "combine widens" `Quick (fun () ->
+        Alcotest.(check string) "int+float" "float"
+          (Infer.ty_name (Infer.combine Infer.Int Infer.Float));
+        Alcotest.(check string) "json+general" "string"
+          (Infer.ty_name
+             (Infer.combine (Infer.Str Infer.Json_string) (Infer.Str Infer.General_string)));
+        Alcotest.(check string) "int+string" "mixed"
+          (Infer.ty_name (Infer.combine Infer.Int (Infer.Str Infer.General_string))));
+    Alcotest.test_case "deviation warning on type drift" `Quick (fun () ->
+        let store = Store.create () in
+        ignore
+          (ok (Store.define store ~name:"ts" ~expr:{|"2015-10-04"|} ()));
+        ignore (ok (Store.update store ~name:"ts" ~expr:{|"2015-12-25"|}));
+        (* Consistent timestamp history; now a general string slips in. *)
+        let report = ok (Store.update store ~name:"ts" ~expr:{|"oops not a date"|}) in
+        Alcotest.(check int) "one warning" 1 (List.length report.Store.warnings));
+    Alcotest.test_case "no warning when type fits" `Quick (fun () ->
+        let store = Store.create () in
+        ignore (ok (Store.define store ~name:"n" ~expr:"1" ()));
+        let report = ok (Store.update store ~name:"n" ~expr:"2") in
+        Alcotest.(check int) "no warnings" 0 (List.length report.Store.warnings));
+    Alcotest.test_case "int history accepts float with warning-free widening" `Quick
+      (fun () ->
+        (* int -> float widens silently per the combine lattice? No:
+           deviation uses fits, and Float accepts Int but not the
+           reverse; an int history receiving a float warns. *)
+        let store = Store.create () in
+        ignore (ok (Store.define store ~name:"m" ~expr:"1" ()));
+        let report = ok (Store.update store ~name:"m" ~expr:"1.5") in
+        Alcotest.(check int) "warns" 1 (List.length report.Store.warnings));
+    Alcotest.test_case "inferred type tracks history" `Quick (fun () ->
+        let store = Store.create () in
+        ignore (ok (Store.define store ~name:"x" ~expr:"1" ()));
+        ignore (ok (Store.update store ~name:"x" ~expr:"2.5"));
+        match Store.inferred_type store "x" with
+        | Some ty -> Alcotest.(check string) "widened" "float" (Infer.ty_name ty)
+        | None -> Alcotest.fail "no inference");
+    Alcotest.test_case "mixed history disables warnings" `Quick (fun () ->
+        let store = Store.create () in
+        ignore (ok (Store.define store ~name:"wild" ~expr:"1" ()));
+        ignore (ok (Store.update store ~name:"wild" ~expr:{|"str"|}));
+        let report = ok (Store.update store ~name:"wild" ~expr:"true") in
+        Alcotest.(check int) "mixed accepts anything" 0 (List.length report.Store.warnings));
+  ]
+
+let schema_tests =
+  [
+    Alcotest.test_case "declared schema accepted and normalized" `Quick (fun () ->
+        let schema =
+          Cm_thrift.Idl.parse_exn
+            "struct Banner { 1: required string text; 2: i32 ttl_s = 600; }"
+        in
+        let store = Store.create () in
+        (match
+           Store.define store ~name:"banner" ~schema:(schema, "Banner")
+             ~expr:{|Banner { text = "maintenance at noon" }|} ()
+         with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail e);
+        (* Defaults filled in by the schema check. *)
+        match Store.get store "banner" with
+        | Some (Eval.V_struct (_, fields)) ->
+            Alcotest.(check bool) "ttl default" true
+              (List.assoc "ttl_s" fields = Eval.V_int 600)
+        | _ -> Alcotest.fail "expected struct");
+    Alcotest.test_case "schema rejects wrong type at define" `Quick (fun () ->
+        let schema = Cm_thrift.Idl.parse_exn "struct B { 1: required string text; }" in
+        let store = Store.create () in
+        match
+          Store.define store ~name:"b" ~schema:(schema, "B") ~expr:{|B { text = 42 }|} ()
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected schema rejection");
+    Alcotest.test_case "schema guards every update (hard error, not warning)" `Quick
+      (fun () ->
+        let schema = Cm_thrift.Idl.parse_exn "struct B { 1: required string text; }" in
+        let store = Store.create () in
+        ignore
+          (Store.define store ~name:"b" ~schema:(schema, "B")
+             ~expr:{|B { text = "ok" }|} ());
+        (match Store.update store ~name:"b" ~expr:{|B { text = 5 }|} with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+        Alcotest.(check bool) "declared_schema" true (Store.declared_schema store "b" <> None));
+    Alcotest.test_case "scalar schema type works too" `Quick (fun () ->
+        (* A scalar sitevar declared as an enum. *)
+        let schema = Cm_thrift.Idl.parse_exn "enum Mode { OFF = 0, ON = 1, SHADOW = 2 }" in
+        let store = Store.create () in
+        ignore
+          (Store.define store ~name:"mode" ~schema:(schema, "Mode") ~expr:{|"SHADOW"|} ());
+        (match Store.get store "mode" with
+        | Some (Eval.V_enum ("Mode", "SHADOW")) -> ()
+        | other ->
+            Alcotest.failf "unexpected %s"
+              (match other with Some v -> Format.asprintf "%a" Eval.pp_value v | None -> "none"));
+        match Store.update store ~name:"mode" ~expr:{|"BROKEN"|} with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected enum rejection");
+  ]
+
+let () =
+  Alcotest.run "cm_sitevars"
+    [ "store", store_tests; "infer", infer_tests; "schema", schema_tests ]

@@ -1,0 +1,238 @@
+module Diff = Cm_vcs.Diff
+module Store = Cm_vcs.Store
+module Repo = Cm_vcs.Repo
+module Multirepo = Cm_vcs.Multirepo
+
+(* --- diff ------------------------------------------------------------ *)
+
+let diff_tests =
+  [
+    Alcotest.test_case "identical texts" `Quick (fun () ->
+        Alcotest.(check int) "no changes" 0 (Diff.line_changes "a\nb" "a\nb"));
+    Alcotest.test_case "add a line is one change" `Quick (fun () ->
+        Alcotest.(check int) "one" 1 (Diff.line_changes "a\nb" "a\nb\nc"));
+    Alcotest.test_case "delete a line is one change" `Quick (fun () ->
+        Alcotest.(check int) "one" 1 (Diff.line_changes "a\nb\nc" "a\nc"));
+    Alcotest.test_case "modify a line is two changes (paper's Table 2 convention)" `Quick
+      (fun () -> Alcotest.(check int) "two" 2 (Diff.line_changes "a\nb\nc" "a\nX\nc"));
+    Alcotest.test_case "stats split" `Quick (fun () ->
+        let added, deleted = Diff.stats (Diff.diff "a\nb" "b\nc") in
+        Alcotest.(check (pair int int)) "1 added 1 deleted" (1, 1) (added, deleted));
+    Alcotest.test_case "empty to text" `Quick (fun () ->
+        Alcotest.(check int) "adds" 2 (Diff.line_changes "" "x\ny"));
+    Alcotest.test_case "apply replays" `Quick (fun () ->
+        let old_text = "one\ntwo\nthree" and new_text = "one\n2\nthree\nfour" in
+        let edits = Diff.diff old_text new_text in
+        Alcotest.(check (option string)) "patch" (Some new_text)
+          (Diff.apply old_text edits));
+    Alcotest.test_case "apply rejects mismatched base" `Quick (fun () ->
+        let edits = Diff.diff "a\nb" "a\nc" in
+        Alcotest.(check (option string)) "mismatch" None (Diff.apply "x\ny" edits));
+  ]
+
+let gen_lines =
+  QCheck2.Gen.(list_size (int_range 0 30) (string_size ~gen:(char_range 'a' 'e') (int_range 0 3)))
+
+let diff_patch_property =
+  QCheck2.Test.make ~name:"apply (diff a b) a = b" ~count:300
+    QCheck2.Gen.(pair gen_lines gen_lines)
+    (fun (a, b) ->
+      let old_text = String.concat "\n" a and new_text = String.concat "\n" b in
+      Diff.apply old_text (Diff.diff old_text new_text) = Some new_text)
+
+let diff_minimal_property =
+  QCheck2.Test.make ~name:"diff of equal texts is all Keep" ~count:100 gen_lines (fun a ->
+      let text = String.concat "\n" a in
+      List.for_all
+        (fun edit -> match edit with Diff.Keep _ -> true | Diff.Del _ | Diff.Add _ -> false)
+        (Diff.diff text text))
+
+(* --- store ----------------------------------------------------------- *)
+
+let store_tests =
+  [
+    Alcotest.test_case "put/get round trip" `Quick (fun () ->
+        let store = Store.create () in
+        let oid = Store.put store (Store.Blob "hello") in
+        Alcotest.(check bool) "mem" true (Store.mem store oid);
+        match Store.get store oid with
+        | Some (Store.Blob data) -> Alcotest.(check string) "data" "hello" data
+        | _ -> Alcotest.fail "missing blob");
+    Alcotest.test_case "content addressed: same content, same id" `Quick (fun () ->
+        let store = Store.create () in
+        let a = Store.put store (Store.Blob "x") in
+        let b = Store.put store (Store.Blob "x") in
+        Alcotest.(check string) "same oid" a b;
+        Alcotest.(check int) "one object" 1 (Store.object_count store));
+    Alcotest.test_case "different kinds differ" `Quick (fun () ->
+        let store = Store.create () in
+        let blob = Store.put store (Store.Blob "x") in
+        let tree = Store.put store (Store.Tree [ "x", blob ]) in
+        Alcotest.(check bool) "distinct" true (blob <> tree));
+    Alcotest.test_case "get_exn on unknown raises" `Quick (fun () ->
+        let store = Store.create () in
+        match Store.get_exn store "deadbeef" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected exception");
+  ]
+
+(* --- repo ------------------------------------------------------------ *)
+
+let commit repo changes =
+  Repo.commit repo ~author:"test" ~message:"m" ~timestamp:0.0 changes
+
+let repo_tests =
+  [
+    Alcotest.test_case "empty repo" `Quick (fun () ->
+        let repo = Repo.create () in
+        Alcotest.(check bool) "no head" true (Repo.head repo = None);
+        Alcotest.(check int) "no files" 0 (Repo.file_count repo);
+        Alcotest.(check int) "log empty" 0 (List.length (Repo.log repo)));
+    Alcotest.test_case "commit and read" `Quick (fun () ->
+        let repo = Repo.create () in
+        ignore (commit repo [ "a.json", Some "1"; "b.json", Some "2" ]);
+        Alcotest.(check (option string)) "a" (Some "1") (Repo.read_file repo "a.json");
+        Alcotest.(check (list string)) "ls" [ "a.json"; "b.json" ] (Repo.ls repo);
+        Alcotest.(check int) "2 files" 2 (Repo.file_count repo));
+    Alcotest.test_case "update and delete" `Quick (fun () ->
+        let repo = Repo.create () in
+        ignore (commit repo [ "a", Some "1"; "b", Some "2" ]);
+        ignore (commit repo [ "a", Some "1b"; "b", None ]);
+        Alcotest.(check (option string)) "updated" (Some "1b") (Repo.read_file repo "a");
+        Alcotest.(check (option string)) "deleted" None (Repo.read_file repo "b");
+        Alcotest.(check int) "1 file" 1 (Repo.file_count repo));
+    Alcotest.test_case "delete missing path fails" `Quick (fun () ->
+        let repo = Repo.create () in
+        match commit repo [ "ghost", None ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    Alcotest.test_case "empty commit fails" `Quick (fun () ->
+        let repo = Repo.create () in
+        match commit repo [] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    Alcotest.test_case "historical reads" `Quick (fun () ->
+        let repo = Repo.create () in
+        let c1 = commit repo [ "a", Some "v1" ] in
+        let _c2 = commit repo [ "a", Some "v2" ] in
+        Alcotest.(check (option string)) "old rev" (Some "v1")
+          (Repo.read_file ~rev:c1 repo "a");
+        Alcotest.(check (option string)) "head" (Some "v2") (Repo.read_file repo "a"));
+    Alcotest.test_case "log newest first" `Quick (fun () ->
+        let repo = Repo.create () in
+        let c1 = commit repo [ "a", Some "1" ] in
+        let c2 = commit repo [ "b", Some "2" ] in
+        match Repo.log repo with
+        | [ (o2, _); (o1, _) ] ->
+            Alcotest.(check string) "newest" c2 o2;
+            Alcotest.(check string) "oldest" c1 o1
+        | other -> Alcotest.failf "unexpected log length %d" (List.length other));
+    Alcotest.test_case "log limit" `Quick (fun () ->
+        let repo = Repo.create () in
+        for i = 1 to 5 do
+          ignore (commit repo [ "f", Some (string_of_int i) ])
+        done;
+        Alcotest.(check int) "limit 2" 2 (List.length (Repo.log ~limit:2 repo)));
+    Alcotest.test_case "changed_paths_of_commit" `Quick (fun () ->
+        let repo = Repo.create () in
+        ignore (commit repo [ "a", Some "1"; "b", Some "2" ]);
+        let c2 = commit repo [ "b", Some "2x"; "c", Some "3" ] in
+        Alcotest.(check (list string)) "changed" [ "b"; "c" ]
+          (List.sort String.compare (Repo.changed_paths_of_commit repo c2)));
+    Alcotest.test_case "changed_since and conflicts" `Quick (fun () ->
+        let repo = Repo.create () in
+        let base = commit repo [ "a", Some "1"; "b", Some "2" ] in
+        ignore (commit repo [ "a", Some "1x" ]);
+        Alcotest.(check (list string)) "changed since base" [ "a" ]
+          (Repo.changed_since repo ~base:(Some base));
+        Alcotest.(check (list string)) "conflict on a" [ "a" ]
+          (Repo.conflicts repo ~base:(Some base) ~paths:[ "a"; "b" ]);
+        Alcotest.(check (list string)) "no conflict on b" []
+          (Repo.conflicts repo ~base:(Some base) ~paths:[ "b" ]));
+    Alcotest.test_case "conflicts at head are empty" `Quick (fun () ->
+        let repo = Repo.create () in
+        let head = commit repo [ "a", Some "1" ] in
+        Alcotest.(check (list string)) "none" []
+          (Repo.conflicts repo ~base:(Some head) ~paths:[ "a" ]));
+    Alcotest.test_case "is_ancestor" `Quick (fun () ->
+        let repo = Repo.create () in
+        let c1 = commit repo [ "a", Some "1" ] in
+        let c2 = commit repo [ "a", Some "2" ] in
+        Alcotest.(check bool) "c1 ancestor of c2" true (Repo.is_ancestor repo c1 ~of_:c2);
+        Alcotest.(check bool) "c2 not ancestor of c1" false
+          (Repo.is_ancestor repo c2 ~of_:c1));
+  ]
+
+(* Property: a random sequence of writes leaves the repo agreeing with
+   a plain map. *)
+let repo_model_property =
+  QCheck2.Test.make ~name:"repo matches map model under random writes" ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 1 40)
+        (pair (oneofl [ "a"; "b"; "c"; "d" ]) (string_size ~gen:(char_range '0' '9') (pure 3))))
+    (fun writes ->
+      let repo = Repo.create () in
+      let model = Hashtbl.create 8 in
+      List.iter
+        (fun (path, content) ->
+          ignore (commit repo [ path, Some content ]);
+          Hashtbl.replace model path content)
+        writes;
+      Hashtbl.fold
+        (fun path content acc -> acc && Repo.read_file repo path = Some content)
+        model true
+      && Repo.file_count repo = Hashtbl.length model)
+
+(* --- multirepo ------------------------------------------------------- *)
+
+let multirepo_tests =
+  [
+    Alcotest.test_case "routing by longest prefix" `Quick (fun () ->
+        let m = Multirepo.create ~partitions:[ "feed/"; "feed/ranker/"; "tao/" ] in
+        Alcotest.(check string) "feed" "feed/"
+          (Repo.name (Multirepo.route m "feed/x.json"));
+        Alcotest.(check string) "ranker" "feed/ranker/"
+          (Repo.name (Multirepo.route m "feed/ranker/y.json"));
+        Alcotest.(check string) "catch-all" "<root>"
+          (Repo.name (Multirepo.route m "misc/z.json")));
+    Alcotest.test_case "commit splits by partition" `Quick (fun () ->
+        let m = Multirepo.create ~partitions:[ "feed/"; "tao/" ] in
+        let results =
+          Multirepo.commit m ~author:"a" ~message:"m" ~timestamp:0.0
+            [ "feed/a", Some "1"; "tao/b", Some "2"; "other/c", Some "3" ]
+        in
+        Alcotest.(check int) "3 partitions touched" 3 (List.length results);
+        Alcotest.(check (option string)) "feed read" (Some "1")
+          (Multirepo.read_file m "feed/a");
+        Alcotest.(check (option string)) "tao read" (Some "2")
+          (Multirepo.read_file m "tao/b");
+        Alcotest.(check (option string)) "root read" (Some "3")
+          (Multirepo.read_file m "other/c");
+        Alcotest.(check int) "total files" 3 (Multirepo.file_count m));
+    Alcotest.test_case "partitions commit independently" `Quick (fun () ->
+        let m = Multirepo.create ~partitions:[ "feed/"; "tao/" ] in
+        ignore
+          (Multirepo.commit m ~author:"a" ~message:"m" ~timestamp:0.0
+             [ "feed/a", Some "1" ]);
+        ignore
+          (Multirepo.commit m ~author:"b" ~message:"m" ~timestamp:0.0
+             [ "tao/b", Some "2" ]);
+        let feed = Option.get (Multirepo.repo_of_prefix m "feed/") in
+        let tao = Option.get (Multirepo.repo_of_prefix m "tao/") in
+        Alcotest.(check int) "feed commits" 1 (Repo.commit_count feed);
+        Alcotest.(check int) "tao commits" 1 (Repo.commit_count tao));
+  ]
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ diff_patch_property; diff_minimal_property; repo_model_property ]
+
+let () =
+  Alcotest.run "cm_vcs"
+    [
+      "diff", diff_tests;
+      "store", store_tests;
+      "repo", repo_tests;
+      "multirepo", multirepo_tests;
+      "properties", properties;
+    ]

@@ -1,0 +1,214 @@
+module Trace = Cm_workload.Trace
+module Stats = Cm_workload.Stats
+module Commits = Cm_workload.Commits
+module Rng = Cm_sim.Rng
+
+let small_params =
+  { Trace.default_params with Trace.target_configs = 6000; migration_configs = 600 }
+
+let trace = lazy (Trace.generate ~params:small_params (Rng.create 123L))
+
+let near label target tolerance value =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.3f within %.3f of %.3f" label value tolerance target)
+    true
+    (Float.abs (value -. target) <= tolerance)
+
+let sampler_tests =
+  [
+    Alcotest.test_case "write counts positive" `Quick (fun () ->
+        let rng = Rng.create 1L in
+        for _ = 1 to 2000 do
+          Alcotest.(check bool) "ge 1" true (Trace.sample_write_count rng Trace.Compiled >= 1)
+        done);
+    Alcotest.test_case "line changes positive" `Quick (fun () ->
+        let rng = Rng.create 2L in
+        for _ = 1 to 2000 do
+          Alcotest.(check bool) "ge 1" true (Trace.sample_line_changes rng Trace.Raw_cfg >= 1)
+        done);
+    Alcotest.test_case "sizes within caps" `Quick (fun () ->
+        let rng = Rng.create 3L in
+        for _ = 1 to 2000 do
+          let s = Trace.sample_size rng Trace.Compiled in
+          Alcotest.(check bool) "range" true (s >= 8 && s <= 14_800_000)
+        done);
+    Alcotest.test_case "coauthors at least one" `Quick (fun () ->
+        let rng = Rng.create 4L in
+        for _ = 1 to 1000 do
+          Alcotest.(check bool) "ge 1" true
+            (Trace.sample_coauthor_count rng Trace.Compiled >= 1)
+        done);
+  ]
+
+let trace_tests =
+  [
+    Alcotest.test_case "population size" `Quick (fun () ->
+        let t = Lazy.force trace in
+        Alcotest.(check int) "count" 6000 (List.length t.Trace.configs));
+    Alcotest.test_case "writes sorted and within horizon" `Quick (fun () ->
+        let t = Lazy.force trace in
+        List.iter
+          (fun c ->
+            let w = c.Trace.writes in
+            Alcotest.(check bool) "first is creation" true (w.(0) = c.Trace.created);
+            for i = 1 to Array.length w - 1 do
+              if w.(i) < w.(i - 1) then Alcotest.fail "unsorted writes";
+              if w.(i) > t.Trace.horizon +. 1e-9 then Alcotest.fail "write beyond horizon"
+            done)
+          t.Trace.configs);
+    Alcotest.test_case "authors match writes" `Quick (fun () ->
+        let t = Lazy.force trace in
+        List.iter
+          (fun c ->
+            Alcotest.(check int) "lengths" (Array.length c.Trace.writes)
+              (Array.length c.Trace.authors);
+            Alcotest.(check int) "line changes" (Array.length c.Trace.writes - 1)
+              (Array.length c.Trace.line_changes))
+          t.Trace.configs);
+    Alcotest.test_case "compiled share ~75% (paper §6.1)" `Quick (fun () ->
+        near "compiled share" 0.75 0.05 (Stats.compiled_share (Lazy.force trace)));
+    Alcotest.test_case "growth series monotone" `Quick (fun () ->
+        let series = Stats.growth_series (Lazy.force trace) ~every:100.0 in
+        Array.iteri
+          (fun i (_, compiled, raw) ->
+            if i > 0 then begin
+              let _, pc, pr = series.(i - 1) in
+              Alcotest.(check bool) "compiled grows" true (compiled >= pc);
+              Alcotest.(check bool) "raw grows" true (raw >= pr)
+            end)
+          series);
+    Alcotest.test_case "migration bump visible" `Quick (fun () ->
+        let t = Lazy.force trace in
+        let count day =
+          List.length
+            (List.filter
+               (fun c ->
+                 c.Trace.ckind = Trace.Compiled
+                 && c.Trace.created >= day
+                 && c.Trace.created < day +. 50.0)
+               t.Trace.configs)
+        in
+        let during = count small_params.Trace.migration_day in
+        let before = count (small_params.Trace.migration_day -. 100.0) in
+        Alcotest.(check bool)
+          (Printf.sprintf "bump %d > organic %d" during before)
+          true
+          (during > 2 * before));
+  ]
+
+(* Calibration: measured tables should be within a few points of the
+   paper's values (they are the model's targets). *)
+let calibration_tests =
+  [
+    Alcotest.test_case "Table 1 compiled buckets" `Quick (fun () ->
+        let table = Stats.updates_per_config_table (Lazy.force trace) Trace.Compiled in
+        near "written once" 25.0 3.0 (List.assoc "1" table);
+        near "twice" 24.9 3.0 (List.assoc "2" table);
+        near "[5,10]" 15.9 3.0 (List.assoc "[5,10]" table));
+    Alcotest.test_case "Table 1 raw buckets" `Quick (fun () ->
+        let table = Stats.updates_per_config_table (Lazy.force trace) Trace.Raw_cfg in
+        near "written once" 56.9 4.0 (List.assoc "1" table));
+    Alcotest.test_case "never-updated shares" `Quick (fun () ->
+        let t = Lazy.force trace in
+        near "compiled" 0.25 0.03 (Stats.never_updated_share t Trace.Compiled);
+        near "raw" 0.569 0.04 (Stats.never_updated_share t Trace.Raw_cfg));
+    Alcotest.test_case "top-1% dominates updates" `Quick (fun () ->
+        let t = Lazy.force trace in
+        let compiled = Stats.top_share t Trace.Compiled ~top_fraction:0.01 in
+        let raw = Stats.top_share t Trace.Raw_cfg ~top_fraction:0.01 in
+        Alcotest.(check bool) "compiled top heavy" true (compiled > 0.4);
+        Alcotest.(check bool) "raw heavier (automation)" true (raw > compiled));
+    Alcotest.test_case "Table 2 two-line changes dominate" `Quick (fun () ->
+        let table = Stats.line_changes_table (Lazy.force trace) Trace.Compiled in
+        near "two-line" 49.5 4.0 (List.assoc "2" table));
+    Alcotest.test_case "Table 3 co-author buckets" `Quick (fun () ->
+        let t = Lazy.force trace in
+        let compiled = Stats.coauthors_table t Trace.Compiled in
+        let raw = Stats.coauthors_table t Trace.Raw_cfg in
+        let one_or_two table = List.assoc "1" table +. List.assoc "2" table in
+        near "compiled 1-2 authors" 79.6 5.0 (one_or_two compiled);
+        near "raw 1-2 authors" 91.5 4.0 (one_or_two raw));
+    Alcotest.test_case "automation dominates raw updates (~89%)" `Quick (fun () ->
+        let t = Lazy.force trace in
+        near "raw automation" 0.89 0.08 (Stats.automation_update_share t Trace.Raw_cfg);
+        Alcotest.(check bool) "compiled mostly human" true
+          (Stats.automation_update_share t Trace.Compiled < 0.1));
+    Alcotest.test_case "size percentiles near Figure 8" `Quick (fun () ->
+        let t = Lazy.force trace in
+        let p50 kind =
+          match Stats.size_percentiles t kind [ 50.0 ] with
+          | [ (_, v) ] -> float_of_int v
+          | _ -> nan
+        in
+        (* Lognormal medians: 400B raw, 1KB compiled (log-scale tolerance). *)
+        Alcotest.(check bool) "raw p50" true (p50 Trace.Raw_cfg > 200.0 && p50 Trace.Raw_cfg < 800.0);
+        Alcotest.(check bool) "compiled p50" true
+          (p50 Trace.Compiled > 500.0 && p50 Trace.Compiled < 2000.0));
+    Alcotest.test_case "freshness and age shares (Figures 9-10)" `Quick (fun () ->
+        let t = Lazy.force trace in
+        let fresh90 = List.assoc 90.0 (Stats.freshness_cdf t [ 90.0 ]) in
+        Alcotest.(check bool) "some configs fresh" true (fresh90 > 0.10 && fresh90 < 0.60);
+        let age60 = List.assoc 60.0 (Stats.age_at_update_cdf t [ 60.0 ]) in
+        Alcotest.(check bool) "many updates young" true (age60 > 0.15 && age60 < 0.70);
+        let age300 = List.assoc 300.0 (Stats.age_at_update_cdf t [ 300.0 ]) in
+        Alcotest.(check bool) "old configs still get updates" true (age300 < 0.95));
+  ]
+
+let commit_tests =
+  [
+    Alcotest.test_case "weekend ratios ordered like Figure 11" `Quick (fun () ->
+        let rng = Rng.create 9L in
+        let ratio profile = Commits.weekend_ratio (Commits.daily_series rng profile ~days:56) in
+        let configerator = ratio Commits.configerator in
+        let www = ratio Commits.www in
+        let fbcode = ratio Commits.fbcode in
+        near "configerator ~33%" 0.33 0.07 configerator;
+        near "www ~10%" 0.10 0.04 www;
+        near "fbcode ~7%" 0.07 0.04 fbcode;
+        Alcotest.(check bool) "ordering" true (configerator > www && www > fbcode));
+    Alcotest.test_case "automated share ~39%" `Quick (fun () ->
+        let rng = Rng.create 10L in
+        near "auto share" 0.39 0.05
+          (Commits.automated_share_measured rng Commits.configerator ~days:28));
+    Alcotest.test_case "hourly series has day/night swing" `Quick (fun () ->
+        let rng = Rng.create 11L in
+        let hourly = Commits.hourly_series rng Commits.configerator ~days:7 in
+        (* Compare 3am vs 3pm averages across weekdays. *)
+        let avg hour =
+          let total = ref 0 and n = ref 0 in
+          for d = 0 to 4 do
+            total := !total + hourly.((d * 24) + hour);
+            incr n
+          done;
+          float_of_int !total /. float_of_int !n
+        in
+        Alcotest.(check bool) "3pm much busier than 3am" true (avg 15 > 2.0 *. avg 3));
+    Alcotest.test_case "growth visible over months" `Quick (fun () ->
+        let rng = Rng.create 12L in
+        let daily = Commits.daily_series rng Commits.configerator ~days:280 in
+        let week_sum start =
+          let total = ref 0 in
+          for d = start to start + 6 do
+            total := !total + daily.(d)
+          done;
+          !total
+        in
+        Alcotest.(check bool) "later week busier" true
+          (week_sum 270 > week_sum 0 * 3 / 2));
+    Alcotest.test_case "rate_at is continuous-ish and positive" `Quick (fun () ->
+        for h = 0 to 23 do
+          let rate =
+            Commits.rate_at Commits.configerator ~day:10.0 ~hour_of_day:(float_of_int h)
+          in
+          Alcotest.(check bool) "positive" true (rate > 0.0)
+        done);
+  ]
+
+let () =
+  Alcotest.run "cm_workload"
+    [
+      "samplers", sampler_tests;
+      "trace", trace_tests;
+      "calibration", calibration_tests;
+      "commits", commit_tests;
+    ]

@@ -1,0 +1,282 @@
+module Engine = Cm_sim.Engine
+module Topology = Cm_sim.Topology
+module Net = Cm_sim.Net
+module Zeus = Cm_zeus.Service
+module Pull = Cm_zeus.Pull
+
+let setup ?(seed = 42L) ?(regions = 2) ?(clusters = 2) ?(nodes = 20) ?params () =
+  let engine = Engine.create ~seed () in
+  let topo =
+    Topology.create ~regions ~clusters_per_region:clusters ~nodes_per_cluster:nodes
+  in
+  let net = Net.create engine topo in
+  let zeus = Zeus.create ?params net in
+  engine, topo, zeus
+
+let basic_tests =
+  [
+    Alcotest.test_case "write commits and reaches subscriber" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 5 in
+        let got = ref [] in
+        Zeus.subscribe proxy ~path:"cfg/a" (fun ~zxid data -> got := (zxid, data) :: !got);
+        Zeus.write zeus ~path:"cfg/a" ~data:"v1";
+        Engine.run_for engine 10.0;
+        Alcotest.(check int) "committed" 1 (Zeus.last_committed_zxid zeus);
+        Alcotest.(check (option string)) "leader value" (Some "v1")
+          (Zeus.committed_value zeus "cfg/a");
+        Alcotest.(check (list (pair int string))) "delivered" [ 1, "v1" ] (List.rev !got);
+        Alcotest.(check (option string)) "proxy_get" (Some "v1")
+          (Zeus.proxy_get proxy "cfg/a"));
+    Alcotest.test_case "subscribe after write gets current value" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        Zeus.write zeus ~path:"cfg/late" ~data:"v1";
+        Engine.run_for engine 10.0;
+        let proxy = Zeus.proxy_on zeus 7 in
+        let got = ref [] in
+        Zeus.subscribe proxy ~path:"cfg/late" (fun ~zxid:_ data -> got := data :: !got);
+        Engine.run_for engine 10.0;
+        Alcotest.(check (list string)) "initial value" [ "v1" ] !got);
+    Alcotest.test_case "multiple updates delivered in order" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 3 in
+        Zeus.subscribe proxy ~path:"cfg/x" (fun ~zxid:_ _ -> ());
+        for i = 1 to 20 do
+          Zeus.write zeus ~path:"cfg/x" ~data:("v" ^ string_of_int i);
+          Engine.run_for engine 0.5
+        done;
+        Engine.run_for engine 20.0;
+        let log = Zeus.delivery_log proxy in
+        let zxids = List.map snd log in
+        Alcotest.(check bool) "monotone zxids" true
+          (List.sort Int.compare zxids = zxids);
+        Alcotest.(check (option string)) "final value" (Some "v20")
+          (Zeus.proxy_get proxy "cfg/x"));
+    Alcotest.test_case "two subscribers on one proxy both fire" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 2 in
+        let a = ref 0 and b = ref 0 in
+        Zeus.subscribe proxy ~path:"cfg/s" (fun ~zxid:_ _ -> incr a);
+        Zeus.subscribe proxy ~path:"cfg/s" (fun ~zxid:_ _ -> incr b);
+        Zeus.write zeus ~path:"cfg/s" ~data:"v";
+        Engine.run_for engine 10.0;
+        Alcotest.(check (pair int int)) "both" (1, 1) (!a, !b));
+    Alcotest.test_case "proxies only get subscribed paths" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 4 in
+        Zeus.subscribe proxy ~path:"cfg/mine" (fun ~zxid:_ _ -> ());
+        Zeus.write zeus ~path:"cfg/other" ~data:"x";
+        Engine.run_for engine 10.0;
+        Alcotest.(check (option string)) "not cached" None (Zeus.proxy_get proxy "cfg/other"));
+    Alcotest.test_case "all observers converge" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        for i = 1 to 5 do
+          Zeus.write zeus ~path:("cfg/" ^ string_of_int i) ~data:"d"
+        done;
+        Engine.run_for engine 20.0;
+        for region = 0 to 1 do
+          for cluster = 0 to 1 do
+            for i = 0 to 1 do
+              Alcotest.(check int)
+                (Printf.sprintf "observer r%d c%d #%d" region cluster i)
+                5
+                (Zeus.observer_last_zxid zeus ~region ~cluster i)
+            done
+          done
+        done);
+  ]
+
+let failure_tests =
+  [
+    Alcotest.test_case "observer crash: proxy reconnects and still receives" `Quick
+      (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 10 in
+        Zeus.subscribe proxy ~path:"cfg/f" (fun ~zxid:_ _ -> ());
+        Zeus.write zeus ~path:"cfg/f" ~data:"v1";
+        Engine.run_for engine 10.0;
+        (* Kill both observers of the proxy's cluster (region 0 cluster 0
+           hosts nodes 0..19; node 10 is there). *)
+        Zeus.crash_observer zeus ~region:0 ~cluster:0 0;
+        Zeus.crash_observer zeus ~region:0 ~cluster:0 1;
+        Engine.run_for engine 10.0;
+        Zeus.write zeus ~path:"cfg/f" ~data:"v2";
+        Engine.run_for engine 30.0;
+        Alcotest.(check (option string)) "still updated" (Some "v2")
+          (Zeus.proxy_get proxy "cfg/f"));
+    Alcotest.test_case "observer restart catches up" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        Zeus.crash_observer zeus ~region:1 ~cluster:1 0;
+        for i = 1 to 8 do
+          Zeus.write zeus ~path:("cfg/c" ^ string_of_int i) ~data:"d"
+        done;
+        Engine.run_for engine 10.0;
+        Alcotest.(check int) "behind" 0 (Zeus.observer_last_zxid zeus ~region:1 ~cluster:1 0);
+        Zeus.restart_observer zeus ~region:1 ~cluster:1 0;
+        Engine.run_for engine 30.0;
+        Alcotest.(check int) "caught up" 8
+          (Zeus.observer_last_zxid zeus ~region:1 ~cluster:1 0));
+    Alcotest.test_case "leader failover preserves committed writes" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 6 in
+        Zeus.subscribe proxy ~path:"cfg/l" (fun ~zxid:_ _ -> ());
+        Zeus.write zeus ~path:"cfg/l" ~data:"before";
+        Engine.run_for engine 10.0;
+        let old_leader = Zeus.leader_node zeus in
+        Zeus.crash_leader zeus;
+        Engine.run_for engine 10.0;
+        Alcotest.(check bool) "new leader" true (Zeus.leader_node zeus <> old_leader);
+        Zeus.write zeus ~path:"cfg/l" ~data:"after";
+        Engine.run_for engine 30.0;
+        Alcotest.(check (option string)) "new write delivered" (Some "after")
+          (Zeus.proxy_get proxy "cfg/l");
+        Alcotest.(check bool) "committed zxid advanced" true
+          (Zeus.last_committed_zxid zeus >= 2));
+    Alcotest.test_case "writes queued while leader down are applied after election" `Quick
+      (fun () ->
+        let engine, _, zeus = setup () in
+        Zeus.crash_leader zeus;
+        Zeus.write zeus ~path:"cfg/q" ~data:"queued";
+        Engine.run_for engine 30.0;
+        Alcotest.(check (option string)) "applied" (Some "queued")
+          (Zeus.committed_value zeus "cfg/q"));
+    Alcotest.test_case "proxy crash: application reads on-disk cache" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 8 in
+        Zeus.subscribe proxy ~path:"cfg/d" (fun ~zxid:_ _ -> ());
+        Zeus.write zeus ~path:"cfg/d" ~data:"cached";
+        Engine.run_for engine 10.0;
+        Zeus.crash_proxy proxy;
+        (* Everything else can be down too; the on-disk cache still serves. *)
+        Alcotest.(check (option string)) "disk cache read" (Some "cached")
+          (Zeus.proxy_get proxy "cfg/d"));
+    Alcotest.test_case "proxy restart resubscribes and refreshes" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 9 in
+        Zeus.subscribe proxy ~path:"cfg/r" (fun ~zxid:_ _ -> ());
+        Zeus.write zeus ~path:"cfg/r" ~data:"v1";
+        Engine.run_for engine 10.0;
+        Zeus.crash_proxy proxy;
+        Zeus.write zeus ~path:"cfg/r" ~data:"v2";
+        Engine.run_for engine 10.0;
+        (* Crashed proxy missed v2; stale value from disk. *)
+        Alcotest.(check (option string)) "stale" (Some "v1") (Zeus.proxy_get proxy "cfg/r");
+        Zeus.restart_proxy proxy;
+        Engine.run_for engine 10.0;
+        Alcotest.(check (option string)) "fresh after restart" (Some "v2")
+          (Zeus.proxy_get proxy "cfg/r"));
+  ]
+
+let snapshot_tests =
+  [
+    Alcotest.test_case "far-behind observer catches up from a snapshot" `Quick (fun () ->
+        let params = { Zeus.default_params with Zeus.snapshot_threshold = 50 } in
+        let engine, _, zeus = setup ~params () in
+        Zeus.crash_observer zeus ~region:1 ~cluster:1 0;
+        (* 40 paths written 5 times each: 200 log entries, 40 live values. *)
+        for round = 1 to 5 do
+          for p = 0 to 39 do
+            Zeus.write zeus ~path:(Printf.sprintf "snap/%02d" p)
+              ~data:(Printf.sprintf "v%d" round)
+          done;
+          Engine.run_for engine 2.0
+        done;
+        Engine.run_for engine 10.0;
+        Zeus.restart_observer zeus ~region:1 ~cluster:1 0;
+        Engine.run_for engine 30.0;
+        (* The observer's zxid jumps straight to the committed head. *)
+        Alcotest.(check int) "caught up" 200
+          (Zeus.observer_last_zxid zeus ~region:1 ~cluster:1 0));
+    Alcotest.test_case "proxy on the snapshotted observer sees latest values" `Quick
+      (fun () ->
+        let params = { Zeus.default_params with Zeus.snapshot_threshold = 20 } in
+        let engine, _, zeus = setup ~params () in
+        (* Node 60+ lives in region 1 cluster 1 (2x2x20 topology). *)
+        let proxy = Zeus.proxy_on zeus 65 in
+        Zeus.subscribe proxy ~path:"snap/hot" (fun ~zxid:_ _ -> ());
+        Engine.run_for engine 5.0;
+        Zeus.crash_observer zeus ~region:1 ~cluster:1 0;
+        Zeus.crash_observer zeus ~region:1 ~cluster:1 1;
+        for i = 1 to 60 do
+          Zeus.write zeus ~path:"snap/hot" ~data:(Printf.sprintf "v%d" i);
+          if i mod 10 = 0 then Engine.run_for engine 1.0
+        done;
+        Engine.run_for engine 10.0;
+        Zeus.restart_observer zeus ~region:1 ~cluster:1 0;
+        Zeus.restart_observer zeus ~region:1 ~cluster:1 1;
+        Engine.run_for engine 60.0;
+        Alcotest.(check (option string)) "latest value" (Some "v60")
+          (Zeus.proxy_get proxy "snap/hot"));
+  ]
+
+(* Property: under random write bursts and observer crash/restart, every
+   proxy sees strictly increasing zxids per path and ends consistent. *)
+let chaos_property =
+  QCheck2.Test.make ~name:"in-order delivery under observer chaos" ~count:25
+    QCheck2.Gen.(pair (int_range 0 1000000) (int_range 5 25))
+    (fun (seed, nwrites) ->
+      let engine, _, zeus = setup ~seed:(Int64.of_int seed) () in
+      let proxy = Zeus.proxy_on zeus 15 in
+      Zeus.subscribe proxy ~path:"p" (fun ~zxid:_ _ -> ());
+      for i = 1 to nwrites do
+        Zeus.write zeus ~path:"p" ~data:("v" ^ string_of_int i);
+        if i mod 4 = 0 then Zeus.crash_observer zeus ~region:0 ~cluster:0 0;
+        if i mod 4 = 2 then Zeus.restart_observer zeus ~region:0 ~cluster:0 0;
+        Engine.run_for engine 0.3
+      done;
+      Engine.run_for engine 60.0;
+      let zxids = List.map snd (Zeus.delivery_log proxy) in
+      let monotone = List.sort_uniq Int.compare zxids = zxids in
+      let consistent =
+        Zeus.proxy_get proxy "p" = Some ("v" ^ string_of_int nwrites)
+      in
+      monotone && consistent)
+
+(* --- pull model ------------------------------------------------------ *)
+
+let pull_tests =
+  [
+    Alcotest.test_case "pull proxy converges within poll interval" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        let pull = Pull.create zeus ~node:11 ~poll_interval:5.0 in
+        Pull.subscribe pull ~path:"cfg/p" (fun ~zxid:_ _ -> ());
+        Zeus.write zeus ~path:"cfg/p" ~data:"v1";
+        Engine.run_for engine 12.0;
+        Alcotest.(check (option string)) "pulled" (Some "v1") (Pull.get pull "cfg/p");
+        Pull.stop pull);
+    Alcotest.test_case "idle polls counted as pure overhead" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        let pull = Pull.create zeus ~node:12 ~poll_interval:2.0 in
+        Pull.subscribe pull ~path:"cfg/idle" (fun ~zxid:_ _ -> ());
+        Zeus.write zeus ~path:"cfg/idle" ~data:"v";
+        Engine.run_for engine 60.0;
+        Alcotest.(check bool) "many polls" true (Pull.polls pull > 20);
+        Alcotest.(check bool) "mostly empty" true
+          (Pull.empty_polls pull > Pull.polls pull - 5);
+        Pull.stop pull);
+    Alcotest.test_case "push delivers faster than pull" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 13 in
+        let push_time = ref nan and pull_time = ref nan in
+        Zeus.subscribe proxy ~path:"race" (fun ~zxid:_ _ ->
+            if Float.is_nan !push_time then push_time := Engine.now engine);
+        let pull = Pull.create zeus ~node:14 ~poll_interval:30.0 in
+        Pull.subscribe pull ~path:"race" (fun ~zxid:_ _ ->
+            if Float.is_nan !pull_time then pull_time := Engine.now engine);
+        Engine.run_for engine 1.0;
+        Zeus.write zeus ~path:"race" ~data:"go";
+        Engine.run_for engine 120.0;
+        Alcotest.(check bool) "push sub-second-ish" true (!push_time < 5.0);
+        Alcotest.(check bool) "pull waits for poll" true (!pull_time > !push_time);
+        Pull.stop pull);
+  ]
+
+let () =
+  Alcotest.run "cm_zeus"
+    [
+      "basic", basic_tests;
+      "failures", failure_tests;
+      "pull", pull_tests;
+      "snapshot", snapshot_tests;
+      "properties", [ QCheck_alcotest.to_alcotest chaos_property ];
+    ]
