@@ -25,6 +25,7 @@ let experiments : (string * string * (unit -> unit)) list =
     "ablate-gkopt", "Gatekeeper optimizer", Exp_ablate.gk_optimizer;
     "ablate-landing", "landing strip vs direct commits", Exp_ablate.landing;
     "ablate-mobile", "mobile hybrid pull+push", Exp_ablate.mobile;
+    "incr", "incremental compilation vs full rebuild", Exp_incr.run;
     "micro", "Bechamel microbenchmarks", Exp_micro.run;
   ]
 

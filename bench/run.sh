@@ -1,0 +1,8 @@
+#!/bin/sh
+# Headless driver for the incremental-compilation benchmark: builds the
+# harness, runs the "incr" experiment, and leaves BENCH_incremental.json
+# in the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+dune exec bench/main.exe -- --only incr

@@ -48,22 +48,36 @@ let tree_arg =
 let print_errors errors =
   List.iter (fun e -> Printf.eprintf "error: %s\n" (Format.asprintf "%a" Core.Compiler.pp_error e)) errors
 
-let run_check tree_dir =
+let run_check tree_dir changed =
   match load_tree tree_dir with
   | Error message ->
       Printf.eprintf "error: %s\n" message;
       1
   | Ok tree ->
       let compiler = Core.Compiler.create tree in
-      let compiled, errors = Core.Compiler.compile_all compiler in
+      let compiled, errors =
+        match changed with
+        | [] -> Core.Compiler.compile_all compiler
+        | changed -> Core.Compiler.compile_affected compiler ~changed
+      in
       Printf.printf "%d source files, %d configs compiled, %d errors\n"
         (Core.Source_tree.count tree) (List.length compiled) (List.length errors);
       print_errors errors;
       if errors = [] then 0 else 1
 
 let check_cmd =
-  let doc = "Compile every config in the tree and report errors." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run_check $ tree_arg)
+  let doc =
+    "Compile configs and report errors.  With $(b,--changed), compile only \
+     the cone affected by the given edited files instead of the whole tree."
+  in
+  let changed =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "changed"; "c" ] ~docv:"PATH"
+          ~doc:"Edited source path (repeatable); restricts checking to its affected cone.")
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run_check $ tree_arg $ changed)
 
 let run_compile tree_dir out_dir paths pretty =
   match load_tree tree_dir with

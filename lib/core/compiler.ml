@@ -3,11 +3,14 @@ type compiled = {
   artifact_path : string;
   json : Cm_json.Value.t;
   json_text : string;
+  digest : string;
   type_name : string option;
   schema : Cm_thrift.Schema.t;
   schema_hash : string option;
   deps : string list;
 }
+
+let digest_of_text text = Digest.to_hex (Digest.string text)
 
 type error = { at : string; stage : stage; message : string }
 
@@ -23,14 +26,54 @@ let stage_name = function
 let pp_error ppf { at; stage; message } =
   Format.fprintf ppf "%s: [%s] %s" at (stage_name stage) message
 
-type t = { tree : Source_tree.t; vals : Validator.t }
+module Cache = struct
+  module Metrics = Cm_sim.Metrics
 
-let create ?validators tree =
+  type t = {
+    table : (string, compiled) Hashtbl.t; (* closure hash -> artifact *)
+    hit_counter : Metrics.Counter.t;
+    miss_counter : Metrics.Counter.t;
+    compile_seconds : Metrics.Histogram.t;
+  }
+
+  let create () =
+    {
+      table = Hashtbl.create 256;
+      hit_counter = Metrics.Counter.create ();
+      miss_counter = Metrics.Counter.create ();
+      compile_seconds = Metrics.Histogram.create ();
+    }
+
+  let hits t = Metrics.Counter.value t.hit_counter
+  let misses t = Metrics.Counter.value t.miss_counter
+  let size t = Hashtbl.length t.table
+  let compile_seconds t = t.compile_seconds
+end
+
+type t = {
+  tree : Source_tree.t;
+  vals : Validator.t;
+  dep : Depgraph.t;
+  cache : Cache.t;
+}
+
+let create ?validators ?cache ?depgraph tree =
   let vals = match validators with Some v -> v | None -> Validator.create () in
-  { tree; vals }
+  let dep =
+    match depgraph with
+    | Some dep -> dep
+    | None ->
+        let dep = Depgraph.create () in
+        Depgraph.scan dep tree;
+        dep
+  in
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  { tree; vals; dep; cache }
 
 let validators t = t.vals
 let source_tree t = t.tree
+let depgraph t = t.dep
+let cache t = t.cache
 
 let artifact_path_of path =
   match Source_tree.kind_of_path path with
@@ -103,12 +146,14 @@ let compile_cconf t path source =
                   | Error _ as e -> e
                   | Ok () ->
                       let json = Cm_thrift.Codec.encode normalized in
+                      let json_text = Cm_json.Value.to_compact_string json in
                       Ok
                         {
                           config_path = path;
                           artifact_path = artifact_path_of path;
                           json;
-                          json_text = Cm_json.Value.to_compact_string json;
+                          json_text;
+                          digest = digest_of_text json_text;
                           type_name;
                           schema;
                           schema_hash =
@@ -126,12 +171,14 @@ let compile_raw path source =
   match Cm_json.Parser.parse source with
   | Ok json ->
       (* Raw configs that happen to be JSON keep their structure. *)
+      let json_text = Cm_json.Value.to_compact_string json in
       Ok
         {
           config_path = path;
           artifact_path = path;
           json;
-          json_text = Cm_json.Value.to_compact_string json;
+          json_text;
+          digest = digest_of_text json_text;
           type_name = None;
           schema = Cm_thrift.Schema.empty;
           schema_hash = None;
@@ -148,6 +195,7 @@ let compile_raw path source =
           artifact_path = path;
           json = Cm_json.Value.String source;
           json_text = source;
+          digest = digest_of_text source;
           type_name = None;
           schema = Cm_thrift.Schema.empty;
           schema_hash = None;
@@ -164,15 +212,72 @@ let compile t path =
       | Source_tree.Cinc | Source_tree.Thrift | Source_tree.Cvalidator ->
           err path Parse "not a config root (modules and schemas are not compiled directly)")
 
-let compile_all t =
-  let targets =
-    Source_tree.paths_of_kind t.tree Source_tree.Cconf
-    @ Source_tree.paths_of_kind t.tree Source_tree.Raw
+(* The content key of a config: its own source, its transitive import
+   closure, and every validator source (plus the validators' own
+   imports) — a validator can constrain any typed config, so its text
+   is part of every typed compile.  Hashing the closure rather than
+   tracking timestamps makes the memo table shareable across source
+   trees: a development clone and the live tree that agree on the
+   closure bytes agree on the artifact. *)
+let closure_hash t path =
+  let validator_closure =
+    List.concat_map
+      (fun v -> v :: Depgraph.transitive_deps t.dep v)
+      (Source_tree.paths_of_kind t.tree Source_tree.Cvalidator)
   in
+  let closure =
+    List.sort_uniq String.compare
+      ((path :: Depgraph.transitive_deps t.dep path) @ validator_closure)
+  in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf p;
+      Buffer.add_char buf '\000';
+      (match Source_tree.read t.tree p with
+      | Some content -> Buffer.add_string buf content
+      | None -> Buffer.add_string buf "\000<missing>");
+      Buffer.add_char buf '\000')
+    closure;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Memoized compile: unchanged transitive closures are never
+   re-evaluated.  Only successful artifacts are cached — errors are
+   cheap to reproduce and must stay attributable to current sources. *)
+let compile_memo t path =
+  let key = closure_hash t path in
+  match Hashtbl.find_opt t.cache.Cache.table key with
+  | Some compiled ->
+      Cache.Metrics.Counter.incr t.cache.Cache.hit_counter;
+      Ok compiled
+  | None ->
+      let started = Sys.time () in
+      let result = compile t path in
+      Cache.Metrics.Histogram.add t.cache.Cache.compile_seconds
+        (Sys.time () -. started);
+      Cache.Metrics.Counter.incr t.cache.Cache.miss_counter;
+      (match result with
+      | Ok compiled -> Hashtbl.replace t.cache.Cache.table key compiled
+      | Error _ -> ());
+      result
+
+let collect t targets =
   List.fold_left
     (fun (oks, errors) path ->
-      match compile t path with
+      match compile_memo t path with
       | Ok compiled -> compiled :: oks, errors
       | Error e -> oks, e :: errors)
     ([], []) targets
   |> fun (oks, errors) -> List.rev oks, List.rev errors
+
+let note_changed t changed =
+  List.iter (fun path -> Depgraph.update_file t.dep t.tree path) changed
+
+let compile_affected t ~changed =
+  note_changed t changed;
+  collect t (Depgraph.affected_configs t.dep changed)
+
+let compile_all t =
+  collect t
+    (Source_tree.paths_of_kind t.tree Source_tree.Cconf
+    @ Source_tree.paths_of_kind t.tree Source_tree.Raw)

@@ -10,13 +10,23 @@
     + serialize to canonical JSON.
 
     Raw configs (non-CSL files) pass through unchanged, except that
-    files ending in [.json] must parse. *)
+    files ending in [.json] must parse.
+
+    Compilation is {e incremental}: the compiler owns a {!Depgraph}
+    over its tree and memoizes artifacts by the content hash of each
+    config's transitive source closure.  {!compile_affected} is the
+    per-change entry point — it recompiles only the changed cone, and
+    within the cone only configs whose closure bytes actually changed;
+    everything else is served from the {!Cache}, which can be shared
+    between compilers (e.g. the live tree and per-proposal clones). *)
 
 type compiled = {
   config_path : string;       (** source path, e.g. "jobs/cache_job.cconf" *)
   artifact_path : string;     (** output path, e.g. "jobs/cache_job.json" *)
   json : Cm_json.Value.t;
   json_text : string;         (** compact serialization, the distributed bytes *)
+  digest : string;            (** content hash of [json_text] — what the tailer
+                                  and CI use to recognize unchanged artifacts *)
   type_name : string option;  (** struct type of the export, if typed *)
   schema : Cm_thrift.Schema.t;
       (** union of the imported Thrift schemas (empty for raw configs);
@@ -36,18 +46,67 @@ and stage = Parse | Eval | Schema | Validation | Serialize
 val pp_error : Format.formatter -> error -> unit
 val stage_name : stage -> string
 
+val digest_of_text : string -> string
+(** The artifact digest function (hex); [compiled.digest =
+    digest_of_text compiled.json_text]. *)
+
+(** Content-addressed artifact memo table.  Keys are closure hashes,
+    so a table can be shared between compilers over different trees:
+    identical closure bytes imply an identical artifact. *)
+module Cache : sig
+  type t
+
+  val create : unit -> t
+  val hits : t -> int
+  val misses : t -> int
+  val size : t -> int
+  (** Number of distinct artifacts retained. *)
+
+  val compile_seconds : t -> Cm_sim.Metrics.Histogram.t
+  (** Per-miss compile latency (CPU seconds); hits cost no samples. *)
+end
+
 type t
 
-val create : ?validators:Validator.t -> Source_tree.t -> t
+val create :
+  ?validators:Validator.t ->
+  ?cache:Cache.t ->
+  ?depgraph:Depgraph.t ->
+  Source_tree.t ->
+  t
+(** [depgraph], when given, must already index [tree] (used by clones
+    that {!Depgraph.copy} a live index instead of re-scanning);
+    otherwise a fresh scan is performed.  [cache] defaults to a fresh
+    empty table. *)
 
 val validators : t -> Validator.t
 val source_tree : t -> Source_tree.t
+val depgraph : t -> Depgraph.t
+val cache : t -> Cache.t
 
 val compile : t -> string -> (compiled, error) result
-(** Compile one [*.cconf] or raw config by source path. *)
+(** Compile one [*.cconf] or raw config by source path — always
+    re-evaluates; no memoization. *)
 
 val compile_all : t -> (compiled list * error list)
-(** Compile every config in the tree ([*.cconf] + raw). *)
+(** Compile every config in the tree ([*.cconf] + raw), through the
+    memo table. *)
+
+val note_changed : t -> string list -> unit
+(** Re-index the given paths in the compiler's dependency graph after
+    their tree content changed ({!Depgraph.update_file} per path). *)
+
+val compile_affected : t -> changed:string list -> (compiled list * error list)
+(** The incremental entry point: re-index [changed], compute the
+    affected cone ({!Depgraph.affected_configs}), and compile it
+    through the memo table.  Configs outside the cone are untouched;
+    configs inside the cone whose transitive closure bytes are
+    unchanged are cache hits. *)
+
+val closure_hash : t -> string -> string
+(** Content hash of a config's transitive source closure (its own
+    source, its import closure, and all validator sources) — the memo
+    key. *)
 
 val artifact_path_of : string -> string
 (** ["a/b.cconf" -> "a/b.json"]; raw paths map to themselves. *)

@@ -5,13 +5,20 @@ type t = {
 
 let create () = { deps = Hashtbl.create 64; rdeps = Hashtbl.create 64 }
 
+let copy t =
+  let rdeps = Hashtbl.create (max 64 (Hashtbl.length t.rdeps)) in
+  Hashtbl.iter (fun path importers -> Hashtbl.replace rdeps path (ref !importers)) t.rdeps;
+  { deps = Hashtbl.copy t.deps; rdeps }
+
+(* Unresolvable targets keep an edge under their literal spelling, so
+   that creating the missing file later still invalidates importers. *)
 let normalize tree target =
-  if Source_tree.mem tree target then Some target
+  if Source_tree.mem tree target then target
   else if String.length target > 0 && target.[0] = '/' then begin
     let stripped = String.sub target 1 (String.length target - 1) in
-    if Source_tree.mem tree stripped then Some stripped else None
+    if Source_tree.mem tree stripped then stripped else target
   end
-  else None
+  else target
 
 let extract tree path =
   match Source_tree.read tree path with
@@ -23,7 +30,7 @@ let extract tree path =
           match Cm_lang.Parser.parse source with
           | Error _ -> []
           | Ok file ->
-              List.filter_map
+              List.map
                 (fun import ->
                   match import with
                   | `Csl target | `Thrift target -> normalize tree target)
@@ -83,6 +90,22 @@ let affected_configs t changed =
     end
   in
   List.iter walk changed;
+  (* Validators guard every config of their type, not just their static
+     importers, and the type binding is only known post-compile — so a
+     change reaching any validator conservatively dirties every compiled
+     config. *)
+  let validator_touched =
+    Hashtbl.fold
+      (fun path () acc ->
+        acc || Source_tree.kind_of_path path = Source_tree.Cvalidator)
+      visited false
+  in
+  if validator_touched then
+    Hashtbl.iter
+      (fun path _ ->
+        if Source_tree.kind_of_path path = Source_tree.Cconf then
+          Hashtbl.replace configs path ())
+      t.deps;
   List.sort String.compare (Hashtbl.fold (fun path () acc -> path :: acc) configs [])
 
 let transitive_deps t path =

@@ -10,6 +10,11 @@ type t
 
 val create : unit -> t
 
+val copy : t -> t
+(** Independent snapshot of the index — what a proposal's development
+    clone starts from before {!update_file} is applied to its edits.
+    O(edges), no re-parsing. *)
+
 val scan : t -> Source_tree.t -> unit
 (** (Re)index the whole tree.  Unparseable files get no edges (the
     compiler will surface their errors). *)
@@ -28,7 +33,12 @@ val affected_configs : t -> string list -> string list
     must be recompiled: the changed configs themselves plus all
     transitive importers.  Sorted, deduplicated.  This is what makes
     one edit of "app_port.cinc" recompile both "app.cconf" and
-    "firewall.cconf" in the same commit. *)
+    "firewall.cconf" in the same commit.
+
+    When the change reaches a [*.thrift-cvalidator] (directly or
+    through a module it imports), every [*.cconf] is returned: a
+    validator applies to all configs of its type, and the type binding
+    is only known after compiling each config. *)
 
 val transitive_deps : t -> string -> string list
 (** Full import closure of a file. *)

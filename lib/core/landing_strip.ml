@@ -25,7 +25,7 @@ let default_costs =
     pull_cost = (fun files -> 1.0 +. (float_of_int files *. 2.0e-5));
   }
 
-type job = { sub : submission; on_result : result -> unit }
+type job = { sub : submission; reads : string list; on_result : result -> unit }
 
 type t = {
   mode : mode;
@@ -52,7 +52,10 @@ let create ?(mode = Landing) ?(costs = default_costs) engine repo =
     nretries = 0;
   }
 
-let paths_of sub = List.map fst sub.changes
+(* The conflict window covers what the diff wrote AND what its
+   compilation read: if a dependency of an affected config changed
+   under the diff, its carried artifacts would be stale — bounce it. *)
+let conflict_paths job = List.map fst job.sub.changes @ job.reads
 
 let rec maybe_start t =
   if (not t.busy) && not (Queue.is_empty t.queue) then begin
@@ -82,7 +85,7 @@ and do_commit t job =
 and serve_landing t job =
   (* The landing strip itself resolves staleness: only true file
      conflicts bounce back to the author. *)
-  match Cm_vcs.Repo.conflicts t.repo ~base:job.sub.base ~paths:(paths_of job.sub) with
+  match Cm_vcs.Repo.conflicts t.repo ~base:job.sub.base ~paths:(conflict_paths job) with
   | [] -> do_commit t job
   | conflicting ->
       t.nconflicts <- t.nconflicts + 1;
@@ -103,7 +106,7 @@ and serve_direct t job =
        the files do not overlap.  Pulling happens on the committer's
        machine (does not occupy the shared repository), then the diff
        rejoins the queue — unless the interim commits truly conflict. *)
-    match Cm_vcs.Repo.conflicts t.repo ~base:job.sub.base ~paths:(paths_of job.sub) with
+    match Cm_vcs.Repo.conflicts t.repo ~base:job.sub.base ~paths:(conflict_paths job) with
     | [] ->
         t.nretries <- t.nretries + 1;
         let files = Cm_vcs.Repo.file_count t.repo in
@@ -121,8 +124,8 @@ and serve_direct t job =
                finish t))
   end
 
-let submit t sub ~on_result =
-  Queue.push { sub; on_result } t.queue;
+let submit ?(reads = []) t sub ~on_result =
+  Queue.push { sub; reads; on_result } t.queue;
   maybe_start t
 
 let queue_length t = Queue.length t.queue

@@ -45,8 +45,15 @@ val create :
   Cm_vcs.Repo.t ->
   t
 
-val submit : t -> submission -> on_result:(result -> unit) -> unit
-(** Queues a diff; the callback fires when it lands or is rejected. *)
+val submit : ?reads:string list -> t -> submission -> on_result:(result -> unit) -> unit
+(** Queues a diff; the callback fires when it lands or is rejected.
+
+    [reads] is the diff's compilation read set: source paths the
+    produced artifacts depend on but that the diff does not itself
+    write (e.g. imported [.cinc] modules of the affected cone).  A
+    change to a read path since [base] is treated as a conflict — the
+    diff's artifacts were compiled against stale inputs, so carrying
+    them forward would commit an inconsistent artifact set. *)
 
 val queue_length : t -> int
 val committed : t -> int

@@ -38,14 +38,17 @@ let create ?(reviewers = [ "alice"; "bob"; "carol" ]) ?(review_delay = 120.0)
     net zeus tree =
   let engine = Cm_sim.Net.engine net in
   let repo = Cm_vcs.Repo.create () in
-  let dep = Depgraph.create () in
-  Depgraph.scan dep tree;
+  (* One compiler for the live tree; it owns the dependency index and
+     the content-addressed artifact cache.  Proposal clones share the
+     cache (keys are closure hashes, so sharing across trees is sound)
+     and copy the index instead of re-scanning. *)
+  let compiler = Compiler.create ?validators tree in
   {
     net;
     pzeus = zeus;
     ptree = tree;
-    pcompiler = Compiler.create ?validators tree;
-    pdep = dep;
+    pcompiler = compiler;
+    pdep = Compiler.depgraph compiler;
     preview = Review.create ();
     psandcastle = Sandcastle.create ();
     planding = Landing_strip.create ~mode:landing_mode engine repo;
@@ -108,22 +111,22 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
   (* 1. The author edits a development clone of the tree. *)
   let clone = Source_tree.of_alist (Source_tree.snapshot t.ptree) in
   List.iter (fun (path, content) -> Source_tree.write clone path content) changes;
-  let clone_dep = Depgraph.create () in
-  Depgraph.scan clone_dep clone;
-  let affected = Depgraph.affected_configs clone_dep (List.map fst changes) in
-  (* 2. Compile every affected config (validators run inside). *)
+  (* 2. Compile only the affected cone, incrementally (validators run
+     inside).  The clone copies the live dependency index instead of
+     re-scanning the whole tree, and shares the live compiler's
+     content-addressed artifact cache: configs inside the cone whose
+     closure bytes did not actually change are cache hits. *)
+  let changed_paths = List.map fst changes in
   let clone_compiler =
-    Compiler.create ~validators:(Compiler.validators t.pcompiler) clone
+    Compiler.create
+      ~validators:(Compiler.validators t.pcompiler)
+      ~cache:(Compiler.cache t.pcompiler)
+      ~depgraph:(Depgraph.copy t.pdep)
+      clone
   in
   let compiled, errors =
-    List.fold_left
-      (fun (oks, errs) path ->
-        match Compiler.compile clone_compiler path with
-        | Ok c -> c :: oks, errs
-        | Error e -> oks, e :: errs)
-      ([], []) affected
+    Compiler.compile_affected clone_compiler ~changed:changed_paths
   in
-  let compiled = List.rev compiled and errors = List.rev errors in
   (* Per-config canary spec: "a config is associated with a canary
      spec"; a "<path>.canary" file in the tree overrides the default. *)
   let spec_result =
@@ -154,10 +157,32 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
     (* 3. Sandcastle CI in a sandbox; results are posted to the diff. *)
     let report = Sandcastle.run t.psandcastle compiled in
     let base = Cm_vcs.Repo.head t.prepo in
+    (* Artifacts byte-identical to what the repository already holds
+       are carried forward rather than re-written: a cone member whose
+       compile was a cache hit produces the committed bytes again, and
+       committing them would only create no-op churn downstream. *)
     let repo_changes =
       List.map (fun (path, content) -> path, Some content) changes
-      @ List.map (fun c -> c.Compiler.artifact_path, Some c.Compiler.json_text)
-          (List.filter (fun c -> c.Compiler.artifact_path <> c.Compiler.config_path) compiled)
+      @ List.filter_map
+          (fun c ->
+            if c.Compiler.artifact_path = c.Compiler.config_path then None
+            else
+              match Cm_vcs.Repo.read_file t.prepo c.Compiler.artifact_path with
+              | Some existing when String.equal existing c.Compiler.json_text -> None
+              | _ -> Some (c.Compiler.artifact_path, Some c.Compiler.json_text))
+          compiled
+    in
+    (* The compilation read set: sources the carried/committed artifacts
+       depend on but that the diff itself does not write.  The landing
+       strip treats a change to a read path since [base] as a conflict,
+       so a consistent artifact set always lands. *)
+    let reads =
+      List.filter
+        (fun path -> not (List.mem path changed_paths))
+        (List.sort_uniq String.compare
+           (List.concat_map
+              (fun c -> c.Compiler.config_path :: c.Compiler.deps)
+              compiled))
     in
     let diff_id = Review.submit t.preview ~author ~title ~base repo_changes in
     Sandcastle.post_to_review t.preview diff_id report;
@@ -217,7 +242,7 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
              | Ok () ->
                  (* 5. Automated canary. *)
                  let continue_to_landing () =
-                   Landing_strip.submit t.planding
+                   Landing_strip.submit ~reads t.planding
                      { Landing_strip.author; message = title; base; changes = repo_changes }
                      ~on_result:(fun result ->
                        match result with
@@ -228,9 +253,7 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
                            List.iter
                              (fun (path, content) -> Source_tree.write t.ptree path content)
                              changes;
-                           List.iter
-                             (fun (path, _) -> Depgraph.update_file t.pdep t.ptree path)
-                             changes;
+                           Compiler.note_changed t.pcompiler changed_paths;
                            t.nlanded <- t.nlanded + 1;
                            on_done (Landed oid))
                  in

@@ -10,7 +10,16 @@
 
     Any layer can bounce the change; only fully vetted changes reach
     the repository, and the tailer then distributes the new artifacts
-    to the fleet. *)
+    to the fleet.
+
+    Compilation along the pipeline is {e incremental}: a proposal
+    compiles only the affected cone of the change
+    ({!Compiler.compile_affected}) against a copy of the live
+    dependency index, sharing the live compiler's content-addressed
+    artifact cache.  Artifacts whose bytes match the repository are
+    carried forward instead of re-committed, and the diff's compilation
+    read set is handed to the landing strip so a dependency that moved
+    under the diff bounces it as a conflict. *)
 
 type outcome =
   | Landed of Cm_vcs.Store.oid

@@ -5,7 +5,21 @@ type check = {
 
 type report = (string * bool * string) list
 
-type t = { mutable checks : check list }
+type t = {
+  mutable checks : check list;
+  validated : (string, unit) Hashtbl.t; (* artifact content keys that passed *)
+  mutable nskipped : int;
+}
+
+(* The digest covers the distributed bytes; type/schema hash join the
+   key because checks also inspect the typing metadata. *)
+let artifact_key c =
+  String.concat ":"
+    [
+      c.Compiler.digest;
+      Option.value ~default:"" c.Compiler.type_name;
+      Option.value ~default:"" c.Compiler.schema_hash;
+    ]
 
 let inline_size_limit = 1024 * 1024
 
@@ -83,18 +97,36 @@ let default_checks () =
   ]
 
 let create ?(with_defaults = true) () =
-  { checks = (if with_defaults then default_checks () else []) }
+  {
+    checks = (if with_defaults then default_checks () else []);
+    validated = Hashtbl.create 64;
+    nskipped = 0;
+  }
 
 let add_check t check = t.checks <- t.checks @ [ check ]
 
-let run t artifacts =
-  List.map
-    (fun check ->
-      let passed, detail = check.run artifacts in
-      check.check_name, passed, detail)
-    t.checks
-
 let passed report = List.for_all (fun (_, ok, _) -> ok) report
+
+let run t artifacts =
+  (* CI re-validates only artifacts whose bytes it has not already
+     passed: a cache-hit compile produces the exact artifact a previous
+     run vetted, so re-checking it is pure cost. *)
+  let fresh =
+    List.filter (fun c -> not (Hashtbl.mem t.validated (artifact_key c))) artifacts
+  in
+  t.nskipped <- t.nskipped + (List.length artifacts - List.length fresh);
+  let report =
+    List.map
+      (fun check ->
+        let ok, detail = check.run fresh in
+        check.check_name, ok, detail)
+      t.checks
+  in
+  if passed report then
+    List.iter (fun c -> Hashtbl.replace t.validated (artifact_key c) ()) fresh;
+  report
+
+let revalidations_skipped t = t.nskipped
 
 let post_to_review review diff_id report =
   List.iter

@@ -18,7 +18,15 @@ val create : ?with_defaults:bool -> unit -> t
 val add_check : t -> check -> unit
 
 val run : t -> Compiler.compiled list -> report
+(** Checks run only over artifacts whose content (digest + typing
+    metadata) this instance has not already validated successfully;
+    byte-identical artifacts from earlier passing runs are skipped.
+    Failing artifacts are always re-checked. *)
+
 val passed : report -> bool
+
+val revalidations_skipped : t -> int
+(** Artifacts skipped because their exact bytes already passed. *)
 
 val post_to_review : Review.t -> Review.diff_id -> report -> unit
 

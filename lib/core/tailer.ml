@@ -9,6 +9,7 @@ type t = {
   mutable last_seen : Cm_vcs.Store.oid option;
   mutable running : bool;
   mutable nwrites : int;
+  mutable nsuppressed : int;
 }
 
 let default_is_artifact path =
@@ -27,21 +28,37 @@ let create ?(poll_interval = 5.0) ?(is_artifact = default_is_artifact) engine re
     last_seen = None;
     running = false;
     nwrites = 0;
+    nsuppressed = 0;
   }
 
 let poll_once t =
   let head = Cm_vcs.Repo.head t.repo in
   if head <> t.last_seen then begin
-    let changed = Cm_vcs.Repo.changed_since t.repo ~base:t.last_seen in
-    List.iter
-      (fun path ->
-        if t.is_artifact path then
-          match Cm_vcs.Repo.read_file t.repo path with
-          | Some data ->
-              t.nwrites <- t.nwrites + 1;
-              Cm_zeus.Service.write t.zeus ~path ~data
-          | None -> () (* deleted; distribution of deletions is a no-op *))
-      changed;
+    (match head with
+    | None -> ()
+    | Some head_oid ->
+        let touched = Cm_vcs.Repo.changed_since t.repo ~base:t.last_seen in
+        (* Content-level endpoint diff: a path whose bytes ended up
+           back where they started since the last poll (e.g. an
+           emergency rollback landing between polls) is already what
+           the fleet holds — issuing the write would only churn Zeus
+           watches. *)
+        let dirty = Hashtbl.create 32 in
+        List.iter
+          (fun path -> Hashtbl.replace dirty path ())
+          (Cm_vcs.Repo.changed_between t.repo ~base:t.last_seen ~head:head_oid);
+        List.iter
+          (fun path ->
+            if t.is_artifact path then
+              if not (Hashtbl.mem dirty path) then
+                t.nsuppressed <- t.nsuppressed + 1
+              else
+                match Cm_vcs.Repo.read_file t.repo path with
+                | Some data ->
+                    t.nwrites <- t.nwrites + 1;
+                    Cm_zeus.Service.write t.zeus ~path ~data
+                | None -> () (* deleted; distribution of deletions is a no-op *))
+          touched);
     t.last_seen <- head
   end
 
@@ -62,4 +79,5 @@ let start t =
 
 let stop t = t.running <- false
 let writes_issued t = t.nwrites
+let writes_suppressed t = t.nsuppressed
 let force_poll t = poll_once t

@@ -25,6 +25,12 @@ val start : t -> unit
 val stop : t -> unit
 
 val writes_issued : t -> int
+(** Real Zeus writes only — no-op updates never reach this counter. *)
+
+val writes_suppressed : t -> int
+(** Artifact paths that commits touched but whose bytes were unchanged
+    from the last distributed version (e.g. a rollback that restored
+    the previous content between two polls): the write is skipped. *)
 
 val force_poll : t -> unit
 (** One immediate poll (used by tests). *)

@@ -27,15 +27,14 @@ module Histogram = struct
       t.sorted <- true
     end
 
-  let mean t =
-    if t.len = 0 then nan
-    else begin
-      let sum = ref 0.0 in
-      for i = 0 to t.len - 1 do
-        sum := !sum +. t.data.(i)
-      done;
-      !sum /. float_of_int t.len
-    end
+  let sum t =
+    let acc = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      acc := !acc +. t.data.(i)
+    done;
+    !acc
+
+  let mean t = if t.len = 0 then nan else sum t /. float_of_int t.len
 
   let min t =
     ensure_sorted t;

@@ -7,6 +7,7 @@ module Histogram : sig
   val create : unit -> t
   val add : t -> float -> unit
   val count : t -> int
+  val sum : t -> float
   val mean : t -> float
   val min : t -> float
   val max : t -> float

@@ -161,6 +161,10 @@ let changed_since t ~base =
         List.sort String.compare (Hashtbl.fold (fun path () acc -> path :: acc) seen [])
       end
 
+let changed_between t ~base ~head =
+  let old_entries = match base with None -> [] | Some oid -> tree_of_commit t oid in
+  diff_trees old_entries (tree_of_commit t head)
+
 let conflicts t ~base ~paths =
   let touched = changed_since t ~base in
   List.filter (fun path -> List.mem path touched) paths

@@ -43,6 +43,13 @@ val changed_since : t -> base:Store.oid option -> string list
 (** Union of paths touched by commits after [base] up to head.
     [base = None] means "everything at head". *)
 
+val changed_between : t -> base:Store.oid option -> head:Store.oid -> string list
+(** Content-level diff of the two revisions' trees: paths whose blob
+    id differs between [base] and [head] (plus additions/removals),
+    sorted.  Unlike {!changed_since}, a path rewritten and then
+    reverted between the endpoints does {e not} appear — the tailer
+    uses this to suppress no-op distribution writes. *)
+
 val conflicts : t -> base:Store.oid option -> paths:string list -> string list
 (** Of [paths], those also modified between [base] and head — the
     landing strip's true-conflict test. *)

@@ -288,6 +288,66 @@ let depgraph_tests =
           (Depgraph.affected_configs dep [ "a.cinc" ]);
         Alcotest.(check (list string)) "b affects" [ "c.cconf" ]
           (Depgraph.affected_configs dep [ "b.cinc" ]));
+    Alcotest.test_case "diamond imports yield the config once" `Quick (fun () ->
+        let tree =
+          ST.of_alist
+            [
+              "base.cinc", "B = 1";
+              "left.cinc", "import \"base.cinc\"\nL = B + 1";
+              "right.cinc", "import \"base.cinc\"\nR = B + 2";
+              "top.cconf", "import \"left.cinc\"\nimport \"right.cinc\"\nexport { s: L + R }";
+            ]
+        in
+        let dep = Depgraph.create () in
+        Depgraph.scan dep tree;
+        Alcotest.(check (list string)) "no duplicates" [ "top.cconf" ]
+          (Depgraph.affected_configs dep [ "base.cinc" ]));
+    Alcotest.test_case "cinc shared with a validator affects every config" `Quick (fun () ->
+        (* limits.cinc feeds both a regular config and a type validator.
+           Validators apply by type, not by import edge, so once the
+           walk reaches a validator source every .cconf is suspect. *)
+        let tree =
+          ST.of_alist
+            [
+              "limits.cinc", "MAX_MEM = 4096";
+              "schemas/Job.thrift-cvalidator",
+              "import \"limits.cinc\"\ndef validate(cfg) = cfg.memory_mb <= MAX_MEM";
+              "a.cconf", "import \"limits.cinc\"\nexport { m: MAX_MEM }";
+              "b.cconf", "export { x: 1 }";
+            ]
+        in
+        let dep = Depgraph.create () in
+        Depgraph.scan dep tree;
+        Alcotest.(check (list string)) "all configs affected" [ "a.cconf"; "b.cconf" ]
+          (Depgraph.affected_configs dep [ "limits.cinc" ]);
+        Alcotest.(check (list string)) "validator edit affects all"
+          [ "a.cconf"; "b.cconf" ]
+          (Depgraph.affected_configs dep [ "schemas/Job.thrift-cvalidator" ]));
+    Alcotest.test_case "deleting an import still invalidates dependents" `Quick (fun () ->
+        let tree =
+          ST.of_alist
+            [ "a.cinc", "A = 1"; "c.cconf", "import \"a.cinc\"\nexport { a: A }" ]
+        in
+        let dep = Depgraph.create () in
+        Depgraph.scan dep tree;
+        ST.remove tree "a.cinc";
+        Depgraph.update_file dep tree "a.cinc";
+        Alcotest.(check (list string)) "dependent must recompile" [ "c.cconf" ]
+          (Depgraph.affected_configs dep [ "a.cinc" ]));
+    Alcotest.test_case "copy is independent of the original" `Quick (fun () ->
+        let tree =
+          ST.of_alist
+            [ "a.cinc", "A = 1"; "c.cconf", "import \"a.cinc\"\nexport { a: A }" ]
+        in
+        let dep = Depgraph.create () in
+        Depgraph.scan dep tree;
+        let clone = Depgraph.copy dep in
+        ST.write tree "c.cconf" "export { x: 2 }";
+        Depgraph.update_file clone tree "c.cconf";
+        Alcotest.(check (list string)) "clone rewired" []
+          (Depgraph.affected_configs clone [ "a.cinc" ]);
+        Alcotest.(check (list string)) "original untouched" [ "c.cconf" ]
+          (Depgraph.affected_configs dep [ "a.cinc" ]));
   ]
 
 let review_tests =
@@ -719,6 +779,171 @@ def create_job(name, memory = 1024) =
           (Mutator.read mutator "raw/knob.json"));
   ]
 
+let cache_stats pipeline =
+  let cache = Compiler.cache (Pipeline.compiler pipeline) in
+  Compiler.Cache.hits cache, Compiler.Cache.misses cache
+
+let incremental_tests =
+  [
+    Alcotest.test_case "memo table hits on unchanged closure" `Quick (fun () ->
+        let compiler = Compiler.create (figure2_tree ()) in
+        let cache = Compiler.cache compiler in
+        ignore (Compiler.compile_all compiler);
+        Alcotest.(check int) "all misses first" 3 (Compiler.Cache.misses cache);
+        Alcotest.(check int) "no hits first" 0 (Compiler.Cache.hits cache);
+        ignore (Compiler.compile_all compiler);
+        Alcotest.(check int) "all hits second" 3 (Compiler.Cache.hits cache);
+        Alcotest.(check int) "no new misses" 3 (Compiler.Cache.misses cache));
+    Alcotest.test_case "digest matches artifact bytes" `Quick (fun () ->
+        let tree = figure2_tree () in
+        let c = compiled_of tree "jobs/cache_job.cconf" in
+        Alcotest.(check string) "digest" (Compiler.digest_of_text c.Compiler.json_text)
+          c.Compiler.digest);
+    Alcotest.test_case "compile_affected recompiles only the cone" `Quick (fun () ->
+        let tree = figure2_tree () in
+        let compiler = Compiler.create tree in
+        let cache = Compiler.cache compiler in
+        ignore (Compiler.compile_all compiler);
+        let misses0 = Compiler.Cache.misses cache in
+        ST.write tree "jobs/cache_job.cconf" cache_job_v2;
+        let oks, errors = Compiler.compile_affected compiler ~changed:[ "jobs/cache_job.cconf" ] in
+        Alcotest.(check int) "no errors" 0 (List.length errors);
+        Alcotest.(check (list string)) "cone is one config" [ "jobs/cache_job.cconf" ]
+          (List.map (fun c -> c.Compiler.config_path) oks);
+        Alcotest.(check int) "one fresh compile" (misses0 + 1) (Compiler.Cache.misses cache));
+    Alcotest.test_case "validator edit recompiles every cconf" `Quick (fun () ->
+        let tree = figure2_tree () in
+        let compiler = Compiler.create tree in
+        ignore (Compiler.compile_all compiler);
+        ST.write tree "schemas/Job.thrift-cvalidator"
+          "def validate(cfg) = cfg.memory_mb <= 4096";
+        let oks, errors =
+          Compiler.compile_affected compiler ~changed:[ "schemas/Job.thrift-cvalidator" ]
+        in
+        Alcotest.(check int) "no errors" 0 (List.length errors);
+        Alcotest.(check (list string)) "both jobs, not the raw config"
+          [ "jobs/cache_job.cconf"; "jobs/security_job.cconf" ]
+          (List.sort String.compare (List.map (fun c -> c.Compiler.config_path) oks)));
+    Alcotest.test_case "cache is shareable across compilers" `Quick (fun () ->
+        let tree = figure2_tree () in
+        let compiler = Compiler.create tree in
+        ignore (Compiler.compile_all compiler);
+        let clone = ST.of_alist (ST.snapshot tree) in
+        let compiler2 = Compiler.create ~cache:(Compiler.cache compiler) clone in
+        let oks, _ = Compiler.compile_all compiler2 in
+        Alcotest.(check int) "3 configs" 3 (List.length oks);
+        Alcotest.(check int) "served entirely from cache" 3
+          (Compiler.Cache.hits (Compiler.cache compiler2));
+        Alcotest.(check int) "no new compiles" 3
+          (Compiler.Cache.misses (Compiler.cache compiler2)));
+    Alcotest.test_case "errors are never cached" `Quick (fun () ->
+        let tree = ST.of_alist [ "bad.cconf", "export nosuch" ] in
+        let compiler = Compiler.create tree in
+        let cache = Compiler.cache compiler in
+        ignore (Compiler.compile_affected compiler ~changed:[ "bad.cconf" ]);
+        ignore (Compiler.compile_affected compiler ~changed:[ "bad.cconf" ]);
+        Alcotest.(check int) "recompiled both times" 2 (Compiler.Cache.misses cache);
+        Alcotest.(check int) "no hits" 0 (Compiler.Cache.hits cache);
+        Alcotest.(check int) "nothing retained" 0 (Compiler.Cache.size cache));
+    Alcotest.test_case "proposal compiles only its cone" `Quick (fun () ->
+        let _, _, pipeline = pipeline_env () in
+        let _, misses0 = cache_stats pipeline in
+        Alcotest.(check int) "bootstrap compiled the tree" 3 misses0;
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"dana" ~skip_canary:true
+            [ "jobs/cache_job.cconf", cache_job_v2 ]
+        in
+        Alcotest.(check string) "landed" "landed" (Pipeline.outcome_stage outcome);
+        let _, misses1 = cache_stats pipeline in
+        Alcotest.(check int) "exactly one fresh compile for the change" (misses0 + 1) misses1);
+    Alcotest.test_case "no-op proposal hits the cache and carries the artifact" `Quick
+      (fun () ->
+        let engine, _, pipeline = pipeline_env () in
+        let same = Option.get (ST.read (Pipeline.tree pipeline) "jobs/cache_job.cconf") in
+        let hits0, misses0 = cache_stats pipeline in
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"dana" ~skip_canary:true
+            [ "jobs/cache_job.cconf", same ]
+        in
+        Alcotest.(check string) "landed" "landed" (Pipeline.outcome_stage outcome);
+        let hits1, misses1 = cache_stats pipeline in
+        Alcotest.(check int) "no recompilation" misses0 misses1;
+        Alcotest.(check bool) "served from cache" true (hits1 > hits0);
+        (* The unchanged artifact is carried forward, not re-committed. *)
+        (match outcome with
+        | Pipeline.Landed oid ->
+            Alcotest.(check bool) "artifact not in the commit" false
+              (List.mem "jobs/cache_job.json"
+                 (Cm_vcs.Repo.changed_paths_of_commit (Pipeline.repo pipeline) oid))
+        | _ -> Alcotest.fail "expected landed oid");
+        let tailer = Pipeline.tailer pipeline in
+        let writes0 = Tailer.writes_issued tailer in
+        Engine.run_for engine 30.0;
+        Alcotest.(check int) "no Zeus churn" writes0 (Tailer.writes_issued tailer));
+    Alcotest.test_case "read-set conflict bounces the diff" `Quick (fun () ->
+        let engine = Engine.create () in
+        let repo = Cm_vcs.Repo.create () in
+        let landing = Landing.create engine repo in
+        ignore
+          (Cm_vcs.Repo.commit repo ~author:"seed" ~message:"s" ~timestamp:0.0
+             [ "dep.cinc", Some "D = 1"; "a.cconf", Some "import \"dep.cinc\"\nexport { d: D }" ]);
+        let base = Cm_vcs.Repo.head repo in
+        (* dep.cinc moves under the diff: its carried artifact is stale. *)
+        ignore
+          (Cm_vcs.Repo.commit repo ~author:"other" ~message:"m" ~timestamp:1.0
+             [ "dep.cinc", Some "D = 2" ]);
+        let outcome = ref None in
+        Landing.submit ~reads:[ "dep.cinc" ] landing
+          { Landing.author = "dana"; message = "m"; base;
+            changes = [ "a.cconf", Some "import \"dep.cinc\"\nexport { d: D, x: 1 }" ] }
+          ~on_result:(fun r -> outcome := Some r);
+        Engine.run engine;
+        match !outcome with
+        | Some (Landing.Conflict [ "dep.cinc" ]) -> ()
+        | _ -> Alcotest.fail "expected a read-set conflict on dep.cinc");
+    Alcotest.test_case "tailer suppresses round-trip no-op writes" `Quick (fun () ->
+        let engine = Engine.create () in
+        let topo =
+          Cm_sim.Topology.create ~regions:1 ~clusters_per_region:1 ~nodes_per_cluster:20
+        in
+        let net = Cm_sim.Net.create engine topo in
+        let zeus = Cm_zeus.Service.create net in
+        let repo = Cm_vcs.Repo.create () in
+        let tailer = Tailer.create engine repo zeus in
+        ignore
+          (Cm_vcs.Repo.commit repo ~author:"a" ~message:"v1" ~timestamp:0.0
+             [ "x.json", Some "{\"v\":1}" ]);
+        Tailer.force_poll tailer;
+        Engine.run_for engine 30.0;
+        Alcotest.(check int) "initial write" 1 (Tailer.writes_issued tailer);
+        (* A bad value lands and is rolled back between two polls: the
+           endpoint bytes are what the fleet already holds. *)
+        ignore
+          (Cm_vcs.Repo.commit repo ~author:"a" ~message:"v2" ~timestamp:1.0
+             [ "x.json", Some "{\"v\":2}" ]);
+        ignore
+          (Cm_vcs.Repo.commit repo ~author:"oncall" ~message:"rollback" ~timestamp:2.0
+             [ "x.json", Some "{\"v\":1}" ]);
+        Tailer.force_poll tailer;
+        Engine.run_for engine 30.0;
+        Alcotest.(check int) "write suppressed" 1 (Tailer.writes_suppressed tailer);
+        Alcotest.(check int) "no new writes" 1 (Tailer.writes_issued tailer);
+        Alcotest.(check (option string)) "zeus still holds v1" (Some "{\"v\":1}")
+          (Cm_zeus.Service.committed_value zeus "x.json"));
+    Alcotest.test_case "sandcastle skips already-validated artifacts" `Quick (fun () ->
+        let sandcastle = Sandcastle.create () in
+        let tree = figure2_tree () in
+        let c = compiled_of tree "jobs/cache_job.cconf" in
+        let r1 = Sandcastle.run sandcastle [ c ] in
+        Alcotest.(check bool) "first run passes" true (Sandcastle.passed r1);
+        Alcotest.(check int) "nothing skipped yet" 0
+          (Sandcastle.revalidations_skipped sandcastle);
+        let r2 = Sandcastle.run sandcastle [ c ] in
+        Alcotest.(check bool) "second run passes" true (Sandcastle.passed r2);
+        Alcotest.(check int) "byte-identical artifact skipped" 1
+          (Sandcastle.revalidations_skipped sandcastle));
+  ]
+
 let client_tests =
   [
     Alcotest.test_case "typed read under application schema" `Quick (fun () ->
@@ -1121,9 +1346,51 @@ let risk_monotone_property =
       in
       assess history_fanout >= assess history_small)
 
+(* Incremental compilation must be invisible: after any sequence of
+   mutations, the long-lived compiler (memo table, patched depgraph)
+   must produce byte-for-byte the artifacts a from-scratch compiler
+   sees. *)
+let incr_equivalence_property =
+  let mutation_site idx v =
+    match idx with
+    | 0 -> "modules/base.cinc", Printf.sprintf "BASE = %d" v
+    | (1 | 2) as k ->
+        let k = k - 1 in
+        ( Printf.sprintf "modules/m%d.cinc" k,
+          Printf.sprintf "import \"modules/base.cinc\"\nM%d = BASE + %d" k v )
+    | i ->
+        let i = i - 3 in
+        let k = i mod 2 in
+        ( Printf.sprintf "configs/c%d.cconf" i,
+          Printf.sprintf "import \"modules/m%d.cinc\"\nexport { id: %d, v: %d, m: M%d }" k i
+            v k )
+  in
+  QCheck2.Test.make ~name:"incremental compile equals full rebuild" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 12) (pair (int_range 0 6) (int_range 0 99)))
+    (fun mutations ->
+      let tree = ST.of_alist (List.init 7 (fun idx -> mutation_site idx 0)) in
+      let incr = Compiler.create tree in
+      ignore (Compiler.compile_all incr);
+      let view compiler =
+        let oks, errors = Compiler.compile_all compiler in
+        ( List.sort compare
+            (List.map (fun c -> c.Compiler.artifact_path, c.Compiler.json_text) oks),
+          List.length errors )
+      in
+      List.for_all
+        (fun (idx, v) ->
+          let path, source = mutation_site idx v in
+          ST.write tree path source;
+          ignore (Compiler.compile_affected incr ~changed:[ path ]);
+          view incr = view (Compiler.create tree))
+        mutations)
+
 let core_properties =
   List.map QCheck_alcotest.to_alcotest
-    [ spec_roundtrip_property; ui_source_roundtrip_property; risk_monotone_property ]
+    [
+      spec_roundtrip_property; ui_source_roundtrip_property; risk_monotone_property;
+      incr_equivalence_property;
+    ]
 
 let () =
   Alcotest.run "core"
@@ -1138,6 +1405,7 @@ let () =
       "tailer", tailer_tests;
       "canary", canary_tests;
       "pipeline", pipeline_tests;
+      "incremental", incremental_tests;
       "client", client_tests;
       "faults", faults_tests;
       "risk", risk_tests;
