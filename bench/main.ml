@@ -26,6 +26,7 @@ let experiments : (string * string * (unit -> unit)) list =
     "ablate-landing", "landing strip vs direct commits", Exp_ablate.landing;
     "ablate-mobile", "mobile hybrid pull+push", Exp_ablate.mobile;
     "incr", "incremental compilation vs full rebuild", Exp_incr.run;
+    "dist", "distribution plane: dedup + batched fan-out vs legacy", Exp_dist.run;
     "micro", "Bechamel microbenchmarks", Exp_micro.run;
   ]
 

@@ -1,8 +1,23 @@
 #!/bin/sh
-# Headless driver for the incremental-compilation benchmark: builds the
-# harness, runs the "incr" experiment, and leaves BENCH_incremental.json
-# in the repository root.
+# Headless driver for the performance benchmarks: builds the harness
+# and leaves BENCH_incremental.json / BENCH_distribution.json in the
+# repository root.
+#
+#   bench/run.sh          # full scale: incr + dist
+#   bench/run.sh --quick  # reduced-scale dist run + JSON shape check
 set -eu
 cd "$(dirname "$0")/.."
 dune build bench/main.exe
-dune exec bench/main.exe -- --only incr
+if [ "${1:-}" = "--quick" ]; then
+  CM_DIST_QUICK=1 dune exec bench/main.exe -- --only dist
+  for key in '"rows"' '"protocol"' '"noop_bytes_ratio"' '"steady_bytes_ratio"' \
+             '"p99_legacy_s"' '"p99_optimized_s"' '"noop_callbacks"'; do
+    if ! grep -q "$key" BENCH_distribution.json; then
+      echo "bench/run.sh: BENCH_distribution.json missing $key" >&2
+      exit 1
+    fi
+  done
+  echo "quick check passed: BENCH_distribution.json has the expected shape"
+else
+  dune exec bench/main.exe -- --only incr dist
+fi

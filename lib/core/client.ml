@@ -2,10 +2,26 @@ type t = {
   cnode : Cm_sim.Topology.node_id;
   proxy : Cm_zeus.Service.proxy;
   watched : (string, unit) Hashtbl.t;
+  (* Parse-once memos, keyed by the (path, zxid) of the proxy's cached
+     bytes: steady-state reads are a hashtable hit, decode work happens
+     once per delivered version (the paper's "parse once, share among
+     processes" proxy design, §3.4). *)
+  json_memo : (string, int * Cm_json.Value.t option) Hashtbl.t;
+  typed_memo : (string * string, int * (Cm_thrift.Value.t, string) result) Hashtbl.t;
+  mutable ndecodes : int;
+  mutable nmemo_hits : int;
 }
 
 let create zeus ~node =
-  { cnode = node; proxy = Cm_zeus.Service.proxy_on zeus node; watched = Hashtbl.create 8 }
+  {
+    cnode = node;
+    proxy = Cm_zeus.Service.proxy_on zeus node;
+    watched = Hashtbl.create 8;
+    json_memo = Hashtbl.create 8;
+    typed_memo = Hashtbl.create 8;
+    ndecodes = 0;
+    nmemo_hits = 0;
+  }
 
 let node t = t.cnode
 
@@ -22,21 +38,46 @@ let get_raw t path =
   Cm_zeus.Service.proxy_get t.proxy path
 
 let get_json t path =
-  match get_raw t path with
+  want t path;
+  match Cm_zeus.Service.proxy_get_versioned t.proxy path with
   | None -> None
-  | Some data -> (
-      match Cm_json.Parser.parse data with Ok json -> Some json | Error _ -> None)
+  | Some (zxid, data) -> (
+      match Hashtbl.find_opt t.json_memo path with
+      | Some (memo_zxid, memoed) when memo_zxid = zxid ->
+          t.nmemo_hits <- t.nmemo_hits + 1;
+          memoed
+      | _ ->
+          t.ndecodes <- t.ndecodes + 1;
+          let parsed =
+            match Cm_json.Parser.parse data with Ok json -> Some json | Error _ -> None
+          in
+          Hashtbl.replace t.json_memo path (zxid, parsed);
+          parsed)
 
 let get_typed t ~schema ~type_name path =
-  match get_raw t path with
+  want t path;
+  match Cm_zeus.Service.proxy_get_versioned t.proxy path with
   | None -> Error (Printf.sprintf "config %s not available" path)
-  | Some data -> (
-      match Cm_json.Parser.parse data with
-      | Error e -> Error (Format.asprintf "%a" Cm_json.Parser.pp_error e)
-      | Ok json -> (
-          match Cm_thrift.Codec.decode_struct schema type_name json with
-          | Ok v -> Ok v
-          | Error e -> Error (Format.asprintf "%a" Cm_thrift.Codec.pp_error e)))
+  | Some (zxid, data) -> (
+      match Hashtbl.find_opt t.typed_memo (path, type_name) with
+      | Some (memo_zxid, memoed) when memo_zxid = zxid ->
+          t.nmemo_hits <- t.nmemo_hits + 1;
+          memoed
+      | _ ->
+          t.ndecodes <- t.ndecodes + 1;
+          let decoded =
+            match Cm_json.Parser.parse data with
+            | Error e -> Error (Format.asprintf "%a" Cm_json.Parser.pp_error e)
+            | Ok json -> (
+                match Cm_thrift.Codec.decode_struct schema type_name json with
+                | Ok v -> Ok v
+                | Error e -> Error (Format.asprintf "%a" Cm_thrift.Codec.pp_error e))
+          in
+          Hashtbl.replace t.typed_memo (path, type_name) (zxid, decoded);
+          decoded)
+
+let decodes t = t.ndecodes
+let memo_hits t = t.nmemo_hits
 
 let subscribe_raw t path callback =
   Cm_zeus.Service.subscribe t.proxy ~path (fun ~zxid:_ data -> callback data)

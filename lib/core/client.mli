@@ -24,7 +24,9 @@ val get_raw : t -> string -> string option
     fetched it (first read registers interest). *)
 
 val get_json : t -> string -> Cm_json.Value.t option
-(** Parsed JSON; [None] when absent or unparseable. *)
+(** Parsed JSON; [None] when absent or unparseable.  The decoded value
+    is memoized per (path, zxid): re-reading an unchanged config is a
+    hashtable hit, not a re-parse (§3.4's "parse once" proxy design). *)
 
 val get_typed :
   t ->
@@ -34,7 +36,15 @@ val get_typed :
   (Cm_thrift.Value.t, string) result
 (** Decode a config under the application's compiled-in schema — the
     place where §6.4's "old code reads new config" incidents surface,
-    as decode errors rather than crashes. *)
+    as decode errors rather than crashes.  Memoized per
+    (path, type_name, zxid); a client is expected to use one schema
+    per type name (it is compiled in). *)
+
+val decodes : t -> int
+(** Parse/decode operations actually performed. *)
+
+val memo_hits : t -> int
+(** Reads served from the parse-once memo instead of re-decoding. *)
 
 val subscribe : t -> string -> (Cm_json.Value.t -> unit) -> unit
 (** Callback fires on every update of the config, in order, including

@@ -56,7 +56,10 @@ let poll_once t =
                 match Cm_vcs.Repo.read_file t.repo path with
                 | Some data ->
                     t.nwrites <- t.nwrites + 1;
-                    Cm_zeus.Service.write t.zeus ~path ~data
+                    (* The artifact digest rides along so Zeus can dedup
+                       byte-identical rewrites on the wire. *)
+                    Cm_zeus.Service.write t.zeus
+                      ~digest:(Compiler.digest_of_text data) ~path ~data
                 | None -> () (* deleted; distribution of deletions is a no-op *))
           touched);
     t.last_seen <- head

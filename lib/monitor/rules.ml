@@ -54,6 +54,42 @@ let default =
     dashboard = [];
   }
 
+(* Watching the watchers: a rule set for the config-distribution plane
+   itself.  The Zeus leader exports these gauges (see
+   [Cm_zeus.Service.stats]); a distribution stall shows up as the
+   staleness gauge climbing. *)
+let distribution =
+  {
+    collect =
+      [
+        "zeus.leader_egress_kb";
+        "zeus.fetches_skipped";
+        "zeus.payloads_deduped";
+        "zeus.staleness_s";
+      ];
+    collect_interval = 10.0;
+    detections =
+      [
+        {
+          alert_name = "zeus_propagation_stall";
+          metric = "zeus.staleness_s";
+          op = Above;
+          threshold = 60.0;
+          for_duration = 30.0;
+          per_node = false;
+        };
+      ];
+    subscriptions = [ { alert_prefix = "zeus_"; oncall = "configerator-oncall" } ];
+    remediations = [];
+    dashboard =
+      [
+        { title = "leader egress (KB)"; panel_metric = "zeus.leader_egress_kb"; agg = Max };
+        { title = "fetches skipped"; panel_metric = "zeus.fetches_skipped"; agg = Max };
+        { title = "payloads deduped"; panel_metric = "zeus.payloads_deduped"; agg = Max };
+        { title = "max staleness (s)"; panel_metric = "zeus.staleness_s"; agg = Max };
+      ];
+  }
+
 let agg_name = function Mean -> "mean" | Max -> "max" | P95 -> "p95"
 let op_name = function Above -> "above" | Below -> "below"
 

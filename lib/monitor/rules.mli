@@ -61,6 +61,13 @@ type t = {
 val default : t
 (** Collects error_rate/latency_ms every 10 s, no rules. *)
 
+val distribution : t
+(** Monitoring the config-distribution plane with itself: collects the
+    Zeus leader's egress/dedup gauges plus a propagation-staleness
+    metric, dashboards them, and pages the Configerator oncall when
+    propagation stalls.  The metric source is built from
+    [Cm_zeus.Service.stats] (see [bench/exp_dist.ml]). *)
+
 val to_json : t -> Cm_json.Value.t
 val of_json : Cm_json.Value.t -> (t, string) result
 val of_string : string -> (t, string) result

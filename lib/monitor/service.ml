@@ -3,6 +3,12 @@ module Topology = Cm_sim.Topology
 
 type source = node:Cm_sim.Topology.node_id -> metric:string -> float option
 
+let merge_sources sources : source =
+ fun ~node ~metric ->
+  List.fold_left
+    (fun acc source -> match acc with Some _ -> acc | None -> source ~node ~metric)
+    None sources
+
 type alert_state = {
   alert : string;
   node : Topology.node_id option;

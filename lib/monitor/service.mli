@@ -12,6 +12,11 @@ type source = node:Cm_sim.Topology.node_id -> metric:string -> float option
 (** Instantaneous reading of one metric on one node; [None] when the
     node does not export it. *)
 
+val merge_sources : source list -> source
+(** First source that answers wins — composes application metrics with
+    infrastructure gauges (e.g. the Zeus distribution-plane counters)
+    under one rule set. *)
+
 type alert_state = {
   alert : string;
   node : Cm_sim.Topology.node_id option;  (** None for fleet-level alerts *)

@@ -32,11 +32,13 @@ type t = {
   mutable messages : int;
   mutable xregion_bytes : int;
   mutable xcluster_bytes : int;
+  egress : (Topology.node_id, int) Hashtbl.t;
 }
 
 let create ?(params = default_params) engine topology =
   { params; engine; topology; rng = Rng.split (Engine.rng engine);
-    bytes = 0; messages = 0; xregion_bytes = 0; xcluster_bytes = 0 }
+    bytes = 0; messages = 0; xregion_bytes = 0; xcluster_bytes = 0;
+    egress = Hashtbl.create 64 }
 
 let engine t = t.engine
 let topology t = t.topology
@@ -62,6 +64,9 @@ let transfer_time t ~src ~dst ~bytes =
 let account t ~src ~dst ~bytes =
   t.bytes <- t.bytes + bytes;
   t.messages <- t.messages + 1;
+  (match Hashtbl.find_opt t.egress src with
+  | Some b -> Hashtbl.replace t.egress src (b + bytes)
+  | None -> Hashtbl.replace t.egress src bytes);
   (match locality t ~src ~dst with
   | Same_cluster -> ()
   | Same_region -> t.xcluster_bytes <- t.xcluster_bytes + bytes
@@ -88,8 +93,12 @@ let messages_sent t = t.messages
 let cross_region_bytes t = t.xregion_bytes
 let cross_cluster_bytes t = t.xcluster_bytes
 
+let egress_bytes t node =
+  match Hashtbl.find_opt t.egress node with Some b -> b | None -> 0
+
 let reset_counters t =
   t.bytes <- 0;
   t.messages <- 0;
   t.xregion_bytes <- 0;
-  t.xcluster_bytes <- 0
+  t.xcluster_bytes <- 0;
+  Hashtbl.reset t.egress

@@ -68,4 +68,8 @@ val cross_region_bytes : t -> int
 
 val cross_cluster_bytes : t -> int
 
+val egress_bytes : t -> Topology.node_id -> int
+(** Bytes sent with the given node as source — e.g. the Zeus leader's
+    fan-out egress, which the two-level relay tree is meant to bound. *)
+
 val reset_counters : t -> unit

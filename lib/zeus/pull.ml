@@ -31,7 +31,7 @@ let deliver t path zxid data =
     Hashtbl.replace t.cache path (zxid, data);
     match Hashtbl.find_opt t.subs path with
     | None -> ()
-    | Some callbacks -> List.iter (fun f -> f ~zxid data) !callbacks
+    | Some callbacks -> List.iter (fun f -> f ~zxid data) (List.rev !callbacks)
   end
 
 let rec poll_loop t =
@@ -91,9 +91,11 @@ let create service ~node ~poll_interval =
   poll_loop t;
   t
 
+(* Callbacks are stored newest-first (constant-time registration) and
+   reversed at fire time to preserve registration order. *)
 let subscribe t ~path callback =
   match Hashtbl.find_opt t.subs path with
-  | Some callbacks -> callbacks := !callbacks @ [ callback ]
+  | Some callbacks -> callbacks := callback :: !callbacks
   | None -> Hashtbl.replace t.subs path (ref [ callback ])
 
 let get t path =

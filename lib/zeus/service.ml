@@ -11,6 +11,13 @@ type params = {
   msg_overhead : int;
   fanout_stagger : float;
   snapshot_threshold : int;
+  dedup : bool;
+  batching : bool;
+  relay : bool;
+  batch_window : float;
+  digest_bytes : int;
+  entry_overhead : int;
+  delivery_log_cap : int;
 }
 
 let default_params =
@@ -22,9 +29,25 @@ let default_params =
     msg_overhead = 128;
     fanout_stagger = 0.0;
     snapshot_threshold = 500;
+    dedup = true;
+    batching = true;
+    relay = true;
+    batch_window = 0.05;
+    digest_bytes = 16;
+    entry_overhead = 16;
+    delivery_log_cap = 4096;
   }
 
-type write_rec = { zxid : int; wpath : string; wdata : string; created : float }
+let legacy_params =
+  { default_params with dedup = false; batching = false; relay = false }
+
+type write_rec = {
+  zxid : int;
+  wpath : string;
+  wdata : string;
+  wdigest : string;
+  created : float;
+}
 
 (* Growable array for the commit log; zxid n lives at index n-1. *)
 module Log = struct
@@ -49,7 +72,79 @@ module Log = struct
   let truncate t len = t.len <- min t.len (max 0 len)
 end
 
+(* Bounded delivery log: keeps the most recent [cap] entries plus a
+   total count, so long simulations don't grow memory per delivery. *)
+module Ring = struct
+  type 'a t = {
+    cap : int;
+    mutable buf : 'a array;
+    mutable start : int;
+    mutable len : int;
+    mutable total : int;
+  }
+
+  let create cap = { cap = max 1 cap; buf = [||]; start = 0; len = 0; total = 0 }
+
+  let push t x =
+    if Array.length t.buf = 0 then t.buf <- Array.make t.cap x;
+    if t.len < t.cap then begin
+      t.buf.((t.start + t.len) mod t.cap) <- x;
+      t.len <- t.len + 1
+    end
+    else begin
+      t.buf.(t.start) <- x;
+      t.start <- (t.start + 1) mod t.cap
+    end;
+    t.total <- t.total + 1
+
+  let to_list t = List.init t.len (fun i -> t.buf.((t.start + i) mod t.cap))
+  let total t = t.total
+end
+
+(* A fan-out unit: the commits of one batch window, coalesced to the
+   latest write per path.  [blo..bhi] is the contiguous zxid range the
+   batch covers (coalesced-away zxids are superseded by a later entry
+   for the same path inside the same range).  [bpayload = false] means
+   the receiver is expected to already hold matching bytes and only the
+   digest travels. *)
+type bentry = { bw : write_rec; bpayload : bool }
+type batch = { blo : int; bhi : int; bentries : bentry list }
+
+type stats = {
+  leader_batches : int;
+  leader_msgs : int;
+  leader_bytes : int;
+  relay_msgs : int;
+  notify_msgs : int;
+  notify_entries : int;
+  fetches : int;
+  fetches_skipped : int;
+  payloads_deduped : int;
+  writes_coalesced : int;
+  snapshots : int;
+  replays : int;
+}
+
+type counters = {
+  mutable c_leader_batches : int;
+  mutable c_leader_msgs : int;
+  mutable c_leader_bytes : int;
+  mutable c_relay_msgs : int;
+  mutable c_notify_msgs : int;
+  mutable c_notify_entries : int;
+  mutable c_fetches : int;
+  mutable c_fetches_skipped : int;
+  mutable c_payloads_deduped : int;
+  mutable c_writes_coalesced : int;
+  mutable c_snapshots : int;
+  mutable c_replays : int;
+}
+
 type member = { mnode : Topology.node_id; mutable mlog : int }
+
+(* Proxy cache entry: bytes plus the content digest they hash to, so a
+   digest-bearing notification can be acked without a fetch. *)
+type centry = { czxid : int; cdata : string; cdigest : string }
 
 type observer = {
   onode : Topology.node_id;
@@ -57,20 +152,23 @@ type observer = {
   ocluster : int;
   odata : (string, write_rec) Hashtbl.t;
   mutable olast : int;
-  opending : (int, write_rec) Hashtbl.t;
+  mutable opending : batch list;  (* out-of-order batches awaiting a gap repair *)
   mutable ocatchup_inflight : bool;
   owatchers : (string, proxy list ref) Hashtbl.t;
+  onotify : (Topology.node_id, proxy * write_rec list ref) Hashtbl.t;
+  mutable onotify_scheduled : bool;
 }
 
 and proxy = {
   pnode : Topology.node_id;
   pservice : t;
   mutable pobserver : observer;
-  pmem : (string, int * string) Hashtbl.t;   (* in-memory cache: path -> zxid, data *)
-  pdisk : (string, int * string) Hashtbl.t;  (* on-disk cache: survives proxy crash *)
+  pmem : (string, centry) Hashtbl.t;   (* in-memory cache *)
+  pdisk : (string, centry) Hashtbl.t;  (* on-disk cache: survives proxy crash *)
   psubs : (string, (zxid:int -> string -> unit) list ref) Hashtbl.t;
+      (* callbacks stored newest-first; reversed at fire time *)
   mutable pup : bool;
-  mutable pdelivered : (string * int) list;  (* reversed delivery log *)
+  pdelivered : (string * int) Ring.t;
 }
 
 and t = {
@@ -82,10 +180,17 @@ and t = {
   mutable committed : int;
   acks : (int, int) Hashtbl.t;
   observers : observer array;
+  obs_by_region : observer array array;
   proxies : (Topology.node_id, proxy) Hashtbl.t;
   rng : Rng.t;
-  mutable write_queue : (string * string) list;  (* buffered while leader down *)
+  write_queue : (string * string * string) Queue.t;  (* buffered while leader down *)
   mutable election_pending : bool;
+  latest : (string, write_rec) Hashtbl.t;  (* committed latest-write-per-path index *)
+  mutable pending : write_rec list;        (* current batch window, newest first *)
+  mutable batch_scheduled : bool;
+  last_fanout_digest : (string, string) Hashtbl.t;
+  racked : (int, int) Hashtbl.t;  (* region -> highest relay-acked batch bhi *)
+  cnt : counters;
 }
 
 let params t = t.prm
@@ -94,6 +199,22 @@ let topo t = Net.topology t.net
 let leader_member t = t.members.(t.leader)
 let leader_node t = (leader_member t).mnode
 let quorum t = (Array.length t.members / 2) + 1
+
+let stats t =
+  {
+    leader_batches = t.cnt.c_leader_batches;
+    leader_msgs = t.cnt.c_leader_msgs;
+    leader_bytes = t.cnt.c_leader_bytes;
+    relay_msgs = t.cnt.c_relay_msgs;
+    notify_msgs = t.cnt.c_notify_msgs;
+    notify_entries = t.cnt.c_notify_entries;
+    fetches = t.cnt.c_fetches;
+    fetches_skipped = t.cnt.c_fetches_skipped;
+    payloads_deduped = t.cnt.c_payloads_deduped;
+    writes_coalesced = t.cnt.c_writes_coalesced;
+    snapshots = t.cnt.c_snapshots;
+    replays = t.cnt.c_replays;
+  }
 
 (* --- placement ----------------------------------------------------- *)
 
@@ -129,14 +250,22 @@ let create ?(params = default_params) net =
             ocluster = cluster;
             odata = Hashtbl.create 64;
             olast = 0;
-            opending = Hashtbl.create 8;
+            opending = [];
             ocatchup_inflight = false;
             owatchers = Hashtbl.create 64;
+            onotify = Hashtbl.create 8;
+            onotify_scheduled = false;
           }
           :: !observers
       done
     done
   done;
+  let observers = Array.of_list !observers in
+  let obs_by_region =
+    Array.init regions (fun r ->
+        Array.of_list
+          (Array.to_list observers |> List.filter (fun obs -> obs.oregion = r)))
+  in
   {
     net;
     prm = params;
@@ -145,67 +274,219 @@ let create ?(params = default_params) net =
     log = Log.create ();
     committed = 0;
     acks = Hashtbl.create 64;
-    observers = Array.of_list !observers;
+    observers;
+    obs_by_region;
     proxies = Hashtbl.create 256;
     rng = Rng.split (Engine.rng (Net.engine net));
-    write_queue = [];
+    write_queue = Queue.create ();
     election_pending = false;
+    latest = Hashtbl.create 256;
+    pending = [];
+    batch_scheduled = false;
+    last_fanout_digest = Hashtbl.create 256;
+    racked = Hashtbl.create 8;
+    cnt =
+      {
+        c_leader_batches = 0;
+        c_leader_msgs = 0;
+        c_leader_bytes = 0;
+        c_relay_msgs = 0;
+        c_notify_msgs = 0;
+        c_notify_entries = 0;
+        c_fetches = 0;
+        c_fetches_skipped = 0;
+        c_payloads_deduped = 0;
+        c_writes_coalesced = 0;
+        c_snapshots = 0;
+        c_replays = 0;
+      };
   }
 
-(* --- observer side -------------------------------------------------- *)
+(* --- wire sizes ------------------------------------------------------ *)
 
-let rec observer_apply t obs w =
-  Hashtbl.replace obs.odata w.wpath w;
-  obs.olast <- w.zxid;
-  notify_watchers t obs w;
-  (* Drain any buffered successor. *)
-  match Hashtbl.find_opt obs.opending (obs.olast + 1) with
-  | Some next ->
-      Hashtbl.remove obs.opending (obs.olast + 1);
-      observer_apply t obs next
+let entry_bytes t e =
+  t.prm.entry_overhead + t.prm.digest_bytes
+  + if e.bpayload then String.length e.bw.wdata else 0
+
+let batch_bytes t batch =
+  List.fold_left (fun acc e -> acc + entry_bytes t e) t.prm.msg_overhead batch.bentries
+
+(* --- observer / proxy hot path --------------------------------------- *)
+
+let rec observer_apply_batch t obs batch =
+  let ok = ref true in
+  List.iter
+    (fun e ->
+      if !ok then begin
+        let w = e.bw in
+        if w.zxid > obs.olast then begin
+          let prev = Hashtbl.find_opt obs.odata w.wpath in
+          let same_bytes =
+            match prev with Some p -> p.wdigest = w.wdigest | None -> false
+          in
+          if (not e.bpayload) && not same_bytes then begin
+            (* A digest-only record we cannot materialize (only possible
+               after failover weirdness): stop and repair from the log. *)
+            ok := false;
+            obs.olast <- w.zxid - 1;
+            observer_request_catchup t obs
+          end
+          else begin
+            Hashtbl.replace obs.odata w.wpath w;
+            obs.olast <- w.zxid;
+            (* Notifications always flow (they are digest-sized); a
+               proxy holding matching bytes acks without fetching. *)
+            queue_notification t obs w
+          end
+        end
+      end)
+    batch.bentries;
+  if !ok then obs.olast <- max obs.olast batch.bhi
+
+and drain_pending t obs =
+  obs.opending <- List.filter (fun b -> b.bhi > obs.olast) obs.opending;
+  match List.find_opt (fun b -> b.blo <= obs.olast + 1) obs.opending with
+  | Some b ->
+      obs.opending <- List.filter (fun b' -> b' != b) obs.opending;
+      observer_apply_batch t obs b;
+      drain_pending t obs
   | None -> ()
 
-and notify_watchers t obs w =
+and observer_receive_batch t obs batch =
+  if batch.bhi <= obs.olast then () (* duplicate *)
+  else if batch.blo <= obs.olast + 1 then begin
+    observer_apply_batch t obs batch;
+    drain_pending t obs
+  end
+  else begin
+    obs.opending <- batch :: obs.opending;
+    observer_request_catchup t obs
+  end
+
+(* Observer -> proxy notifications are buffered per proxy and flushed
+   once the current application cascade finishes, so one batch (or one
+   catch-up) reaches each proxy as a single message. *)
+and queue_notification t obs w =
   match Hashtbl.find_opt obs.owatchers w.wpath with
   | None -> ()
   | Some watchers ->
       List.iter
         (fun proxy ->
-          if proxy.pup then
-            (* notify -> fetch -> response round trips *)
-            Net.send t.net ~src:obs.onode ~dst:proxy.pnode ~bytes:t.prm.msg_overhead
-              (fun () -> proxy_fetch t proxy obs w.wpath))
+          if proxy.pup then begin
+            (match Hashtbl.find_opt obs.onotify proxy.pnode with
+            | Some (_, entries) -> entries := w :: !entries
+            | None -> Hashtbl.replace obs.onotify proxy.pnode (proxy, ref [ w ]));
+            if not obs.onotify_scheduled then begin
+              obs.onotify_scheduled <- true;
+              ignore
+                (Engine.schedule (engine t) ~delay:0.0 (fun () ->
+                     flush_notifications t obs))
+            end
+          end)
         !watchers
 
-and proxy_fetch t proxy obs path =
-  if proxy.pup && Topology.is_up (topo t) proxy.pnode then
-    Net.send t.net ~src:proxy.pnode ~dst:obs.onode ~bytes:t.prm.msg_overhead (fun () ->
-        if Topology.is_up (topo t) obs.onode then
-          match Hashtbl.find_opt obs.odata path with
-          | None -> ()
-          | Some w ->
-              Net.send t.net ~src:obs.onode ~dst:proxy.pnode
-                ~bytes:(t.prm.msg_overhead + String.length w.wdata) (fun () ->
-                  proxy_deliver proxy w))
+and flush_notifications t obs =
+  obs.onotify_scheduled <- false;
+  let buffered = Hashtbl.fold (fun _ pending acc -> pending :: acc) obs.onotify [] in
+  Hashtbl.reset obs.onotify;
+  if Topology.is_up (topo t) obs.onode then
+    List.iter
+      (fun (proxy, entries) ->
+        let entries = List.rev !entries in
+        if t.prm.batching then begin
+          let bytes =
+            t.prm.msg_overhead
+            + (List.length entries * (t.prm.entry_overhead + t.prm.digest_bytes))
+          in
+          t.cnt.c_notify_msgs <- t.cnt.c_notify_msgs + 1;
+          t.cnt.c_notify_entries <- t.cnt.c_notify_entries + List.length entries;
+          Net.send t.net ~src:obs.onode ~dst:proxy.pnode ~bytes (fun () ->
+              proxy_handle_notifications t proxy obs entries)
+        end
+        else
+          (* Unbatched: one notification per (path, watcher), as in the
+             pre-index protocol.  With dedup on it still carries the
+             digest so the proxy can skip the fetch. *)
+          List.iter
+            (fun w ->
+              let bytes =
+                t.prm.msg_overhead + if t.prm.dedup then t.prm.digest_bytes else 0
+              in
+              t.cnt.c_notify_msgs <- t.cnt.c_notify_msgs + 1;
+              t.cnt.c_notify_entries <- t.cnt.c_notify_entries + 1;
+              Net.send t.net ~src:obs.onode ~dst:proxy.pnode ~bytes (fun () ->
+                  proxy_handle_notifications t proxy obs [ w ]))
+            entries)
+      buffered
 
-and proxy_deliver proxy w =
+and proxy_handle_notifications t proxy obs entries =
   if proxy.pup then begin
-    let newer =
-      match Hashtbl.find_opt proxy.pmem w.wpath with
-      | Some (zxid, _) -> w.zxid > zxid
-      | None -> true
+    let need =
+      List.filter
+        (fun w ->
+          match Hashtbl.find_opt proxy.pmem w.wpath with
+          | Some c when c.czxid >= w.zxid -> false (* stale duplicate *)
+          | Some c when t.prm.dedup && c.cdigest = w.wdigest ->
+              (* Matching bytes already cached: ack locally, bump the
+                 version — no fetch, no callback. *)
+              let c' = { c with czxid = w.zxid } in
+              Hashtbl.replace proxy.pmem w.wpath c';
+              Hashtbl.replace proxy.pdisk w.wpath c';
+              t.cnt.c_fetches_skipped <- t.cnt.c_fetches_skipped + 1;
+              false
+          | _ -> true)
+        entries
     in
-    if newer then begin
-      Hashtbl.replace proxy.pmem w.wpath (w.zxid, w.wdata);
-      Hashtbl.replace proxy.pdisk w.wpath (w.zxid, w.wdata);
-      proxy.pdelivered <- (w.wpath, w.zxid) :: proxy.pdelivered;
-      match Hashtbl.find_opt proxy.psubs w.wpath with
-      | None -> ()
-      | Some callbacks -> List.iter (fun f -> f ~zxid:w.zxid w.wdata) !callbacks
+    if need <> [] && Topology.is_up (topo t) proxy.pnode then begin
+      (* One fetch round trip for every path that actually needs bytes. *)
+      t.cnt.c_fetches <- t.cnt.c_fetches + 1;
+      let req_bytes =
+        t.prm.msg_overhead + (List.length need * t.prm.entry_overhead)
+      in
+      Net.send t.net ~src:proxy.pnode ~dst:obs.onode ~bytes:req_bytes (fun () ->
+          if Topology.is_up (topo t) obs.onode then begin
+            let found =
+              List.filter_map (fun w -> Hashtbl.find_opt obs.odata w.wpath) need
+            in
+            let resp_bytes =
+              List.fold_left
+                (fun acc w -> acc + t.prm.entry_overhead + String.length w.wdata)
+                t.prm.msg_overhead found
+            in
+            Net.send t.net ~src:obs.onode ~dst:proxy.pnode ~bytes:resp_bytes
+              (fun () -> List.iter (fun w -> proxy_deliver proxy w) found)
+          end)
     end
   end
 
-let observer_request_catchup t obs =
+and proxy_deliver proxy w =
+  if proxy.pup then begin
+    let t = proxy.pservice in
+    let prev = Hashtbl.find_opt proxy.pmem w.wpath in
+    let newer = match prev with Some c -> w.zxid > c.czxid | None -> true in
+    if newer then begin
+      (* Identical bytes under a newer zxid (a deduped rewrite) are a
+         version bump, not an effective change: no callback. *)
+      let same_bytes =
+        t.prm.dedup
+        && (match prev with Some c -> c.cdigest = w.wdigest | None -> false)
+      in
+      let c = { czxid = w.zxid; cdata = w.wdata; cdigest = w.wdigest } in
+      Hashtbl.replace proxy.pmem w.wpath c;
+      Hashtbl.replace proxy.pdisk w.wpath c;
+      if not same_bytes then begin
+        Ring.push proxy.pdelivered (w.wpath, w.zxid);
+        match Hashtbl.find_opt proxy.psubs w.wpath with
+        | None -> ()
+        | Some callbacks ->
+            List.iter (fun f -> f ~zxid:w.zxid w.wdata) (List.rev !callbacks)
+      end
+    end
+  end
+
+(* --- catch-up -------------------------------------------------------- *)
+
+and observer_request_catchup t obs =
   if (not obs.ocatchup_inflight) && Topology.is_up (topo t) obs.onode then begin
     obs.ocatchup_inflight <- true;
     let from_zxid = obs.olast + 1 in
@@ -214,57 +495,45 @@ let observer_request_catchup t obs =
           let upto = t.committed in
           let gap = upto - from_zxid + 1 in
           if gap > t.prm.snapshot_threshold then begin
-            (* Snapshot catch-up: ship the latest committed value per
-               path instead of replaying a long log suffix. *)
-            let latest = Hashtbl.create 64 in
-            for zxid = 1 to upto do
-              let w = Log.get t.log zxid in
-              Hashtbl.replace latest w.wpath w
-            done;
-            let snapshot = Hashtbl.fold (fun _ w acc -> w :: acc) latest [] in
+            (* Snapshot catch-up: the latest committed value per path,
+               read straight off the index — no log replay. *)
+            t.cnt.c_snapshots <- t.cnt.c_snapshots + 1;
+            let snapshot = Hashtbl.fold (fun _ w acc -> w :: acc) t.latest [] in
             let bytes =
               List.fold_left
-                (fun acc w -> acc + String.length w.wdata + t.prm.msg_overhead)
+                (fun acc w ->
+                  acc + t.prm.entry_overhead + t.prm.digest_bytes
+                  + String.length w.wdata)
                 t.prm.msg_overhead snapshot
             in
             Net.send t.net ~src:(leader_node t) ~dst:obs.onode ~bytes (fun () ->
                 obs.ocatchup_inflight <- false;
                 if upto > obs.olast then begin
                   obs.olast <- upto;
-                  Hashtbl.reset obs.opending;
+                  obs.opending <- List.filter (fun b -> b.bhi > upto) obs.opending;
                   List.iter
                     (fun w ->
-                      let changed =
-                        match Hashtbl.find_opt obs.odata w.wpath with
-                        | Some old -> old.zxid < w.zxid
-                        | None -> true
-                      in
-                      if changed then begin
-                        Hashtbl.replace obs.odata w.wpath w;
-                        notify_watchers t obs w
-                      end)
-                    snapshot
+                      match Hashtbl.find_opt obs.odata w.wpath with
+                      | Some old when old.zxid >= w.zxid -> ()
+                      | _ ->
+                          Hashtbl.replace obs.odata w.wpath w;
+                          queue_notification t obs w)
+                    snapshot;
+                  drain_pending t obs
                 end)
           end
           else begin
-            (* Small gap: replay the committed suffix in one batch. *)
+            (* Small gap: replay the committed suffix as one batch. *)
+            t.cnt.c_replays <- t.cnt.c_replays + 1;
             let entries = ref [] in
             for zxid = upto downto from_zxid do
-              entries := Log.get t.log zxid :: !entries
+              entries := { bw = Log.get t.log zxid; bpayload = true } :: !entries
             done;
-            let bytes =
-              List.fold_left
-                (fun acc w -> acc + String.length w.wdata + t.prm.msg_overhead)
-                t.prm.msg_overhead !entries
-            in
-            let payload = !entries in
+            let replay = { blo = from_zxid; bhi = upto; bentries = !entries } in
+            let bytes = batch_bytes t replay in
             Net.send t.net ~src:(leader_node t) ~dst:obs.onode ~bytes (fun () ->
                 obs.ocatchup_inflight <- false;
-                List.iter
-                  (fun w ->
-                    if w.zxid = obs.olast + 1 then observer_apply t obs w
-                    else if w.zxid > obs.olast + 1 then Hashtbl.replace obs.opending w.zxid w)
-                  payload)
+                if upto > obs.olast then observer_receive_batch t obs replay)
           end
         end
         else obs.ocatchup_inflight <- false);
@@ -274,31 +543,135 @@ let observer_request_catchup t obs =
            obs.ocatchup_inflight <- false))
   end
 
-let observer_receive t obs w =
-  if w.zxid <= obs.olast then () (* duplicate *)
-  else if w.zxid = obs.olast + 1 then observer_apply t obs w
+(* --- leader fan-out --------------------------------------------------- *)
+
+let live_observers_in_region t r =
+  Array.to_list t.obs_by_region.(r)
+  |> List.filter (fun obs -> Topology.is_up (topo t) obs.onode)
+
+let leader_send_batch t ?(stagger_idx = 0) obs batch ~bytes ~on_receipt =
+  let push () =
+    if Topology.is_up (topo t) obs.onode then begin
+      t.cnt.c_leader_msgs <- t.cnt.c_leader_msgs + 1;
+      t.cnt.c_leader_bytes <- t.cnt.c_leader_bytes + bytes;
+      Net.send t.net ~src:(leader_node t) ~dst:obs.onode ~bytes (fun () ->
+          on_receipt ();
+          observer_receive_batch t obs batch)
+    end
+  in
+  if t.prm.fanout_stagger <= 0.0 || stagger_idx = 0 then push ()
+  else
+    ignore
+      (Engine.schedule (engine t)
+         ~delay:(t.prm.fanout_stagger *. float_of_int stagger_idx)
+         push)
+
+let fanout_direct_region t r batch ~bytes =
+  List.iteri
+    (fun i obs -> leader_send_batch t ~stagger_idx:i obs batch ~bytes ~on_receipt:ignore)
+    (live_observers_in_region t r)
+
+let relay_forward t relay batch ~bytes =
+  (* The relay acks the leader, then re-broadcasts within its region. *)
+  Net.send t.net ~src:relay.onode ~dst:(leader_node t) ~bytes:t.prm.msg_overhead
+    (fun () ->
+      let acked =
+        match Hashtbl.find_opt t.racked relay.oregion with Some z -> z | None -> 0
+      in
+      Hashtbl.replace t.racked relay.oregion (max acked batch.bhi));
+  let siblings =
+    live_observers_in_region t relay.oregion
+    |> List.filter (fun obs -> obs != relay)
+  in
+  List.iteri
+    (fun i obs ->
+      let forward () =
+        if Topology.is_up (topo t) obs.onode then begin
+          t.cnt.c_relay_msgs <- t.cnt.c_relay_msgs + 1;
+          Net.send t.net ~src:relay.onode ~dst:obs.onode ~bytes (fun () ->
+              observer_receive_batch t obs batch)
+        end
+      in
+      if t.prm.fanout_stagger <= 0.0 || i = 0 then forward ()
+      else
+        ignore
+          (Engine.schedule (engine t) ~delay:(t.prm.fanout_stagger *. float_of_int i)
+             forward))
+    siblings
+
+let fanout_batch t batch =
+  let bytes = batch_bytes t batch in
+  if t.prm.relay then
+    Array.iteri
+      (fun r _ ->
+        match live_observers_in_region t r with
+        | [] -> () (* whole region dark; restarts repair via catch-up *)
+        | relay :: _ ->
+            leader_send_batch t ~stagger_idx:r relay batch ~bytes
+              ~on_receipt:(fun () -> relay_forward t relay batch ~bytes);
+            (* Fallback: if the relay never acks (crashed in flight),
+               re-send straight to every observer of the region.
+               Resends are idempotent: stale batches are ignored. *)
+            ignore
+              (Engine.schedule (engine t) ~delay:t.prm.detect_timeout (fun () ->
+                   let acked =
+                     match Hashtbl.find_opt t.racked r with Some z -> z | None -> 0
+                   in
+                   if acked < batch.bhi && Topology.is_up (topo t) (leader_node t)
+                   then fanout_direct_region t r batch ~bytes)))
+      t.obs_by_region
+  else
+    Array.iteri
+      (fun i obs -> leader_send_batch t ~stagger_idx:i obs batch ~bytes ~on_receipt:ignore)
+      t.observers
+
+(* Dedup decision: identical bytes to the last value fanned out for
+   this path travel as a digest-only record. *)
+let encode_entry t w =
+  let dup =
+    t.prm.dedup
+    && (match Hashtbl.find_opt t.last_fanout_digest w.wpath with
+       | Some d -> d = w.wdigest
+       | None -> false)
+  in
+  Hashtbl.replace t.last_fanout_digest w.wpath w.wdigest;
+  if dup then t.cnt.c_payloads_deduped <- t.cnt.c_payloads_deduped + 1;
+  { bw = w; bpayload = not dup }
+
+let flush_pending t =
+  t.batch_scheduled <- false;
+  let writes = List.rev t.pending in
+  t.pending <- [];
+  match writes with
+  | [] -> ()
+  | first :: _ ->
+      let blo = first.zxid in
+      let bhi = List.fold_left (fun acc w -> max acc w.zxid) blo writes in
+      (* Coalesce: keep only the last write per path inside the window. *)
+      let last_for = Hashtbl.create 16 in
+      List.iter (fun w -> Hashtbl.replace last_for w.wpath w.zxid) writes;
+      let kept = List.filter (fun w -> Hashtbl.find last_for w.wpath = w.zxid) writes in
+      t.cnt.c_writes_coalesced <-
+        t.cnt.c_writes_coalesced + (List.length writes - List.length kept);
+      t.cnt.c_leader_batches <- t.cnt.c_leader_batches + 1;
+      fanout_batch t { blo; bhi; bentries = List.map (encode_entry t) kept }
+
+let enqueue_fanout t w =
+  if t.prm.batching then begin
+    t.pending <- w :: t.pending;
+    if not t.batch_scheduled then begin
+      t.batch_scheduled <- true;
+      ignore
+        (Engine.schedule (engine t) ~delay:t.prm.batch_window (fun () ->
+             flush_pending t))
+    end
+  end
   else begin
-    Hashtbl.replace obs.opending w.zxid w;
-    observer_request_catchup t obs
+    t.cnt.c_leader_batches <- t.cnt.c_leader_batches + 1;
+    fanout_batch t { blo = w.zxid; bhi = w.zxid; bentries = [ encode_entry t w ] }
   end
 
-(* --- leader side ---------------------------------------------------- *)
-
-let fanout_to_observers t w =
-  Array.iteri
-    (fun i obs ->
-      if Topology.is_up (topo t) obs.onode then begin
-        let push () =
-          Net.send t.net ~src:(leader_node t) ~dst:obs.onode
-            ~bytes:(t.prm.msg_overhead + String.length w.wdata) (fun () ->
-              if Topology.is_up (topo t) obs.onode then observer_receive t obs w)
-        in
-        if t.prm.fanout_stagger <= 0.0 then push ()
-        else
-          ignore
-            (Engine.schedule (engine t) ~delay:(t.prm.fanout_stagger *. float_of_int i) push)
-      end)
-    t.observers
+(* --- leader commit path ----------------------------------------------- *)
 
 let rec advance_commit t =
   if t.committed < Log.length t.log then begin
@@ -307,7 +680,9 @@ let rec advance_commit t =
     if acked >= quorum t then begin
       t.committed <- next;
       Hashtbl.remove t.acks next;
-      fanout_to_observers t (Log.get t.log next);
+      let w = Log.get t.log next in
+      Hashtbl.replace t.latest w.wpath w;
+      enqueue_fanout t w;
       advance_commit t
     end
   end
@@ -332,29 +707,31 @@ let replicate t w =
                 end)))
     t.members
 
-let do_write t path data =
+let digest_of_data data = Digest.to_hex (Digest.string data)
+
+let do_write t path data digest =
   let w =
-    { zxid = Log.length t.log + 1; wpath = path; wdata = data; created = Engine.now (engine t) }
+    {
+      zxid = Log.length t.log + 1;
+      wpath = path;
+      wdata = data;
+      wdigest = digest;
+      created = Engine.now (engine t);
+    }
   in
   Log.append t.log w;
   (leader_member t).mlog <- Log.length t.log;
   replicate t w
 
-let write t ~path ~data =
-  if Topology.is_up (topo t) (leader_node t) then do_write t path data
-  else t.write_queue <- t.write_queue @ [ path, data ]
+let write ?digest t ~path ~data =
+  let digest = match digest with Some d -> d | None -> digest_of_data data in
+  if Topology.is_up (topo t) (leader_node t) then do_write t path data digest
+  else Queue.add (path, data, digest) t.write_queue
 
 let last_committed_zxid t = t.committed
 
 let committed_value t path =
-  (* Scan the committed prefix backwards for the latest write. *)
-  let rec scan zxid =
-    if zxid < 1 then None
-    else
-      let w = Log.get t.log zxid in
-      if w.wpath = path then Some w.wdata else scan (zxid - 1)
-  in
-  scan t.committed
+  match Hashtbl.find_opt t.latest path with Some w -> Some w.wdata | None -> None
 
 (* --- failover ------------------------------------------------------- *)
 
@@ -384,9 +761,9 @@ let elect t =
         end
       in
       repropose (t.committed + 1);
-      let queued = t.write_queue in
-      t.write_queue <- [];
-      List.iter (fun (path, data) -> do_write t path data) queued
+      let queued = Queue.create () in
+      Queue.transfer t.write_queue queued;
+      Queue.iter (fun (path, data, digest) -> do_write t path data digest) queued
 
 let crash_leader t =
   Topology.crash (topo t) (leader_node t);
@@ -416,6 +793,11 @@ let restart_observer t ~region ~cluster i =
 
 let observer_last_zxid t ~region ~cluster i = (find_observer t ~region ~cluster i).olast
 let observer_count t = Array.length t.observers
+
+let observer_data t ~region ~cluster i =
+  let obs = find_observer t ~region ~cluster i in
+  Hashtbl.fold (fun path w acc -> (path, (w.zxid, w.wdata)) :: acc) obs.odata []
+  |> List.sort compare
 
 (* --- proxy side ----------------------------------------------------- *)
 
@@ -479,7 +861,7 @@ let proxy_on t node =
           pdisk = Hashtbl.create 16;
           psubs = Hashtbl.create 16;
           pup = true;
-          pdelivered = [];
+          pdelivered = Ring.create t.prm.delivery_log_cap;
         }
       in
       proxy.pobserver <- pick_observer t node;
@@ -490,32 +872,41 @@ let proxy_on t node =
 let subscribe proxy ~path callback =
   let t = proxy.pservice in
   (match Hashtbl.find_opt proxy.psubs path with
-  | Some callbacks -> callbacks := !callbacks @ [ callback ]
+  | Some callbacks -> callbacks := callback :: !callbacks
   | None ->
       Hashtbl.replace proxy.psubs path (ref [ callback ]);
       register_watch t proxy path);
   (* Replay the cached value immediately if we already have one. *)
   match Hashtbl.find_opt proxy.pmem path with
-  | Some (zxid, data) -> callback ~zxid data
+  | Some c -> callback ~zxid:c.czxid c.cdata
   | None -> ()
 
 let proxy_get proxy path =
   if proxy.pup then
     match Hashtbl.find_opt proxy.pmem path with
-    | Some (_, data) -> Some data
+    | Some c -> Some c.cdata
     | None -> (
         match Hashtbl.find_opt proxy.pdisk path with
-        | Some (_, data) -> Some data
+        | Some c -> Some c.cdata
         | None -> None)
   else
     (* Proxy process dead: the application reads the on-disk cache. *)
     match Hashtbl.find_opt proxy.pdisk path with
-    | Some (_, data) -> Some data
+    | Some c -> Some c.cdata
     | None -> None
+
+let proxy_get_versioned proxy path =
+  let cache = if proxy.pup then proxy.pmem else proxy.pdisk in
+  match Hashtbl.find_opt cache path with
+  | Some c -> Some (c.czxid, c.cdata)
+  | None -> (
+      match Hashtbl.find_opt proxy.pdisk path with
+      | Some c -> Some (c.czxid, c.cdata)
+      | None -> None)
 
 let proxy_cached_zxid proxy path =
   match Hashtbl.find_opt proxy.pmem path with
-  | Some (zxid, _) -> Some zxid
+  | Some c -> Some c.czxid
   | None -> None
 
 let crash_proxy proxy =
@@ -532,7 +923,8 @@ let restart_proxy proxy =
   proxy_health_loop t proxy
 
 let proxy_count t = Hashtbl.length t.proxies
-let delivery_log proxy = List.rev proxy.pdelivered
+let delivery_log proxy = Ring.to_list proxy.pdelivered
+let deliveries_total proxy = Ring.total proxy.pdelivered
 
 (* --- hooks for the pull-model ablation ------------------------------ *)
 

@@ -17,6 +17,22 @@
       to that on-disk cache when everything else is down — the
       paper's availability story.
 
+    The distribution hot path is content-addressed and batched:
+
+    - every write carries a {b content digest}; a rewrite of identical
+      bytes fans out as a digest-only record and proxies holding
+      matching bytes ack notifications without fetching;
+    - the leader aggregates the commits of a small window into one
+      {b batch} per destination, coalescing multiple writes to the
+      same path to the latest, and observers bundle watch
+      notifications into one message per proxy;
+    - with {b relays} on, the leader sends each batch once per region
+      to a relay observer which re-broadcasts locally, so leader
+      egress scales with regions rather than observer count;
+    - the leader maintains a {b latest-write-per-path index} over the
+      committed log, so reads and snapshot catch-ups never scan or
+      replay the log.
+
     Failure injection: leaders, observers and proxies can crash and
     restart; invariants (in-order delivery, no lost committed writes,
     cache availability) are exercised in the test suite. *)
@@ -30,18 +46,45 @@ type params = {
   catchup_interval : float;  (** observer gap-repair retry, seconds *)
   msg_overhead : int;        (** bytes of protocol framing per message *)
   fanout_stagger : float;
-      (** extra delay between successive observer pushes for one
-          write, modeling the serialization of a very high fan-out at
-          the leader (hundreds of observers in production).  0 for
-          small simulations; the Figure 14 experiment calibrates the
-          paper's ~4.5s tree-propagation stage with it. *)
+      (** extra delay between successive pushes of one fan-out stage,
+          modeling the serialization of a very high fan-out at the
+          sender (hundreds of observers in production).  Applies per
+          region at the leader and per sibling at a relay when relays
+          are on, per observer otherwise.  0 for small simulations;
+          the Figure 14 experiment calibrates the paper's ~4.5s
+          tree-propagation stage with it. *)
   snapshot_threshold : int;
       (** an observer whose zxid gap exceeds this catches up from a
-          state snapshot (latest value per path) instead of replaying
-          the log suffix — ZooKeeper's snapshot mechanism *)
+          state snapshot (latest value per path, served from the
+          commit-log index) instead of replaying the log suffix —
+          ZooKeeper's snapshot mechanism *)
+  dedup : bool;
+      (** content-hash dedup on the wire: byte-identical rewrites fan
+          out digest-only, and proxies whose cache matches a notified
+          digest skip the fetch (and fire no callbacks) *)
+  batching : bool;
+      (** aggregate the commits of one [batch_window] into a single
+          coalesced message per destination, and observer
+          notifications into one message per proxy *)
+  relay : bool;
+      (** two-level fan-out: leader -> one relay observer per region
+          -> sibling observers; falls back to direct sends when a
+          relay dies mid-flight *)
+  batch_window : float;      (** leader commit-aggregation window, seconds *)
+  digest_bytes : int;        (** wire size of one content digest *)
+  entry_overhead : int;      (** per-entry framing inside a batch *)
+  delivery_log_cap : int;
+      (** proxy delivery log keeps only this many recent entries *)
 }
 
 val default_params : params
+(** Dedup, batching and relays on; 50ms batch window. *)
+
+val legacy_params : params
+(** {!default_params} with dedup, batching and relays off: every write
+    is shipped full-value, one message per observer and per (path,
+    watcher) — the pre-optimization protocol, kept as the ablation
+    baseline. *)
 
 val create : ?params:params -> Cm_sim.Net.t -> t
 
@@ -49,14 +92,17 @@ val params : t -> params
 
 (** {1 Write path} *)
 
-val write : t -> path:string -> data:string -> unit
+val write : ?digest:string -> t -> path:string -> data:string -> unit
 (** Initiates a write at the current simulated time from the leader's
     node (the git tailer colocates with the ensemble).  Commit and
-    fan-out happen asynchronously as the simulation runs. *)
+    fan-out happen asynchronously as the simulation runs.  [digest]
+    is the content hash of [data] (MD5 hex); the tailer passes the
+    compiler's artifact digest, otherwise it is computed here. *)
 
 val last_committed_zxid : t -> int
 val committed_value : t -> string -> string option
-(** Latest committed data for a path, from the leader's log. *)
+(** Latest committed data for a path — an index lookup, not a log
+    scan. *)
 
 (** {1 Proxies (per-server)} *)
 
@@ -66,14 +112,20 @@ val proxy_on : t -> Cm_sim.Topology.node_id -> proxy
 (** Creates (or returns the existing) proxy for a server node. *)
 
 val subscribe : proxy -> path:string -> (zxid:int -> string -> unit) -> unit
-(** Registers interest; the callback fires for every update of the
-    path, in zxid order, including the initial fetch if the config
-    already exists.  Multiple subscriptions per path are allowed. *)
+(** Registers interest; the callback fires for every {e effective}
+    update of the path, in zxid order, including the initial fetch if
+    the config already exists.  With dedup on, a rewrite of identical
+    bytes bumps the cached zxid without firing callbacks.  Multiple
+    subscriptions per path are allowed. *)
 
 val proxy_get : proxy -> string -> string option
 (** Read through the proxy: in-memory cache first, then the on-disk
     cache.  Works even while the proxy process is crashed (the
     application reads the on-disk cache directly, §3.4). *)
+
+val proxy_get_versioned : proxy -> string -> (int * string) option
+(** [(zxid, data)] of the cached value — what the client library keys
+    its parse-once memo on. *)
 
 val proxy_cached_zxid : proxy -> string -> int option
 
@@ -95,12 +147,40 @@ val restart_proxy : proxy -> unit
 
 val observer_count : t -> int
 val observer_last_zxid : t -> region:int -> cluster:int -> int -> int
+
+val observer_data : t -> region:int -> cluster:int -> int -> (string * (int * string)) list
+(** Sorted [(path, (zxid, data))] snapshot of an observer's replica —
+    lets tests check that snapshot and replay catch-up converge to the
+    same state. *)
+
 val proxy_count : t -> int
 
 val delivery_log : proxy -> (string * int) list
-(** [(path, zxid)] of every update delivered to subscribers of this
-    proxy, oldest first — used by the in-order-delivery property
-    tests. *)
+(** [(path, zxid)] of the most recent [delivery_log_cap] updates
+    delivered to subscribers of this proxy, oldest first — used by the
+    in-order-delivery property tests.  {!deliveries_total} counts all
+    deliveries ever. *)
+
+val deliveries_total : proxy -> int
+
+type stats = {
+  leader_batches : int;   (** batches flushed by the leader *)
+  leader_msgs : int;      (** fan-out messages leaving the leader *)
+  leader_bytes : int;     (** fan-out bytes leaving the leader (egress) *)
+  relay_msgs : int;       (** relay -> sibling-observer forwards *)
+  notify_msgs : int;      (** observer -> proxy notification messages *)
+  notify_entries : int;   (** (path, zxid, digest) entries inside them *)
+  fetches : int;          (** proxy -> observer fetch round trips *)
+  fetches_skipped : int;  (** notifications acked from matching cached bytes *)
+  payloads_deduped : int; (** writes fanned out digest-only *)
+  writes_coalesced : int; (** writes superseded inside one batch window *)
+  snapshots : int;        (** snapshot catch-ups served from the index *)
+  replays : int;          (** log-suffix replay catch-ups *)
+}
+
+val stats : t -> stats
+(** Cumulative distribution-plane counters — the evidence that the
+    dedup/batch/relay paths actually fire. *)
 
 (** {1 Hooks for the pull-model ablation ({!Pull})} *)
 

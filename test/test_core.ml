@@ -973,6 +973,31 @@ let client_tests =
         match Client.get_typed client ~schema:old_schema ~type_name:"Job" "jobs/cache_job.json" with
         | Error _ -> ()
         | Ok _ -> Alcotest.fail "expected schema mismatch");
+    Alcotest.test_case "client parses each delivered version once" `Quick (fun () ->
+        let engine, zeus, pipeline = pipeline_env () in
+        let client = Client.create zeus ~node:44 in
+        Client.want client "raw/knob.json";
+        Engine.run_for engine 10.0;
+        let v1 = Client.get_json client "raw/knob.json" in
+        Alcotest.(check bool) "value present" true (v1 <> None);
+        Alcotest.(check int) "one decode" 1 (Client.decodes client);
+        let v1' = Client.get_json client "raw/knob.json" in
+        Alcotest.(check bool) "same parse shared" true (v1 = v1');
+        Alcotest.(check int) "still one decode" 1 (Client.decodes client);
+        Alcotest.(check int) "memo hit" 1 (Client.memo_hits client);
+        let outcome =
+          Pipeline.propose_sync pipeline ~author:"dana" ~skip_canary:true
+            [ "raw/knob.json", {|{"threshold": 6}|} ]
+        in
+        Alcotest.(check string) "landed" "landed" (Pipeline.outcome_stage outcome);
+        Engine.run_for engine 30.0;
+        (match Client.get_json client "raw/knob.json" with
+        | Some json ->
+            Alcotest.(check bool) "new value visible" true
+              (Cm_json.Value.member "threshold" json = Some (Cm_json.Value.Int 6))
+        | None -> Alcotest.fail "missing config");
+        Alcotest.(check int) "re-decoded once for the new version" 2
+          (Client.decodes client));
   ]
 
 let faults_tests =

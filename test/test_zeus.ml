@@ -232,6 +232,199 @@ let chaos_property =
       in
       monotone && consistent)
 
+(* --- distribution-plane performance ---------------------------------- *)
+
+let dist_tests =
+  [
+    Alcotest.test_case "identical-byte rewrite: no fetch, no callback" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 5 in
+        let calls = ref 0 in
+        Zeus.subscribe proxy ~path:"dd/p" (fun ~zxid:_ _ -> incr calls);
+        Zeus.write zeus ~path:"dd/p" ~data:"v1";
+        Engine.run_for engine 10.0;
+        Alcotest.(check int) "first delivery" 1 !calls;
+        let s0 = Zeus.stats zeus in
+        Zeus.write zeus ~path:"dd/p" ~data:"v1";
+        Engine.run_for engine 10.0;
+        let s1 = Zeus.stats zeus in
+        Alcotest.(check int) "fanned out digest-only" 1
+          (s1.Zeus.payloads_deduped - s0.Zeus.payloads_deduped);
+        Alcotest.(check int) "no fetch round trip" 0 (s1.Zeus.fetches - s0.Zeus.fetches);
+        Alcotest.(check bool) "notification acked from matching cache bytes" true
+          (s1.Zeus.fetches_skipped > s0.Zeus.fetches_skipped);
+        Alcotest.(check int) "no new callback" 1 !calls;
+        Alcotest.(check (option int)) "version still bumped" (Some 2)
+          (Zeus.proxy_cached_zxid proxy "dd/p"));
+    Alcotest.test_case "one window of writes: one batch, one notification" `Quick
+      (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 5 in
+        for i = 0 to 9 do
+          Zeus.subscribe proxy ~path:(Printf.sprintf "b/%d" i) (fun ~zxid:_ _ -> ())
+        done;
+        Engine.run_for engine 5.0;
+        let s0 = Zeus.stats zeus in
+        for i = 0 to 9 do
+          Zeus.write zeus ~path:(Printf.sprintf "b/%d" i) ~data:(Printf.sprintf "v%d" i)
+        done;
+        Engine.run_for engine 10.0;
+        let s1 = Zeus.stats zeus in
+        Alcotest.(check int) "one batch" 1 (s1.Zeus.leader_batches - s0.Zeus.leader_batches);
+        Alcotest.(check int) "leader sent one message per region" 2
+          (s1.Zeus.leader_msgs - s0.Zeus.leader_msgs);
+        Alcotest.(check int) "ten notification entries" 10
+          (s1.Zeus.notify_entries - s0.Zeus.notify_entries);
+        Alcotest.(check int) "in a single message" 1
+          (s1.Zeus.notify_msgs - s0.Zeus.notify_msgs);
+        Alcotest.(check int) "one fetch round trip" 1 (s1.Zeus.fetches - s0.Zeus.fetches);
+        Alcotest.(check int) "all ten delivered" 10 (Zeus.deliveries_total proxy));
+    Alcotest.test_case "same-window writes to one path coalesce to the latest" `Quick
+      (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 5 in
+        let got = ref [] in
+        Zeus.subscribe proxy ~path:"c/p" (fun ~zxid:_ data -> got := data :: !got);
+        Engine.run_for engine 1.0;
+        for i = 1 to 5 do
+          Zeus.write zeus ~path:"c/p" ~data:(Printf.sprintf "v%d" i)
+        done;
+        Engine.run_for engine 10.0;
+        let s = Zeus.stats zeus in
+        Alcotest.(check int) "four writes superseded in the window" 4 s.Zeus.writes_coalesced;
+        Alcotest.(check (list string)) "single callback with the final value" [ "v5" ] !got;
+        Alcotest.(check (option string)) "final value" (Some "v5")
+          (Zeus.proxy_get proxy "c/p"));
+    Alcotest.test_case "watchers fire once per effective change" `Quick (fun () ->
+        let engine, _, zeus = setup () in
+        let proxy = Zeus.proxy_on zeus 5 in
+        let got = ref [] in
+        Zeus.subscribe proxy ~path:"e/p" (fun ~zxid:_ data -> got := data :: !got);
+        List.iter
+          (fun v ->
+            Zeus.write zeus ~path:"e/p" ~data:v;
+            Engine.run_for engine 2.0)
+          [ "v1"; "v1"; "v2"; "v2"; "v3" ];
+        Engine.run_for engine 10.0;
+        Alcotest.(check (list string)) "effective changes only" [ "v1"; "v2"; "v3" ]
+          (List.rev !got);
+        let s = Zeus.stats zeus in
+        Alcotest.(check int) "two digest-only fan-outs" 2 s.Zeus.payloads_deduped;
+        Alcotest.(check int) "two skipped fetches" 2 s.Zeus.fetches_skipped;
+        Alcotest.(check int) "three real fetches" 3 s.Zeus.fetches;
+        Alcotest.(check (option int)) "zxid tracks the log head" (Some 5)
+          (Zeus.proxy_cached_zxid proxy "e/p"));
+    Alcotest.test_case "snapshot and replay catch-up converge to identical state" `Quick
+      (fun () ->
+        let params = { Zeus.default_params with Zeus.snapshot_threshold = 10 } in
+        let engine, _, zeus = setup ~params () in
+        Zeus.crash_observer zeus ~region:1 ~cluster:1 0;
+        for round = 1 to 2 do
+          for p = 0 to 14 do
+            Zeus.write zeus ~path:(Printf.sprintf "s/%02d" p)
+              ~data:(Printf.sprintf "r%d" round)
+          done;
+          Engine.run_for engine 2.0
+        done;
+        Zeus.crash_observer zeus ~region:1 ~cluster:1 1;
+        for p = 0 to 4 do
+          Zeus.write zeus ~path:(Printf.sprintf "s/%02d" p) ~data:"r3"
+        done;
+        Engine.run_for engine 5.0;
+        Zeus.restart_observer zeus ~region:1 ~cluster:1 0 (* 35 behind -> snapshot *);
+        Zeus.restart_observer zeus ~region:1 ~cluster:1 1 (* 5 behind -> replay *);
+        Engine.run_for engine 30.0;
+        let reference = Zeus.observer_data zeus ~region:0 ~cluster:0 0 in
+        Alcotest.(check int) "reference is complete" 15 (List.length reference);
+        Alcotest.(check bool) "snapshot observer converged" true
+          (Zeus.observer_data zeus ~region:1 ~cluster:1 0 = reference);
+        Alcotest.(check bool) "replay observer converged" true
+          (Zeus.observer_data zeus ~region:1 ~cluster:1 1 = reference);
+        let s = Zeus.stats zeus in
+        Alcotest.(check bool) "a snapshot catch-up happened" true (s.Zeus.snapshots >= 1);
+        Alcotest.(check bool) "a replay catch-up happened" true (s.Zeus.replays >= 1));
+    Alcotest.test_case "delivery log is bounded but counts everything" `Quick (fun () ->
+        let params = { Zeus.default_params with Zeus.delivery_log_cap = 8 } in
+        let engine, _, zeus = setup ~params () in
+        let proxy = Zeus.proxy_on zeus 5 in
+        Zeus.subscribe proxy ~path:"r/p" (fun ~zxid:_ _ -> ());
+        for i = 1 to 30 do
+          Zeus.write zeus ~path:"r/p" ~data:(Printf.sprintf "v%d" i);
+          Engine.run_for engine 1.0
+        done;
+        Engine.run_for engine 10.0;
+        let log = Zeus.delivery_log proxy in
+        Alcotest.(check int) "log capped" 8 (List.length log);
+        Alcotest.(check bool) "keeps the most recent" true
+          (List.exists (fun (_, zxid) -> zxid = 30) log);
+        Alcotest.(check int) "every delivery counted" 30 (Zeus.deliveries_total proxy);
+        let zxids = List.map snd log in
+        Alcotest.(check bool) "still ordered" true (List.sort Int.compare zxids = zxids));
+  ]
+
+(* Property: the batched/deduped/relayed protocol is observably
+   equivalent to the legacy one-message-per-write protocol.  For the
+   same write schedule under both parameter sets: every callback sees a
+   really-written value, per path the observed values are a subsequence
+   of the written ones (dedup and coalescing may drop non-effective or
+   superseded intermediates, never reorder or invent), zxids are
+   strictly increasing, the final cached value matches the committed
+   value, both runs agree on it — and the optimized leader never sends
+   more bytes than the legacy one. *)
+let equivalence_property =
+  let rec is_subseq xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs', y :: ys' -> if x = y then is_subseq xs' ys' else is_subseq xs ys'
+  in
+  let gen =
+    QCheck2.Gen.(
+      pair (int_range 0 1000000)
+        (list_size (int_range 4 18)
+           (triple (int_range 0 2) (int_range 0 3) (int_range 0 2))))
+  in
+  QCheck2.Test.make ~name:"batched+deduped delivery equivalent to legacy" ~count:30 gen
+    (fun (seed, schedule) ->
+      let paths = [| "eq/a"; "eq/b"; "eq/c" |] in
+      let written = Array.make 3 [] in
+      List.iter (fun (p, v, _) -> written.(p) <- Printf.sprintf "v%d" v :: written.(p))
+        schedule;
+      let written = Array.map List.rev written in
+      let run params =
+        let engine, _, zeus = setup ~seed:(Int64.of_int seed) ~params () in
+        let proxy = Zeus.proxy_on zeus 15 in
+        let calls = Array.make 3 [] in
+        Array.iteri
+          (fun i path ->
+            Zeus.subscribe proxy ~path (fun ~zxid data ->
+                calls.(i) <- (zxid, data) :: calls.(i)))
+          paths;
+        Engine.run_for engine 1.0;
+        List.iter
+          (fun (p, v, gap) ->
+            Zeus.write zeus ~path:paths.(p) ~data:(Printf.sprintf "v%d" v);
+            if gap = 1 then Engine.run_for engine 0.2
+            else if gap = 2 then Engine.run_for engine 2.0)
+          schedule;
+        Engine.run_for engine 60.0;
+        let finals = Array.map (fun path -> Zeus.committed_value zeus path) paths in
+        let ok = ref true in
+        Array.iteri
+          (fun i path ->
+            let seen = List.rev calls.(i) in
+            let zxids = List.map fst seen in
+            if List.sort_uniq Int.compare zxids <> zxids then ok := false;
+            if not (is_subseq (List.map snd seen) written.(i)) then ok := false;
+            if Zeus.proxy_get proxy path <> finals.(i) then ok := false)
+          paths;
+        let egress = Net.egress_bytes (Zeus.net_of zeus) (Zeus.leader_node zeus) in
+        (!ok, finals, egress)
+      in
+      let leg_ok, leg_finals, leg_egress = run Zeus.legacy_params in
+      let opt_ok, opt_finals, opt_egress = run Zeus.default_params in
+      leg_ok && opt_ok && leg_finals = opt_finals && opt_egress <= leg_egress)
+
 (* --- pull model ------------------------------------------------------ *)
 
 let pull_tests =
@@ -278,5 +471,10 @@ let () =
       "failures", failure_tests;
       "pull", pull_tests;
       "snapshot", snapshot_tests;
-      "properties", [ QCheck_alcotest.to_alcotest chaos_property ];
+      "distribution", dist_tests;
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest chaos_property;
+          QCheck_alcotest.to_alcotest equivalence_property;
+        ] );
     ]
