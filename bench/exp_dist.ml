@@ -260,10 +260,7 @@ let write_json legacy optimized =
           "p99_optimized_s", Float optimized.p99;
         ])
   in
-  let oc = open_out "BENCH_distribution.json" in
-  output_string oc (Cm_json.Value.to_pretty_string doc);
-  output_char oc '\n';
-  close_out oc
+  Render.write_json ~file:"BENCH_distribution.json" doc
 
 let run () =
   Render.section "dist"

@@ -129,10 +129,7 @@ let write_json rows =
           "rows", List (List.map json_of_row rows);
         ])
   in
-  let oc = open_out "BENCH_incremental.json" in
-  output_string oc (Cm_json.Value.to_pretty_string doc);
-  output_char oc '\n';
-  close_out oc
+  Render.write_json ~file:"BENCH_incremental.json" doc
 
 let run () =
   Render.section "incr" "Incremental compilation: full rebuild vs affected cone";

@@ -67,6 +67,22 @@ let spark values =
               glyphs.(max 0 (min (Array.length glyphs - 1) idx)))
             values))
 
+(* Write a BENCH_*.json artifact, first checking that the serialized
+   text re-parses with our own parser — a malformed emitter (e.g. a
+   bare nan leaking into a Float) fails the bench run instead of
+   producing a file downstream tooling chokes on. *)
+let write_json ~file doc =
+  let text = Cm_json.Value.to_pretty_string doc ^ "\n" in
+  (match Cm_json.Parser.parse text with
+  | Ok _ -> ()
+  | Error e ->
+      failwith
+        (Printf.sprintf "render: %s does not round-trip: %s" file
+           (Format.asprintf "%a" Cm_json.Parser.pp_error e)));
+  let oc = open_out file in
+  output_string oc text;
+  close_out oc
+
 let series ~label ~unit values =
   let lo, hi =
     Array.fold_left

@@ -1,23 +1,34 @@
 #!/bin/sh
 # Headless driver for the performance benchmarks: builds the harness
-# and leaves BENCH_incremental.json / BENCH_distribution.json in the
-# repository root.
+# and leaves BENCH_incremental.json / BENCH_distribution.json /
+# BENCH_trace.json in the repository root.
 #
-#   bench/run.sh          # full scale: incr + dist
-#   bench/run.sh --quick  # reduced-scale dist run + JSON shape check
+#   bench/run.sh          # full scale: incr + dist + trace
+#   bench/run.sh --quick  # reduced-scale dist + trace runs + JSON shape checks
 set -eu
 cd "$(dirname "$0")/.."
 dune build bench/main.exe
-if [ "${1:-}" = "--quick" ]; then
-  CM_DIST_QUICK=1 dune exec bench/main.exe -- --only dist
-  for key in '"rows"' '"protocol"' '"noop_bytes_ratio"' '"steady_bytes_ratio"' \
-             '"p99_legacy_s"' '"p99_optimized_s"' '"noop_callbacks"'; do
-    if ! grep -q "$key" BENCH_distribution.json; then
-      echo "bench/run.sh: BENCH_distribution.json missing $key" >&2
+
+check_shape() {
+  file="$1"; shift
+  for key in "$@"; do
+    if ! grep -q "$key" "$file"; then
+      echo "bench/run.sh: $file missing $key" >&2
       exit 1
     fi
   done
-  echo "quick check passed: BENCH_distribution.json has the expected shape"
+  echo "quick check passed: $file has the expected shape"
+}
+
+if [ "${1:-}" = "--quick" ]; then
+  CM_DIST_QUICK=1 dune exec bench/main.exe -- --only dist
+  check_shape BENCH_distribution.json \
+    '"rows"' '"protocol"' '"noop_bytes_ratio"' '"steady_bytes_ratio"' \
+    '"p99_legacy_s"' '"p99_optimized_s"' '"noop_callbacks"'
+  CM_TRACE_QUICK=1 dune exec bench/main.exe -- --only trace
+  check_shape BENCH_trace.json \
+    '"hops"' '"within_tolerance"' '"coverage_monotone"' '"coverage_final"' \
+    '"overhead_bytes"' '"e2e_p99_s"' '"hop_sum_over_e2e_p99"' '"e2e_identical"'
 else
-  dune exec bench/main.exe -- --only incr dist
+  dune exec bench/main.exe -- --only incr dist trace
 fi

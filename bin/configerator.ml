@@ -7,7 +7,9 @@
      configerator deps     --tree DIR PATH        # imports + dependents of one file
      configerator affected --tree DIR PATH...     # configs to recompile after edits
      configerator gk-check PROJECT.json --user-id N [--employee] ...
-                                                  # evaluate a Gatekeeper project *)
+                                                  # evaluate a Gatekeeper project
+     configerator whereis  --tree DIR PATH        # trace a change through a
+                                                  # simulated fleet *)
 
 open Cmdliner
 
@@ -207,7 +209,125 @@ let gk_check_cmd =
     (Cmd.info "gk-check" ~doc)
     Term.(const run_gk_check $ project $ user_id $ employee $ country $ device)
 
+(* --- whereis ------------------------------------------------------------ *)
+
+(* "Where is my config?": compile one config, push it through a
+   simulated Zeus fleet with tracing and propagation tracking on, and
+   report how the change spreads — a coverage timeline, the trace
+   waterfall, and the per-hop latency table. *)
+
+let run_whereis tree_dir config_path regions clusters nodes =
+  match load_tree tree_dir with
+  | Error message ->
+      Printf.eprintf "error: %s\n" message;
+      1
+  | Ok tree -> (
+      let compiler = Core.Compiler.create tree in
+      match Core.Compiler.compile compiler config_path with
+      | Error e ->
+          Printf.eprintf "error: %s\n" (Format.asprintf "%a" Core.Compiler.pp_error e);
+          1
+      | Ok compiled ->
+          let module Engine = Cm_sim.Engine in
+          let module Tracer = Cm_trace.Tracer in
+          let module Propagation = Cm_trace.Propagation in
+          let engine = Engine.create () in
+          let topo =
+            Cm_sim.Topology.create ~regions ~clusters_per_region:clusters
+              ~nodes_per_cluster:nodes
+          in
+          let net = Cm_sim.Net.create engine topo in
+          let tracer = Tracer.create ~now:(fun () -> Engine.now engine) () in
+          Cm_sim.Net.set_tracer net tracer;
+          let prop = Propagation.create ~now:(fun () -> Engine.now engine) () in
+          let zeus = Cm_zeus.Service.create net in
+          Cm_zeus.Service.set_propagation zeus prop;
+          let artifact = compiled.Core.Compiler.artifact_path in
+          Array.iter
+            (fun (n : Cm_sim.Topology.node) ->
+              let proxy = Cm_zeus.Service.proxy_on zeus n.id in
+              Cm_zeus.Service.subscribe proxy ~path:artifact (fun ~zxid:_ _ -> ()))
+            (Cm_sim.Topology.nodes topo);
+          (* Zeus keeps periodic health timers alive, so drive the clock
+             with bounded steps rather than waiting for the queue to
+             drain. *)
+          Engine.run_for engine 1.0;
+          let ctx = Tracer.new_trace tracer ~name:("whereis:" ^ artifact) in
+          Cm_zeus.Service.write ~digest:compiled.Core.Compiler.digest ~ctx zeus
+            ~path:artifact ~data:compiled.Core.Compiler.json_text;
+          Printf.printf "config   %s\n" config_path;
+          Printf.printf "artifact %s (digest %s, %d bytes)\n" artifact
+            compiled.Core.Compiler.digest
+            (String.length compiled.Core.Compiler.json_text);
+          Printf.printf "fleet    %d regions x %d clusters x %d nodes = %d proxies\n\n"
+            regions clusters nodes
+            (Cm_sim.Topology.node_count topo);
+          Printf.printf "coverage timeline (fraction of proxies holding the new version):\n";
+          let last = ref (-1.0) in
+          let sample () =
+            match Propagation.latest_zxid prop ~path:artifact with
+            | None -> ()
+            | Some zxid ->
+                let c = Propagation.coverage prop ~path:artifact ~zxid () in
+                if c > !last then begin
+                  last := c;
+                  Printf.printf "  t=%8.4fs  %5.1f%%  (%d/%d)\n" (Engine.now engine)
+                    (100.0 *. c)
+                    (int_of_float
+                       (c *. float_of_int (Propagation.target_count prop ~path:artifact ())
+                        +. 0.5))
+                    (Propagation.target_count prop ~path:artifact ())
+                end
+          in
+          let steps = 3000 in
+          let dt = 0.01 in
+          let i = ref 0 in
+          while !last < 1.0 && !i < steps do
+            Engine.run_for engine dt;
+            sample ();
+            incr i
+          done;
+          Engine.run_for engine 0.5;
+          sample ();
+          Printf.printf "\n%s\n" (Tracer.waterfall tracer (Tracer.trace_id ctx));
+          Printf.printf "\n%s\n" (Tracer.hop_report tracer);
+          let final =
+            match Propagation.latest_zxid prop ~path:artifact with
+            | None -> 0.0
+            | Some zxid -> Propagation.coverage prop ~path:artifact ~zxid ()
+          in
+          Printf.printf "\nfinal coverage: %.1f%% of %d proxies" (100.0 *. final)
+            (Propagation.target_count prop ~path:artifact ());
+          (if Propagation.latency_count prop > 0 then
+             Printf.printf "; commit->proxy p50 %.1fms, max %.1fms"
+               (1000.0 *. Propagation.latency_percentile prop 0.50)
+               (1000.0 *. Propagation.latency_percentile prop 1.0));
+          print_newline ();
+          if final >= 1.0 then 0 else 1)
+
+let whereis_cmd =
+  let doc =
+    "Trace a config change through a simulated fleet: compile the config, \
+     commit it to Zeus with tracing on, and report the propagation \
+     timeline, span waterfall and per-hop latencies."
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH") in
+  let regions =
+    Arg.(value & opt int 2 & info [ "regions" ] ~docv:"N" ~doc:"Simulated regions.")
+  in
+  let clusters =
+    Arg.(value & opt int 2 & info [ "clusters" ] ~docv:"N" ~doc:"Clusters per region.")
+  in
+  let nodes =
+    Arg.(value & opt int 8 & info [ "nodes" ] ~docv:"N" ~doc:"Servers per cluster.")
+  in
+  Cmd.v (Cmd.info "whereis" ~doc)
+    Term.(const run_whereis $ tree_arg $ path $ regions $ clusters $ nodes)
+
 let () =
   let doc = "Configuration-as-code toolchain (SOSP'15 reproduction)." in
   let info = Cmd.info "configerator" ~version:"1.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; compile_cmd; deps_cmd; affected_cmd; gk_check_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ check_cmd; compile_cmd; deps_cmd; affected_cmd; gk_check_cmd; whereis_cmd ]))

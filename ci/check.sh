@@ -1,0 +1,20 @@
+#!/bin/sh
+# The one gate a change must pass before landing: full build, the
+# entire test suite (unit + property + examples + CLI smoke), and a
+# reduced-scale benchmark run that shape-checks every BENCH_*.json
+# artifact.  Mirrors what the paper calls the "sandcastle" CI step.
+#
+#   ci/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== ci/check: dune build =="
+dune build
+
+echo "== ci/check: dune runtest =="
+dune runtest
+
+echo "== ci/check: bench/run.sh --quick =="
+bench/run.sh --quick
+
+echo "== ci/check: OK =="

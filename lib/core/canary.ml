@@ -130,16 +130,30 @@ let pick_controls engine topo ~exclude ~count =
   Cm_sim.Rng.shuffle (Engine.rng engine) arr;
   Array.to_list (Array.sub arr 0 (min count (Array.length arr)))
 
-let run ?(spec = default_spec) engine topo ~sampler ~on_done () =
+let run ?(spec = default_spec) ?tracer ?(ctx = Cm_trace.Tracer.none) engine topo
+    ~sampler ~on_done () =
+  (* One span per phase, recorded when the phase settles either way. *)
+  let note_phase phase t0 ~passed =
+    match tracer with
+    | Some tr ->
+        ignore
+          (Cm_trace.Tracer.span tr ctx
+             ~name:("canary." ^ phase.phase_name)
+             ~tags:[ ("passed", string_of_bool passed) ]
+             ~t0 ~t1:(Engine.now engine) ())
+    | None -> ()
+  in
   let rec run_phase = function
     | [] -> on_done Passed
     | phase :: rest ->
+        let phase_t0 = Engine.now engine in
         let test_nodes = pick_targets engine topo phase.target in
         let cohort = List.length test_nodes in
         let control_nodes = pick_controls engine topo ~exclude:test_nodes ~count:cohort in
         let test_acc = ref [] and control_acc = ref [] in
         let ticks = max 1 (int_of_float (phase.duration /. phase.sample_every)) in
         let fail check detail =
+          note_phase phase phase_t0 ~passed:false;
           on_done
             (Failed { failed_phase = phase.phase_name; failed_check = check; detail })
         in
@@ -168,7 +182,9 @@ let run ?(spec = default_spec) engine topo ~sampler ~on_done () =
                  else begin
                    (* Phase complete: evaluate all predicates. *)
                    let rec check = function
-                     | [] -> run_phase rest
+                     | [] ->
+                         note_phase phase phase_t0 ~passed:true;
+                         run_phase rest
                      | predicate :: more -> (
                          match
                            eval_predicate ~test_samples:!test_acc

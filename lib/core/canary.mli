@@ -57,6 +57,8 @@ type outcome = Passed | Failed of failure
 
 val run :
   ?spec:spec ->
+  ?tracer:Cm_trace.Tracer.t ->
+  ?ctx:Cm_trace.Tracer.ctx ->
   Cm_sim.Engine.t ->
   Cm_sim.Topology.t ->
   sampler:sampler ->
@@ -65,7 +67,8 @@ val run :
   unit
 (** Starts the canary at the current simulated time; [on_done] fires
     when every phase passed or the first predicate fails (automatic
-    rollback). *)
+    rollback).  With [tracer]/[ctx] set, each phase records a
+    [canary.<phase>] span under the change's trace. *)
 
 val run_sync :
   ?spec:spec -> Cm_sim.Engine.t -> Cm_sim.Topology.t -> sampler:sampler -> outcome

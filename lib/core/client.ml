@@ -1,5 +1,6 @@
 type t = {
   cnode : Cm_sim.Topology.node_id;
+  czeus : Cm_zeus.Service.t;
   proxy : Cm_zeus.Service.proxy;
   watched : (string, unit) Hashtbl.t;
   (* Parse-once memos, keyed by the (path, zxid) of the proxy's cached
@@ -15,6 +16,7 @@ type t = {
 let create zeus ~node =
   {
     cnode = node;
+    czeus = zeus;
     proxy = Cm_zeus.Service.proxy_on zeus node;
     watched = Hashtbl.create 8;
     json_memo = Hashtbl.create 8;
@@ -28,7 +30,20 @@ let node t = t.cnode
 let want t path =
   if not (Hashtbl.mem t.watched path) then begin
     Hashtbl.replace t.watched path ();
-    Cm_zeus.Service.subscribe t.proxy ~path (fun ~zxid:_ _ -> ())
+    (* Clients are coverage targets of their own: "what fraction of
+       subscribed clients hold at least this version" is a different
+       question from proxy coverage (a proxy fronts many processes). *)
+    (match Cm_zeus.Service.propagation t.czeus with
+    | Some p ->
+        Cm_trace.Propagation.register_target p ~kind:"client" ~path ~node:t.cnode ()
+    | None -> ());
+    Cm_zeus.Service.subscribe t.proxy ~path (fun ~zxid data ->
+        ignore data;
+        match Cm_zeus.Service.propagation t.czeus with
+        | Some p ->
+            Cm_trace.Propagation.record_arrival p ~kind:"client" ~path
+              ~node:t.cnode ~zxid ()
+        | None -> ())
   end
 
 let get_raw t path =

@@ -1,4 +1,5 @@
 module Engine = Cm_sim.Engine
+module Tracer = Cm_trace.Tracer
 
 type mode = Landing | Direct
 
@@ -25,7 +26,14 @@ let default_costs =
     pull_cost = (fun files -> 1.0 +. (float_of_int files *. 2.0e-5));
   }
 
-type job = { sub : submission; reads : string list; on_result : result -> unit }
+type job = {
+  sub : submission;
+  reads : string list;
+  on_result : result -> unit;
+  (* tracer, context and submission time of a traced change; the
+     landing span covers queue wait + conflict check + push. *)
+  jtrace : (Tracer.t * Tracer.ctx * float) option;
+}
 
 type t = {
   mode : mode;
@@ -79,6 +87,14 @@ and do_commit t job =
              ~timestamp:(Engine.now t.engine) job.sub.changes
          in
          t.ncommitted <- t.ncommitted + 1;
+         (match job.jtrace with
+         | Some (tr, ctx, t0) ->
+             ignore
+               (Tracer.span tr ctx ~name:"landing.commit"
+                  ~tags:
+                    [ ("files", string_of_int (List.length job.sub.changes)) ]
+                  ~t0 ~t1:(Engine.now t.engine) ())
+         | None -> ());
          job.on_result (Committed oid);
          finish t))
 
@@ -91,6 +107,12 @@ and serve_landing t job =
       t.nconflicts <- t.nconflicts + 1;
       ignore
         (Engine.schedule t.engine ~delay:0.2 (fun () ->
+             (match job.jtrace with
+             | Some (tr, ctx, t0) ->
+                 ignore
+                   (Tracer.span tr ctx ~name:"landing.conflict" ~t0
+                      ~t1:(Engine.now t.engine) ())
+             | None -> ());
              job.on_result (Conflict conflicting);
              finish t))
 
@@ -124,8 +146,13 @@ and serve_direct t job =
                finish t))
   end
 
-let submit ?(reads = []) t sub ~on_result =
-  Queue.push { sub; reads; on_result } t.queue;
+let submit ?(reads = []) ?tracer ?(ctx = Tracer.none) t sub ~on_result =
+  let jtrace =
+    match tracer with
+    | Some tr when Tracer.is_traced ctx -> Some (tr, ctx, Engine.now t.engine)
+    | _ -> None
+  in
+  Queue.push { sub; reads; on_result; jtrace } t.queue;
   maybe_start t
 
 let queue_length t = Queue.length t.queue

@@ -45,8 +45,18 @@ val create :
   Cm_vcs.Repo.t ->
   t
 
-val submit : ?reads:string list -> t -> submission -> on_result:(result -> unit) -> unit
+val submit :
+  ?reads:string list ->
+  ?tracer:Cm_trace.Tracer.t ->
+  ?ctx:Cm_trace.Tracer.ctx ->
+  t ->
+  submission ->
+  on_result:(result -> unit) ->
+  unit
 (** Queues a diff; the callback fires when it lands or is rejected.
+    With [tracer]/[ctx] set, a [landing.commit] (or
+    [landing.conflict]) span covering queue wait + push is recorded
+    under the change's trace.
 
     [reads] is the diff's compilation read set: source paths the
     produced artifacts depend on but that the diff does not itself

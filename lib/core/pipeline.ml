@@ -108,6 +108,22 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
     ~on_done =
   let eng = engine t in
   let sampler = match sampler with Some s -> s | None -> healthy_sampler in
+  (* End-to-end tracing: one trace per proposed change, rooted here
+     and carried through review, canary, landing, the tailer and the
+     Zeus fan-out (see Cm_trace).  Untraced unless a tracer is
+     attached to the net. *)
+  let tracer = Cm_sim.Net.tracer t.net in
+  let t_submit = Engine.now eng in
+  let root_ctx =
+    match tracer with
+    | Some tr -> Cm_trace.Tracer.new_trace tr ~name:("change:" ^ title)
+    | None -> Cm_trace.Tracer.none
+  in
+  let stage_span name ?tags t0 ctx =
+    match tracer with
+    | Some tr -> Cm_trace.Tracer.span tr ctx ~name ?tags ~t0 ~t1:(Engine.now eng) ()
+    | None -> ctx
+  in
   (* 1. The author edits a development clone of the tree. *)
   let clone = Source_tree.of_alist (Source_tree.snapshot t.ptree) in
   List.iter (fun (path, content) -> Source_tree.write clone path content) changes;
@@ -151,11 +167,26 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
   let errors =
     match spec_result with Ok _ -> errors | Error e -> errors @ [ e ]
   in
+  let root_ctx =
+    stage_span "pipeline.compile"
+      ~tags:
+        [
+          ("configs", string_of_int (List.length compiled));
+          ("errors", string_of_int (List.length errors));
+        ]
+      t_submit root_ctx
+  in
   if errors <> [] then on_done (Rejected_compile errors)
   else begin
     let canary_spec = match spec_result with Ok s -> s | Error _ -> t.canary_spec in
     (* 3. Sandcastle CI in a sandbox; results are posted to the diff. *)
+    let t_ci = Engine.now eng in
     let report = Sandcastle.run t.psandcastle compiled in
+    let root_ctx =
+      stage_span "pipeline.sandcastle"
+        ~tags:[ ("passed", string_of_bool (Sandcastle.passed report)) ]
+        t_ci root_ctx
+    in
     let base = Cm_vcs.Repo.head t.prepo in
     (* Artifacts byte-identical to what the repository already holds
        are carried forward rather than re-written: a cone member whose
@@ -234,22 +265,33 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
     if not (Sandcastle.passed report) then on_done (Rejected_sandcastle report)
     else begin
       (* 4. Human review after a delay. *)
+      let t_review = Engine.now eng in
       ignore
         (Engine.schedule eng ~delay:t.review_delay (fun () ->
              let reviewer = pick_reviewer t ~author in
              match Review.approve t.preview diff_id ~reviewer with
              | Error reason -> on_done (Rejected_review reason)
              | Ok () ->
+                 let ctx =
+                   stage_span "pipeline.review"
+                     ~tags:[ ("reviewer", reviewer) ]
+                     t_review root_ctx
+                 in
                  (* 5. Automated canary. *)
-                 let continue_to_landing () =
-                   Landing_strip.submit ~reads t.planding
+                 let continue_to_landing ctx =
+                   Landing_strip.submit ~reads ?tracer ~ctx t.planding
                      { Landing_strip.author; message = title; base; changes = repo_changes }
                      ~on_result:(fun result ->
                        match result with
                        | Landing_strip.Conflict paths -> on_done (Rejected_conflict paths)
                        | Landing_strip.Committed oid ->
                            (* The change is in: update the live tree and
-                              dependency index; the tailer distributes. *)
+                              dependency index; the tailer distributes.
+                              Park the trace context with the tailer so
+                              distribution lands in the same trace. *)
+                           List.iter
+                             (fun (path, _) -> Tailer.note_ctx t.ptailer ~path ctx)
+                             repo_changes;
                            List.iter
                              (fun (path, content) -> Source_tree.write t.ptree path content)
                              changes;
@@ -257,14 +299,19 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
                            t.nlanded <- t.nlanded + 1;
                            on_done (Landed oid))
                  in
-                 if skip_canary then continue_to_landing ()
-                 else
-                   Canary.run ~spec:canary_spec eng (Cm_sim.Net.topology t.net) ~sampler
+                 if skip_canary then continue_to_landing ctx
+                 else begin
+                   let t_canary = Engine.now eng in
+                   Canary.run ~spec:canary_spec ?tracer ~ctx eng
+                     (Cm_sim.Net.topology t.net) ~sampler
                      ~on_done:(fun canary_outcome ->
                        match canary_outcome with
                        | Canary.Failed failure -> on_done (Rejected_canary failure)
-                       | Canary.Passed -> continue_to_landing ())
-                     ()))
+                       | Canary.Passed ->
+                           continue_to_landing
+                             (stage_span "pipeline.canary" t_canary ctx))
+                     ()
+                 end))
     end
   end
 

@@ -1,4 +1,5 @@
 module Engine = Cm_sim.Engine
+module Tracer = Cm_trace.Tracer
 
 type t = {
   poll_interval : float;
@@ -10,6 +11,11 @@ type t = {
   mutable running : bool;
   mutable nwrites : int;
   mutable nsuppressed : int;
+  (* Trace contexts of landed-but-not-yet-distributed artifacts: the
+     pipeline parks the change's context here at commit time; the next
+     poll picks it up, records the poll-wait span and threads the
+     context into the Zeus write. *)
+  pending_ctx : (string, Tracer.ctx * float) Hashtbl.t;
 }
 
 let default_is_artifact path =
@@ -29,7 +35,23 @@ let create ?(poll_interval = 5.0) ?(is_artifact = default_is_artifact) engine re
     running = false;
     nwrites = 0;
     nsuppressed = 0;
+    pending_ctx = Hashtbl.create 16;
   }
+
+let note_ctx t ~path ctx =
+  if Tracer.is_traced ctx && t.is_artifact path then
+    Hashtbl.replace t.pending_ctx path (ctx, Engine.now t.engine)
+
+let take_ctx t path =
+  match Hashtbl.find_opt t.pending_ctx path with
+  | None -> Tracer.none
+  | Some (ctx, since) ->
+      Hashtbl.remove t.pending_ctx path;
+      (match Cm_sim.Net.tracer (Cm_zeus.Service.net_of t.zeus) with
+      | Some tr ->
+          Tracer.span tr ctx ~name:"tailer.poll_wait" ~t0:since
+            ~t1:(Engine.now t.engine) ()
+      | None -> ctx)
 
 let poll_once t =
   let head = Cm_vcs.Repo.head t.repo in
@@ -59,7 +81,8 @@ let poll_once t =
                     (* The artifact digest rides along so Zeus can dedup
                        byte-identical rewrites on the wire. *)
                     Cm_zeus.Service.write t.zeus
-                      ~digest:(Compiler.digest_of_text data) ~path ~data
+                      ~digest:(Compiler.digest_of_text data)
+                      ~ctx:(take_ctx t path) ~path ~data
                 | None -> () (* deleted; distribution of deletions is a no-op *))
           touched);
     t.last_seen <- head

@@ -34,3 +34,9 @@ val writes_suppressed : t -> int
 
 val force_poll : t -> unit
 (** One immediate poll (used by tests). *)
+
+val note_ctx : t -> path:string -> Cm_trace.Tracer.ctx -> unit
+(** Parks a change's trace context against an artifact path that just
+    landed in the repository; the poll that distributes the path
+    records a [tailer.poll_wait] span and hands the context to the
+    Zeus write.  No-op for untraced contexts and non-artifact paths. *)

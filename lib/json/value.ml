@@ -118,7 +118,11 @@ let escape_string buf s =
   Buffer.add_char buf '"'
 
 let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  (* JSON has no nan/inf literals; emit null so the output always
+     re-parses (consumers read a missing measurement, not a syntax
+     error). *)
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
   else
     let short = Printf.sprintf "%.12g" f in
     if float_of_string short = f then short else Printf.sprintf "%.17g" f

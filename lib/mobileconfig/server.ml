@@ -105,9 +105,29 @@ let register_push t handler =
   t.push_handlers <- (id, handler) :: t.push_handlers;
   id
 
-let emergency_push t ~cls ~loss_prob ~latency =
-  List.iter
-    (fun (_, handler) ->
-      if not (Cm_sim.Rng.bernoulli t.rng loss_prob) then
-        ignore (Engine.schedule t.engine ~delay:(latency ()) (fun () -> handler ~cls)))
+let emergency_push ?tracer ?(ctx = Cm_trace.Tracer.none) t ~cls ~loss_prob ~latency =
+  (* RNG draws are identical with or without tracing: one bernoulli
+     per handler, one latency sample per delivered push. *)
+  let now () = Engine.now t.engine in
+  List.iteri
+    (fun i (_, handler) ->
+      if not (Cm_sim.Rng.bernoulli t.rng loss_prob) then begin
+        let delay = latency () in
+        (match tracer with
+        | Some tr ->
+            ignore
+              (Cm_trace.Tracer.span tr ctx ~name:"mobile.push" ~dst:i
+                 ~tags:[ ("class", cls) ]
+                 ~t0:(now ()) ~t1:(now () +. delay) ())
+        | None -> ());
+        ignore (Engine.schedule t.engine ~delay (fun () -> handler ~cls))
+      end
+      else
+        match tracer with
+        | Some tr ->
+            ignore
+              (Cm_trace.Tracer.span tr ctx ~name:"mobile.push" ~dst:i
+                 ~tags:[ ("class", cls); ("dropped", "true") ]
+                 ~t0:(now ()) ~t1:(now ()) ())
+        | None -> ())
     t.push_handlers

@@ -64,7 +64,15 @@ val register_push : t -> (cls:string -> unit) -> int
 (** Registers a device push-notification handler; returns its id. *)
 
 val emergency_push :
-  t -> cls:string -> loss_prob:float -> latency:(unit -> float) -> unit
+  ?tracer:Cm_trace.Tracer.t ->
+  ?ctx:Cm_trace.Tracer.ctx ->
+  t ->
+  cls:string ->
+  loss_prob:float ->
+  latency:(unit -> float) ->
+  unit
 (** Sends a push notification to every registered device; each is
     independently lost with [loss_prob] (push notification is
-    unreliable — the reason pull remains the backbone). *)
+    unreliable — the reason pull remains the backbone).  With
+    [tracer]/[ctx] set, each push records a [mobile.push] span
+    (dropped ones are zero-length, tagged [dropped=true]). *)

@@ -90,6 +90,38 @@ let distribution =
       ];
   }
 
+(* Commit-to-client SLO over the propagation tracker's gauges (see
+   [Cm_trace.Propagation] / [Service.propagation_source]): page when
+   the p99 commit-to-subscriber latency breaches the target, and show
+   the fleet's worst path coverage on the dashboard. *)
+let propagation_slo ?(p99_threshold = 60.0) () =
+  {
+    collect = [ "trace.coverage_min"; "trace.commit_to_client_p99_s" ];
+    collect_interval = 5.0;
+    detections =
+      [
+        {
+          alert_name = "config_propagation_slo_breach";
+          metric = "trace.commit_to_client_p99_s";
+          op = Above;
+          threshold = p99_threshold;
+          for_duration = 0.0;
+          per_node = false;
+        };
+      ];
+    subscriptions = [ { alert_prefix = "config_"; oncall = "configerator-oncall" } ];
+    remediations = [];
+    dashboard =
+      [
+        { title = "fleet coverage (min)"; panel_metric = "trace.coverage_min"; agg = Mean };
+        {
+          title = "commit->client p99 (s)";
+          panel_metric = "trace.commit_to_client_p99_s";
+          agg = Max;
+        };
+      ];
+  }
+
 let agg_name = function Mean -> "mean" | Max -> "max" | P95 -> "p95"
 let op_name = function Above -> "above" | Below -> "below"
 

@@ -68,6 +68,12 @@ val distribution : t
     propagation stalls.  The metric source is built from
     [Cm_zeus.Service.stats] (see [bench/exp_dist.ml]). *)
 
+val propagation_slo : ?p99_threshold:float -> unit -> t
+(** Rule set over {!Service.propagation_source}: dashboards fleet
+    coverage and commit-to-client latency, and pages
+    "configerator-oncall" when the p99 commit-to-subscriber latency
+    exceeds [p99_threshold] (default 60 s). *)
+
 val to_json : t -> Cm_json.Value.t
 val of_json : Cm_json.Value.t -> (t, string) result
 val of_string : string -> (t, string) result

@@ -9,6 +9,23 @@ let merge_sources sources : source =
     (fun acc source -> match acc with Some _ -> acc | None -> source ~node ~metric)
     None sources
 
+(* Gauges from the propagation tracker, reported by one node ([at],
+   conventionally the Zeus leader): fleet-wide minimum coverage at the
+   latest committed version of each path, and commit-to-subscriber
+   latency percentiles.  Answers [None] elsewhere so it composes with
+   per-node sources under {!merge_sources}. *)
+let propagation_source prop ~at : source =
+ fun ~node ~metric ->
+  if node <> at then None
+  else
+    match metric with
+    | "trace.coverage_min" -> Some (Cm_trace.Propagation.min_coverage_latest prop ())
+    | "trace.commit_to_client_p50_s" ->
+        Some (Cm_trace.Propagation.latency_percentile prop 0.50)
+    | "trace.commit_to_client_p99_s" ->
+        Some (Cm_trace.Propagation.latency_percentile prop 0.99)
+    | _ -> None
+
 type alert_state = {
   alert : string;
   node : Topology.node_id option;

@@ -17,6 +17,15 @@ val merge_sources : source list -> source
     infrastructure gauges (e.g. the Zeus distribution-plane counters)
     under one rule set. *)
 
+val propagation_source :
+  Cm_trace.Propagation.t -> at:Cm_sim.Topology.node_id -> source
+(** Exports the propagation tracker's gauges from node [at]
+    (conventionally the Zeus leader): [trace.coverage_min] (worst
+    coverage across all paths at their latest committed version) and
+    [trace.commit_to_client_p50_s]/[..._p99_s] (commit-to-subscriber
+    latency percentiles).  Pair with {!Rules.propagation_slo} to page
+    on a commit-to-client p99 SLO breach. *)
+
 type alert_state = {
   alert : string;
   node : Cm_sim.Topology.node_id option;  (** None for fleet-level alerts *)

@@ -26,6 +26,7 @@ let key content = content.cname ^ "#" ^ string_of_int content.cversion
 
 type download = {
   dcontent : content;
+  dctx : Cm_trace.Tracer.ctx;
   dbits : Bytes.t;            (* chunk bitmap *)
   dchunks : int;
   mutable dhave : int;
@@ -182,11 +183,13 @@ let rec request_next t ~node ~mode dl =
         let source = pick_source t ~node ~mode dl.dcontent idx in
         let bytes = chunk_bytes t dl.dcontent idx in
         (* Request message. *)
-        Net.send_reliable t.net ~src:node ~dst:source ~bytes:256 (fun () ->
+        Net.send_reliable ~hop:"pv.chunk_req" ~ctx:dl.dctx t.net ~src:node
+          ~dst:source ~bytes:256 (fun () ->
             let queue_delay = reserve_upload t source bytes in
             ignore
               (Engine.schedule (Net.engine t.net) ~delay:queue_delay (fun () ->
-                   Net.send_reliable t.net ~src:source ~dst:node ~bytes (fun () ->
+                   Net.send_reliable ~hop:"pv.chunk" ~ctx:dl.dctx t.net
+                     ~src:source ~dst:node ~bytes (fun () ->
                        receive_chunk t ~node ~mode dl idx))));
         request_next t ~node ~mode dl
   end
@@ -214,13 +217,19 @@ and receive_chunk t ~node ~mode dl idx =
         dl.dcompleted <- true;
         Hashtbl.replace (complete_table t dl.dcontent) node ();
         Hashtbl.remove t.active (node, key dl.dcontent);
+        (match Net.tracer t.net with
+        | Some tr ->
+            Cm_trace.Tracer.event tr dl.dctx ~name:"pv.complete" ~dst:node
+              ~tags:[ ("content", key dl.dcontent) ]
+              ()
+        | None -> ());
         dl.don_complete ()
       end
     end
     else request_next t ~node ~mode dl
   end
 
-let fetch t ~node ~mode content ~on_complete =
+let fetch ?(ctx = Cm_trace.Tracer.none) t ~node ~mode content ~on_complete =
   if has_complete t ~node content then on_complete ()
   else begin
     (* Supersede any older in-flight version of the same name. *)
@@ -239,6 +248,7 @@ let fetch t ~node ~mode content ~on_complete =
         let dl =
           {
             dcontent = content;
+            dctx = ctx;
             dbits = Bytes.make ((nchunks / 8) + 1) '\000';
             dchunks = nchunks;
             dhave = 0;

@@ -37,6 +37,7 @@ val publish : t -> content -> unit
     content becomes available. *)
 
 val fetch :
+  ?ctx:Cm_trace.Tracer.ctx ->
   t ->
   node:Cm_sim.Topology.node_id ->
   mode:mode ->
@@ -47,7 +48,11 @@ val fetch :
     has arrived.  Fetching a content the node already completed calls
     [on_complete] immediately.  Starting a fetch for a different
     version of the same name abandons the old download (metadata
-    updates win — the hybrid subscription-P2P consistency story). *)
+    updates win — the hybrid subscription-P2P consistency story).
+
+    With a tracer attached to the net and a traced [ctx], every chunk
+    request/transfer records [pv.chunk_req]/[pv.chunk] spans and
+    completion records a [pv.complete] event. *)
 
 val has_complete : t -> node:Cm_sim.Topology.node_id -> content -> bool
 

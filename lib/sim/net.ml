@@ -33,15 +33,18 @@ type t = {
   mutable xregion_bytes : int;
   mutable xcluster_bytes : int;
   egress : (Topology.node_id, int) Hashtbl.t;
+  mutable tracer : Cm_trace.Tracer.t option;
 }
 
 let create ?(params = default_params) engine topology =
   { params; engine; topology; rng = Rng.split (Engine.rng engine);
     bytes = 0; messages = 0; xregion_bytes = 0; xcluster_bytes = 0;
-    egress = Hashtbl.create 64 }
+    egress = Hashtbl.create 64; tracer = None }
 
 let engine t = t.engine
 let topology t = t.topology
+let set_tracer t tr = t.tracer <- Some tr
+let tracer t = t.tracer
 
 type locality = Same_cluster | Same_region | Cross_region
 
@@ -76,16 +79,36 @@ let account t ~src ~dst ~bytes =
 
 let deliver t ~dst callback () = if Topology.is_up t.topology dst then callback ()
 
-let send t ~src ~dst ~bytes callback =
+(* Trace spans are recorded out of band: no RNG draws, no bytes, no
+   scheduled events — an instrumented run is observationally identical
+   to an uninstrumented one (checked by a property test). *)
+let record_hops t ~hop ~src ~dst ~bytes ~delay ~dropped ctx ctxs =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      let t0 = Engine.now t.engine in
+      let t1 = if dropped then t0 else t0 +. delay in
+      let tags = if dropped then [ ("dropped", "true") ] else [] in
+      let record c =
+        if Cm_trace.Tracer.is_traced c then
+          ignore (Cm_trace.Tracer.span tr c ~name:hop ~src ~dst ~bytes ~tags ~t0 ~t1 ())
+      in
+      (match ctx with Some c -> record c | None -> ());
+      List.iter record ctxs
+
+let send ?(hop = "net.send") ?ctx ?(ctxs = []) t ~src ~dst ~bytes callback =
   account t ~src ~dst ~bytes;
   if not (Rng.bernoulli t.rng t.params.drop_prob) then begin
     let delay = transfer_time t ~src ~dst ~bytes in
+    record_hops t ~hop ~src ~dst ~bytes ~delay ~dropped:false ctx ctxs;
     ignore (Engine.schedule t.engine ~delay (deliver t ~dst callback))
   end
+  else record_hops t ~hop ~src ~dst ~bytes ~delay:0. ~dropped:true ctx ctxs
 
-let send_reliable t ~src ~dst ~bytes callback =
+let send_reliable ?(hop = "net.send") ?ctx ?(ctxs = []) t ~src ~dst ~bytes callback =
   account t ~src ~dst ~bytes;
   let delay = transfer_time t ~src ~dst ~bytes in
+  record_hops t ~hop ~src ~dst ~bytes ~delay ~dropped:false ctx ctxs;
   ignore (Engine.schedule t.engine ~delay (deliver t ~dst callback))
 
 let bytes_sent t = t.bytes

@@ -33,10 +33,20 @@ val create : ?params:params -> Engine.t -> Topology.t -> t
 val engine : t -> Engine.t
 val topology : t -> Topology.t
 
+val set_tracer : t -> Cm_trace.Tracer.t -> unit
+(** Attach a span tracer.  Every protocol built on this net (Zeus,
+    PackageVessel, the pipeline) discovers the tracer here, so one
+    attachment traces the whole system.  Off by default. *)
+
+val tracer : t -> Cm_trace.Tracer.t option
+
 val transfer_time : t -> src:Topology.node_id -> dst:Topology.node_id -> bytes:int -> float
 (** Sampled duration for one message; includes jitter. *)
 
 val send :
+  ?hop:string ->
+  ?ctx:Cm_trace.Tracer.ctx ->
+  ?ctxs:Cm_trace.Tracer.ctx list ->
   t ->
   src:Topology.node_id ->
   dst:Topology.node_id ->
@@ -45,9 +55,18 @@ val send :
   unit
 (** Delivers the callback after the sampled transfer time, unless the
     message is dropped or [dst] is down at delivery time.  The
-    callback runs in the destination's context. *)
+    callback runs in the destination's context.
+
+    When a tracer is attached, a span named [hop] is recorded for
+    [ctx] and for each context in [ctxs] (a batched message carries
+    the contexts of every traced change it coalesces); dropped
+    messages record a zero-length span tagged [dropped=true].
+    Tracing never changes timing, RNG draws or byte accounting. *)
 
 val send_reliable :
+  ?hop:string ->
+  ?ctx:Cm_trace.Tracer.ctx ->
+  ?ctxs:Cm_trace.Tracer.ctx list ->
   t ->
   src:Topology.node_id ->
   dst:Topology.node_id ->

@@ -2,6 +2,8 @@ module Engine = Cm_sim.Engine
 module Net = Cm_sim.Net
 module Topology = Cm_sim.Topology
 module Rng = Cm_sim.Rng
+module Tracer = Cm_trace.Tracer
+module Propagation = Cm_trace.Propagation
 
 type params = {
   followers : int;
@@ -47,6 +49,11 @@ type write_rec = {
   wdata : string;
   wdigest : string;
   created : float;
+  (* Trace context of the change this write carries; threaded through
+     commit, batching and fan-out so every hop lands in the same trace.
+     [wcommitted] remembers the commit time for the batch-wait span. *)
+  mutable wctx : Tracer.ctx;
+  mutable wcommitted : float;
 }
 
 (* Growable array for the commit log; zxid n lives at index n-1. *)
@@ -183,7 +190,7 @@ and t = {
   obs_by_region : observer array array;
   proxies : (Topology.node_id, proxy) Hashtbl.t;
   rng : Rng.t;
-  write_queue : (string * string * string) Queue.t;  (* buffered while leader down *)
+  write_queue : (string * string * string * Tracer.ctx) Queue.t;  (* buffered while leader down *)
   mutable election_pending : bool;
   latest : (string, write_rec) Hashtbl.t;  (* committed latest-write-per-path index *)
   mutable pending : write_rec list;        (* current batch window, newest first *)
@@ -191,11 +198,49 @@ and t = {
   last_fanout_digest : (string, string) Hashtbl.t;
   racked : (int, int) Hashtbl.t;  (* region -> highest relay-acked batch bhi *)
   cnt : counters;
+  mutable prop : Propagation.t option;
 }
 
 let params t = t.prm
 let engine t = Net.engine t.net
 let topo t = Net.topology t.net
+let tracer t = Net.tracer t.net
+let set_propagation t p = t.prop <- Some p
+let propagation t = t.prop
+
+let note_arrival t ?(kind = "proxy") ~node w =
+  match t.prop with
+  | None -> ()
+  | Some p ->
+      Propagation.record_arrival p ~kind ~digest:w.wdigest ~path:w.wpath ~node
+        ~zxid:w.zxid ()
+
+(* Contexts of the traced changes a wire message carries; [] in
+   untraced runs (every wctx is [Tracer.none] when no tracer ever
+   handed out a context). *)
+let entry_ctxs bentries =
+  List.filter_map
+    (fun e -> if Tracer.is_traced e.bw.wctx then Some e.bw.wctx else None)
+    bentries
+
+let write_ctxs ws =
+  List.filter_map (fun w -> if Tracer.is_traced w.wctx then Some w.wctx else None) ws
+
+(* A high fan-out is serialized at the sender ([fanout_stagger]); the
+   wait between enqueue and the actual send is real propagation time,
+   so record it — otherwise the per-hop sums come up short of the
+   measured end-to-end latency. *)
+let record_stagger t ~src ~dst ~t0 bentries =
+  match tracer t with
+  | None -> ()
+  | Some tr ->
+      let now = Engine.now (engine t) in
+      if now > t0 +. 1e-12 then
+        List.iter
+          (fun e ->
+            if Tracer.is_traced e.bw.wctx then
+              ignore (Tracer.span tr e.bw.wctx ~name:"zeus.stagger" ~src ~dst ~t0 ~t1:now ()))
+          bentries
 let leader_member t = t.members.(t.leader)
 let leader_node t = (leader_member t).mnode
 let quorum t = (Array.length t.members / 2) + 1
@@ -281,6 +326,7 @@ let create ?(params = default_params) net =
     write_queue = Queue.create ();
     election_pending = false;
     latest = Hashtbl.create 256;
+    prop = None;
     pending = [];
     batch_scheduled = false;
     last_fanout_digest = Hashtbl.create 256;
@@ -400,7 +446,8 @@ and flush_notifications t obs =
           in
           t.cnt.c_notify_msgs <- t.cnt.c_notify_msgs + 1;
           t.cnt.c_notify_entries <- t.cnt.c_notify_entries + List.length entries;
-          Net.send t.net ~src:obs.onode ~dst:proxy.pnode ~bytes (fun () ->
+          Net.send ~hop:"zeus.notify" ~ctxs:(write_ctxs entries) t.net
+            ~src:obs.onode ~dst:proxy.pnode ~bytes (fun () ->
               proxy_handle_notifications t proxy obs entries)
         end
         else
@@ -433,6 +480,12 @@ and proxy_handle_notifications t proxy obs entries =
               Hashtbl.replace proxy.pmem w.wpath c';
               Hashtbl.replace proxy.pdisk w.wpath c';
               t.cnt.c_fetches_skipped <- t.cnt.c_fetches_skipped + 1;
+              note_arrival t ~node:proxy.pnode w;
+              (match tracer t with
+              | Some tr ->
+                  Tracer.event tr w.wctx ~name:"zeus.cache_ack" ~dst:proxy.pnode
+                    ~tags:[ ("dedup", "hit") ] ()
+              | None -> ());
               false
           | _ -> true)
         entries
@@ -443,7 +496,8 @@ and proxy_handle_notifications t proxy obs entries =
       let req_bytes =
         t.prm.msg_overhead + (List.length need * t.prm.entry_overhead)
       in
-      Net.send t.net ~src:proxy.pnode ~dst:obs.onode ~bytes:req_bytes (fun () ->
+      Net.send ~hop:"zeus.fetch_req" ~ctxs:(write_ctxs need) t.net
+        ~src:proxy.pnode ~dst:obs.onode ~bytes:req_bytes (fun () ->
           if Topology.is_up (topo t) obs.onode then begin
             let found =
               List.filter_map (fun w -> Hashtbl.find_opt obs.odata w.wpath) need
@@ -453,7 +507,8 @@ and proxy_handle_notifications t proxy obs entries =
                 (fun acc w -> acc + t.prm.entry_overhead + String.length w.wdata)
                 t.prm.msg_overhead found
             in
-            Net.send t.net ~src:obs.onode ~dst:proxy.pnode ~bytes:resp_bytes
+            Net.send ~hop:"zeus.fetch" ~ctxs:(write_ctxs found) t.net
+              ~src:obs.onode ~dst:proxy.pnode ~bytes:resp_bytes
               (fun () -> List.iter (fun w -> proxy_deliver proxy w) found)
           end)
     end
@@ -474,6 +529,13 @@ and proxy_deliver proxy w =
       let c = { czxid = w.zxid; cdata = w.wdata; cdigest = w.wdigest } in
       Hashtbl.replace proxy.pmem w.wpath c;
       Hashtbl.replace proxy.pdisk w.wpath c;
+      note_arrival t ~node:proxy.pnode w;
+      (match tracer t with
+      | Some tr ->
+          Tracer.event tr w.wctx ~name:"zeus.deliver" ~dst:proxy.pnode
+            ~tags:[ ("effective", string_of_bool (not same_bytes)) ]
+            ()
+      | None -> ());
       if not same_bytes then begin
         Ring.push proxy.pdelivered (w.wpath, w.zxid);
         match Hashtbl.find_opt proxy.psubs w.wpath with
@@ -506,7 +568,8 @@ and observer_request_catchup t obs =
                   + String.length w.wdata)
                 t.prm.msg_overhead snapshot
             in
-            Net.send t.net ~src:(leader_node t) ~dst:obs.onode ~bytes (fun () ->
+            Net.send ~hop:"zeus.catchup" ~ctxs:(write_ctxs snapshot) t.net
+              ~src:(leader_node t) ~dst:obs.onode ~bytes (fun () ->
                 obs.ocatchup_inflight <- false;
                 if upto > obs.olast then begin
                   obs.olast <- upto;
@@ -531,7 +594,8 @@ and observer_request_catchup t obs =
             done;
             let replay = { blo = from_zxid; bhi = upto; bentries = !entries } in
             let bytes = batch_bytes t replay in
-            Net.send t.net ~src:(leader_node t) ~dst:obs.onode ~bytes (fun () ->
+            Net.send ~hop:"zeus.catchup" ~ctxs:(entry_ctxs replay.bentries) t.net
+              ~src:(leader_node t) ~dst:obs.onode ~bytes (fun () ->
                 obs.ocatchup_inflight <- false;
                 if upto > obs.olast then observer_receive_batch t obs replay)
           end
@@ -550,11 +614,14 @@ let live_observers_in_region t r =
   |> List.filter (fun obs -> Topology.is_up (topo t) obs.onode)
 
 let leader_send_batch t ?(stagger_idx = 0) obs batch ~bytes ~on_receipt =
+  let t_q = Engine.now (engine t) in
   let push () =
     if Topology.is_up (topo t) obs.onode then begin
+      record_stagger t ~src:(leader_node t) ~dst:obs.onode ~t0:t_q batch.bentries;
       t.cnt.c_leader_msgs <- t.cnt.c_leader_msgs + 1;
       t.cnt.c_leader_bytes <- t.cnt.c_leader_bytes + bytes;
-      Net.send t.net ~src:(leader_node t) ~dst:obs.onode ~bytes (fun () ->
+      Net.send ~hop:"zeus.fanout" ~ctxs:(entry_ctxs batch.bentries) t.net
+        ~src:(leader_node t) ~dst:obs.onode ~bytes (fun () ->
           on_receipt ();
           observer_receive_batch t obs batch)
     end
@@ -583,12 +650,15 @@ let relay_forward t relay batch ~bytes =
     live_observers_in_region t relay.oregion
     |> List.filter (fun obs -> obs != relay)
   in
+  let t_q = Engine.now (engine t) in
   List.iteri
     (fun i obs ->
       let forward () =
         if Topology.is_up (topo t) obs.onode then begin
+          record_stagger t ~src:relay.onode ~dst:obs.onode ~t0:t_q batch.bentries;
           t.cnt.c_relay_msgs <- t.cnt.c_relay_msgs + 1;
-          Net.send t.net ~src:relay.onode ~dst:obs.onode ~bytes (fun () ->
+          Net.send ~hop:"zeus.relay" ~ctxs:(entry_ctxs batch.bentries) t.net
+            ~src:relay.onode ~dst:obs.onode ~bytes (fun () ->
               observer_receive_batch t obs batch)
         end
       in
@@ -628,6 +698,13 @@ let fanout_batch t batch =
 (* Dedup decision: identical bytes to the last value fanned out for
    this path travel as a digest-only record. *)
 let encode_entry t w =
+  (match tracer t with
+  | Some tr when Tracer.is_traced w.wctx ->
+      w.wctx <-
+        Tracer.span tr w.wctx ~name:"zeus.batch_wait"
+          ~src:(leader_node t) ~dst:(leader_node t)
+          ~t0:w.wcommitted ~t1:(Engine.now (engine t)) ()
+  | _ -> ());
   let dup =
     t.prm.dedup
     && (match Hashtbl.find_opt t.last_fanout_digest w.wpath with
@@ -682,6 +759,19 @@ let rec advance_commit t =
       Hashtbl.remove t.acks next;
       let w = Log.get t.log next in
       Hashtbl.replace t.latest w.wpath w;
+      let now = Engine.now (engine t) in
+      w.wcommitted <- now;
+      (match t.prop with
+      | Some p -> Propagation.note_commit p ~path:w.wpath ~zxid:w.zxid ~digest:w.wdigest
+      | None -> ());
+      (match tracer t with
+      | Some tr when Tracer.is_traced w.wctx ->
+          w.wctx <-
+            Tracer.span tr w.wctx ~name:"zeus.commit" ~src:(leader_node t)
+              ~dst:(leader_node t)
+              ~tags:[ ("zxid", string_of_int w.zxid) ]
+              ~t0:w.created ~t1:now ()
+      | _ -> ());
       enqueue_fanout t w;
       advance_commit t
     end
@@ -709,24 +799,27 @@ let replicate t w =
 
 let digest_of_data data = Digest.to_hex (Digest.string data)
 
-let do_write t path data digest =
+let do_write t path data digest ctx =
+  let now = Engine.now (engine t) in
   let w =
     {
       zxid = Log.length t.log + 1;
       wpath = path;
       wdata = data;
       wdigest = digest;
-      created = Engine.now (engine t);
+      created = now;
+      wctx = ctx;
+      wcommitted = now;
     }
   in
   Log.append t.log w;
   (leader_member t).mlog <- Log.length t.log;
   replicate t w
 
-let write ?digest t ~path ~data =
+let write ?digest ?(ctx = Tracer.none) t ~path ~data =
   let digest = match digest with Some d -> d | None -> digest_of_data data in
-  if Topology.is_up (topo t) (leader_node t) then do_write t path data digest
-  else Queue.add (path, data, digest) t.write_queue
+  if Topology.is_up (topo t) (leader_node t) then do_write t path data digest ctx
+  else Queue.add (path, data, digest, ctx) t.write_queue
 
 let last_committed_zxid t = t.committed
 
@@ -763,7 +856,7 @@ let elect t =
       repropose (t.committed + 1);
       let queued = Queue.create () in
       Queue.transfer t.write_queue queued;
-      Queue.iter (fun (path, data, digest) -> do_write t path data digest) queued
+      Queue.iter (fun (path, data, digest, ctx) -> do_write t path data digest ctx) queued
 
 let crash_leader t =
   Topology.crash (topo t) (leader_node t);
@@ -831,7 +924,8 @@ let register_watch t proxy path =
         (* Initial read: push the current value if any. *)
         match Hashtbl.find_opt obs.odata path with
         | Some w ->
-            Net.send t.net ~src:obs.onode ~dst:proxy.pnode
+            Net.send ~hop:"zeus.initial_push" ~ctxs:(write_ctxs [ w ]) t.net
+              ~src:obs.onode ~dst:proxy.pnode
               ~bytes:(t.prm.msg_overhead + String.length w.wdata) (fun () ->
                 proxy_deliver proxy w)
         | None -> ()
@@ -871,6 +965,9 @@ let proxy_on t node =
 
 let subscribe proxy ~path callback =
   let t = proxy.pservice in
+  (match t.prop with
+  | Some p -> Propagation.register_target p ~kind:"proxy" ~path ~node:proxy.pnode ()
+  | None -> ());
   (match Hashtbl.find_opt proxy.psubs path with
   | Some callbacks -> callbacks := callback :: !callbacks
   | None ->

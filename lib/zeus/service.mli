@@ -92,12 +92,19 @@ val params : t -> params
 
 (** {1 Write path} *)
 
-val write : ?digest:string -> t -> path:string -> data:string -> unit
+val write :
+  ?digest:string -> ?ctx:Cm_trace.Tracer.ctx -> t -> path:string -> data:string -> unit
 (** Initiates a write at the current simulated time from the leader's
     node (the git tailer colocates with the ensemble).  Commit and
     fan-out happen asynchronously as the simulation runs.  [digest]
     is the content hash of [data] (MD5 hex); the tailer passes the
-    compiler's artifact digest, otherwise it is computed here. *)
+    compiler's artifact digest, otherwise it is computed here.
+
+    [ctx] (default untraced) is the trace context of the change this
+    write carries.  When a tracer is attached to the underlying net
+    ({!Cm_sim.Net.set_tracer}), the write records [zeus.commit],
+    [zeus.batch_wait], [zeus.fanout]/[zeus.relay], [zeus.notify] and
+    [zeus.fetch]/[zeus.cache_ack] spans as it propagates. *)
 
 val last_committed_zxid : t -> int
 val committed_value : t -> string -> string option
@@ -181,6 +188,17 @@ type stats = {
 val stats : t -> stats
 (** Cumulative distribution-plane counters — the evidence that the
     dedup/batch/relay paths actually fire. *)
+
+(** {1 Propagation tracking} *)
+
+val set_propagation : t -> Cm_trace.Propagation.t -> unit
+(** Attach a propagation tracker: every proxy subscription registers a
+    coverage target, every commit is noted, and every proxy-visible
+    arrival (fetch delivery, deduped cache-ack, initial push) records
+    a version arrival — powering [coverage]/[whereis] queries and the
+    commit-to-client latency SLO.  Off by default. *)
+
+val propagation : t -> Cm_trace.Propagation.t option
 
 (** {1 Hooks for the pull-model ablation ({!Pull})} *)
 

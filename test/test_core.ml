@@ -1014,10 +1014,18 @@ let faults_tests =
         let share name =
           float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts name)) /. 5000.0
         in
-        Alcotest.(check bool) "type I ~85%" true
-          (Float.abs (share (Faults.error_type_name Faults.Type_i) -. 0.85) < 0.03);
-        Alcotest.(check bool) "type II ~11%" true
-          (Float.abs (share (Faults.error_type_name Faults.Type_ii) -. 0.11) < 0.02));
+        let r = Faults.default_rates in
+        Alcotest.(check bool) "type I share matches default_rates" true
+          (Float.abs (share (Faults.error_type_name Faults.Type_i) -. r.Faults.share_type_i)
+          < 0.03);
+        Alcotest.(check bool) "type II share matches default_rates" true
+          (Float.abs (share (Faults.error_type_name Faults.Type_ii) -. r.Faults.share_type_ii)
+          < 0.02);
+        Alcotest.(check bool) "type III gets the remainder" true
+          (Float.abs
+             (share (Faults.error_type_name Faults.Type_iii)
+             -. (1.0 -. r.Faults.share_type_i -. r.Faults.share_type_ii))
+          < 0.02));
     Alcotest.test_case "healthy sampler has no crashes" `Quick (fun () ->
         let rng = Cm_sim.Rng.create 18L in
         let sampler = Faults.healthy rng in

@@ -157,6 +157,43 @@ let properties =
   List.map QCheck_alcotest.to_alcotest
     [ roundtrip_compact; roundtrip_pretty; canonical_idempotent ]
 
+(* The BENCH_*.json emitters build documents of measured floats; a
+   nan/inf (empty percentile, division by zero) must not produce a
+   file our own parser rejects.  Non-finite floats serialize as null. *)
+let emission =
+  let reparses doc =
+    match Parser.parse (Json.to_pretty_string doc) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "pretty does not re-parse: %a" Parser.pp_error e
+  in
+  [
+    Alcotest.test_case "non-finite floats serialize as null" `Quick (fun () ->
+        Alcotest.(check string) "nan" "null" (Json.to_compact_string (Json.Float nan));
+        Alcotest.(check string) "inf" "null"
+          (Json.to_compact_string (Json.Float infinity));
+        Alcotest.(check string) "-inf" "null"
+          (Json.to_compact_string (Json.Float neg_infinity)));
+    Alcotest.test_case "bench-shaped documents round-trip" `Quick (fun () ->
+        reparses
+          (Json.Assoc
+             [
+               "experiment", Json.String "trace";
+               "p50_s", Json.Float 0.190;
+               "p99_s", Json.Float nan;
+               ( "rows",
+                 Json.List
+                   [
+                     Json.Assoc
+                       [
+                         "hop", Json.String "zeus.fanout";
+                         "ratio", Json.Float infinity;
+                         "count", Json.Int 12;
+                         "ok", Json.Bool true;
+                       ];
+                   ] );
+             ]))
+  ]
+
 let () =
   Alcotest.run "cm_json"
     [
@@ -165,4 +202,5 @@ let () =
       "errors", errors;
       "structure", structure;
       "properties", properties;
+      "emission", emission;
     ]

@@ -316,6 +316,53 @@ let dashboard_tests =
         Service.stop monitor);
   ]
 
+let source_tests =
+  [
+    Alcotest.test_case "merge_sources: first answer wins" `Quick (fun () ->
+        let a ~node:_ ~metric = if metric = "m" then Some 1.0 else None in
+        let b ~node:_ ~metric =
+          match metric with "m" -> Some 2.0 | "n" -> Some 3.0 | _ -> None
+        in
+        let merged = Service.merge_sources [ a; b ] in
+        Alcotest.(check (option (float 1e-9))) "a shadows b" (Some 1.0)
+          (merged ~node:0 ~metric:"m"));
+    Alcotest.test_case "merge_sources: None falls through" `Quick (fun () ->
+        let a ~node:_ ~metric = if metric = "m" then Some 1.0 else None in
+        let b ~node:_ ~metric =
+          match metric with "m" -> Some 2.0 | "n" -> Some 3.0 | _ -> None
+        in
+        let merged = Service.merge_sources [ a; b ] in
+        Alcotest.(check (option (float 1e-9))) "b answers n" (Some 3.0)
+          (merged ~node:0 ~metric:"n");
+        Alcotest.(check (option (float 1e-9))) "nobody answers z" None
+          (merged ~node:0 ~metric:"z");
+        Alcotest.(check (option (float 1e-9))) "empty list" None
+          (Service.merge_sources [] ~node:0 ~metric:"m"));
+    Alcotest.test_case "propagation source exports gauges at one node" `Quick
+      (fun () ->
+        let clock = ref 0.0 in
+        let p = Cm_trace.Propagation.create ~now:(fun () -> !clock) () in
+        Cm_trace.Propagation.register_target p ~path:"x" ~node:1 ();
+        Cm_trace.Propagation.register_target p ~path:"x" ~node:2 ();
+        Cm_trace.Propagation.note_commit p ~path:"x" ~zxid:1 ~digest:"d";
+        clock := 4.0;
+        Cm_trace.Propagation.record_arrival p ~path:"x" ~node:1 ~zxid:1 ();
+        let src = Service.propagation_source p ~at:3 in
+        Alcotest.(check (option (float 1e-9))) "coverage at leader" (Some 0.5)
+          (src ~node:3 ~metric:"trace.coverage_min");
+        Alcotest.(check (option (float 1e-9))) "p99 latency" (Some 4.0)
+          (src ~node:3 ~metric:"trace.commit_to_client_p99_s");
+        Alcotest.(check (option (float 1e-9))) "other nodes silent" None
+          (src ~node:4 ~metric:"trace.coverage_min");
+        Alcotest.(check (option (float 1e-9))) "unknown metric" None
+          (src ~node:3 ~metric:"error_rate"));
+  ]
+
 let () =
   Alcotest.run "cm_monitor"
-    [ "rules", rules_tests; "service", service_tests; "dashboard", dashboard_tests ]
+    [
+      "rules", rules_tests;
+      "service", service_tests;
+      "dashboard", dashboard_tests;
+      "sources", source_tests;
+    ]
