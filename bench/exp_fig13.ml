@@ -7,8 +7,12 @@
 module Repo = Cm_vcs.Repo
 module Multirepo = Cm_vcs.Multirepo
 
+(* Pinned to the flat backend: this experiment reproduces the paper's
+   degradation curve (per-commit cost growing with file count), which
+   the default Merkle backend is built to avoid — `bench vcs` sweeps
+   both and shows the contrast. *)
 let build_repo nfiles =
-  let repo = Repo.create () in
+  let repo = Repo.create ~backend:Repo.Flat () in
   let changes =
     List.init nfiles (fun i ->
         Printf.sprintf "configs/dir%02d/cfg_%06d.json" (i mod 50) i,
@@ -73,8 +77,9 @@ let run () =
   let partitions = 8 in
   let total_files = 120_000 in
   let multi =
-    Multirepo.create
+    Multirepo.create ~backend:Repo.Flat
       ~partitions:(List.init partitions (fun i -> Printf.sprintf "p%d/" i))
+      ()
   in
   let changes =
     List.init total_files (fun i ->

@@ -27,6 +27,7 @@ let experiments : (string * string * (unit -> unit)) list =
     "ablate-mobile", "mobile hybrid pull+push", Exp_ablate.mobile;
     "incr", "incremental compilation vs full rebuild", Exp_incr.run;
     "dist", "distribution plane: dedup + batched fan-out vs legacy", Exp_dist.run;
+    "vcs", "storage plane: flat vs merkle backend sweep", Exp_vcs.run;
     "trace", "end-to-end change tracing: per-hop latency breakdown", Exp_trace.run;
     "micro", "Bechamel microbenchmarks", Exp_micro.run;
   ]

@@ -1,10 +1,10 @@
 #!/bin/sh
 # Headless driver for the performance benchmarks: builds the harness
 # and leaves BENCH_incremental.json / BENCH_distribution.json /
-# BENCH_trace.json in the repository root.
+# BENCH_trace.json / BENCH_vcs.json in the repository root.
 #
-#   bench/run.sh          # full scale: incr + dist + trace
-#   bench/run.sh --quick  # reduced-scale dist + trace runs + JSON shape checks
+#   bench/run.sh          # full scale: incr + dist + trace + vcs
+#   bench/run.sh --quick  # reduced-scale dist + trace + vcs runs + JSON shape checks
 set -eu
 cd "$(dirname "$0")/.."
 dune build bench/main.exe
@@ -29,6 +29,11 @@ if [ "${1:-}" = "--quick" ]; then
   check_shape BENCH_trace.json \
     '"hops"' '"within_tolerance"' '"coverage_monotone"' '"coverage_final"' \
     '"overhead_bytes"' '"e2e_p99_s"' '"hop_sum_over_e2e_p99"' '"e2e_identical"'
+  CM_VCS_QUICK=1 dune exec bench/main.exe -- --only vcs
+  check_shape BENCH_vcs.json \
+    '"rows"' '"backend"' '"commit_1_s"' '"changed_since_s"' \
+    '"flat_slowdown"' '"merkle_slowdown"' '"flat_degrades_10x": true' \
+    '"merkle_flat": true' '"crossover_files"'
 else
-  dune exec bench/main.exe -- --only incr dist trace
+  dune exec bench/main.exe -- --only incr dist trace vcs
 fi

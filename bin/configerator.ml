@@ -9,7 +9,9 @@
      configerator gk-check PROJECT.json --user-id N [--employee] ...
                                                   # evaluate a Gatekeeper project
      configerator whereis  --tree DIR PATH        # trace a change through a
-                                                  # simulated fleet *)
+                                                  # simulated fleet
+     configerator repo stats --tree DIR           # storage backend accounting
+                                                  # (flat vs merkle) *)
 
 open Cmdliner
 
@@ -305,6 +307,110 @@ let run_whereis tree_dir config_path regions clusters nodes =
           print_newline ();
           if final >= 1.0 then 0 else 1)
 
+(* --- repo stats ------------------------------------------------------- *)
+
+(* Imports the tree into an in-memory repository and pushes synthetic
+   single-file update commits, reporting how much of the store each
+   backend re-hashes per commit: the flat backend rewrites the whole
+   tree object, the Merkle backend only the dirty directory spine. *)
+let run_repo_stats tree_dir backend_name commits =
+  match load_tree tree_dir with
+  | Error message ->
+      Printf.eprintf "error: %s\n" message;
+      1
+  | Ok tree -> (
+      let snapshot = Core.Source_tree.snapshot tree in
+      if snapshot = [] then begin
+        Printf.eprintf "error: %s holds no files\n" tree_dir;
+        1
+      end
+      else
+        let backends =
+          match backend_name with
+          | "both" -> [ Cm_vcs.Repo.Flat; Cm_vcs.Repo.Merkle ]
+          | name -> (
+              match Cm_vcs.Repo.backend_of_string name with
+              | Some backend -> [ backend ]
+              | None -> [])
+        in
+        match backends with
+        | [] ->
+            Printf.eprintf "error: unknown backend %S (flat|merkle|both)\n" backend_name;
+            1
+        | backends ->
+            let changes = List.map (fun (path, data) -> path, Some data) snapshot in
+            let paths = Array.of_list (List.map fst snapshot) in
+            Printf.printf
+              "%-8s %8s %8s %10s %12s %14s %12s %6s\n"
+              "backend" "files" "commits" "objects" "repo bytes" "hashed/commit" "reused" "gen";
+            List.iter
+              (fun backend ->
+                let repo = Cm_vcs.Repo.create ~backend () in
+                let store = Cm_vcs.Repo.store repo in
+                ignore
+                  (Cm_vcs.Repo.commit repo ~author:"import" ~message:"import"
+                     ~timestamp:0.0 changes);
+                let bytes0 = Cm_vcs.Store.total_bytes store in
+                for i = 1 to commits do
+                  let path = paths.(i mod Array.length paths) in
+                  let data =
+                    match Core.Source_tree.read tree path with
+                    | Some data -> Printf.sprintf "%s\n# rev %d" data i
+                    | None -> Printf.sprintf "# rev %d" i
+                  in
+                  ignore
+                    (Cm_vcs.Repo.commit repo ~author:"stats" ~message:"update"
+                       ~timestamp:(float_of_int i) [ path, Some data ])
+                done;
+                let bytes1 = Cm_vcs.Store.total_bytes store in
+                let hashed_per_commit =
+                  (bytes1 - bytes0) / max 1 commits
+                in
+                let reused = 1.0 -. (float_of_int hashed_per_commit /. float_of_int (max 1 bytes1)) in
+                let generation =
+                  match Cm_vcs.Repo.head repo with
+                  | Some oid -> (
+                      match Cm_vcs.Repo.commit_info repo oid with
+                      | Some c -> c.Cm_vcs.Store.generation
+                      | None -> 0)
+                  | None -> 0
+                in
+                Printf.printf "%-8s %8d %8d %10d %12d %14d %11.1f%% %6d\n"
+                  (Cm_vcs.Repo.backend_name backend)
+                  (Cm_vcs.Repo.file_count repo)
+                  (Cm_vcs.Repo.commit_count repo)
+                  (Cm_vcs.Store.object_count store)
+                  bytes1 hashed_per_commit (100.0 *. reused) generation;
+                Printf.printf
+                  "         store puts %d, dedup hits %d (%d bytes deduplicated)\n"
+                  (Cm_vcs.Store.put_count store)
+                  (Cm_vcs.Store.dedup_hits store)
+                  (Cm_vcs.Store.dedup_bytes store))
+              backends;
+            0)
+
+let repo_cmd =
+  let stats_doc =
+    "Import the tree into the content-addressed store and report per-backend \
+     object counts and per-commit re-hashed vs reused bytes (flat rewrites the \
+     whole tree object each commit; merkle only the changed directory spine)."
+  in
+  let backend =
+    Arg.(
+      value & opt string "both"
+      & info [ "backend" ] ~docv:"B" ~doc:"Backend to measure: flat, merkle or both.")
+  in
+  let commits =
+    Arg.(
+      value & opt int 20
+      & info [ "commits" ] ~docv:"N" ~doc:"Synthetic update commits to push.")
+  in
+  let stats_cmd =
+    Cmd.v (Cmd.info "stats" ~doc:stats_doc)
+      Term.(const run_repo_stats $ tree_arg $ backend $ commits)
+  in
+  Cmd.group (Cmd.info "repo" ~doc:"Version-control storage inspection.") [ stats_cmd ]
+
 let whereis_cmd =
   let doc =
     "Trace a config change through a simulated fleet: compile the config, \
@@ -330,4 +436,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ check_cmd; compile_cmd; deps_cmd; affected_cmd; gk_check_cmd; whereis_cmd ]))
+          [ check_cmd; compile_cmd; deps_cmd; affected_cmd; gk_check_cmd; whereis_cmd; repo_cmd ]))

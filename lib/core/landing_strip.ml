@@ -100,7 +100,10 @@ and do_commit t job =
 
 and serve_landing t job =
   (* The landing strip itself resolves staleness: only true file
-     conflicts bounce back to the author. *)
+     conflicts bounce back to the author.  On the Merkle backend the
+     conflict window costs O(commits since base x their changed paths)
+     via per-commit change records; on the flat backend it re-diffs
+     whole trees, which is what Figure 13 measures. *)
   match Cm_vcs.Repo.conflicts t.repo ~base:job.sub.base ~paths:(conflict_paths job) with
   | [] -> do_commit t job
   | conflicting ->

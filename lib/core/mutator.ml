@@ -20,14 +20,12 @@ let transform t ~tool ~path ~f ?(skip_canary = false) ?sampler ~on_done () =
 
 let rollback t ~tool ~path ~on_done =
   let repo = Pipeline.repo t.pipeline in
-  (* Find the last two revisions of the file in the linear history. *)
+  (* Last two revisions of the file, straight off the per-path
+     history index (newest first). *)
   let revisions =
     List.filter_map
-      (fun (oid, _) ->
-        if List.mem path (Cm_vcs.Repo.changed_paths_of_commit repo oid) then
-          Cm_vcs.Repo.read_file ~rev:oid repo path
-        else None)
-      (Cm_vcs.Repo.log repo)
+      (fun (oid, _) -> Cm_vcs.Repo.read_file ~rev:oid repo path)
+      (Cm_vcs.Repo.path_history repo path)
   in
   match revisions with
   | _current :: previous :: _ ->

@@ -125,7 +125,7 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
     | None -> ctx
   in
   (* 1. The author edits a development clone of the tree. *)
-  let clone = Source_tree.of_alist (Source_tree.snapshot t.ptree) in
+  let clone = Source_tree.copy t.ptree in
   List.iter (fun (path, content) -> Source_tree.write clone path content) changes;
   (* 2. Compile only the affected cone, incrementally (validators run
      inside).  The clone copies the live dependency index instead of

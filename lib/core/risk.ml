@@ -40,12 +40,8 @@ let default_params =
   }
 
 let history_of_repo repo dep ~path ~now =
-  let entries = Cm_vcs.Repo.log repo in
-  let touching =
-    List.filter
-      (fun (oid, _) -> List.mem path (Cm_vcs.Repo.changed_paths_of_commit repo oid))
-      entries
-  in
+  (* Index-backed: O(commits touching path), not O(commits x paths). *)
+  let touching = Cm_vcs.Repo.path_history repo path in
   let write_days =
     List.sort Float.compare
       (List.map (fun (_, c) -> c.Cm_vcs.Store.timestamp /. 86400.0) touching)

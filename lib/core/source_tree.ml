@@ -20,6 +20,7 @@ let of_alist entries =
   List.iter (fun (path, content) -> Hashtbl.replace t.files path content) entries;
   t
 
+let copy t = { files = Hashtbl.copy t.files }
 let write t path content = Hashtbl.replace t.files path content
 let remove t path = Hashtbl.remove t.files path
 let read t path = Hashtbl.find_opt t.files path

@@ -17,6 +17,11 @@ type t
 val create : unit -> t
 val of_alist : (string * string) list -> t
 
+val copy : t -> t
+(** O(files) shallow copy — contents are immutable strings, so the
+    copy is independent for write/remove purposes.  Cheaper than
+    [of_alist (snapshot t)], which also sorts. *)
+
 val write : t -> string -> string -> unit
 val remove : t -> string -> unit
 val read : t -> string -> string option

@@ -59,6 +59,10 @@ let poll_once t =
     (match head with
     | None -> ()
     | Some head_oid ->
+        (* O(changed) on the Merkle backend: changed_since replays
+           commit change records and changed_between walks only the
+           differing subtrees, so a poll over a huge repo costs what
+           actually moved. *)
         let touched = Cm_vcs.Repo.changed_since t.repo ~base:t.last_seen in
         (* Content-level endpoint diff: a path whose bytes ended up
            back where they started since the last poll (e.g. an

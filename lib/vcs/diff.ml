@@ -6,8 +6,13 @@ type edit =
 let split_lines text = if text = "" then [||] else Array.of_list (String.split_on_char '\n' text)
 
 (* Standard dynamic-programming LCS.  Config files are small (median
-   1KB per the paper), so the O(n*m) table is fine; pathological pairs
-   are clamped by the common prefix/suffix stripping below. *)
+   1KB per the paper), so the O(n*m) table is fine for them; a
+   pathological pair (two large blobs rewritten wholesale) would stall
+   whoever called us — the landing strip's risk scorer among them — so
+   above [max_exact_cells] DP cells the middle (after common
+   prefix/suffix stripping) degrades to a whole-region replace. *)
+let max_exact_cells = 250_000
+
 let diff old_text new_text =
   let a = split_lines old_text and b = split_lines new_text in
   let n = Array.length a and m = Array.length b in
@@ -25,32 +30,44 @@ let diff old_text new_text =
   done;
   let p = !prefix and s = !suffix in
   let an = n - p - s and bm = m - p - s in
-  let lcs = Array.make_matrix (an + 1) (bm + 1) 0 in
-  for i = an - 1 downto 0 do
-    for j = bm - 1 downto 0 do
-      if a.(p + i) = b.(p + j) then lcs.(i).(j) <- 1 + lcs.(i + 1).(j + 1)
-      else lcs.(i).(j) <- max lcs.(i + 1).(j) lcs.(i).(j + 1)
-    done
-  done;
   let edits = ref [] in
   for i = 0 to p - 1 do
     edits := Keep a.(i) :: !edits
   done;
-  let rec walk i j =
-    if i < an && j < bm && a.(p + i) = b.(p + j) then begin
-      edits := Keep a.(p + i) :: !edits;
-      walk (i + 1) (j + 1)
-    end
-    else if j < bm && (i = an || lcs.(i).(j + 1) >= lcs.(i + 1).(j)) then begin
-      edits := Add b.(p + j) :: !edits;
-      walk i (j + 1)
-    end
-    else if i < an then begin
-      edits := Del a.(p + i) :: !edits;
-      walk (i + 1) j
-    end
-  in
-  walk 0 0;
+  if an * bm > max_exact_cells then begin
+    (* Size guard: replace the whole differing middle.  The script is
+       not minimal but stays valid for [apply], and cost is linear. *)
+    for i = 0 to an - 1 do
+      edits := Del a.(p + i) :: !edits
+    done;
+    for j = 0 to bm - 1 do
+      edits := Add b.(p + j) :: !edits
+    done
+  end
+  else begin
+    let lcs = Array.make_matrix (an + 1) (bm + 1) 0 in
+    for i = an - 1 downto 0 do
+      for j = bm - 1 downto 0 do
+        if a.(p + i) = b.(p + j) then lcs.(i).(j) <- 1 + lcs.(i + 1).(j + 1)
+        else lcs.(i).(j) <- max lcs.(i + 1).(j) lcs.(i).(j + 1)
+      done
+    done;
+    let rec walk i j =
+      if i < an && j < bm && a.(p + i) = b.(p + j) then begin
+        edits := Keep a.(p + i) :: !edits;
+        walk (i + 1) (j + 1)
+      end
+      else if j < bm && (i = an || lcs.(i).(j + 1) >= lcs.(i + 1).(j)) then begin
+        edits := Add b.(p + j) :: !edits;
+        walk i (j + 1)
+      end
+      else if i < an then begin
+        edits := Del a.(p + i) :: !edits;
+        walk (i + 1) j
+      end
+    in
+    walk 0 0
+  end;
   for i = n - s to n - 1 do
     edits := Keep a.(i) :: !edits
   done;

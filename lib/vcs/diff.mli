@@ -9,10 +9,19 @@ type edit =
   | Del of string
   | Add of string
 
+val max_exact_cells : int
+(** LCS table budget.  When the lines left after common prefix/suffix
+    stripping would need more DP cells than this, {!diff} falls back
+    to replacing the whole differing middle (delete-all + add-all), so
+    a pathological pair of large blobs can't stall the landing strip.
+    The script stays valid for {!apply}; it just isn't minimal, and
+    {!line_changes} correspondingly over-counts for such pairs. *)
+
 val diff : string -> string -> edit list
 (** [diff old_text new_text] computes a minimal line edit script
-    (longest-common-subsequence based).  Inputs are split on
-    newlines. *)
+    (longest-common-subsequence based) — exact below
+    {!max_exact_cells}, whole-middle replace above it.  Inputs are
+    split on newlines. *)
 
 val stats : edit list -> int * int
 (** [(added, deleted)] line counts. *)

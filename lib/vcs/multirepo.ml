@@ -2,8 +2,10 @@ type t = { parts : (string * Repo.t) list }
 (** Sorted by descending prefix length so the first match is the
     longest. *)
 
-let create ~partitions =
-  let named prefix = Repo.create ~name:(if prefix = "" then "<root>" else prefix) () in
+let create ?backend ~partitions () =
+  let named prefix =
+    Repo.create ?backend ~name:(if prefix = "" then "<root>" else prefix) ()
+  in
   let parts = List.map (fun prefix -> prefix, named prefix) partitions in
   let parts = (("", named "") :: parts) in
   let parts =

@@ -8,10 +8,11 @@
 
 type t
 
-val create : partitions:string list -> t
+val create : ?backend:Repo.backend -> partitions:string list -> unit -> t
 (** [partitions] are path prefixes, e.g. [\["/feed"; "/tao"\]].  Paths
     matching no prefix go to the catch-all root partition "".
-    The longest matching prefix wins. *)
+    The longest matching prefix wins.  [backend] (default [Merkle])
+    applies to every partition repository. *)
 
 val partitions : t -> (string * Repo.t) list
 (** [(prefix, repo)] pairs, catch-all included. *)

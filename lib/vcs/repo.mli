@@ -2,15 +2,41 @@
 
     Configerator serializes all commits through the landing strip
     (§3.6), so the master history is a straight line; this module
-    models exactly that.  Costs are real: committing rebuilds and
-    rehashes the flat tree, so operations genuinely slow down as the
-    repository grows — the effect measured in the paper's Figure 13. *)
+    models exactly that — under two interchangeable storage backends:
+
+    - {b [Merkle]} (the default): directory-sharded Merkle trees plus
+      per-repo indexes.  A commit re-hashes only the dirty spine
+      (changed leaf nodes and their ancestors), so commit cost is
+      O(changed paths x tree depth); unchanged subtrees are shared by
+      oid, so byte cost is O(changed).  Head reads go through a
+      path->oid hash index (O(1)); commits carry generation numbers
+      and changed-path records, so ancestry checks are a generation
+      compare plus a bounded walk and history scans replay change
+      records instead of re-diffing trees.
+    - {b [Flat]}: the original single wide tree.  Committing rebuilds
+      and re-hashes the whole listing and history scans re-diff full
+      trees, so operations genuinely slow down as the repository grows
+      — the degradation the paper measures in Figure 13.  It is kept
+      (not just for tests) so that curve, and the multi-repo remedy's
+      crossover, remain reproducible; `bench vcs` sweeps both.
+
+    Both backends are observationally equivalent on
+    [read_file]/[ls]/[changed_*]/[log] (a QCheck property holds them
+    to it); only cost and object layout differ. *)
 
 type t
 
-val create : ?name:string -> unit -> t
+type backend = Flat | Merkle
+
+val backend_name : backend -> string
+val backend_of_string : string -> backend option
+
+val create : ?backend:backend -> ?name:string -> unit -> t
+(** [backend] defaults to [Merkle]. *)
+
 val name : t -> string
 val store : t -> Store.t
+val backend : t -> backend
 
 val head : t -> Store.oid option
 (** [None] before the first commit. *)
@@ -25,8 +51,14 @@ val commit :
     missing path. *)
 
 val read_file : ?rev:Store.oid -> t -> string -> string option
-val ls : ?rev:Store.oid -> t -> string list
-(** All paths at a revision (default head), sorted. *)
+(** O(1) at head under the Merkle backend (hash index); O(tree depth x
+    fanout) at a historical revision. *)
+
+val ls : ?rev:Store.oid -> ?prefix:string -> t -> string list
+(** All paths at a revision (default head), sorted; with [prefix],
+    only paths starting with it.  Under the Merkle backend a prefix
+    listing descends the spine and touches only matching subtrees —
+    O(matching paths + depth), not O(repo). *)
 
 val file_count : t -> int
 val commit_count : t -> int
@@ -37,7 +69,13 @@ val log : ?limit:int -> t -> (Store.oid * Store.commit) list
 val commit_info : t -> Store.oid -> Store.commit option
 
 val changed_paths_of_commit : t -> Store.oid -> string list
-(** Paths the commit touched relative to its first parent. *)
+(** Paths the commit touched relative to its first parent.  Merkle:
+    the commit's recorded change list, O(changed); flat: recomputed by
+    a full-tree diff. *)
+
+val path_history : t -> string -> (Store.oid * Store.commit) list
+(** Commits that changed [path], newest first.  Merkle: a per-path
+    touch index, O(touches of path); flat: a full history scan. *)
 
 val changed_since : t -> base:Store.oid option -> string list
 (** Union of paths touched by commits after [base] up to head.
@@ -48,10 +86,13 @@ val changed_between : t -> base:Store.oid option -> head:Store.oid -> string lis
     id differs between [base] and [head] (plus additions/removals),
     sorted.  Unlike {!changed_since}, a path rewritten and then
     reverted between the endpoints does {e not} appear — the tailer
-    uses this to suppress no-op distribution writes. *)
+    uses this to suppress no-op distribution writes.  Merkle trees
+    recurse only into subtrees whose oids differ. *)
 
 val conflicts : t -> base:Store.oid option -> paths:string list -> string list
 (** Of [paths], those also modified between [base] and head — the
-    landing strip's true-conflict test. *)
+    landing strip's true-conflict test.  O(touched + |paths|). *)
 
 val is_ancestor : t -> Store.oid -> of_:Store.oid -> bool
+(** Merkle: O(1) generation compare for most negatives, then a walk
+    bounded by the generation gap; flat: a linear history walk. *)

@@ -11,14 +11,20 @@ and commit = {
   author : string;
   message : string;
   timestamp : float;
+  generation : int;
+  changed : string list;
 }
 
 type t = {
   objects : (oid, obj) Hashtbl.t;
   mutable bytes : int;
+  mutable puts : int;
+  mutable dedup_hits : int;
+  mutable dedup_bytes : int;
 }
 
-let create () = { objects = Hashtbl.create 1024; bytes = 0 }
+let create () =
+  { objects = Hashtbl.create 1024; bytes = 0; puts = 0; dedup_hits = 0; dedup_bytes = 0 }
 
 let serialize = function
   | Blob data -> "blob\000" ^ data
@@ -33,14 +39,20 @@ let serialize = function
           Buffer.add_char buf '\n')
         entries;
       Buffer.contents buf
-  | Commit { tree; parents; author; message; timestamp } ->
-      Printf.sprintf "commit\000%s\000%s\000%s\000%s\000%.6f" tree
-        (String.concat "," parents) author message timestamp
+  | Commit { tree; parents; author; message; timestamp; generation; changed } ->
+      Printf.sprintf "commit\000%s\000%s\000%s\000%s\000%.6f\000%d\000%s" tree
+        (String.concat "," parents) author message timestamp generation
+        (String.concat "\001" changed)
 
 let put t obj =
   let serialized = serialize obj in
   let oid = Digest.to_hex (Digest.string serialized) in
-  if not (Hashtbl.mem t.objects oid) then begin
+  t.puts <- t.puts + 1;
+  if Hashtbl.mem t.objects oid then begin
+    t.dedup_hits <- t.dedup_hits + 1;
+    t.dedup_bytes <- t.dedup_bytes + String.length serialized
+  end
+  else begin
     Hashtbl.replace t.objects oid obj;
     t.bytes <- t.bytes + String.length serialized
   end;
@@ -56,3 +68,6 @@ let get_exn t oid =
 let mem t oid = Hashtbl.mem t.objects oid
 let object_count t = Hashtbl.length t.objects
 let total_bytes t = t.bytes
+let put_count t = t.puts
+let dedup_hits t = t.dedup_hits
+let dedup_bytes t = t.dedup_bytes

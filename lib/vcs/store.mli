@@ -1,6 +1,9 @@
 (** Content-addressable object store (the ".git/objects" of our git
     substitute).  Objects are addressed by the hex digest of their
-    serialized form; storing the same content twice is free. *)
+    serialized form; storing the same content twice is free — and
+    counted, so structural sharing between revisions is observable
+    ({!dedup_hits}/{!dedup_bytes}, surfaced by `configerator repo
+    stats`). *)
 
 type oid = string
 (** Hex digest. *)
@@ -8,8 +11,12 @@ type oid = string
 type obj =
   | Blob of string
   | Tree of (string * oid) list
-      (** flat sorted [path -> blob oid] listing; config repositories
-          are wide and shallow, a flat namespace matches them *)
+      (** sorted [name -> oid] listing.  The flat backend stores full
+          paths mapping to blob oids (one wide tree); the Merkle
+          backend stores path {e components}, where an entry's oid may
+          name a [Blob] (a file) or another [Tree] (a subdirectory) —
+          the same component may appear once as each when a path is
+          both a file and a directory prefix. *)
   | Commit of commit
 
 and commit = {
@@ -18,6 +25,16 @@ and commit = {
   author : string;
   message : string;
   timestamp : float;
+  generation : int;
+      (** 1 + the parent's generation (root commit = 1), so
+          ancestry on a linear history is a single integer compare.
+          [0] means "untracked": the flat backend deliberately leaves
+          it unset to keep its history walks honest (Figure 13). *)
+  changed : string list;
+      (** Paths whose content this commit actually changed relative to
+          its first parent, sorted — the per-commit change record that
+          makes history scans O(changed).  [[]] for flat-backend
+          commits (untracked) and for no-op commits. *)
 }
 
 type t
@@ -34,4 +51,15 @@ val mem : t -> oid -> bool
 val object_count : t -> int
 
 val total_bytes : t -> int
-(** Sum of serialized sizes of all stored objects. *)
+(** Sum of serialized sizes of all stored objects (each counted once,
+    however often it was put). *)
+
+val put_count : t -> int
+(** Total {!put} calls, including deduplicated ones. *)
+
+val dedup_hits : t -> int
+(** Puts that found their object already present. *)
+
+val dedup_bytes : t -> int
+(** Serialized bytes those deduplicated puts did {e not} add — the
+    byte cost structural sharing avoided. *)

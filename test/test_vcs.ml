@@ -9,6 +9,8 @@ let diff_tests =
   [
     Alcotest.test_case "identical texts" `Quick (fun () ->
         Alcotest.(check int) "no changes" 0 (Diff.line_changes "a\nb" "a\nb"));
+    Alcotest.test_case "identical empty texts" `Quick (fun () ->
+        Alcotest.(check int) "no changes" 0 (Diff.line_changes "" ""));
     Alcotest.test_case "add a line is one change" `Quick (fun () ->
         Alcotest.(check int) "one" 1 (Diff.line_changes "a\nb" "a\nb\nc"));
     Alcotest.test_case "delete a line is one change" `Quick (fun () ->
@@ -20,6 +22,14 @@ let diff_tests =
         Alcotest.(check (pair int int)) "1 added 1 deleted" (1, 1) (added, deleted));
     Alcotest.test_case "empty to text" `Quick (fun () ->
         Alcotest.(check int) "adds" 2 (Diff.line_changes "" "x\ny"));
+    Alcotest.test_case "text to empty" `Quick (fun () ->
+        Alcotest.(check int) "deletes" 2 (Diff.line_changes "x\ny" ""));
+    Alcotest.test_case "trailing newline is a line change" `Quick (fun () ->
+        (* "a\n" splits to ["a"; ""]: dropping the trailing newline
+           deletes the empty final line. *)
+        Alcotest.(check int) "drop" 1 (Diff.line_changes "a\n" "a");
+        Alcotest.(check int) "gain" 1 (Diff.line_changes "a" "a\n");
+        Alcotest.(check int) "keep" 0 (Diff.line_changes "a\n" "a\n"));
     Alcotest.test_case "apply replays" `Quick (fun () ->
         let old_text = "one\ntwo\nthree" and new_text = "one\n2\nthree\nfour" in
         let edits = Diff.diff old_text new_text in
@@ -28,6 +38,37 @@ let diff_tests =
     Alcotest.test_case "apply rejects mismatched base" `Quick (fun () ->
         let edits = Diff.diff "a\nb" "a\nc" in
         Alcotest.(check (option string)) "mismatch" None (Diff.apply "x\ny" edits));
+  ]
+
+(* Lines shared at even indexes, distinct at odd ones: an exact LCS
+   keeps half the lines, the size-guard fallback replaces them all —
+   so the two regimes are distinguishable by stats. *)
+let half_shared n tag =
+  String.concat "\n"
+    (List.init n (fun i ->
+         if i mod 2 = 0 then Printf.sprintf "s%d" i else Printf.sprintf "%s%d" tag i))
+
+let size_guard_tests =
+  [
+    Alcotest.test_case "below the cell budget the diff is exact" `Quick (fun () ->
+        let n = 400 in
+        (* ~160k cells after stripping: under max_exact_cells. *)
+        let a = half_shared n "a" and b = half_shared n "b" in
+        let added, deleted = Diff.stats (Diff.diff a b) in
+        Alcotest.(check bool) "under budget" true (n * n < Diff.max_exact_cells);
+        Alcotest.(check (pair int int)) "keeps shared lines" (n / 2, n / 2) (added, deleted));
+    Alcotest.test_case "above the cell budget falls back to whole replace" `Quick
+      (fun () ->
+        let n = 600 in
+        let a = half_shared n "a" and b = half_shared n "b" in
+        let added, deleted = Diff.stats (Diff.diff a b) in
+        (* The common prefix line "s0" is stripped; the 599-line middles
+           exceed the budget and are replaced wholesale. *)
+        Alcotest.(check bool) "over budget" true ((n - 1) * (n - 1) > Diff.max_exact_cells);
+        Alcotest.(check (pair int int)) "full replace" (n - 1, n - 1) (added, deleted));
+    Alcotest.test_case "fallback scripts still apply" `Quick (fun () ->
+        let a = half_shared 600 "a" and b = half_shared 600 "b" in
+        Alcotest.(check (option string)) "round trip" (Some b) (Diff.apply a (Diff.diff a b)));
   ]
 
 let gen_lines =
@@ -64,6 +105,19 @@ let store_tests =
         let b = Store.put store (Store.Blob "x") in
         Alcotest.(check string) "same oid" a b;
         Alcotest.(check int) "one object" 1 (Store.object_count store));
+    Alcotest.test_case "total_bytes counts deduplicated content once" `Quick (fun () ->
+        let store = Store.create () in
+        ignore (Store.put store (Store.Blob "hello"));
+        let bytes_once = Store.total_bytes store in
+        ignore (Store.put store (Store.Blob "hello"));
+        Alcotest.(check int) "bytes unchanged" bytes_once (Store.total_bytes store);
+        Alcotest.(check int) "two puts" 2 (Store.put_count store);
+        Alcotest.(check int) "one dedup hit" 1 (Store.dedup_hits store);
+        Alcotest.(check int) "dedup bytes = serialized size" bytes_once
+          (Store.dedup_bytes store);
+        ignore (Store.put store (Store.Blob "other"));
+        Alcotest.(check bool) "new content adds bytes" true
+          (Store.total_bytes store > bytes_once));
     Alcotest.test_case "different kinds differ" `Quick (fun () ->
         let store = Store.create () in
         let blob = Store.put store (Store.Blob "x") in
@@ -76,50 +130,93 @@ let store_tests =
         | _ -> Alcotest.fail "expected exception");
   ]
 
-(* --- repo ------------------------------------------------------------ *)
+(* --- repo (both backends run the same suite) -------------------------- *)
 
 let commit repo changes =
   Repo.commit repo ~author:"test" ~message:"m" ~timestamp:0.0 changes
 
-let repo_tests =
+let repo_tests backend =
+  let create () = Repo.create ~backend () in
   [
     Alcotest.test_case "empty repo" `Quick (fun () ->
-        let repo = Repo.create () in
+        let repo = create () in
         Alcotest.(check bool) "no head" true (Repo.head repo = None);
         Alcotest.(check int) "no files" 0 (Repo.file_count repo);
-        Alcotest.(check int) "log empty" 0 (List.length (Repo.log repo)));
+        Alcotest.(check int) "log empty" 0 (List.length (Repo.log repo));
+        Alcotest.(check (list string)) "ls empty" [] (Repo.ls repo);
+        Alcotest.(check (list string)) "prefixed ls empty" [] (Repo.ls ~prefix:"a" repo));
     Alcotest.test_case "commit and read" `Quick (fun () ->
-        let repo = Repo.create () in
+        let repo = create () in
         ignore (commit repo [ "a.json", Some "1"; "b.json", Some "2" ]);
         Alcotest.(check (option string)) "a" (Some "1") (Repo.read_file repo "a.json");
         Alcotest.(check (list string)) "ls" [ "a.json"; "b.json" ] (Repo.ls repo);
         Alcotest.(check int) "2 files" 2 (Repo.file_count repo));
     Alcotest.test_case "update and delete" `Quick (fun () ->
-        let repo = Repo.create () in
+        let repo = create () in
         ignore (commit repo [ "a", Some "1"; "b", Some "2" ]);
         ignore (commit repo [ "a", Some "1b"; "b", None ]);
         Alcotest.(check (option string)) "updated" (Some "1b") (Repo.read_file repo "a");
         Alcotest.(check (option string)) "deleted" None (Repo.read_file repo "b");
         Alcotest.(check int) "1 file" 1 (Repo.file_count repo));
+    Alcotest.test_case "nested paths and prefix ls" `Quick (fun () ->
+        let repo = create () in
+        ignore
+          (commit repo
+             [
+               "feed/a.json", Some "1";
+               "feed/rank/b.json", Some "2";
+               "tao/c.json", Some "3";
+             ]);
+        Alcotest.(check (list string)) "ls sorted"
+          [ "feed/a.json"; "feed/rank/b.json"; "tao/c.json" ]
+          (Repo.ls repo);
+        Alcotest.(check (list string)) "prefix feed/"
+          [ "feed/a.json"; "feed/rank/b.json" ]
+          (Repo.ls ~prefix:"feed/" repo);
+        Alcotest.(check (list string)) "partial component prefix"
+          [ "feed/rank/b.json" ]
+          (Repo.ls ~prefix:"feed/ra" repo);
+        Alcotest.(check (list string)) "no match" [] (Repo.ls ~prefix:"zeus" repo);
+        Alcotest.(check (option string)) "nested read" (Some "2")
+          (Repo.read_file repo "feed/rank/b.json"));
+    Alcotest.test_case "a path can be both file and directory prefix" `Quick (fun () ->
+        let repo = create () in
+        ignore (commit repo [ "a", Some "file"; "a/b", Some "nested" ]);
+        Alcotest.(check (option string)) "file" (Some "file") (Repo.read_file repo "a");
+        Alcotest.(check (option string)) "nested" (Some "nested")
+          (Repo.read_file repo "a/b");
+        ignore (commit repo [ "a", None ]);
+        Alcotest.(check (option string)) "file gone" None (Repo.read_file repo "a");
+        Alcotest.(check (option string)) "nested survives" (Some "nested")
+          (Repo.read_file repo "a/b");
+        Alcotest.(check (list string)) "ls" [ "a/b" ] (Repo.ls repo));
+    Alcotest.test_case "deleting a directory's last file drops the subtree" `Quick
+      (fun () ->
+        let repo = create () in
+        ignore (commit repo [ "d/e/f", Some "1"; "top", Some "2" ]);
+        ignore (commit repo [ "d/e/f", None ]);
+        Alcotest.(check (list string)) "ls" [ "top" ] (Repo.ls repo);
+        Alcotest.(check (list string)) "prefix d" [] (Repo.ls ~prefix:"d" repo);
+        Alcotest.(check int) "1 file" 1 (Repo.file_count repo));
     Alcotest.test_case "delete missing path fails" `Quick (fun () ->
-        let repo = Repo.create () in
+        let repo = create () in
         match commit repo [ "ghost", None ] with
         | exception Invalid_argument _ -> ()
         | _ -> Alcotest.fail "expected failure");
     Alcotest.test_case "empty commit fails" `Quick (fun () ->
-        let repo = Repo.create () in
+        let repo = create () in
         match commit repo [] with
         | exception Invalid_argument _ -> ()
         | _ -> Alcotest.fail "expected failure");
     Alcotest.test_case "historical reads" `Quick (fun () ->
-        let repo = Repo.create () in
+        let repo = create () in
         let c1 = commit repo [ "a", Some "v1" ] in
         let _c2 = commit repo [ "a", Some "v2" ] in
         Alcotest.(check (option string)) "old rev" (Some "v1")
           (Repo.read_file ~rev:c1 repo "a");
         Alcotest.(check (option string)) "head" (Some "v2") (Repo.read_file repo "a"));
     Alcotest.test_case "log newest first" `Quick (fun () ->
-        let repo = Repo.create () in
+        let repo = create () in
         let c1 = commit repo [ "a", Some "1" ] in
         let c2 = commit repo [ "b", Some "2" ] in
         match Repo.log repo with
@@ -128,19 +225,38 @@ let repo_tests =
             Alcotest.(check string) "oldest" c1 o1
         | other -> Alcotest.failf "unexpected log length %d" (List.length other));
     Alcotest.test_case "log limit" `Quick (fun () ->
-        let repo = Repo.create () in
+        let repo = create () in
         for i = 1 to 5 do
           ignore (commit repo [ "f", Some (string_of_int i) ])
         done;
-        Alcotest.(check int) "limit 2" 2 (List.length (Repo.log ~limit:2 repo)));
+        Alcotest.(check int) "limit 2" 2 (List.length (Repo.log ~limit:2 repo));
+        Alcotest.(check int) "limit 0" 0 (List.length (Repo.log ~limit:0 repo)));
     Alcotest.test_case "changed_paths_of_commit" `Quick (fun () ->
-        let repo = Repo.create () in
+        let repo = create () in
         ignore (commit repo [ "a", Some "1"; "b", Some "2" ]);
         let c2 = commit repo [ "b", Some "2x"; "c", Some "3" ] in
         Alcotest.(check (list string)) "changed" [ "b"; "c" ]
           (List.sort String.compare (Repo.changed_paths_of_commit repo c2)));
+    Alcotest.test_case "identical rewrite is not a change" `Quick (fun () ->
+        let repo = create () in
+        let c1 = commit repo [ "a", Some "same"; "b", Some "1" ] in
+        let c2 = commit repo [ "a", Some "same"; "b", Some "2" ] in
+        Alcotest.(check (list string)) "only b" [ "b" ]
+          (List.sort String.compare (Repo.changed_paths_of_commit repo c2));
+        Alcotest.(check (list string)) "changed_between skips no-op" [ "b" ]
+          (Repo.changed_between repo ~base:(Some c1) ~head:c2));
+    Alcotest.test_case "path_history" `Quick (fun () ->
+        let repo = create () in
+        let c1 = commit repo [ "a", Some "1"; "b", Some "1" ] in
+        let c2 = commit repo [ "a", Some "2" ] in
+        Alcotest.(check (list string)) "a twice, newest first" [ c2; c1 ]
+          (List.map fst (Repo.path_history repo "a"));
+        Alcotest.(check (list string)) "b once" [ c1 ]
+          (List.map fst (Repo.path_history repo "b"));
+        Alcotest.(check (list string)) "ghost never" []
+          (List.map fst (Repo.path_history repo "ghost")));
     Alcotest.test_case "changed_since and conflicts" `Quick (fun () ->
-        let repo = Repo.create () in
+        let repo = create () in
         let base = commit repo [ "a", Some "1"; "b", Some "2" ] in
         ignore (commit repo [ "a", Some "1x" ]);
         Alcotest.(check (list string)) "changed since base" [ "a" ]
@@ -150,28 +266,72 @@ let repo_tests =
         Alcotest.(check (list string)) "no conflict on b" []
           (Repo.conflicts repo ~base:(Some base) ~paths:[ "b" ]));
     Alcotest.test_case "conflicts at head are empty" `Quick (fun () ->
-        let repo = Repo.create () in
+        let repo = create () in
         let head = commit repo [ "a", Some "1" ] in
         Alcotest.(check (list string)) "none" []
           (Repo.conflicts repo ~base:(Some head) ~paths:[ "a" ]));
     Alcotest.test_case "is_ancestor" `Quick (fun () ->
-        let repo = Repo.create () in
+        let repo = create () in
         let c1 = commit repo [ "a", Some "1" ] in
         let c2 = commit repo [ "a", Some "2" ] in
+        let c3 = commit repo [ "a", Some "3" ] in
         Alcotest.(check bool) "c1 ancestor of c2" true (Repo.is_ancestor repo c1 ~of_:c2);
+        Alcotest.(check bool) "c1 ancestor of c3" true (Repo.is_ancestor repo c1 ~of_:c3);
+        Alcotest.(check bool) "self" true (Repo.is_ancestor repo c2 ~of_:c2);
         Alcotest.(check bool) "c2 not ancestor of c1" false
           (Repo.is_ancestor repo c2 ~of_:c1));
   ]
 
+let merkle_tests =
+  [
+    Alcotest.test_case "commit object growth is O(changed), not O(repo)" `Quick
+      (fun () ->
+        let repo = Repo.create ~backend:Repo.Merkle () in
+        let changes =
+          List.init 200 (fun i ->
+              Printf.sprintf "d%d/cfg_%03d.json" (i mod 10) i, Some (string_of_int i))
+        in
+        ignore (commit repo changes);
+        let store = Repo.store repo in
+        let objs = Store.object_count store in
+        ignore (commit repo [ "d3/cfg_003.json", Some "updated" ]);
+        (* 1 new blob + rewritten leaf dir + rewritten root + commit. *)
+        Alcotest.(check bool) "at most 4 new objects" true
+          (Store.object_count store - objs <= 4));
+    Alcotest.test_case "generations count up from 1" `Quick (fun () ->
+        let repo = Repo.create ~backend:Repo.Merkle () in
+        let c1 = commit repo [ "a", Some "1" ] in
+        let c2 = commit repo [ "a", Some "2" ] in
+        let gen oid =
+          match Repo.commit_info repo oid with
+          | Some c -> c.Store.generation
+          | None -> -1
+        in
+        Alcotest.(check int) "root" 1 (gen c1);
+        Alcotest.(check int) "child" 2 (gen c2));
+    Alcotest.test_case "flat commits leave generation untracked" `Quick (fun () ->
+        let repo = Repo.create ~backend:Repo.Flat () in
+        let c1 = commit repo [ "a", Some "1" ] in
+        match Repo.commit_info repo c1 with
+        | Some c ->
+            Alcotest.(check int) "sentinel" 0 c.Store.generation;
+            Alcotest.(check (list string)) "no record" [] c.Store.changed
+        | None -> Alcotest.fail "missing commit");
+  ]
+
 (* Property: a random sequence of writes leaves the repo agreeing with
    a plain map. *)
-let repo_model_property =
-  QCheck2.Test.make ~name:"repo matches map model under random writes" ~count:100
+let repo_model_property backend =
+  QCheck2.Test.make
+    ~name:
+      (Printf.sprintf "repo(%s) matches map model under random writes"
+         (Repo.backend_name backend))
+    ~count:100
     QCheck2.Gen.(
       list_size (int_range 1 40)
         (pair (oneofl [ "a"; "b"; "c"; "d" ]) (string_size ~gen:(char_range '0' '9') (pure 3))))
     (fun writes ->
-      let repo = Repo.create () in
+      let repo = Repo.create ~backend () in
       let model = Hashtbl.create 8 in
       List.iter
         (fun (path, content) ->
@@ -183,12 +343,128 @@ let repo_model_property =
         model true
       && Repo.file_count repo = Hashtbl.length model)
 
+(* Property: the flat and Merkle backends are observationally
+   equivalent under random commit sequences — same reads, listings,
+   diffs, history and conflict answers (oids differ, of course). *)
+let gen_equiv_script =
+  QCheck2.Gen.(
+    let path =
+      list_size (int_range 1 3) (oneofl [ "a"; "b"; "c"; "d" ]) >|= String.concat "/"
+    in
+    let change = pair path (option (string_size ~gen:(char_range '0' '9') (pure 2))) in
+    list_size (int_range 1 12) (list_size (int_range 1 4) change))
+
+let backend_equivalence_property =
+  QCheck2.Test.make ~name:"flat and merkle backends are observationally equivalent"
+    ~count:200 gen_equiv_script (fun script ->
+      let flat = Repo.create ~backend:Repo.Flat () in
+      let merkle = Repo.create ~backend:Repo.Merkle () in
+      let model = Hashtbl.create 16 in
+      let universe =
+        List.sort_uniq String.compare (List.map fst (List.concat script))
+      in
+      let pairs = ref [] in
+      List.iteri
+        (fun i changes ->
+          (* Dedup by path (last write wins) and drop deletes of paths
+             absent from the model, so both backends get an applicable
+             change list. *)
+          let seen = Hashtbl.create 8 in
+          let changes =
+            List.rev
+              (List.filter
+                 (fun (path, _) ->
+                   if Hashtbl.mem seen path then false
+                   else begin
+                     Hashtbl.add seen path ();
+                     true
+                   end)
+                 (List.rev changes))
+          in
+          let changes =
+            List.filter
+              (fun (path, content) -> content <> None || Hashtbl.mem model path)
+              changes
+          in
+          if changes <> [] then begin
+            List.iter
+              (fun (path, content) ->
+                match content with
+                | Some data -> Hashtbl.replace model path data
+                | None -> Hashtbl.remove model path)
+              changes;
+            let message = string_of_int i and timestamp = float_of_int i in
+            let fo = Repo.commit flat ~author:"eq" ~message ~timestamp changes in
+            let mo = Repo.commit merkle ~author:"eq" ~message ~timestamp changes in
+            pairs := (fo, mo) :: !pairs
+          end)
+        script;
+      let pairs = List.rev !pairs in
+      let same_log =
+        let fl = Repo.log flat and ml = Repo.log merkle in
+        List.length fl = List.length ml
+        && List.for_all2
+             (fun (_, fc) (_, mc) ->
+               fc.Store.message = mc.Store.message
+               && fc.Store.timestamp = mc.Store.timestamp
+               && fc.Store.author = mc.Store.author)
+             fl ml
+      in
+      let same_reads =
+        List.for_all
+          (fun path ->
+            Repo.read_file flat path = Repo.read_file merkle path
+            && Repo.read_file flat path = Hashtbl.find_opt model path)
+          universe
+      in
+      let same_ls =
+        Repo.ls flat = Repo.ls merkle
+        && Repo.ls ~prefix:"a" flat = Repo.ls ~prefix:"a" merkle
+        && Repo.ls ~prefix:"a/" flat = Repo.ls ~prefix:"a/" merkle
+        && Repo.ls ~prefix:"b/c" flat = Repo.ls ~prefix:"b/c" merkle
+      in
+      let same_history =
+        match pairs with
+        | [] -> true
+        | _ ->
+            let fhead = Option.get (Repo.head flat) in
+            let mhead = Option.get (Repo.head merkle) in
+            Repo.changed_since flat ~base:None = Repo.changed_since merkle ~base:None
+            && Repo.changed_between flat ~base:None ~head:fhead
+               = Repo.changed_between merkle ~base:None ~head:mhead
+            && List.for_all
+                 (fun (fo, mo) ->
+                   Repo.changed_since flat ~base:(Some fo)
+                   = Repo.changed_since merkle ~base:(Some mo)
+                   && Repo.changed_between flat ~base:(Some fo) ~head:fhead
+                      = Repo.changed_between merkle ~base:(Some mo) ~head:mhead
+                   && Repo.conflicts flat ~base:(Some fo) ~paths:universe
+                      = Repo.conflicts merkle ~base:(Some mo) ~paths:universe
+                   && List.sort String.compare (Repo.changed_paths_of_commit flat fo)
+                      = List.sort String.compare (Repo.changed_paths_of_commit merkle mo)
+                   && Repo.is_ancestor flat fo ~of_:fhead
+                      = Repo.is_ancestor merkle mo ~of_:mhead
+                   && Repo.is_ancestor flat fhead ~of_:fo
+                      = Repo.is_ancestor merkle mhead ~of_:mo)
+                 pairs
+      in
+      let same_path_history =
+        List.for_all
+          (fun path ->
+            List.map
+              (fun (_, c) -> c.Store.message)
+              (Repo.path_history flat path)
+            = List.map (fun (_, c) -> c.Store.message) (Repo.path_history merkle path))
+          universe
+      in
+      same_log && same_reads && same_ls && same_history && same_path_history)
+
 (* --- multirepo ------------------------------------------------------- *)
 
 let multirepo_tests =
   [
     Alcotest.test_case "routing by longest prefix" `Quick (fun () ->
-        let m = Multirepo.create ~partitions:[ "feed/"; "feed/ranker/"; "tao/" ] in
+        let m = Multirepo.create ~partitions:[ "feed/"; "feed/ranker/"; "tao/" ] () in
         Alcotest.(check string) "feed" "feed/"
           (Repo.name (Multirepo.route m "feed/x.json"));
         Alcotest.(check string) "ranker" "feed/ranker/"
@@ -196,7 +472,7 @@ let multirepo_tests =
         Alcotest.(check string) "catch-all" "<root>"
           (Repo.name (Multirepo.route m "misc/z.json")));
     Alcotest.test_case "commit splits by partition" `Quick (fun () ->
-        let m = Multirepo.create ~partitions:[ "feed/"; "tao/" ] in
+        let m = Multirepo.create ~partitions:[ "feed/"; "tao/" ] () in
         let results =
           Multirepo.commit m ~author:"a" ~message:"m" ~timestamp:0.0
             [ "feed/a", Some "1"; "tao/b", Some "2"; "other/c", Some "3" ]
@@ -210,7 +486,7 @@ let multirepo_tests =
           (Multirepo.read_file m "other/c");
         Alcotest.(check int) "total files" 3 (Multirepo.file_count m));
     Alcotest.test_case "partitions commit independently" `Quick (fun () ->
-        let m = Multirepo.create ~partitions:[ "feed/"; "tao/" ] in
+        let m = Multirepo.create ~partitions:[ "feed/"; "tao/" ] () in
         ignore
           (Multirepo.commit m ~author:"a" ~message:"m" ~timestamp:0.0
              [ "feed/a", Some "1" ]);
@@ -221,18 +497,33 @@ let multirepo_tests =
         let tao = Option.get (Multirepo.repo_of_prefix m "tao/") in
         Alcotest.(check int) "feed commits" 1 (Repo.commit_count feed);
         Alcotest.(check int) "tao commits" 1 (Repo.commit_count tao));
+    Alcotest.test_case "backend selection applies to every partition" `Quick (fun () ->
+        let m = Multirepo.create ~backend:Repo.Flat ~partitions:[ "feed/" ] () in
+        List.iter
+          (fun (_, repo) ->
+            Alcotest.(check string) "flat" "flat" (Repo.backend_name (Repo.backend repo)))
+          (Multirepo.partitions m));
   ]
 
 let properties =
   List.map QCheck_alcotest.to_alcotest
-    [ diff_patch_property; diff_minimal_property; repo_model_property ]
+    [
+      diff_patch_property;
+      diff_minimal_property;
+      repo_model_property Repo.Flat;
+      repo_model_property Repo.Merkle;
+      backend_equivalence_property;
+    ]
 
 let () =
   Alcotest.run "cm_vcs"
     [
       "diff", diff_tests;
+      "diff-size-guard", size_guard_tests;
       "store", store_tests;
-      "repo", repo_tests;
+      "repo(flat)", repo_tests Repo.Flat;
+      "repo(merkle)", repo_tests Repo.Merkle;
+      "merkle", merkle_tests;
       "multirepo", multirepo_tests;
       "properties", properties;
     ]
