@@ -29,6 +29,7 @@ let experiments : (string * string * (unit -> unit)) list =
     "dist", "distribution plane: dedup + batched fan-out vs legacy", Exp_dist.run;
     "vcs", "storage plane: flat vs merkle backend sweep", Exp_vcs.run;
     "trace", "end-to-end change tracing: per-hop latency breakdown", Exp_trace.run;
+    "fleet", "fleet-scale simulation: 100k servers / 1M devices diurnal day", Exp_fleet.run;
     "micro", "Bechamel microbenchmarks", Exp_micro.run;
   ]
 

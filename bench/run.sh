@@ -34,6 +34,10 @@ if [ "${1:-}" = "--quick" ]; then
     '"rows"' '"backend"' '"commit_1_s"' '"changed_since_s"' \
     '"flat_slowdown"' '"merkle_slowdown"' '"flat_degrades_10x": true' \
     '"merkle_flat": true' '"crossover_files"'
+  CM_FLEET_QUICK=1 dune exec bench/main.exe -- --only fleet
+  check_shape BENCH_fleet.json \
+    '"rows"' '"servers"' '"devices"' '"events_per_s"' '"p99_s"' \
+    '"noop_callbacks": 0' '"pv_completed_weight"' '"headline_wall_s"'
 else
-  dune exec bench/main.exe -- --only incr dist trace vcs
+  dune exec bench/main.exe -- --only incr dist trace vcs fleet
 fi

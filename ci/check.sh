@@ -17,4 +17,20 @@ dune runtest
 echo "== ci/check: bench/run.sh --quick =="
 bench/run.sh --quick
 
+echo "== ci/check: fleet throughput floor =="
+# The fleet bench's headline events/sec (top-level key in
+# BENCH_fleet.json).  The quick cell does >1M events/s on a dev
+# machine; 50k/s is the sandbagged floor that still catches an
+# accidental return to per-member event streams.
+eps=$(sed -n 's/^  "events_per_s": \([0-9]*\).*/\1/p' BENCH_fleet.json | head -n 1)
+if [ -z "$eps" ]; then
+  echo "ci/check: BENCH_fleet.json missing events_per_s" >&2
+  exit 1
+fi
+if [ "$eps" -lt 50000 ]; then
+  echo "ci/check: fleet events/sec too low: $eps < 50000" >&2
+  exit 1
+fi
+echo "fleet events/sec: $eps (floor 50000)"
+
 echo "== ci/check: OK =="

@@ -26,6 +26,7 @@ type t = {
   cls : string;
   schema : Cm_thrift.Schema.t;
   poll_interval : float;
+  dweight : int; (* cohort weight: devices this client stands for *)
   rng : Cm_sim.Rng.t;
   flash : (string, Json.t) Hashtbl.t;  (* survives restarts *)
   mutable values_hash : string option;
@@ -39,7 +40,9 @@ type t = {
   session : int option;
 }
 
-let create ?(network = default_network) engine server ~user ~cls ~schema ~poll_interval =
+let create ?(network = default_network) ?(weight = 1) engine server ~user ~cls
+    ~schema ~poll_interval =
+  assert (weight > 0);
   let t =
     {
       net = network;
@@ -49,6 +52,7 @@ let create ?(network = default_network) engine server ~user ~cls ~schema ~poll_i
       cls;
       schema;
       poll_interval;
+      dweight = weight;
       rng = Cm_sim.Rng.split (Engine.rng engine);
       flash = Hashtbl.create 16;
       values_hash = None;
@@ -76,7 +80,7 @@ let apply_payload t fields =
   t.last_sync <- Some (Engine.now t.engine)
 
 let sync_once t =
-  t.nattempted <- t.nattempted + 1;
+  t.nattempted <- t.nattempted + t.dweight;
   (* Stateful servers remember our hashes: the request carries only a
      session id instead of two 32-byte hex hashes (footnote 2). *)
   let request_bytes =
@@ -84,26 +88,34 @@ let sync_once t =
     | Some _ -> max 16 (t.net.request_bytes - 112)
     | None -> t.net.request_bytes
   in
-  t.up <- t.up + request_bytes;
-  if not (Cm_sim.Rng.bernoulli t.rng t.net.loss_prob) then begin
+  t.up <- t.up + (t.dweight * request_bytes);
+  (* Each represented device loses its round trip independently; for
+     weight 1 this is the single Bernoulli draw it always was. *)
+  let successes =
+    if t.dweight = 1 then
+      if Cm_sim.Rng.bernoulli t.rng t.net.loss_prob then 0 else 1
+    else Cm_sim.Rng.binomial t.rng ~n:t.dweight ~p:(1.0 -. t.net.loss_prob)
+  in
+  if successes > 0 then begin
     let rtt = one_way t +. one_way t in
     ignore
       (Engine.schedule t.engine ~delay:rtt (fun () ->
            let response =
-             Server.sync t.server ~session:t.session ~user:t.duser ~cls:t.cls
-               ~client_schema:t.schema
+             Server.sync ~copies:successes t.server ~session:t.session
+               ~user:t.duser ~cls:t.cls ~client_schema:t.schema
                ~values_hash:(match t.session with Some _ -> None | None -> t.values_hash)
            in
-           t.ncompleted <- t.ncompleted + 1;
+           t.ncompleted <- t.ncompleted + successes;
            match response with
            | Server.Not_modified ->
-               t.nnotmod <- t.nnotmod + 1;
-               t.down <- t.down + t.net.overhead_bytes;
+               t.nnotmod <- t.nnotmod + successes;
+               t.down <- t.down + (successes * t.net.overhead_bytes);
                t.last_sync <- Some (Engine.now t.engine)
            | Server.Payload fields ->
                t.down <-
-                 t.down + t.net.overhead_bytes
-                 + Json.size_bytes (Json.Assoc fields);
+                 t.down
+                 + (successes
+                   * (t.net.overhead_bytes + Json.size_bytes (Json.Assoc fields)));
                apply_payload t fields))
   end
 
@@ -147,6 +159,7 @@ let get_string t field =
   match get t field with Some (Json.String s) -> s | Some _ | None -> ""
 
 let user t = t.duser
+let weight t = t.dweight
 let syncs_attempted t = t.nattempted
 let syncs_completed t = t.ncompleted
 let not_modified t = t.nnotmod

@@ -20,6 +20,7 @@ type t
 
 val create :
   ?network:network ->
+  ?weight:int ->
   Cm_sim.Engine.t ->
   Server.t ->
   user:Cm_gatekeeper.User.t ->
@@ -27,7 +28,14 @@ val create :
   schema:Cm_thrift.Schema.t ->
   poll_interval:float ->
   t
-(** The device registers for emergency pushes automatically. *)
+(** The device registers for emergency pushes automatically.
+
+    [weight] (default 1) makes this client a cohort representative
+    for that many statistically identical devices: sync attempts,
+    completions and byte counters scale by the weight, per-device
+    round-trip loss is drawn binomially, and one materialized server
+    response answers every represented device — the aggregation that
+    lets a million-device day run as a thousand event streams. *)
 
 val start : t -> unit
 (** First sync immediately, then the poll loop. *)
@@ -50,6 +58,7 @@ val has_value : t -> string -> bool
 (** {1 Introspection} *)
 
 val user : t -> Cm_gatekeeper.User.t
+val weight : t -> int
 val syncs_attempted : t -> int
 val syncs_completed : t -> int
 val not_modified : t -> int

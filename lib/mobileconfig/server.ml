@@ -62,8 +62,8 @@ let default_json field =
       | Cm_thrift.Schema.Map _ -> Some (Json.Assoc [])
       | Cm_thrift.Schema.Named _ -> None)
 
-let sync t ~session ~user ~cls ~client_schema ~values_hash =
-  t.nsyncs <- t.nsyncs + 1;
+let sync ?(copies = 1) t ~session ~user ~cls ~client_schema ~values_hash =
+  t.nsyncs <- t.nsyncs + copies;
   let values_hash =
     match session with
     | Some id when t.is_stateful -> Hashtbl.find_opt t.session_hashes (id, cls)
@@ -91,7 +91,7 @@ let sync t ~session ~user ~cls ~client_schema ~values_hash =
       | Some id when t.is_stateful -> Hashtbl.replace t.session_hashes (id, cls) hash
       | Some _ | None -> ());
       if values_hash = Some hash then begin
-        t.nnotmod <- t.nnotmod + 1;
+        t.nnotmod <- t.nnotmod + copies;
         Not_modified
       end
       else Payload fields

@@ -33,6 +33,7 @@ type download = {
   mutable dinflight : int;
   mutable dabandoned : bool;
   mutable dcompleted : bool;
+  dweight : int; (* cohort weight: members this download stands for *)
   don_complete : unit -> unit;
 }
 
@@ -45,6 +46,7 @@ type t = {
   (* content key -> node -> bitmap of chunks the node holds *)
   holders : (string, (Topology.node_id, Bytes.t) Hashtbl.t) Hashtbl.t;
   complete : (string, (Topology.node_id, unit) Hashtbl.t) Hashtbl.t;
+  complete_w : (string, int ref) Hashtbl.t; (* content key -> members complete *)
   active : (Topology.node_id * string, download) Hashtbl.t;
   (* name -> active version per node, to abandon superseded downloads *)
   node_version : (Topology.node_id * string, int) Hashtbl.t;
@@ -63,6 +65,7 @@ let create ?(params = default_params) net ~storage =
     published = Hashtbl.create 8;
     holders = Hashtbl.create 8;
     complete = Hashtbl.create 8;
+    complete_w = Hashtbl.create 8;
     active = Hashtbl.create 256;
     node_version = Hashtbl.create 256;
     upload_free_at = Hashtbl.create 256;
@@ -105,6 +108,17 @@ let complete_table t content =
       let table = Hashtbl.create 64 in
       Hashtbl.replace t.complete k table;
       table
+
+let bump_complete_weight t content n =
+  let k = key content in
+  match Hashtbl.find_opt t.complete_w k with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace t.complete_w k (ref n)
+
+let completed_weight t content =
+  match Hashtbl.find_opt t.complete_w (key content) with
+  | Some r -> !r
+  | None -> 0
 
 let has_complete t ~node content = Hashtbl.mem (complete_table t content) node
 let completed_count t content = Hashtbl.length (complete_table t content)
@@ -223,13 +237,38 @@ and receive_chunk t ~node ~mode dl idx =
               ~tags:[ ("content", key dl.dcontent) ]
               ()
         | None -> ());
-        dl.don_complete ()
+        if dl.dweight <= 1 then begin
+          bump_complete_weight t dl.dcontent 1;
+          dl.don_complete ()
+        end
+        else begin
+          (* Intra-cohort replication: once the representative holds
+             the content, the members spread it among themselves with
+             the holder set doubling each round at peer upload
+             bandwidth.  The last round is carried by the accounted
+             send below; the earlier rounds are pure delay. *)
+          let rest = dl.dweight - 1 in
+          let rounds = ceil (Float.log2 (float_of_int dl.dweight)) in
+          let per_round =
+            float_of_int dl.dcontent.csize /. t.prm.peer_upload_bw
+          in
+          let lead_in = Float.max 0.0 (rounds -. 1.0) *. per_round in
+          ignore
+            (Engine.schedule (Net.engine t.net) ~delay:lead_in (fun () ->
+                 t.peer_served <- t.peer_served + (rest * dl.dcontent.csize);
+                 Net.send_reliable ~hop:"pv.cohort_replicate" ~ctx:dl.dctx
+                   ~copies:rest t.net ~src:node ~dst:node
+                   ~bytes:dl.dcontent.csize (fun () ->
+                     bump_complete_weight t dl.dcontent dl.dweight;
+                     dl.don_complete ())))
+        end
       end
     end
     else request_next t ~node ~mode dl
   end
 
-let fetch ?(ctx = Cm_trace.Tracer.none) t ~node ~mode content ~on_complete =
+let fetch ?(ctx = Cm_trace.Tracer.none) ?(weight = 1) t ~node ~mode content
+    ~on_complete =
   if has_complete t ~node content then on_complete ()
   else begin
     (* Supersede any older in-flight version of the same name. *)
@@ -255,6 +294,7 @@ let fetch ?(ctx = Cm_trace.Tracer.none) t ~node ~mode content ~on_complete =
             dinflight = 0;
             dabandoned = false;
             dcompleted = false;
+            dweight = weight;
             don_complete = on_complete;
           }
         in

@@ -38,6 +38,7 @@ val publish : t -> content -> unit
 
 val fetch :
   ?ctx:Cm_trace.Tracer.ctx ->
+  ?weight:int ->
   t ->
   node:Cm_sim.Topology.node_id ->
   mode:mode ->
@@ -52,12 +53,22 @@ val fetch :
 
     With a tracer attached to the net and a traced [ctx], every chunk
     request/transfer records [pv.chunk_req]/[pv.chunk] spans and
-    completion records a [pv.complete] event. *)
+    completion records a [pv.complete] event.
+
+    [weight] (default 1) makes the node a cohort representative: after
+    its own download completes, the remaining [weight - 1] members
+    replicate the content among themselves (holder set doubling each
+    round at peer upload bandwidth, bytes accounted as same-cluster
+    copies) and [on_complete] fires once the whole cohort holds it —
+    see {!completed_weight}. *)
 
 val has_complete : t -> node:Cm_sim.Topology.node_id -> content -> bool
 
 val completed_count : t -> content -> int
-(** Peers holding every chunk. *)
+(** Peers holding every chunk (cohort representatives count once). *)
+
+val completed_weight : t -> content -> int
+(** Members holding every chunk, cohort weights included. *)
 
 val storage_bytes_served : t -> int
 val peer_bytes_served : t -> int

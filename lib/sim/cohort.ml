@@ -1,0 +1,71 @@
+(* A cohort stands for [size] statistically identical simulation
+   actors — same cluster, same watch set, same parameters — driven by
+   one representative event stream.  The aggregate weight starts at
+   [size] and shrinks as members are expanded into individual actors
+   (because a trace context or an injected fault targets them); the
+   protocol layers consume the weight via [Net.send ~copies] and
+   [Metrics.Histogram.add_weighted].
+
+   Per-member scratch state lives in one flat [Float.Array] rather
+   than per-member closures: a million members cost 8 bytes each plus
+   whatever the representative itself allocates. *)
+
+type t = {
+  size : int;
+  rep : Topology.node_id;
+  member_node : int -> Topology.node_id;
+  expanded : (int, unit) Hashtbl.t;
+  mutable aggregated : int;
+  mutable resize_hooks : (int -> unit) list;
+  mutable expand_hooks : (int -> Topology.node_id -> unit) list;
+  state : Float.Array.t;
+}
+
+let create ?member_node ~size ~node () =
+  assert (size > 0);
+  let member_node = match member_node with Some f -> f | None -> fun _ -> node in
+  {
+    size;
+    rep = node;
+    member_node;
+    expanded = Hashtbl.create 8;
+    aggregated = size;
+    resize_hooks = [];
+    expand_hooks = [];
+    state = Float.Array.make size 0.0;
+  }
+
+let of_cluster topo ~region ~cluster ~skip_head ~skip_tail =
+  let per = Topology.nodes_per_cluster topo in
+  let size = per - skip_head - skip_tail in
+  assert (size > 0);
+  let base = Topology.cluster_base topo ~region ~cluster in
+  create
+    ~member_node:(fun i -> base + skip_head + i)
+    ~size ~node:(base + skip_head) ()
+
+let size t = t.size
+let node t = t.rep
+let weight t = t.aggregated
+let member_node t i = t.member_node i
+let expanded_count t = Hashtbl.length t.expanded
+let is_expanded t i = Hashtbl.mem t.expanded i
+
+let on_resize t f = t.resize_hooks <- f :: t.resize_hooks
+let on_expand t f = t.expand_hooks <- f :: t.expand_hooks
+
+let expand t i =
+  if i < 0 || i >= t.size then invalid_arg "Cohort.expand: bad member index";
+  if Hashtbl.mem t.expanded i then false
+  else begin
+    Hashtbl.replace t.expanded i ();
+    t.aggregated <- t.aggregated - 1;
+    List.iter (fun f -> f t.aggregated) t.resize_hooks;
+    List.iter (fun f -> f i (t.member_node i)) t.expand_hooks;
+    true
+  end
+
+let get_state t i = Float.Array.get t.state i
+let set_state t i v = Float.Array.set t.state i v
+
+let record t hist v = Metrics.Histogram.add_weighted hist v ~weight:t.aggregated

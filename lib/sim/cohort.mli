@@ -1,0 +1,78 @@
+(** Cohorts: one event stream standing for thousands of statistically
+    identical subscribers.
+
+    The fleet-scale benches can't afford an event per proxy per update
+    at 100k servers; they don't need one either, because servers of
+    the same cluster with the same watch set and parameters are
+    statistically interchangeable.  A cohort keeps one {e
+    representative} actor (a real proxy / device / swarm peer on
+    [node]) and an integer {e weight} — how many members it currently
+    stands for.  Protocol layers thread the weight through
+    [Net.send ~copies] for exact byte/message accounting and
+    [Metrics.Histogram.add_weighted] for percentiles.
+
+    {b Expansion} is lazy and one-way: when a trace context or an
+    injected fault targets a specific member, {!expand} splits it off
+    — the aggregate weight drops by one, [on_resize] hooks let the
+    owner shrink the representative's [copies] factor, and [on_expand]
+    hooks create the individual actor (real proxy, real device) on the
+    member's node.  Everything else stays aggregated.
+
+    The cohort ≡ individually-expanded equivalence (byte totals exact,
+    delivery counts exact, latency percentiles within tolerance) is
+    pinned by a QCheck property in [test/test_sim.ml]. *)
+
+type t
+
+val create :
+  ?member_node:(int -> Topology.node_id) ->
+  size:int ->
+  node:Topology.node_id ->
+  unit ->
+  t
+(** A cohort of [size] members represented by an actor on [node].
+    [member_node] maps a member index ([0..size-1]) to the node the
+    member would individually run on (defaults to every member on
+    [node]). *)
+
+val of_cluster :
+  Topology.t -> region:int -> cluster:int -> skip_head:int -> skip_tail:int -> t
+(** The common fleet shape: one cohort per cluster covering the
+    cluster's nodes minus [skip_head] at the front (observers) and
+    [skip_tail] at the back (ensemble members).  The representative is
+    the first covered node and member [i] maps to [base + skip_head +
+    i]. *)
+
+val size : t -> int
+(** Total members, expanded or not. *)
+
+val weight : t -> int
+(** Members the representative currently stands for
+    ([size - expanded_count]). *)
+
+val node : t -> Topology.node_id
+(** The representative's node. *)
+
+val member_node : t -> int -> Topology.node_id
+val expanded_count : t -> int
+val is_expanded : t -> int -> bool
+
+val expand : t -> int -> bool
+(** Splits member [i] off the aggregate; [false] if already expanded.
+    Fires [on_resize] (with the new weight) then [on_expand] (with the
+    member index and node). *)
+
+val on_resize : t -> (int -> unit) -> unit
+val on_expand : t -> (int -> Topology.node_id -> unit) -> unit
+
+(** {1 Flat per-member state}
+
+    One [Float.Array] slot per member — scratch state (last-seen
+    version, next deadline, ...) without per-member closures. *)
+
+val get_state : t -> int -> float
+val set_state : t -> int -> float -> unit
+
+val record : t -> Metrics.Histogram.t -> float -> unit
+(** [record t hist v] adds [v] with the cohort's current weight —
+    one call per representative observation. *)

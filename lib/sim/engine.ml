@@ -1,59 +1,72 @@
-type handle = int
+type handle = {
+  hf : unit -> unit;
+  mutable hlive : bool; (* false once fired or cancelled *)
+}
 
 type t = {
-  heap : (unit -> unit) Heap.t;
-  cancelled : (int, unit) Hashtbl.t;
+  wheel : handle Wheel.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable live : int;
+  mutable processed : int;
   random : Rng.t;
 }
 
-let create ?(seed = 42L) () =
+let create ?(seed = 42L) ?granularity ?slots () =
   {
-    heap = Heap.create ();
-    cancelled = Hashtbl.create 64;
+    wheel = Wheel.create ?granularity ?slots ();
     clock = 0.0;
     next_seq = 0;
     live = 0;
+    processed = 0;
     random = Rng.create seed;
   }
 
 let now t = t.clock
 let rng t = t.random
+let events_processed t = t.processed
 
 let at t ~time f =
   let time = Float.max time t.clock in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.live <- t.live + 1;
-  Heap.push t.heap ~time ~seq f;
-  seq
+  let h = { hf = f; hlive = true } in
+  Wheel.add t.wheel ~time ~seq h;
+  h
 
 let schedule t ~delay f = at t ~time:(t.clock +. Float.max 0.0 delay) f
 
 let cancel t handle =
-  if not (Hashtbl.mem t.cancelled handle) then begin
-    Hashtbl.replace t.cancelled handle ();
+  (* Per-handle liveness: cancelling a fired or already-cancelled
+     event is a no-op, and nothing is leaked. *)
+  if handle.hlive then begin
+    handle.hlive <- false;
     t.live <- t.live - 1
   end
 
 let pending t = t.live
 
-let rec step t =
-  match Heap.pop t.heap with
+(* Pops the next live entry due at or before [limit]; dead entries
+   (cancelled handles still in the wheel) are discarded on the way. *)
+let rec next_due t ~limit =
+  match Wheel.pop_due t.wheel ~limit with
+  | None -> None
+  | Some (time, _, h) -> if h.hlive then Some (time, h) else next_due t ~limit
+
+let fire t time h =
+  t.clock <- time;
+  t.live <- t.live - 1;
+  t.processed <- t.processed + 1;
+  h.hlive <- false;
+  h.hf ()
+
+let step t =
+  match next_due t ~limit:infinity with
   | None -> false
-  | Some (time, seq, f) ->
-      if Hashtbl.mem t.cancelled seq then begin
-        Hashtbl.remove t.cancelled seq;
-        step t
-      end
-      else begin
-        t.clock <- time;
-        t.live <- t.live - 1;
-        f ();
-        true
-      end
+  | Some (time, h) ->
+      fire t time h;
+      true
 
 let run ?until t =
   match until with
@@ -61,16 +74,9 @@ let run ?until t =
   | Some limit ->
       let continue = ref true in
       while !continue do
-        match Heap.peek t.heap with
+        match next_due t ~limit with
         | None -> continue := false
-        | Some (time, seq, _) ->
-            if Hashtbl.mem t.cancelled seq then begin
-              (* Drop dead entries eagerly so peek makes progress. *)
-              ignore (Heap.pop t.heap);
-              Hashtbl.remove t.cancelled seq
-            end
-            else if time <= limit then ignore (step t)
-            else continue := false
+        | Some (time, h) -> fire t time h
       done
 
 let run_for t d =

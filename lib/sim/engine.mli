@@ -8,10 +8,16 @@
 type t
 
 type handle
-(** Identifies a scheduled event so it can be cancelled. *)
+(** Identifies a scheduled event so it can be cancelled.  Liveness is
+    tracked per handle: a handle is live from {!schedule}/{!at} until
+    it fires or is cancelled, and late cancels are exact no-ops. *)
 
-val create : ?seed:int64 -> unit -> t
-(** Default seed is 42. *)
+val create : ?seed:int64 -> ?granularity:float -> ?slots:int -> unit -> t
+(** Default seed is 42.  [granularity] and [slots] shape the internal
+    {!Wheel}: slot width in seconds (default 1ms) and slots per
+    revolution (default 8192).  The defaults suit both micro-tests and
+    fleet-scale runs; widen [granularity] for very sparse decade-long
+    simulations. *)
 
 val now : t -> float
 (** Current simulated time in seconds. *)
@@ -42,3 +48,7 @@ val run : ?until:float -> t -> unit
 val run_for : t -> float -> unit
 (** [run_for t d] is [run ~until:(now t +. d) t], then advances the
     clock to exactly [now + d] even if the queue drained earlier. *)
+
+val events_processed : t -> int
+(** Total events fired since {!create} — the numerator of the
+    fleet-bench events/sec headline. *)

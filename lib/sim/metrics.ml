@@ -1,23 +1,100 @@
 module Histogram = struct
+  (* Streaming moments (count, sum, sum of squares, min, max) are
+     exact for every sample ever added; order statistics come from a
+     bounded reservoir (Vitter's Algorithm R).  Below [cap] samples
+     the reservoir holds everything, so small histograms — all the
+     existing tests and legacy benches — keep exact quantiles, while
+     million-sample fleet runs stay at O(cap) memory. *)
   type t = {
     mutable data : float array;
     mutable len : int;
     mutable sorted : bool;
+    cap : int;
+    mutable total : int; (* samples ever added (weights included) *)
+    mutable tsum : float;
+    mutable tsumsq : float;
+    mutable tmin : float;
+    mutable tmax : float;
+    rng : Rng.t;
   }
 
-  let create () = { data = Array.make 16 0.0; len = 0; sorted = true }
+  let default_cap = 65536
 
-  let add t v =
+  let create ?(cap = default_cap) () =
+    {
+      data = Array.make 16 0.0;
+      len = 0;
+      sorted = true;
+      cap = Stdlib.max 1 cap;
+      total = 0;
+      tsum = 0.0;
+      tsumsq = 0.0;
+      tmin = infinity;
+      tmax = neg_infinity;
+      rng = Rng.create 0x9e3779b97f4a7c15L;
+    }
+
+  let append t v =
     if t.len = Array.length t.data then begin
-      let fresh = Array.make (2 * t.len) 0.0 in
+      let fresh = Array.make (Stdlib.min t.cap (2 * t.len)) 0.0 in
       Array.blit t.data 0 fresh 0 t.len;
       t.data <- fresh
     end;
     t.data.(t.len) <- v;
-    t.len <- t.len + 1;
+    t.len <- t.len + 1
+
+  let note t v =
+    t.tsum <- t.tsum +. v;
+    t.tsumsq <- t.tsumsq +. (v *. v);
+    if v < t.tmin then t.tmin <- v;
+    if v > t.tmax then t.tmax <- v
+
+  let add t v =
+    t.total <- t.total + 1;
+    note t v;
+    if t.len < t.cap then append t v
+    else begin
+      (* Algorithm R: keep with probability cap/total. *)
+      let j = Rng.int t.rng t.total in
+      if j < t.cap then t.data.(j) <- v
+    end;
     t.sorted <- false
 
-  let count t = t.len
+  let add_weighted t v ~weight =
+    if weight > 0 then begin
+      let prev = t.total in
+      t.total <- t.total + weight;
+      t.tsum <- t.tsum +. (v *. float_of_int weight);
+      t.tsumsq <- t.tsumsq +. (v *. v *. float_of_int weight);
+      if v < t.tmin then t.tmin <- v;
+      if v > t.tmax then t.tmax <- v;
+      (* Fill the reservoir exactly while it has room... *)
+      let direct = Stdlib.min weight (t.cap - t.len) in
+      for _ = 1 to direct do
+        append t v
+      done;
+      let rest = weight - direct in
+      if rest > 0 then begin
+        (* ...then approximate the remaining [rest] sequential
+           Algorithm R offers by their expected number of reservoir
+           insertions, cap * ln((prev+weight)/(prev+direct)), rounding
+           stochastically.  All inserted copies are the same value, so
+           collapsing the per-offer loop is exact in expectation. *)
+        let before = float_of_int (Stdlib.max t.cap (prev + direct)) in
+        let after = float_of_int (prev + weight) in
+        let expected = float_of_int t.cap *. log (after /. before) in
+        let n = int_of_float expected in
+        let frac = expected -. float_of_int n in
+        let n = if Rng.float t.rng 1.0 < frac then n + 1 else n in
+        for _ = 1 to Stdlib.min n t.cap do
+          t.data.(Rng.int t.rng t.cap) <- v
+        done
+      end;
+      t.sorted <- false
+    end
+
+  let count t = t.total
+  let sample_size t = t.len
 
   let ensure_sorted t =
     if not t.sorted then begin
@@ -27,22 +104,10 @@ module Histogram = struct
       t.sorted <- true
     end
 
-  let sum t =
-    let acc = ref 0.0 in
-    for i = 0 to t.len - 1 do
-      acc := !acc +. t.data.(i)
-    done;
-    !acc
-
-  let mean t = if t.len = 0 then nan else sum t /. float_of_int t.len
-
-  let min t =
-    ensure_sorted t;
-    if t.len = 0 then nan else t.data.(0)
-
-  let max t =
-    ensure_sorted t;
-    if t.len = 0 then nan else t.data.(t.len - 1)
+  let sum t = t.tsum
+  let mean t = if t.total = 0 then nan else t.tsum /. float_of_int t.total
+  let min t = if t.total = 0 then nan else t.tmin
+  let max t = if t.total = 0 then nan else t.tmax
 
   let quantile t q =
     ensure_sorted t;
@@ -72,15 +137,12 @@ module Histogram = struct
     end
 
   let stddev t =
-    if t.len < 2 then 0.0
+    if t.total < 2 then 0.0
     else begin
-      let m = mean t in
-      let sum = ref 0.0 in
-      for i = 0 to t.len - 1 do
-        let d = t.data.(i) -. m in
-        sum := !sum +. (d *. d)
-      done;
-      sqrt (!sum /. float_of_int (t.len - 1))
+      let n = float_of_int t.total in
+      let m = t.tsum /. n in
+      let var = (t.tsumsq -. (n *. m *. m)) /. (n -. 1.0) in
+      sqrt (Float.max 0.0 var)
     end
 
   let values t =

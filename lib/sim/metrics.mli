@@ -2,26 +2,47 @@
     quantiles, counters, and fixed-width time series. *)
 
 module Histogram : sig
+  (** Count, sum, mean, min, max and stddev are streamed exactly over
+      every sample; order statistics (quantile, cdf) are computed over
+      a bounded uniform reservoir (Vitter's Algorithm R, capacity
+      [cap]).  Below [cap] samples the reservoir holds everything and
+      quantiles are exact; beyond it memory stays O(cap) no matter how
+      many million samples a fleet run adds. *)
+
   type t
 
-  val create : unit -> t
+  val create : ?cap:int -> unit -> t
+  (** [cap] is the reservoir capacity, default 65536. *)
+
   val add : t -> float -> unit
+
+  val add_weighted : t -> float -> weight:int -> unit
+  (** Adds [weight] copies of the value in O(reservoir insertions)
+      rather than O(weight) — how cohorts record one observation for
+      thousands of aggregated members. *)
+
   val count : t -> int
+  (** Samples ever added, weights included. *)
+
+  val sample_size : t -> int
+  (** Samples currently held in the reservoir (= [count] until the
+      reservoir saturates). *)
+
   val sum : t -> float
   val mean : t -> float
   val min : t -> float
   val max : t -> float
 
   val quantile : t -> float -> float
-  (** [quantile t q] with [q] in [\[0,1\]]; linear interpolation.
-      Returns [nan] when empty. *)
+  (** [quantile t q] with [q] in [\[0,1\]]; linear interpolation over
+      the reservoir.  Returns [nan] when empty. *)
 
   val cdf_at : t -> float -> float
-  (** Fraction of samples <= the given value. *)
+  (** Fraction of reservoir samples <= the given value. *)
 
   val stddev : t -> float
   val values : t -> float array
-  (** Sorted copy of the samples. *)
+  (** Sorted copy of the reservoir sample. *)
 end
 
 module Counter : sig

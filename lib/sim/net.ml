@@ -32,14 +32,14 @@ type t = {
   mutable messages : int;
   mutable xregion_bytes : int;
   mutable xcluster_bytes : int;
-  egress : (Topology.node_id, int) Hashtbl.t;
+  egress : int array; (* indexed by node id, pre-sized from the topology *)
   mutable tracer : Cm_trace.Tracer.t option;
 }
 
 let create ?(params = default_params) engine topology =
   { params; engine; topology; rng = Rng.split (Engine.rng engine);
     bytes = 0; messages = 0; xregion_bytes = 0; xcluster_bytes = 0;
-    egress = Hashtbl.create 64; tracer = None }
+    egress = Array.make (Topology.node_count topology) 0; tracer = None }
 
 let engine t = t.engine
 let topology t = t.topology
@@ -64,18 +64,17 @@ let transfer_time t ~src ~dst ~bytes =
   let noise = 1.0 +. (t.params.jitter *. ((2.0 *. Rng.float t.rng 1.0) -. 1.0)) in
   base *. Float.max 0.01 noise
 
-let account t ~src ~dst ~bytes =
-  t.bytes <- t.bytes + bytes;
-  t.messages <- t.messages + 1;
-  (match Hashtbl.find_opt t.egress src with
-  | Some b -> Hashtbl.replace t.egress src (b + bytes)
-  | None -> Hashtbl.replace t.egress src bytes);
+let account ?(copies = 1) t ~src ~dst ~bytes =
+  let total = bytes * copies in
+  t.bytes <- t.bytes + total;
+  t.messages <- t.messages + copies;
+  t.egress.(src) <- t.egress.(src) + total;
   (match locality t ~src ~dst with
   | Same_cluster -> ()
-  | Same_region -> t.xcluster_bytes <- t.xcluster_bytes + bytes
+  | Same_region -> t.xcluster_bytes <- t.xcluster_bytes + total
   | Cross_region ->
-      t.xcluster_bytes <- t.xcluster_bytes + bytes;
-      t.xregion_bytes <- t.xregion_bytes + bytes)
+      t.xcluster_bytes <- t.xcluster_bytes + total;
+      t.xregion_bytes <- t.xregion_bytes + total)
 
 let deliver t ~dst callback () = if Topology.is_up t.topology dst then callback ()
 
@@ -96,8 +95,14 @@ let record_hops t ~hop ~src ~dst ~bytes ~delay ~dropped ctx ctxs =
       (match ctx with Some c -> record c | None -> ());
       List.iter record ctxs
 
-let send ?(hop = "net.send") ?ctx ?(ctxs = []) t ~src ~dst ~bytes callback =
-  account t ~src ~dst ~bytes;
+(* [copies] models a cohort: the same message sent to [copies]
+   statistically identical receivers.  Bytes, message and egress
+   counters scale by [copies]; drop and jitter are drawn once and one
+   delivery event fires (the receivers share fate by construction —
+   per-member divergence is what cohort expansion is for). *)
+let send ?(hop = "net.send") ?ctx ?(ctxs = []) ?(copies = 1) t ~src ~dst ~bytes
+    callback =
+  account ~copies t ~src ~dst ~bytes;
   if not (Rng.bernoulli t.rng t.params.drop_prob) then begin
     let delay = transfer_time t ~src ~dst ~bytes in
     record_hops t ~hop ~src ~dst ~bytes ~delay ~dropped:false ctx ctxs;
@@ -105,8 +110,9 @@ let send ?(hop = "net.send") ?ctx ?(ctxs = []) t ~src ~dst ~bytes callback =
   end
   else record_hops t ~hop ~src ~dst ~bytes ~delay:0. ~dropped:true ctx ctxs
 
-let send_reliable ?(hop = "net.send") ?ctx ?(ctxs = []) t ~src ~dst ~bytes callback =
-  account t ~src ~dst ~bytes;
+let send_reliable ?(hop = "net.send") ?ctx ?(ctxs = []) ?(copies = 1) t ~src
+    ~dst ~bytes callback =
+  account ~copies t ~src ~dst ~bytes;
   let delay = transfer_time t ~src ~dst ~bytes in
   record_hops t ~hop ~src ~dst ~bytes ~delay ~dropped:false ctx ctxs;
   ignore (Engine.schedule t.engine ~delay (deliver t ~dst callback))
@@ -116,12 +122,11 @@ let messages_sent t = t.messages
 let cross_region_bytes t = t.xregion_bytes
 let cross_cluster_bytes t = t.xcluster_bytes
 
-let egress_bytes t node =
-  match Hashtbl.find_opt t.egress node with Some b -> b | None -> 0
+let egress_bytes t node = t.egress.(node)
 
 let reset_counters t =
   t.bytes <- 0;
   t.messages <- 0;
   t.xregion_bytes <- 0;
   t.xcluster_bytes <- 0;
-  Hashtbl.reset t.egress
+  Array.fill t.egress 0 (Array.length t.egress) 0

@@ -47,6 +47,7 @@ val send :
   ?hop:string ->
   ?ctx:Cm_trace.Tracer.ctx ->
   ?ctxs:Cm_trace.Tracer.ctx list ->
+  ?copies:int ->
   t ->
   src:Topology.node_id ->
   dst:Topology.node_id ->
@@ -56,6 +57,11 @@ val send :
 (** Delivers the callback after the sampled transfer time, unless the
     message is dropped or [dst] is down at delivery time.  The
     callback runs in the destination's context.
+
+    [copies] (default 1) models a cohort of statistically identical
+    receivers: byte, message and egress accounting scale by [copies]
+    while drop and jitter are drawn once and a single delivery event
+    fires — the aggregation that makes 100k-server runs tractable.
 
     When a tracer is attached, a span named [hop] is recorded for
     [ctx] and for each context in [ctxs] (a batched message carries
@@ -67,6 +73,7 @@ val send_reliable :
   ?hop:string ->
   ?ctx:Cm_trace.Tracer.ctx ->
   ?ctxs:Cm_trace.Tracer.ctx list ->
+  ?copies:int ->
   t ->
   src:Topology.node_id ->
   dst:Topology.node_id ->

@@ -50,6 +50,27 @@ let pareto t ~alpha ~x_min =
   let u = 1.0 -. unit_float t in
   x_min /. (u ** (1.0 /. alpha))
 
+let binomial t ~n ~p =
+  assert (n >= 0);
+  if n = 0 || p <= 0.0 then 0
+  else if p >= 1.0 then n
+  else if n <= 64 then begin
+    (* Exact: n Bernoulli draws. *)
+    let k = ref 0 in
+    for _ = 1 to n do
+      if bernoulli t p then incr k
+    done;
+    !k
+  end
+  else begin
+    (* Normal approximation, adequate for cohort-scale n; one draw
+       instead of n keeps million-member aggregates O(1). *)
+    let mu = float_of_int n *. p in
+    let sigma = sqrt (float_of_int n *. p *. (1.0 -. p)) in
+    let k = int_of_float (Float.round (normal t ~mu ~sigma)) in
+    Stdlib.max 0 (Stdlib.min n k)
+  end
+
 let choice t arr =
   assert (Array.length arr > 0);
   arr.(int t (Array.length arr))

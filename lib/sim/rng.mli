@@ -41,6 +41,12 @@ val pareto : t -> alpha:float -> x_min:float -> float
 val normal : t -> mu:float -> sigma:float -> float
 (** Box-Muller. *)
 
+val binomial : t -> n:int -> p:float -> int
+(** Number of successes among [n] independent trials of probability
+    [p].  Exact (n Bernoulli draws) for [n <= 64]; clamped normal
+    approximation above — one draw per cohort instead of one per
+    member. *)
+
 val choice : t -> 'a array -> 'a
 (** Uniform element of a non-empty array. *)
 

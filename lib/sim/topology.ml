@@ -29,6 +29,11 @@ let create ~regions ~clusters_per_region ~nodes_per_cluster =
 let node_count t = Array.length t.all
 let region_count t = t.regions
 let cluster_count t = t.regions * t.clusters_per_region
+let nodes_per_cluster t = t.nodes_per_cluster
+
+let cluster_base t ~region ~cluster =
+  (region * t.clusters_per_region * t.nodes_per_cluster)
+  + (cluster * t.nodes_per_cluster)
 
 let node t id =
   if id < 0 || id >= Array.length t.all then invalid_arg "Topology.node: bad id";

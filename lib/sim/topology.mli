@@ -23,6 +23,13 @@ val region_count : t -> int
 val cluster_count : t -> int
 (** Total clusters across all regions. *)
 
+val nodes_per_cluster : t -> int
+
+val cluster_base : t -> region:int -> cluster:int -> node_id
+(** First node id of a cluster; ids within a cluster are contiguous,
+    so cohorts can address members as [base + offset] without
+    allocating node arrays. *)
+
 val node : t -> node_id -> node
 (** @raise Invalid_argument on an out-of-range id. *)
 

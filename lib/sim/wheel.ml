@@ -1,0 +1,219 @@
+(* Hierarchical timer wheel, the fleet-scale event queue.
+
+   One revolution of [nslots] slots of width [granularity] seconds
+   covers the near future; events landing inside the window are
+   appended to their slot vector in O(1).  Events due before the
+   current slot boundary live in a small binary heap ([active]) that
+   restores exact (time, seq) order; events beyond the horizon wait in
+   a second heap ([overflow]) and are re-slotted as the wheel turns.
+   An occupancy bitmap lets the wheel skip runs of empty slots in
+   O(words) rather than O(slots), and when the wheel is completely
+   empty the window jumps straight to the next overflow deadline, so
+   quiet stretches of simulated time cost nothing. *)
+
+type 'a slot = { mutable sdata : (float * int * 'a) array; mutable slen : int }
+
+type 'a t = {
+  g : float; (* slot width, seconds *)
+  nslots : int;
+  slots : 'a slot array;
+  occ : int array; (* bitmap, [bits_per_word] slots per word *)
+  mutable start : float; (* lower bound of the active window *)
+  mutable cur : int; (* slot index whose window is [start, start+g) *)
+  mutable nslotted : int;
+  active : 'a Heap.t; (* due in the active window, exact order *)
+  overflow : 'a Heap.t; (* beyond the horizon *)
+  mutable size : int;
+}
+
+let bits_per_word = 32
+
+let create ?(granularity = 0.001) ?(slots = 8192) () =
+  let nslots = max 2 slots in
+  {
+    g = granularity;
+    nslots;
+    slots = Array.init nslots (fun _ -> { sdata = [||]; slen = 0 });
+    occ = Array.make (((nslots - 1) / bits_per_word) + 1) 0;
+    start = 0.0;
+    cur = 0;
+    nslotted = 0;
+    active = Heap.create ();
+    overflow = Heap.create ();
+    size = 0;
+  }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let set_occ t i =
+  t.occ.(i / bits_per_word) <- t.occ.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+
+let clear_occ t i =
+  t.occ.(i / bits_per_word) <- t.occ.(i / bits_per_word) land lnot (1 lsl (i mod bits_per_word))
+
+let slot_push s v =
+  let cap = Array.length s.sdata in
+  if s.slen >= cap then begin
+    let fresh = Array.make (max 8 (cap * 2)) v in
+    Array.blit s.sdata 0 fresh 0 s.slen;
+    s.sdata <- fresh
+  end;
+  s.sdata.(s.slen) <- v;
+  s.slen <- s.slen + 1
+
+let horizon t = t.start +. (t.g *. float_of_int t.nslots)
+
+(* Places an entry without touching [size]; used by both [add] and the
+   overflow refill.  Truncation in the slot computation can only place
+   an entry one slot early, never late, and the active heap re-sorts
+   anything dumped out of a slot, so order is preserved. *)
+let place t ~time ~seq payload =
+  if time < t.start +. t.g then Heap.push t.active ~time ~seq payload
+  else if time >= horizon t then Heap.push t.overflow ~time ~seq payload
+  else begin
+    let k = int_of_float ((time -. t.start) /. t.g) in
+    let k = if k < 1 then 1 else if k > t.nslots - 1 then t.nslots - 1 else k in
+    let idx = (t.cur + k) mod t.nslots in
+    slot_push t.slots.(idx) (time, seq, payload);
+    set_occ t idx;
+    t.nslotted <- t.nslotted + 1
+  end
+
+let add t ~time ~seq payload =
+  t.size <- t.size + 1;
+  place t ~time ~seq payload
+
+(* Pulls every overflow entry that now fits inside the window. *)
+let refill_overflow t =
+  let h = horizon t in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.overflow with
+    | Some (time, _, _) when time < h -> (
+        match Heap.pop t.overflow with
+        | Some (time, seq, p) -> place t ~time ~seq p
+        | None -> continue := false)
+    | _ -> continue := false
+  done
+
+(* Distance (in slots, 1..nslots-1) to the next occupied slot after
+   [cur]; None when every other slot is empty. *)
+let next_occupied t =
+  if t.nslotted = 0 then None
+  else begin
+    let found = ref None in
+    let d = ref 1 in
+    while !found = None && !d < t.nslots do
+      let i = (t.cur + !d) mod t.nslots in
+      if t.occ.(i / bits_per_word) = 0 then
+        (* Whole word empty: skip to the next word boundary, without
+           crossing the wheel's wrap point (the first word must be
+           re-checked after wrapping). *)
+        let skip =
+          min (bits_per_word - (i mod bits_per_word)) (t.nslots - i)
+        in
+        d := !d + skip
+      else begin
+        if t.occ.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then
+          found := Some !d
+        else incr d
+      end
+    done;
+    !found
+  end
+
+(* Advances the window by [d] slots (the d-1 intermediate slots are
+   known empty), dumping the newly-current slot into the active heap. *)
+let skip_to t d =
+  t.start <- t.start +. (float_of_int d *. t.g);
+  t.cur <- (t.cur + d) mod t.nslots;
+  let s = t.slots.(t.cur) in
+  if s.slen > 0 then begin
+    for i = 0 to s.slen - 1 do
+      let time, seq, p = s.sdata.(i) in
+      Heap.push t.active ~time ~seq p
+    done;
+    t.nslotted <- t.nslotted - s.slen;
+    s.slen <- 0;
+    clear_occ t t.cur
+  end;
+  refill_overflow t
+
+(* Jumps the (completely empty) wheel so that [time] falls inside the
+   active window — the quiet-period fast path. *)
+let jump t time =
+  if time >= t.start +. t.g then begin
+    let steps = Float.of_int (int_of_float ((time -. t.start) /. t.g)) in
+    t.start <- t.start +. (steps *. t.g)
+  end;
+  refill_overflow t
+
+let pop_active t =
+  match Heap.pop t.active with
+  | Some _ as r ->
+      t.size <- t.size - 1;
+      r
+  | None -> None
+
+(* Next entry in global (time, seq) order, provided its time is
+   [<= limit]; [None] otherwise (nothing is consumed then). *)
+let rec pop_due t ~limit =
+  match Heap.peek t.active with
+  | Some (time, _, _) when time < t.start +. t.g ->
+      (* Anything slotted or overflowed is >= start+g, so this is the
+         global minimum. *)
+      if time <= limit then pop_active t else None
+  | active_peek -> (
+      match next_occupied t with
+      | Some d ->
+          let target = t.start +. (float_of_int d *. t.g) in
+          if target <= limit then begin
+            skip_to t d;
+            pop_due t ~limit
+          end
+          else begin
+            (* The next slot is beyond [limit]; only a straggler in the
+               active heap (>= start+g from float truncation) can still
+               be due, and it precedes every slotted entry. *)
+            match active_peek with
+            | Some (time, _, _) when time <= limit -> pop_active t
+            | _ -> None
+          end
+      | None -> (
+          match active_peek with
+          | Some (time, _, _) -> if time <= limit then pop_active t else None
+          | None -> (
+              match Heap.peek t.overflow with
+              | None -> None
+              | Some (time, _, _) ->
+                  if time > limit then None
+                  else begin
+                    jump t time;
+                    pop_due t ~limit
+                  end)))
+
+(* Earliest pending deadline, or None; does not consume. *)
+let next_time t =
+  let best = ref infinity in
+  (match Heap.peek t.active with Some (time, _, _) -> best := time | None -> ());
+  if t.nslotted > 0 then begin
+    match next_occupied t with
+    | Some d ->
+        (* Slot lower bound; the true minimum inside the slot is >= it,
+           which is enough for scheduling decisions. *)
+        let lo = t.start +. (float_of_int d *. t.g) in
+        if lo < !best then begin
+          (* Resolve exactly: scan the slot. *)
+          let s = t.slots.((t.cur + d) mod t.nslots) in
+          for i = 0 to s.slen - 1 do
+            let time, _, _ = s.sdata.(i) in
+            if time < !best then best := time
+          done
+        end
+    | None -> ()
+  end;
+  (match Heap.peek t.overflow with
+  | Some (time, _, _) -> if time < !best then best := time
+  | None -> ());
+  if !best = infinity then None else Some !best

@@ -1,0 +1,32 @@
+(** Hierarchical timer wheel keyed by [(time, seq)].
+
+    The fleet-scale replacement for a single binary heap on the engine
+    hot path: near-future insertions are O(1) slot appends, far-future
+    ones go to an overflow heap and are re-slotted as the wheel turns,
+    and a per-window mini-heap restores exact total order.  Ties at
+    the same [time] pop in ascending [seq], i.e. FIFO when [seq] is a
+    scheduling counter. *)
+
+type 'a t
+
+val create : ?granularity:float -> ?slots:int -> unit -> 'a t
+(** [granularity] is the slot width in seconds (default 1ms) and
+    [slots] the slots per revolution (default 8192), giving a ~8.2s
+    near-future window by default. *)
+
+val size : 'a t -> int
+(** Entries currently queued (slots + window heap + overflow). *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:float -> seq:int -> 'a -> unit
+(** [time] must be >= the time of the last popped entry (the engine's
+    clock monotonicity guarantees this). *)
+
+val pop_due : 'a t -> limit:float -> (float * int * 'a) option
+(** Removes and returns the globally minimal entry if its time is
+    [<= limit]; [None] otherwise (nothing is consumed, though the
+    window may rotate forward up to [limit]). *)
+
+val next_time : 'a t -> float option
+(** Earliest pending deadline without consuming it. *)

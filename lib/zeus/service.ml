@@ -176,6 +176,10 @@ and proxy = {
       (* callbacks stored newest-first; reversed at fire time *)
   mutable pup : bool;
   pdelivered : (string * int) Ring.t;
+  mutable pweight : int;
+      (* cohort weight: how many statistically identical servers this
+         proxy stands for; 1 for an ordinary per-server proxy *)
+  mutable pdeliv_w : int; (* effective deliveries x weight at the time *)
 }
 
 and t = {
@@ -444,11 +448,12 @@ and flush_notifications t obs =
             t.prm.msg_overhead
             + (List.length entries * (t.prm.entry_overhead + t.prm.digest_bytes))
           in
-          t.cnt.c_notify_msgs <- t.cnt.c_notify_msgs + 1;
-          t.cnt.c_notify_entries <- t.cnt.c_notify_entries + List.length entries;
-          Net.send ~hop:"zeus.notify" ~ctxs:(write_ctxs entries) t.net
-            ~src:obs.onode ~dst:proxy.pnode ~bytes (fun () ->
-              proxy_handle_notifications t proxy obs entries)
+          t.cnt.c_notify_msgs <- t.cnt.c_notify_msgs + proxy.pweight;
+          t.cnt.c_notify_entries <-
+            t.cnt.c_notify_entries + (proxy.pweight * List.length entries);
+          Net.send ~hop:"zeus.notify" ~ctxs:(write_ctxs entries)
+            ~copies:proxy.pweight t.net ~src:obs.onode ~dst:proxy.pnode ~bytes
+            (fun () -> proxy_handle_notifications t proxy obs entries)
         end
         else
           (* Unbatched: one notification per (path, watcher), as in the
@@ -459,9 +464,10 @@ and flush_notifications t obs =
               let bytes =
                 t.prm.msg_overhead + if t.prm.dedup then t.prm.digest_bytes else 0
               in
-              t.cnt.c_notify_msgs <- t.cnt.c_notify_msgs + 1;
-              t.cnt.c_notify_entries <- t.cnt.c_notify_entries + 1;
-              Net.send t.net ~src:obs.onode ~dst:proxy.pnode ~bytes (fun () ->
+              t.cnt.c_notify_msgs <- t.cnt.c_notify_msgs + proxy.pweight;
+              t.cnt.c_notify_entries <- t.cnt.c_notify_entries + proxy.pweight;
+              Net.send ~copies:proxy.pweight t.net ~src:obs.onode
+                ~dst:proxy.pnode ~bytes (fun () ->
                   proxy_handle_notifications t proxy obs [ w ]))
             entries)
       buffered
@@ -479,7 +485,8 @@ and proxy_handle_notifications t proxy obs entries =
               let c' = { c with czxid = w.zxid } in
               Hashtbl.replace proxy.pmem w.wpath c';
               Hashtbl.replace proxy.pdisk w.wpath c';
-              t.cnt.c_fetches_skipped <- t.cnt.c_fetches_skipped + 1;
+              t.cnt.c_fetches_skipped <-
+                t.cnt.c_fetches_skipped + proxy.pweight;
               note_arrival t ~node:proxy.pnode w;
               (match tracer t with
               | Some tr ->
@@ -492,12 +499,13 @@ and proxy_handle_notifications t proxy obs entries =
     in
     if need <> [] && Topology.is_up (topo t) proxy.pnode then begin
       (* One fetch round trip for every path that actually needs bytes. *)
-      t.cnt.c_fetches <- t.cnt.c_fetches + 1;
+      t.cnt.c_fetches <- t.cnt.c_fetches + proxy.pweight;
       let req_bytes =
         t.prm.msg_overhead + (List.length need * t.prm.entry_overhead)
       in
-      Net.send ~hop:"zeus.fetch_req" ~ctxs:(write_ctxs need) t.net
-        ~src:proxy.pnode ~dst:obs.onode ~bytes:req_bytes (fun () ->
+      Net.send ~hop:"zeus.fetch_req" ~ctxs:(write_ctxs need)
+        ~copies:proxy.pweight t.net ~src:proxy.pnode ~dst:obs.onode
+        ~bytes:req_bytes (fun () ->
           if Topology.is_up (topo t) obs.onode then begin
             let found =
               List.filter_map (fun w -> Hashtbl.find_opt obs.odata w.wpath) need
@@ -507,8 +515,9 @@ and proxy_handle_notifications t proxy obs entries =
                 (fun acc w -> acc + t.prm.entry_overhead + String.length w.wdata)
                 t.prm.msg_overhead found
             in
-            Net.send ~hop:"zeus.fetch" ~ctxs:(write_ctxs found) t.net
-              ~src:obs.onode ~dst:proxy.pnode ~bytes:resp_bytes
+            Net.send ~hop:"zeus.fetch" ~ctxs:(write_ctxs found)
+              ~copies:proxy.pweight t.net ~src:obs.onode ~dst:proxy.pnode
+              ~bytes:resp_bytes
               (fun () -> List.iter (fun w -> proxy_deliver proxy w) found)
           end)
     end
@@ -538,6 +547,7 @@ and proxy_deliver proxy w =
       | None -> ());
       if not same_bytes then begin
         Ring.push proxy.pdelivered (w.wpath, w.zxid);
+        proxy.pdeliv_w <- proxy.pdeliv_w + proxy.pweight;
         match Hashtbl.find_opt proxy.psubs w.wpath with
         | None -> ()
         | Some callbacks ->
@@ -916,7 +926,8 @@ let pick_observer t node =
 
 let register_watch t proxy path =
   let obs = proxy.pobserver in
-  Net.send t.net ~src:proxy.pnode ~dst:obs.onode ~bytes:t.prm.msg_overhead (fun () ->
+  Net.send ~copies:proxy.pweight t.net ~src:proxy.pnode ~dst:obs.onode
+    ~bytes:t.prm.msg_overhead (fun () ->
       if Topology.is_up (topo t) obs.onode then begin
         (match Hashtbl.find_opt obs.owatchers path with
         | Some watchers -> if not (List.memq proxy !watchers) then watchers := proxy :: !watchers
@@ -924,8 +935,8 @@ let register_watch t proxy path =
         (* Initial read: push the current value if any. *)
         match Hashtbl.find_opt obs.odata path with
         | Some w ->
-            Net.send ~hop:"zeus.initial_push" ~ctxs:(write_ctxs [ w ]) t.net
-              ~src:obs.onode ~dst:proxy.pnode
+            Net.send ~hop:"zeus.initial_push" ~ctxs:(write_ctxs [ w ])
+              ~copies:proxy.pweight t.net ~src:obs.onode ~dst:proxy.pnode
               ~bytes:(t.prm.msg_overhead + String.length w.wdata) (fun () ->
                 proxy_deliver proxy w)
         | None -> ()
@@ -942,7 +953,7 @@ let rec proxy_health_loop t proxy =
            proxy_health_loop t proxy
          end))
 
-let proxy_on t node =
+let proxy_on ?(weight = 1) t node =
   match Hashtbl.find_opt t.proxies node with
   | Some proxy -> proxy
   | None ->
@@ -956,6 +967,8 @@ let proxy_on t node =
           psubs = Hashtbl.create 16;
           pup = true;
           pdelivered = Ring.create t.prm.delivery_log_cap;
+          pweight = weight;
+          pdeliv_w = 0;
         }
       in
       proxy.pobserver <- pick_observer t node;
@@ -1022,6 +1035,12 @@ let restart_proxy proxy =
 let proxy_count t = Hashtbl.length t.proxies
 let delivery_log proxy = Ring.to_list proxy.pdelivered
 let deliveries_total proxy = Ring.total proxy.pdelivered
+let deliveries_weighted proxy = proxy.pdeliv_w
+let proxy_weight proxy = proxy.pweight
+
+let set_proxy_weight proxy w =
+  assert (w >= 0);
+  proxy.pweight <- w
 
 (* --- hooks for the pull-model ablation ------------------------------ *)
 

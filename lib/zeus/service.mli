@@ -115,8 +115,18 @@ val committed_value : t -> string -> string option
 
 type proxy
 
-val proxy_on : t -> Cm_sim.Topology.node_id -> proxy
-(** Creates (or returns the existing) proxy for a server node. *)
+val proxy_on : ?weight:int -> t -> Cm_sim.Topology.node_id -> proxy
+(** Creates (or returns the existing) proxy for a server node.
+
+    [weight] (default 1) makes the proxy a {b cohort representative}:
+    it stands for [weight] statistically identical servers (same
+    cluster, same watch set).  Every message to or from it is
+    accounted [weight] times on the wire ({!Cm_sim.Net.send}'s
+    [copies]), the distribution-plane counters in {!stats} scale the
+    same way, and {!deliveries_weighted} counts effective deliveries
+    times the weight — while only one event stream runs.  Pair with
+    {!Cm_sim.Cohort} and {!set_proxy_weight} to expand members
+    lazily. *)
 
 val subscribe : proxy -> path:string -> (zxid:int -> string -> unit) -> unit
 (** Registers interest; the callback fires for every {e effective}
@@ -169,6 +179,17 @@ val delivery_log : proxy -> (string * int) list
     deliveries ever. *)
 
 val deliveries_total : proxy -> int
+
+val deliveries_weighted : proxy -> int
+(** Effective deliveries summed with the proxy's cohort weight at
+    delivery time; equals {!deliveries_total} for weight-1 proxies. *)
+
+val proxy_weight : proxy -> int
+
+val set_proxy_weight : proxy -> int -> unit
+(** Adjusts the cohort weight — called from a {!Cm_sim.Cohort}
+    [on_resize] hook when a member is expanded into an individual
+    proxy. *)
 
 type stats = {
   leader_batches : int;   (** batches flushed by the leader *)

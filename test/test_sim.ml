@@ -1,9 +1,12 @@
 module Rng = Cm_sim.Rng
 module Heap = Cm_sim.Heap
+module Wheel = Cm_sim.Wheel
 module Engine = Cm_sim.Engine
 module Topology = Cm_sim.Topology
 module Net = Cm_sim.Net
 module Metrics = Cm_sim.Metrics
+module Cohort = Cm_sim.Cohort
+module Zeus = Cm_zeus.Service
 
 (* --- rng ------------------------------------------------------------- *)
 
@@ -80,6 +83,29 @@ let rng_tests =
           if v < 0.5 then incr below
         done;
         Alcotest.(check bool) "roughly uniform" true (!below > 4700 && !below < 5300));
+    Alcotest.test_case "binomial bounds and moments" `Quick (fun () ->
+        let rng = Rng.create 9L in
+        Alcotest.(check int) "n=0" 0 (Rng.binomial rng ~n:0 ~p:0.5);
+        Alcotest.(check int) "p=0" 0 (Rng.binomial rng ~n:100 ~p:0.0);
+        Alcotest.(check int) "p=1" 100 (Rng.binomial rng ~n:100 ~p:1.0);
+        (* Exact branch. *)
+        let sum = ref 0 in
+        for _ = 1 to 20000 do
+          let k = Rng.binomial rng ~n:40 ~p:0.3 in
+          Alcotest.(check bool) "in range" true (k >= 0 && k <= 40);
+          sum := !sum + k
+        done;
+        let mean = float_of_int !sum /. 20000.0 in
+        Alcotest.(check bool) "mean ~ 12" true (Float.abs (mean -. 12.0) < 0.2);
+        (* Normal-approximation branch (cohort-scale n). *)
+        let sum = ref 0 in
+        for _ = 1 to 20000 do
+          let k = Rng.binomial rng ~n:1000 ~p:0.3 in
+          Alcotest.(check bool) "in range" true (k >= 0 && k <= 1000);
+          sum := !sum + k
+        done;
+        let mean = float_of_int !sum /. 20000.0 in
+        Alcotest.(check bool) "mean ~ 300" true (Float.abs (mean -. 300.0) < 2.0));
     Alcotest.test_case "shuffle permutes" `Quick (fun () ->
         let rng = Rng.create 8L in
         let arr = Array.init 50 (fun i -> i) in
@@ -178,7 +204,103 @@ let engine_tests =
         done;
         Engine.run engine;
         Alcotest.(check (list int)) "order" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log));
+    Alcotest.test_case "cancel after fire is a no-op" `Quick (fun () ->
+        let engine = Engine.create () in
+        let h = Engine.schedule engine ~delay:1.0 (fun () -> ()) in
+        Engine.run engine;
+        Alcotest.(check int) "drained" 0 (Engine.pending engine);
+        (* Used to decrement [live] below the true count and leak a
+           tombstone; now a per-handle no-op. *)
+        Engine.cancel engine h;
+        Engine.cancel engine h;
+        Alcotest.(check int) "still zero" 0 (Engine.pending engine);
+        let fired = ref false in
+        ignore (Engine.schedule engine ~delay:1.0 (fun () -> fired := true));
+        Alcotest.(check int) "one pending" 1 (Engine.pending engine);
+        Engine.run engine;
+        Alcotest.(check bool) "later event unaffected" true !fired;
+        Alcotest.(check int) "drained again" 0 (Engine.pending engine));
+    Alcotest.test_case "repeated cancel counts once" `Quick (fun () ->
+        let engine = Engine.create () in
+        let h = Engine.schedule engine ~delay:1.0 (fun () -> ()) in
+        ignore (Engine.schedule engine ~delay:2.0 (fun () -> ()));
+        Engine.cancel engine h;
+        Engine.cancel engine h;
+        Alcotest.(check int) "one left" 1 (Engine.pending engine);
+        Engine.run engine;
+        Alcotest.(check int) "drained" 0 (Engine.pending engine));
+    Alcotest.test_case "run_for with empty queue advances clock" `Quick (fun () ->
+        let engine = Engine.create () in
+        Engine.run_for engine 7.5;
+        Alcotest.(check (float 1e-9)) "first" 7.5 (Engine.now engine);
+        Engine.run_for engine 2.5;
+        Alcotest.(check (float 1e-9)) "cumulative" 10.0 (Engine.now engine);
+        (* Scheduling after the jump still lands relative to the new
+           clock. *)
+        let at = ref 0.0 in
+        ignore (Engine.schedule engine ~delay:1.0 (fun () -> at := Engine.now engine));
+        Engine.run engine;
+        Alcotest.(check (float 1e-9)) "relative" 11.0 !at);
+    Alcotest.test_case "same-time fifo across wheel slots and wrap" `Quick (fun () ->
+        (* A tiny wheel (4 slots of 0.5s = 2s horizon) forces the
+           shared instant through overflow, refill and slot dumps. *)
+        let engine = Engine.create ~granularity:0.5 ~slots:4 () in
+        let log = ref [] in
+        for i = 0 to 49 do
+          ignore (Engine.at engine ~time:10.0 (fun () -> log := i :: !log))
+        done;
+        (* Interleave earlier traffic so the wheel turns before 10.0. *)
+        for i = 0 to 19 do
+          ignore (Engine.at engine ~time:(0.3 *. float_of_int i) (fun () -> ()))
+        done;
+        Engine.run engine;
+        Alcotest.(check (list int)) "fifo preserved"
+          (List.init 50 (fun i -> i))
+          (List.rev !log);
+        Alcotest.(check (float 1e-9)) "clock" 10.0 (Engine.now engine));
+    Alcotest.test_case "run until far future event then resume" `Quick (fun () ->
+        let engine = Engine.create () in
+        let fired = ref false in
+        ignore (Engine.at engine ~time:100.0 (fun () -> fired := true));
+        Engine.run ~until:5.0 engine;
+        Alcotest.(check bool) "not yet" false !fired;
+        Alcotest.(check int) "still pending" 1 (Engine.pending engine);
+        Engine.run engine;
+        Alcotest.(check bool) "fired" true !fired;
+        Alcotest.(check (float 1e-9)) "clock jumped" 100.0 (Engine.now engine));
+    Alcotest.test_case "events_processed counts fires only" `Quick (fun () ->
+        let engine = Engine.create () in
+        let h = Engine.schedule engine ~delay:1.0 (fun () -> ()) in
+        ignore (Engine.schedule engine ~delay:2.0 (fun () -> ()));
+        Engine.cancel engine h;
+        Engine.run engine;
+        Alcotest.(check int) "one processed" 1 (Engine.events_processed engine));
   ]
+
+let engine_order_property =
+  QCheck2.Test.make ~name:"engine fires any schedule in (time, seq) order"
+    ~count:100
+    QCheck2.Gen.(
+      pair (int_range 2 64)
+        (list_size (int_range 0 300) (float_range 0.0 30.0)))
+    (fun (slots, times) ->
+      (* A coarse little wheel maximizes slot churn, wrap and overflow
+         traffic for the same schedule. *)
+      let engine = Engine.create ~granularity:0.05 ~slots () in
+      let fired = ref [] in
+      List.iteri
+        (fun i time ->
+          ignore (Engine.at engine ~time (fun () -> fired := (time, i) :: !fired)))
+        times;
+      Engine.run engine;
+      let expect =
+        List.stable_sort
+          (fun (a, _) (b, _) -> Float.compare a b)
+          (List.mapi (fun i time -> (time, i)) times)
+      in
+      List.rev !fired = expect)
+
+let engine_property_tests = [ QCheck_alcotest.to_alcotest engine_order_property ]
 
 (* --- topology & net -------------------------------------------------- *)
 
@@ -266,6 +388,20 @@ let net_tests =
         done;
         Engine.run engine;
         Alcotest.(check bool) "about half" true (!got > 400 && !got < 600));
+    Alcotest.test_case "copies scale accounting, deliver once" `Quick (fun () ->
+        let engine = Engine.create () in
+        let topo = Topology.create ~regions:2 ~clusters_per_region:1 ~nodes_per_cluster:2 in
+        let net = Net.create engine topo in
+        let got = ref 0 in
+        Net.send ~copies:50 net ~src:0 ~dst:2 ~bytes:100 (fun () -> incr got);
+        Engine.run engine;
+        Alcotest.(check int) "one delivery event" 1 !got;
+        Alcotest.(check int) "messages x50" 50 (Net.messages_sent net);
+        Alcotest.(check int) "bytes x50" 5000 (Net.bytes_sent net);
+        Alcotest.(check int) "cross region x50" 5000 (Net.cross_region_bytes net);
+        Alcotest.(check int) "egress x50" 5000 (Net.egress_bytes net 0);
+        Net.reset_counters net;
+        Alcotest.(check int) "egress reset" 0 (Net.egress_bytes net 0));
   ]
 
 (* --- metrics --------------------------------------------------------- *)
@@ -296,6 +432,44 @@ let metrics_tests =
         Alcotest.(check int) "value" 6 (Metrics.Counter.value c);
         Metrics.Counter.reset c;
         Alcotest.(check int) "reset" 0 (Metrics.Counter.value c));
+    Alcotest.test_case "reservoir bounds memory, keeps moments exact" `Quick (fun () ->
+        let h = Metrics.Histogram.create ~cap:1000 () in
+        let n = 100_000 in
+        for i = 1 to n do
+          Metrics.Histogram.add h (float_of_int i)
+        done;
+        Alcotest.(check int) "count sees everything" n (Metrics.Histogram.count h);
+        Alcotest.(check int) "sample stays bounded" 1000
+          (Metrics.Histogram.sample_size h);
+        Alcotest.(check (float 1e-6)) "mean exact" 50000.5 (Metrics.Histogram.mean h);
+        Alcotest.(check (float 1e-9)) "min exact" 1.0 (Metrics.Histogram.min h);
+        Alcotest.(check (float 1e-9)) "max exact" (float_of_int n)
+          (Metrics.Histogram.max h);
+        let p50 = Metrics.Histogram.quantile h 0.5 in
+        Alcotest.(check bool) "p50 within 10%" true
+          (Float.abs (p50 -. 50000.0) < 5000.0);
+        let p99 = Metrics.Histogram.quantile h 0.99 in
+        Alcotest.(check bool) "p99 within 2%" true
+          (Float.abs (p99 -. 99000.0) < 2000.0));
+    Alcotest.test_case "weighted add equals repeated add below cap" `Quick (fun () ->
+        let h = Metrics.Histogram.create () in
+        Metrics.Histogram.add_weighted h 10.0 ~weight:5;
+        Metrics.Histogram.add_weighted h 20.0 ~weight:5;
+        Alcotest.(check int) "count" 10 (Metrics.Histogram.count h);
+        Alcotest.(check (float 1e-9)) "mean" 15.0 (Metrics.Histogram.mean h);
+        Alcotest.(check (float 1e-9)) "sum" 150.0 (Metrics.Histogram.sum h);
+        Alcotest.(check (float 1e-9)) "p50" 15.0 (Metrics.Histogram.quantile h 0.5);
+        Alcotest.(check (float 1e-9)) "min" 10.0 (Metrics.Histogram.min h);
+        Alcotest.(check (float 1e-9)) "max" 20.0 (Metrics.Histogram.max h));
+    Alcotest.test_case "weighted add past cap keeps totals exact" `Quick (fun () ->
+        let h = Metrics.Histogram.create ~cap:100 () in
+        for _ = 1 to 100 do
+          Metrics.Histogram.add_weighted h 1.0 ~weight:500
+        done;
+        Metrics.Histogram.add_weighted h 3.0 ~weight:50_000 ;
+        Alcotest.(check int) "count" 100_000 (Metrics.Histogram.count h);
+        Alcotest.(check (float 1e-6)) "mean" 2.0 (Metrics.Histogram.mean h);
+        Alcotest.(check int) "bounded" 100 (Metrics.Histogram.sample_size h));
     Alcotest.test_case "series buckets dense" `Quick (fun () ->
         let s = Metrics.Series.create ~bucket_width:10.0 in
         Metrics.Series.add s ~time:5.0 1.0;
@@ -310,13 +484,164 @@ let metrics_tests =
         Alcotest.(check int) "first count" 2 (snd counts.(0)));
   ]
 
+(* --- cohorts --------------------------------------------------------- *)
+
+let cohort_tests =
+  [
+    Alcotest.test_case "expand shrinks the aggregate once" `Quick (fun () ->
+        let topo = Topology.create ~regions:1 ~clusters_per_region:1 ~nodes_per_cluster:12 in
+        let c = Cohort.of_cluster topo ~region:0 ~cluster:0 ~skip_head:2 ~skip_tail:5 in
+        Alcotest.(check int) "size" 5 (Cohort.size c);
+        Alcotest.(check int) "weight" 5 (Cohort.weight c);
+        Alcotest.(check int) "rep node" 2 (Cohort.node c);
+        Alcotest.(check int) "member 0" 2 (Cohort.member_node c 0);
+        Alcotest.(check int) "member 4" 6 (Cohort.member_node c 4);
+        let resized = ref (-1) and expanded = ref None in
+        Cohort.on_resize c (fun w -> resized := w);
+        Cohort.on_expand c (fun i node -> expanded := Some (i, node));
+        Alcotest.(check bool) "first expand" true (Cohort.expand c 3);
+        Alcotest.(check int) "weight shrank" 4 (Cohort.weight c);
+        Alcotest.(check int) "resize hook" 4 !resized;
+        Alcotest.(check (option (pair int int))) "expand hook" (Some (3, 5)) !expanded;
+        Alcotest.(check bool) "second expand is a no-op" false (Cohort.expand c 3);
+        Alcotest.(check int) "weight unchanged" 4 (Cohort.weight c);
+        Alcotest.(check int) "expanded count" 1 (Cohort.expanded_count c);
+        Alcotest.(check bool) "is_expanded" true (Cohort.is_expanded c 3));
+    Alcotest.test_case "flat per-member state" `Quick (fun () ->
+        let c = Cohort.create ~size:1000 ~node:0 () in
+        Cohort.set_state c 999 42.0;
+        Alcotest.(check (float 1e-9)) "get" 42.0 (Cohort.get_state c 999);
+        Alcotest.(check (float 1e-9)) "default" 0.0 (Cohort.get_state c 0));
+    Alcotest.test_case "record uses current weight" `Quick (fun () ->
+        let c = Cohort.create ~size:10 ~node:0 () in
+        let h = Metrics.Histogram.create () in
+        Cohort.record c h 1.0;
+        Alcotest.(check bool) "one expand" true (Cohort.expand c 0);
+        Cohort.record c h 2.0;
+        Alcotest.(check int) "10 + 9 samples" 19 (Metrics.Histogram.count h));
+    Alcotest.test_case "swarm cohort replication completes all members" `Quick
+      (fun () ->
+        let engine = Engine.create () in
+        let topo = Topology.create ~regions:1 ~clusters_per_region:1 ~nodes_per_cluster:8 in
+        let net = Net.create engine topo in
+        let swarm = Cm_packagevessel.Swarm.create net ~storage:7 in
+        let content =
+          { Cm_packagevessel.Swarm.cname = "pkg"; cversion = 1; csize = 8 * 1024 * 1024 }
+        in
+        Cm_packagevessel.Swarm.publish swarm content;
+        Engine.run engine;
+        let done_at = ref nan in
+        Cm_packagevessel.Swarm.fetch ~weight:5 swarm ~node:0
+          ~mode:Cm_packagevessel.Swarm.P2p_local content ~on_complete:(fun () ->
+            done_at := Engine.now engine);
+        Engine.run engine;
+        Alcotest.(check bool) "completed" true (Float.is_finite !done_at);
+        Alcotest.(check int) "whole cohort counted" 5
+          (Cm_packagevessel.Swarm.completed_weight swarm content);
+        (* 4 member copies of 8MB each ride the wire on top of the
+           representative's own 2-chunk download. *)
+        Alcotest.(check bool) "replication bytes accounted" true
+          (Net.bytes_sent net >= 5 * 8 * 1024 * 1024));
+  ]
+
+(* --- cohort == individually expanded (the tentpole property) ---------- *)
+
+(* One cluster, [k] subscriber servers, an identical write schedule.
+   Run A gives every server its own weight-1 proxy; run B aggregates
+   them into one weight-k representative.  With loss off, the two runs
+   must agree exactly on wire bytes, message counts and weighted
+   effective deliveries, and closely on latency quantiles (jitter is
+   drawn per-message, so only timing — never accounting — differs). *)
+let run_zeus ~aggregate ~k ~writes ~seed =
+  let engine = Engine.create ~seed () in
+  let topo = Topology.create ~regions:1 ~clusters_per_region:1 ~nodes_per_cluster:12 in
+  let net = Net.create engine topo in
+  let zeus = Zeus.create net in
+  let paths = [ "conf/a"; "conf/b"; "conf/c" ] in
+  let lat = Metrics.Histogram.create () in
+  let issue = Hashtbl.create 8 in
+  let proxies =
+    if aggregate then [ Zeus.proxy_on ~weight:k zeus 2 ]
+    else List.init k (fun i -> Zeus.proxy_on zeus (2 + i))
+  in
+  List.iter
+    (fun proxy ->
+      let w = Zeus.proxy_weight proxy in
+      List.iter
+        (fun path ->
+          Zeus.subscribe proxy ~path (fun ~zxid:_ _ ->
+              match Hashtbl.find_opt issue path with
+              | Some t0 ->
+                  Metrics.Histogram.add_weighted lat
+                    (Engine.now engine -. t0) ~weight:w
+              | None -> ()))
+        paths)
+    proxies;
+  (* Let registration, initial pushes and health timers settle, then
+     measure only the steady-state write traffic. *)
+  Engine.run ~until:5.0 engine;
+  Net.reset_counters net;
+  List.iteri
+    (fun i (path_idx, data) ->
+      let path = List.nth paths (path_idx mod List.length paths) in
+      ignore
+        (Engine.at engine ~time:(6.0 +. float_of_int i) (fun () ->
+             Hashtbl.replace issue path (Engine.now engine);
+             Zeus.write zeus ~path ~data)))
+    writes;
+  Engine.run ~until:(6.0 +. float_of_int (List.length writes) +. 30.0) engine;
+  let deliveries =
+    List.fold_left (fun acc p -> acc + Zeus.deliveries_weighted p) 0 proxies
+  in
+  (Net.bytes_sent net, Net.messages_sent net, deliveries, lat)
+
+let cohort_equivalence_property =
+  QCheck2.Test.make
+    ~name:"cohort-aggregated zeus run observationally equals expanded run"
+    ~count:30
+    QCheck2.Gen.(
+      triple (int_range 1 5)
+        (list_size (int_range 1 8)
+           (pair (int_range 0 2) (string_size ~gen:printable (int_range 1 64))))
+        (int_range 0 10000))
+    (fun (k, writes, seed) ->
+      let seed = Int64.of_int seed in
+      let b_a, m_a, d_a, lat_a = run_zeus ~aggregate:false ~k ~writes ~seed in
+      let b_b, m_b, d_b, lat_b = run_zeus ~aggregate:true ~k ~writes ~seed in
+      let close p =
+        let a = Metrics.Histogram.quantile lat_a p
+        and b = Metrics.Histogram.quantile lat_b p in
+        (Float.is_nan a && Float.is_nan b)
+        || Float.abs (a -. b) <= 0.5 *. Float.max a b
+      in
+      if b_a <> b_b then
+        QCheck2.Test.fail_reportf "bytes differ: %d (expanded) vs %d (cohort)" b_a b_b
+      else if m_a <> m_b then
+        QCheck2.Test.fail_reportf "messages differ: %d vs %d" m_a m_b
+      else if d_a <> d_b then
+        QCheck2.Test.fail_reportf "weighted deliveries differ: %d vs %d" d_a d_b
+      else if Metrics.Histogram.count lat_a <> Metrics.Histogram.count lat_b then
+        QCheck2.Test.fail_reportf "latency sample counts differ: %d vs %d"
+          (Metrics.Histogram.count lat_a)
+          (Metrics.Histogram.count lat_b)
+      else if not (close 0.5 && close 0.95) then
+        QCheck2.Test.fail_reportf "latency quantiles diverge: p50 %g vs %g"
+          (Metrics.Histogram.quantile lat_a 0.5)
+          (Metrics.Histogram.quantile lat_b 0.5)
+      else true)
+
+let cohort_property_tests = [ QCheck_alcotest.to_alcotest cohort_equivalence_property ]
+
 let () =
   Alcotest.run "cm_sim"
     [
       "rng", rng_tests;
       "heap", heap_tests;
       "engine", engine_tests;
+      "engine-properties", engine_property_tests;
       "topology", topo_tests;
       "net", net_tests;
       "metrics", metrics_tests;
+      "cohort", cohort_tests;
+      "cohort-equivalence", cohort_property_tests;
     ]
