@@ -20,6 +20,7 @@ let experiments : (string * string * (unit -> unit)) list =
     "fig14", "commit-to-fleet propagation latency (simulated)", Exp_fig14.run;
     "fig15", "Gatekeeper check throughput", Exp_fig15.run;
     "tab4", "error defense in depth", Exp_tab4.run;
+    "verify", "verify-stage ablation: escapes with/without the correctness plane", Exp_verify.run;
     "pv", "PackageVessel distribution", Exp_pv.run;
     "ablate-pushpull", "push vs pull distribution", Exp_ablate.push_pull;
     "ablate-gkopt", "Gatekeeper optimizer", Exp_ablate.gk_optimizer;

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Headless driver for the performance benchmarks: builds the harness
 # and leaves BENCH_incremental.json / BENCH_distribution.json /
-# BENCH_trace.json / BENCH_vcs.json in the repository root.
+# BENCH_trace.json / BENCH_vcs.json / BENCH_verify.json in the
+# repository root.
 #
-#   bench/run.sh          # full scale: incr + dist + trace + vcs
-#   bench/run.sh --quick  # reduced-scale dist + trace + vcs runs + JSON shape checks
+#   bench/run.sh          # full scale: incr + dist + trace + vcs + fleet + verify
+#   bench/run.sh --quick  # reduced-scale dist/trace/vcs/fleet/verify + JSON shape checks
 set -eu
 cd "$(dirname "$0")/.."
 dune build bench/main.exe
@@ -38,6 +39,12 @@ if [ "${1:-}" = "--quick" ]; then
   check_shape BENCH_fleet.json \
     '"rows"' '"servers"' '"devices"' '"events_per_s"' '"p99_s"' \
     '"noop_callbacks": 0' '"pv_completed_weight"' '"headline_wall_s"'
+  CM_VERIFY_QUICK=1 dune exec bench/main.exe -- --only verify
+  check_shape BENCH_verify.json \
+    '"baseline_escaped"' '"verify_escaped"' '"escape_threshold"' \
+    '"escapes_below_threshold": true' '"escapes_below_baseline": true' \
+    '"baseline_rows"' '"verify_rows"' '"e2e_caught_at": "verify"' \
+    '"e2e_verdicts_on_review": true'
 else
-  dune exec bench/main.exe -- --only incr dist trace vcs fleet
+  dune exec bench/main.exe -- --only incr dist trace vcs fleet verify
 fi

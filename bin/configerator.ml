@@ -4,6 +4,8 @@
 
      configerator check    --tree DIR             # compile everything, report errors
      configerator compile  --tree DIR -o OUT [P]  # write JSON artifacts
+     configerator verify   --tree DIR [--gk P]    # correctness plane: static
+                                                  # checks + consumer config tests
      configerator deps     --tree DIR PATH        # imports + dependents of one file
      configerator affected --tree DIR PATH...     # configs to recompile after edits
      configerator gk-check PROJECT.json --user-id N [--employee] ...
@@ -176,6 +178,127 @@ let affected_cmd =
   let doc = "List every config that must be recompiled when the given files change." in
   let paths = Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH") in
   Cmd.v (Cmd.info "affected" ~doc) Term.(const run_affected $ tree_arg $ paths)
+
+(* --- verify ------------------------------------------------------------ *)
+
+(* The correctness plane, on a plain checkout: compile (everything or
+   an affected cone), then run the same registry the pipeline's verify
+   stage uses — cross-artifact static checks plus any consumer config
+   tests registered via --gk/--sitevar/--mobile — and print one
+   verdict per check, repairs included. *)
+
+let run_verify tree_dir changed gk_prefixes sitevar_prefixes mobile_prefixes as_json =
+  match load_tree tree_dir with
+  | Error message ->
+      Printf.eprintf "error: %s\n" message;
+      1
+  | Ok tree ->
+      let compiler = Core.Compiler.create tree in
+      let compiled, errors =
+        match changed with
+        | [] -> Core.Compiler.compile_all compiler
+        | changed -> Core.Compiler.compile_affected compiler ~changed
+      in
+      print_errors errors;
+      if errors <> [] then 1
+      else begin
+        let registry = Cm_verify.Verify.standard () in
+        (* A small panel of sample users exercises sticky sampling,
+           employee gating and country restraints. *)
+        let users =
+          [
+            Cm_gatekeeper.User.make 7L;
+            Cm_gatekeeper.User.make ~employee:true 42L;
+            Cm_gatekeeper.User.make ~country:"BR" ~device_model:"mobile" 1000L;
+          ]
+        in
+        List.iter
+          (fun prefix ->
+            Cm_verify.Verify.register_test registry
+              ~name:(Printf.sprintf "gk-project[%s]" prefix)
+              ~prefix
+              (Cm_verify.Consumers.gatekeeper_project ~users ()))
+          gk_prefixes;
+        List.iter
+          (fun prefix ->
+            Cm_verify.Verify.register_test registry
+              ~name:(Printf.sprintf "sitevar-reader[%s]" prefix)
+              ~prefix
+              (Cm_verify.Consumers.sitevar_reader ()))
+          sitevar_prefixes;
+        List.iter
+          (fun prefix ->
+            Cm_verify.Verify.register_test registry
+              ~name:(Printf.sprintf "mobileconfig[%s]" prefix)
+              ~prefix
+              (Cm_verify.Consumers.mobileconfig_translation ()))
+          mobile_prefixes;
+        let input =
+          {
+            Core.Pipeline.verify_changes = List.map (fun p -> p, "") changed;
+            verify_compiled = compiled;
+            verify_tree = tree;
+            verify_depgraph = Core.Compiler.depgraph compiler;
+            verify_repo = Cm_vcs.Repo.create ();
+            verify_validators = Core.Compiler.validators compiler;
+          }
+        in
+        let verdicts = Cm_verify.Verify.run registry input in
+        if as_json then
+          print_endline
+            (Cm_json.Value.to_pretty_string
+               (Cm_json.Value.List (List.map Core.Defense.verdict_to_json verdicts)))
+        else begin
+          List.iter
+            (fun v ->
+              Printf.printf "%s\n" (Format.asprintf "@[<v>%a@]" Core.Defense.pp_verdict v))
+            verdicts;
+          let failed = List.length (Core.Defense.failures verdicts) in
+          Printf.printf "%d configs, %d verdicts, %d failed\n" (List.length compiled)
+            (List.length verdicts) failed
+        end;
+        if Core.Defense.all_passed verdicts then 0 else 1
+      end
+
+let verify_cmd =
+  let doc =
+    "Run the correctness plane over a checkout: cross-artifact static checks \
+     (dependency cycles, shadowed exports, artifact collisions) plus consumer \
+     config tests for the prefixes named by $(b,--gk), $(b,--sitevar) and \
+     $(b,--mobile).  Prints one verdict per check — failing verdicts carry a \
+     repair suggestion when one is found — and exits non-zero on any failure."
+  in
+  let changed =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "changed"; "c" ] ~docv:"PATH"
+          ~doc:"Edited source path (repeatable); verifies only its affected cone.")
+  in
+  let gk =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "gk" ] ~docv:"PREFIX"
+          ~doc:"Treat configs under PREFIX as Gatekeeper projects (repeatable).")
+  in
+  let sitevar =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "sitevar" ] ~docv:"PREFIX"
+          ~doc:"Run the sitevar-reader test over configs under PREFIX (repeatable).")
+  in
+  let mobile =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "mobile" ] ~docv:"PREFIX"
+          ~doc:"Treat configs under PREFIX as MobileConfig translations (repeatable).")
+  in
+  let as_json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdicts as JSON.") in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run_verify $ tree_arg $ changed $ gk $ sitevar $ mobile $ as_json)
 
 (* --- gk-check ----------------------------------------------------------- *)
 
@@ -436,4 +559,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ check_cmd; compile_cmd; deps_cmd; affected_cmd; gk_check_cmd; whereis_cmd; repo_cmd ]))
+          [
+            check_cmd;
+            compile_cmd;
+            verify_cmd;
+            deps_cmd;
+            affected_cmd;
+            gk_check_cmd;
+            whereis_cmd;
+            repo_cmd;
+          ]))

@@ -33,4 +33,20 @@ if [ "$eps" -lt 50000 ]; then
 fi
 echo "fleet events/sec: $eps (floor 50000)"
 
+echo "== ci/check: verify-stage escape ceiling =="
+# The verify ablation must keep escaped incidents strictly below the
+# no-verify baseline's 154/1500 (the quick run scales the threshold
+# with its injection count, so the same keys gate both modes).
+escaped=$(sed -n 's/^  "verify_escaped": \([0-9]*\).*/\1/p' BENCH_verify.json | head -n 1)
+ceiling=$(sed -n 's/^  "escape_threshold": \([0-9]*\).*/\1/p' BENCH_verify.json | head -n 1)
+if [ -z "$escaped" ] || [ -z "$ceiling" ]; then
+  echo "ci/check: BENCH_verify.json missing verify_escaped/escape_threshold" >&2
+  exit 1
+fi
+if [ "$escaped" -ge "$ceiling" ]; then
+  echo "ci/check: verify-stage escapes not below baseline: $escaped >= $ceiling" >&2
+  exit 1
+fi
+echo "verify-stage escapes: $escaped (ceiling $ceiling)"
+
 echo "== ci/check: OK =="

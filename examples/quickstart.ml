@@ -97,9 +97,8 @@ export create_job("cache", 16)
 |} ]
   in
   (match outcome with
-  | Core.Pipeline.Rejected_compile (e :: _) ->
-      Printf.printf "rejected by the compiler: %s\n"
-        (Format.asprintf "%a" Core.Compiler.pp_error e)
+  | Core.Pipeline.Rejected ({ Core.Defense.failed_stage = "compile"; _ } as rejection) ->
+      Printf.printf "rejected by the compiler: %s\n" (Core.Defense.summary rejection)
   | other -> Printf.printf "unexpected: %s\n" (Core.Pipeline.outcome_stage other));
 
   (* 6. The application still has the last good config. *)

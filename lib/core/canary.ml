@@ -61,6 +61,10 @@ type failure = { failed_phase : string; failed_check : string; detail : string }
 
 type outcome = Passed | Failed of failure
 
+let verdict_of_failure { failed_phase; failed_check; detail } =
+  Defense.fail ~stage:"canary" ~rule:failed_check
+    (Printf.sprintf "%s: %s" failed_phase detail)
+
 (* Mean of a metric across sample lists; 0 when absent everywhere. *)
 let metric_mean samples name =
   let sum, n =

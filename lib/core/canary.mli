@@ -55,6 +55,10 @@ type failure = { failed_phase : string; failed_check : string; detail : string }
 
 type outcome = Passed | Failed of failure
 
+val verdict_of_failure : failure -> Defense.verdict
+(** The unified defense-stage view: stage ["canary"], rule = the
+    failed predicate, detail prefixed with the failing phase. *)
+
 val run :
   ?spec:spec ->
   ?tracer:Cm_trace.Tracer.t ->

@@ -26,6 +26,12 @@ let stage_name = function
 let pp_error ppf { at; stage; message } =
   Format.fprintf ppf "%s: [%s] %s" at (stage_name stage) message
 
+(* Validation failures are the validator defense layer speaking; every
+   other compile error is the compiler itself. *)
+let verdict_of_error { at; stage; message } =
+  let layer = match stage with Validation -> "validator" | _ -> "compile" in
+  Defense.fail ~stage:layer ~rule:(stage_name stage) ~path:at message
+
 module Cache = struct
   module Metrics = Cm_sim.Metrics
 

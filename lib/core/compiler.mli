@@ -46,6 +46,11 @@ and stage = Parse | Eval | Schema | Validation | Serialize
 val pp_error : Format.formatter -> error -> unit
 val stage_name : stage -> string
 
+val verdict_of_error : error -> Defense.verdict
+(** The unified defense-stage view of a compile error: stage
+    ["validator"] for {!Validation} failures (the paper's first
+    defense layer), ["compile"] otherwise. *)
+
 val digest_of_text : string -> string
 (** The artifact digest function (hex); [compiled.digest =
     digest_of_text compiled.json_text]. *)

@@ -10,6 +10,7 @@ let error_type_name = function
 type injected = {
   etype : error_type;
   validator_visible : bool;
+  verify_visible : bool;
   reviewer_catches : bool;
   sampler : Canary.sampler;
 }
@@ -18,6 +19,8 @@ type rates = {
   share_type_i : float;
   share_type_ii : float;
   p_validator_covers : float;
+  p_verify_static : float;
+  p_config_test_covers : float;
   p_reviewer_catches : float;
   p_canary_small_catches : float;
   p_canary_cluster_catches : float;
@@ -29,6 +32,8 @@ let default_rates =
     share_type_i = 0.85;
     share_type_ii = 0.11;
     p_validator_covers = 0.60;
+    p_verify_static = 0.45;
+    p_config_test_covers = 0.40;
     p_reviewer_catches = 0.25;
     p_canary_small_catches = 0.85;
     p_canary_cluster_catches = 0.70;
@@ -86,6 +91,14 @@ let inject rng rates =
   let draw = Rng.float rng 1.0 in
   if draw < rates.share_type_i then
     let validator_visible = Rng.bernoulli rng rates.p_validator_covers in
+    (* A statically checkable invariant nobody declared as a validator:
+       the verify stage's cross-artifact checks see it. *)
+    let verify_visible =
+      (not validator_visible) && Rng.bernoulli rng rates.p_verify_static
+    in
+    (* Independent of [verify_visible]: the reviewer would spot the
+       error whether or not a verify stage already flagged it, so a
+       pipeline without the verify stage behaves exactly as before. *)
     let reviewer_catches =
       (not validator_visible) && Rng.bernoulli rng rates.p_reviewer_catches
     in
@@ -93,14 +106,20 @@ let inject rng rates =
     {
       etype = Type_i;
       validator_visible;
+      verify_visible;
       reviewer_catches;
       sampler = type_i_sampler rng ~detectable;
     }
   else if draw < rates.share_type_i +. rates.share_type_ii then
+    (* Subtle errors hide from static inspection, but a registered
+       config test runs real consumer code against the proposed value
+       and can trip over them. *)
+    let verify_visible = Rng.bernoulli rng rates.p_config_test_covers in
     let detectable = Rng.bernoulli rng rates.p_canary_cluster_catches in
     {
       etype = Type_ii;
       validator_visible = false;
+      verify_visible;
       reviewer_catches = false;
       sampler = type_ii_sampler rng ~detectable;
     }
@@ -109,6 +128,9 @@ let inject rng rates =
     {
       etype = Type_iii;
       validator_visible = false;
+      (* The config is valid; the bug lives in consumer code the
+         registered tests do not exercise. *)
+      verify_visible = false;
       reviewer_catches = false;
       sampler = type_iii_sampler rng ~manifests;
     }

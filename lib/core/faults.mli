@@ -28,8 +28,16 @@ type injected = {
   validator_visible : bool;
       (** Type I only: the bad value violates a declared invariant,
           so the compiler rejects it deterministically *)
+  verify_visible : bool;
+      (** the {!Cm_verify} stage would flag it — Type I: a statically
+          checkable cross-artifact invariant no validator declared;
+          Type II: a registered config test runs consumer code against
+          the proposed value and trips; Type III: never (the config is
+          valid — the bug is in unexercised consumer code) *)
   reviewer_catches : bool;
-      (** modeled reviewer vigilance, drawn per change *)
+      (** modeled reviewer vigilance, drawn per change; independent of
+          [verify_visible] so pipelines without the verify stage
+          behave exactly as before *)
   sampler : Canary.sampler;
 }
 
@@ -37,6 +45,11 @@ type rates = {
   share_type_i : float;      (** of injected errors *)
   share_type_ii : float;     (** rest is Type III *)
   p_validator_covers : float; (** Type I invariant declared *)
+  p_verify_static : float;
+      (** Type I invariant statically checkable by the verify stage
+          when no validator declared it *)
+  p_config_test_covers : float;
+      (** Type II visible to a registered config test *)
   p_reviewer_catches : float; (** Type I caught in review *)
   p_canary_small_catches : float;  (** Type I error spike visible on 20 servers *)
   p_canary_cluster_catches : float; (** Type II load issue visible at cluster scale *)

@@ -7,6 +7,13 @@ type result =
   | Committed of Cm_vcs.Store.oid
   | Conflict of string list
 
+let conflict_verdicts paths =
+  List.map
+    (fun path ->
+      Defense.fail ~stage:"conflict" ~rule:"stale-read-write" ~path
+        "changed since the diff's base; artifacts were compiled against stale inputs")
+    paths
+
 type submission = {
   author : string;
   message : string;

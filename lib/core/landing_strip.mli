@@ -17,6 +17,10 @@ type result =
   | Committed of Cm_vcs.Store.oid
   | Conflict of string list  (** conflicting paths *)
 
+val conflict_verdicts : string list -> Defense.verdict list
+(** The unified defense-stage view of a conflict rejection: one
+    failing stage-["conflict"] verdict per conflicting path. *)
+
 type submission = {
   author : string;
   message : string;

@@ -2,19 +2,24 @@ module Engine = Cm_sim.Engine
 
 type outcome =
   | Landed of Cm_vcs.Store.oid
-  | Rejected_compile of Compiler.error list
-  | Rejected_sandcastle of Sandcastle.report
-  | Rejected_review of string
-  | Rejected_canary of Canary.failure
-  | Rejected_conflict of string list
+  | Rejected of Defense.rejection
 
+(* Thin shim over the old six-variant interface: callers that only
+   dispatched on the stage keep working unchanged. *)
 let outcome_stage = function
   | Landed _ -> "landed"
-  | Rejected_compile _ -> "compile"
-  | Rejected_sandcastle _ -> "sandcastle"
-  | Rejected_review _ -> "review"
-  | Rejected_canary _ -> "canary"
-  | Rejected_conflict _ -> "conflict"
+  | Rejected r -> r.Defense.failed_stage
+
+type verify_input = {
+  verify_changes : (string * string) list;
+  verify_compiled : Compiler.compiled list;
+  verify_tree : Source_tree.t;
+  verify_depgraph : Depgraph.t;
+  verify_repo : Cm_vcs.Repo.t;
+  verify_validators : Validator.t;
+}
+
+type verify_stage = verify_input -> Defense.verdict list
 
 type t = {
   net : Cm_sim.Net.t;
@@ -30,12 +35,13 @@ type t = {
   reviewers : string list;
   review_delay : float;
   canary_spec : Canary.spec;
+  mutable pverify : verify_stage option;
   mutable nlanded : int;
 }
 
 let create ?(reviewers = [ "alice"; "bob"; "carol" ]) ?(review_delay = 120.0)
     ?(canary_spec = Canary.default_spec) ?validators ?(landing_mode = Landing_strip.Landing)
-    net zeus tree =
+    ?verify net zeus tree =
   let engine = Cm_sim.Net.engine net in
   let repo = Cm_vcs.Repo.create () in
   (* One compiler for the live tree; it owns the dependency index and
@@ -57,8 +63,11 @@ let create ?(reviewers = [ "alice"; "bob"; "carol" ]) ?(review_delay = 120.0)
     reviewers;
     review_delay;
     canary_spec;
+    pverify = verify;
     nlanded = 0;
   }
+
+let set_verify t stage = t.pverify <- Some stage
 
 let tree t = t.ptree
 let compiler t = t.pcompiler
@@ -176,8 +185,49 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
         ]
       t_submit root_ctx
   in
-  if errors <> [] then on_done (Rejected_compile errors)
+  if errors <> [] then
+    on_done
+      (Rejected (Defense.reject ~stage:"compile" (List.map Compiler.verdict_of_error errors)))
   else begin
+    (* 2b. The verify stage (Cm_verify correctness plane) sits between
+       compile and sandcastle: static cross-artifact checks and config
+       tests run over the compiled cone.  Attached as a function so the
+       dependency arrow points from Cm_verify into the core, not the
+       other way around. *)
+    let t_verify = Engine.now eng in
+    let verify_report =
+      match t.pverify with
+      | None -> []
+      | Some stage ->
+          stage
+            {
+              verify_changes = changes;
+              verify_compiled = compiled;
+              verify_tree = clone;
+              verify_depgraph = Compiler.depgraph clone_compiler;
+              verify_repo = t.prepo;
+              verify_validators = Compiler.validators t.pcompiler;
+            }
+    in
+    let root_ctx =
+      match t.pverify with
+      | None -> root_ctx
+      | Some _ ->
+          stage_span "pipeline.verify"
+            ~tags:[ ("passed", string_of_bool (Defense.all_passed verify_report)) ]
+            t_verify root_ctx
+    in
+    if not (Defense.all_passed verify_report) then begin
+      (* Rejected before CI — but the verdicts (and any attached
+         repair suggestions) are still surfaced through the review
+         tool, like sandcastle results would be. *)
+      let base = Cm_vcs.Repo.head t.prepo in
+      let repo_changes = List.map (fun (path, content) -> path, Some content) changes in
+      let diff_id = Review.submit t.preview ~author ~title ~base repo_changes in
+      List.iter (Review.post_verdict t.preview diff_id) verify_report;
+      on_done (Rejected (Defense.reject ~stage:"verify" verify_report))
+    end
+    else begin
     let canary_spec = match spec_result with Ok s -> s | Error _ -> t.canary_spec in
     (* 3. Sandcastle CI in a sandbox; results are posted to the diff. *)
     let t_ci = Engine.now eng in
@@ -217,6 +267,9 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
     in
     let diff_id = Review.submit t.preview ~author ~title ~base repo_changes in
     Sandcastle.post_to_review t.preview diff_id report;
+    (* Verify-stage verdicts join the diff's test record too, so a
+       reviewer sees the whole defense picture in one place. *)
+    List.iter (Review.post_verdict t.preview diff_id) verify_report;
     (* Schema-change safety: when a .thrift source changes, compare the
        new schema against the committed one and surface breaking
        changes — the §6.4 incident where old client code could not
@@ -262,7 +315,8 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
             ~passed:true
             ~detail:(Format.asprintf "%a" Risk.pp assessment))
       changes;
-    if not (Sandcastle.passed report) then on_done (Rejected_sandcastle report)
+    if not (Sandcastle.passed report) then
+      on_done (Rejected (Defense.reject ~stage:"sandcastle" report))
     else begin
       (* 4. Human review after a delay. *)
       let t_review = Engine.now eng in
@@ -270,7 +324,11 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
         (Engine.schedule eng ~delay:t.review_delay (fun () ->
              let reviewer = pick_reviewer t ~author in
              match Review.approve t.preview diff_id ~reviewer with
-             | Error reason -> on_done (Rejected_review reason)
+             | Error reason ->
+                 on_done
+                   (Rejected
+                      (Defense.reject ~stage:"review"
+                         [ Defense.fail ~stage:"review" ~rule:"approval" reason ]))
              | Ok () ->
                  let ctx =
                    stage_span "pipeline.review"
@@ -283,7 +341,11 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
                      { Landing_strip.author; message = title; base; changes = repo_changes }
                      ~on_result:(fun result ->
                        match result with
-                       | Landing_strip.Conflict paths -> on_done (Rejected_conflict paths)
+                       | Landing_strip.Conflict paths ->
+                           on_done
+                             (Rejected
+                                (Defense.reject ~stage:"conflict"
+                                   (Landing_strip.conflict_verdicts paths)))
                        | Landing_strip.Committed oid ->
                            (* The change is in: update the live tree and
                               dependency index; the tailer distributes.
@@ -306,12 +368,17 @@ let propose t ~author ?(title = "config change") ?(skip_canary = false) ?sampler
                      (Cm_sim.Net.topology t.net) ~sampler
                      ~on_done:(fun canary_outcome ->
                        match canary_outcome with
-                       | Canary.Failed failure -> on_done (Rejected_canary failure)
+                       | Canary.Failed failure ->
+                           on_done
+                             (Rejected
+                                (Defense.reject ~stage:"canary"
+                                   [ Canary.verdict_of_failure failure ]))
                        | Canary.Passed ->
                            continue_to_landing
                              (stage_span "pipeline.canary" t_canary ctx))
                      ()
                  end))
+    end
     end
   end
 

@@ -3,8 +3,9 @@
     A proposed change flows through every defense layer of §3.3:
 
     {v
-    edit -> compile (validators) -> sandcastle CI -> code review
-         -> automated canary -> landing strip -> git -> tailer -> Zeus
+    edit -> compile (validators) -> verify (correctness plane)
+         -> sandcastle CI -> code review -> automated canary
+         -> landing strip -> git -> tailer -> Zeus
          -> observers -> proxies -> applications
     v}
 
@@ -23,13 +24,36 @@
 
 type outcome =
   | Landed of Cm_vcs.Store.oid
-  | Rejected_compile of Compiler.error list
-  | Rejected_sandcastle of Sandcastle.report
-  | Rejected_review of string
-  | Rejected_canary of Canary.failure
-  | Rejected_conflict of string list
+  | Rejected of Defense.rejection
+      (** every bouncing layer — compile/validators, the verify stage,
+          sandcastle, review, canary, the landing strip — reports
+          through the same structured {!Defense.rejection} *)
 
 val outcome_stage : outcome -> string
+(** Shim over the old per-stage variants: ["landed"], or the rejecting
+    stage — ["compile"], ["verify"], ["sandcastle"], ["review"],
+    ["canary"], ["conflict"]. *)
+
+(** {1 The verify stage}
+
+    The {!Cm_verify} correctness plane runs between compile and
+    sandcastle.  It is attached as a function so the dependency arrow
+    points from [Cm_verify] into the core ([Cm_verify.Verify.attach]
+    wires a registry in); a pipeline without a hook behaves exactly as
+    before. *)
+
+type verify_input = {
+  verify_changes : (string * string) list;  (** the proposed edits *)
+  verify_compiled : Compiler.compiled list; (** the compiled cone *)
+  verify_tree : Source_tree.t;              (** the proposal clone *)
+  verify_depgraph : Depgraph.t;             (** index over the clone *)
+  verify_repo : Cm_vcs.Repo.t;              (** for last-landed repairs *)
+  verify_validators : Validator.t;          (** for range-based repairs *)
+}
+
+type verify_stage = verify_input -> Defense.verdict list
+(** A failing verdict rejects the change (stage ["verify"]); all
+    verdicts, passing or not, are posted to the review diff. *)
 
 type t
 
@@ -39,6 +63,7 @@ val create :
   ?canary_spec:Canary.spec ->
   ?validators:Validator.t ->
   ?landing_mode:Landing_strip.mode ->
+  ?verify:verify_stage ->
   Cm_sim.Net.t ->
   Cm_zeus.Service.t ->
   Source_tree.t ->
@@ -47,6 +72,9 @@ val create :
     dependency service, review, sandcastle, landing strip on a fresh
     repository, tailer.  Call {!bootstrap} to seed the repository with
     the tree's current contents, then {!start}. *)
+
+val set_verify : t -> verify_stage -> unit
+(** Attach (or replace) the verify stage after construction. *)
 
 val bootstrap : t -> unit
 (** Compiles the whole tree and commits sources + artifacts as the

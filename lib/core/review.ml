@@ -12,7 +12,7 @@ type diff = {
   base : Cm_vcs.Store.oid option;
   changes : Cm_vcs.Repo.change list;
   mutable state : state;
-  mutable test_results : (string * bool * string) list;
+  mutable test_results : Defense.verdict list;
 }
 
 type t = { diffs : (diff_id, diff) Hashtbl.t; mutable next_id : diff_id }
@@ -28,10 +28,17 @@ let submit t ~author ~title ~base changes =
 
 let get t id = Hashtbl.find_opt t.diffs id
 
-let post_test_result t id ~name ~passed ~detail =
+let post_verdict t id verdict =
   match get t id with
-  | Some diff -> diff.test_results <- diff.test_results @ [ name, passed, detail ]
+  | Some diff -> diff.test_results <- diff.test_results @ [ verdict ]
   | None -> ()
+
+let post_test_result t id ~name ~passed ~detail =
+  let verdict =
+    if passed then Defense.pass ~stage:"review" ~rule:name detail
+    else Defense.fail ~stage:"review" ~rule:name detail
+  in
+  post_verdict t id verdict
 
 let approve t id ~reviewer =
   match get t id with

@@ -19,8 +19,11 @@ type diff = {
   base : Cm_vcs.Store.oid option;
   changes : Cm_vcs.Repo.change list;
   mutable state : state;
-  mutable test_results : (string * bool * string) list;
-      (** (check name, passed, detail) — posted by Sandcastle *)
+  mutable test_results : Defense.verdict list;
+      (** the unified defense-stage record — verdicts posted by
+          Sandcastle, the verify stage, and ad-hoc tooling, each
+          carrying its stage, rule, offending path, and (on failure)
+          any suggested repair *)
 }
 
 type t
@@ -37,7 +40,12 @@ val submit :
 
 val get : t -> diff_id -> diff option
 
+val post_verdict : t -> diff_id -> Defense.verdict -> unit
+(** Append a defense-stage verdict to the diff's test record. *)
+
 val post_test_result : t -> diff_id -> name:string -> passed:bool -> detail:string -> unit
+(** Convenience shim over {!post_verdict}: wraps an ad-hoc result into
+    a stage-["review"] verdict. *)
 
 val approve : t -> diff_id -> reviewer:string -> (unit, string) result
 (** Fails when the reviewer is the author (self-review is forbidden)

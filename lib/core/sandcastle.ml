@@ -1,9 +1,9 @@
 type check = {
   check_name : string;
-  run : Compiler.compiled list -> bool * string;
+  run : Compiler.compiled list -> Defense.finding;
 }
 
-type report = (string * bool * string) list
+type report = Defense.verdict list
 
 type t = {
   mutable checks : check list;
@@ -23,76 +23,65 @@ let artifact_key c =
 
 let inline_size_limit = 1024 * 1024
 
+(* A check that flags a subset of the artifacts: the finding carries
+   the first offender as its path so the verdict points at a file. *)
+let flagging ~none ~some bad =
+  match bad with
+  | [] -> Defense.finding ~ok:true none
+  | offender :: _ ->
+      Defense.finding ~ok:false
+        ~at:offender.Compiler.artifact_path
+        (some ^ String.concat ", " (List.map (fun c -> c.Compiler.artifact_path) bad))
+
 let default_checks () =
   [
     {
       check_name = "json-roundtrip";
       run =
         (fun artifacts ->
-          let bad =
-            List.filter
-              (fun c ->
-                match Cm_json.Parser.parse c.Compiler.json_text with
-                | Ok parsed -> not (Cm_json.Value.equal parsed c.Compiler.json)
-                | Error _ ->
-                    (* Raw non-JSON configs are stored as strings and
-                       are exempt from the round-trip requirement. *)
-                    c.Compiler.type_name <> None)
-              artifacts
-          in
-          if bad = [] then true, "all artifacts round-trip"
-          else
-            ( false,
-              "non-round-tripping artifacts: "
-              ^ String.concat ", " (List.map (fun c -> c.Compiler.artifact_path) bad) ));
+          List.filter
+            (fun c ->
+              match Cm_json.Parser.parse c.Compiler.json_text with
+              | Ok parsed -> not (Cm_json.Value.equal parsed c.Compiler.json)
+              | Error _ ->
+                  (* Raw non-JSON configs are stored as strings and
+                     are exempt from the round-trip requirement. *)
+                  c.Compiler.type_name <> None)
+            artifacts
+          |> flagging ~none:"all artifacts round-trip"
+               ~some:"non-round-tripping artifacts: ");
     };
     {
       check_name = "size-limit";
       run =
         (fun artifacts ->
-          let oversize =
-            List.filter
-              (fun c -> String.length c.Compiler.json_text > inline_size_limit)
-              artifacts
-          in
-          if oversize = [] then true, "all artifacts within inline size limit"
-          else
-            ( false,
-              "artifacts above 1MB (use PackageVessel): "
-              ^ String.concat ", " (List.map (fun c -> c.Compiler.artifact_path) oversize) ));
+          List.filter
+            (fun c -> String.length c.Compiler.json_text > inline_size_limit)
+            artifacts
+          |> flagging ~none:"all artifacts within inline size limit"
+               ~some:"artifacts above 1MB (use PackageVessel): ");
     };
     {
       check_name = "no-empty-export";
       run =
         (fun artifacts ->
-          let empty =
-            List.filter
-              (fun c ->
-                match c.Compiler.json with
-                | Cm_json.Value.Assoc [] -> true
-                | _ -> false)
-              artifacts
-          in
-          if empty = [] then true, "no empty exports"
-          else
-            ( false,
-              "empty exports: "
-              ^ String.concat ", " (List.map (fun c -> c.Compiler.artifact_path) empty) ));
+          List.filter
+            (fun c ->
+              match c.Compiler.json with
+              | Cm_json.Value.Assoc [] -> true
+              | _ -> false)
+            artifacts
+          |> flagging ~none:"no empty exports" ~some:"empty exports: ");
     };
     {
       check_name = "schema-hash-present";
       run =
         (fun artifacts ->
-          let missing =
-            List.filter
-              (fun c -> c.Compiler.type_name <> None && c.Compiler.schema_hash = None)
-              artifacts
-          in
-          if missing = [] then true, "typed artifacts carry schema hashes"
-          else
-            ( false,
-              "typed artifacts without schema hash: "
-              ^ String.concat ", " (List.map (fun c -> c.Compiler.artifact_path) missing) ));
+          List.filter
+            (fun c -> c.Compiler.type_name <> None && c.Compiler.schema_hash = None)
+            artifacts
+          |> flagging ~none:"typed artifacts carry schema hashes"
+               ~some:"typed artifacts without schema hash: ");
     };
   ]
 
@@ -105,7 +94,7 @@ let create ?(with_defaults = true) () =
 
 let add_check t check = t.checks <- t.checks @ [ check ]
 
-let passed report = List.for_all (fun (_, ok, _) -> ok) report
+let passed = Defense.all_passed
 
 let run t artifacts =
   (* CI re-validates only artifacts whose bytes it has not already
@@ -118,8 +107,7 @@ let run t artifacts =
   let report =
     List.map
       (fun check ->
-        let ok, detail = check.run fresh in
-        check.check_name, ok, detail)
+        Defense.of_finding ~stage:"sandcastle" ~rule:check.check_name (check.run fresh))
       t.checks
   in
   if passed report then
@@ -129,7 +117,4 @@ let run t artifacts =
 let revalidations_skipped t = t.nskipped
 
 let post_to_review review diff_id report =
-  List.iter
-    (fun (name, passed, detail) ->
-      Review.post_test_result review diff_id ~name ~passed ~detail)
-    report
+  List.iter (fun verdict -> Review.post_verdict review diff_id verdict) report

@@ -5,10 +5,12 @@
 
 type check = {
   check_name : string;
-  run : Compiler.compiled list -> bool * string;  (** (passed, detail) *)
+  run : Compiler.compiled list -> Defense.finding;
+      (** the raw result; {!run} lifts it into a {!Defense.verdict}
+          with stage ["sandcastle"] and rule [check_name] *)
 }
 
-type report = (string * bool * string) list
+type report = Defense.verdict list
 
 type t
 

@@ -189,13 +189,16 @@ let source_of_value ~thrift_imports value =
 (* --- the round trip ---------------------------------------------------- *)
 
 let propose pipeline ~author ~config_path edits ~on_done =
-  let fail message =
+  let reject errors =
     on_done
-      (Pipeline.Rejected_compile
-         [ { Compiler.at = config_path; stage = Compiler.Eval; message } ])
+      (Pipeline.Rejected
+         (Defense.reject ~stage:"compile" (List.map Compiler.verdict_of_error errors)))
+  in
+  let fail message =
+    reject [ { Compiler.at = config_path; stage = Compiler.Eval; message } ]
   in
   match Compiler.compile (Pipeline.compiler pipeline) config_path with
-  | Error e -> on_done (Pipeline.Rejected_compile [ e ])
+  | Error e -> reject [ e ]
   | Ok compiled -> (
       match compiled.Compiler.type_name with
       | None -> fail "UI edits require a typed config"

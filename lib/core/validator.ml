@@ -1,11 +1,15 @@
-type verdict = Pass | Fail of string
+type check_result = Pass | Fail of string
 
-type rule = { rule_name : string; check : Cm_thrift.Value.t -> verdict }
+type rule = {
+  rule_name : string;
+  check : Cm_thrift.Value.t -> check_result;
+  range : (string * int * int) option;
+}
 
-let rule rule_name check = { rule_name; check }
+let rule ?range rule_name check = { rule_name; check; range }
 
 let field_int_range ~field ~min ~max =
-  rule
+  rule ~range:(field, min, max)
     (Printf.sprintf "%s in [%d, %d]" field min max)
     (fun v ->
       match Cm_thrift.Value.field field v with
@@ -133,6 +137,28 @@ let validate t ~type_name v =
   match Hashtbl.find_opt t.by_type type_name with
   | None -> Pass
   | Some rules -> (all !rules).check v
+
+let verdicts t ~type_name ~path v =
+  match Hashtbl.find_opt t.by_type type_name with
+  | None -> []
+  | Some rules ->
+      List.map
+        (fun r ->
+          match r.check v with
+          | Pass -> Defense.pass ~stage:"validator" ~rule:r.rule_name ~path "holds"
+          | Fail reason -> Defense.fail ~stage:"validator" ~rule:r.rule_name ~path reason)
+        !rules
+
+let declared_ranges t ~type_name =
+  match Hashtbl.find_opt t.by_type type_name with
+  | None -> []
+  | Some rules ->
+      List.filter_map
+        (fun r ->
+          match r.range with
+          | Some (field, lo, hi) -> Some (field, (lo, hi))
+          | None -> None)
+        !rules
 
 let registered_types t =
   List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.by_type [])

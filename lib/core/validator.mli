@@ -12,13 +12,22 @@
       [def validate(cfg) = <bool expr>] and are discovered
       automatically from the source tree. *)
 
-type verdict = Pass | Fail of string
+type check_result = Pass | Fail of string
+(** The per-rule primitive.  Stage-level results are reported through
+    the unified {!Defense.verdict} API — see {!verdicts}. *)
 
-type rule = { rule_name : string; check : Cm_thrift.Value.t -> verdict }
+type rule = {
+  rule_name : string;
+  check : Cm_thrift.Value.t -> check_result;
+  range : (string * int * int) option;
+      (** [(field, min, max)] for rules that declare a numeric
+          invariant — the raw material for {!Cm_verify}'s
+          nearest-passing-value repair suggestions *)
+}
 
 (** {1 Combinators} *)
 
-val rule : string -> (Cm_thrift.Value.t -> verdict) -> rule
+val rule : ?range:string * int * int -> string -> (Cm_thrift.Value.t -> check_result) -> rule
 
 val field_int_range : field:string -> min:int -> max:int -> rule
 (** Integer field within bounds (missing field passes — requiredness
@@ -50,8 +59,18 @@ val of_source : type_name:string -> source:string -> (rule, string) result
 
 val register_source : t -> type_name:string -> source:string -> (unit, string) result
 
-val validate : t -> type_name:string -> Cm_thrift.Value.t -> verdict
+val validate : t -> type_name:string -> Cm_thrift.Value.t -> check_result
 (** Runs every rule registered for the type; [Pass] when none is
     registered. *)
+
+val verdicts :
+  t -> type_name:string -> path:string -> Cm_thrift.Value.t -> Defense.verdict list
+(** The unified defense-stage surface: one {!Defense.verdict} (stage
+    ["validator"]) per registered rule, passing or failing. *)
+
+val declared_ranges : t -> type_name:string -> (string * (int * int)) list
+(** Numeric invariants declared for a type via {!field_int_range} —
+    [(field, (min, max))] pairs.  Rules folded through {!all} do not
+    surface their ranges. *)
 
 val registered_types : t -> string list

@@ -1,0 +1,48 @@
+module Defense = Core.Defense
+module Value = Cm_json.Value
+
+type test = Core.Compiler.compiled -> Defense.finding
+
+let ok c note = Defense.finding ~ok:true ~at:c.Core.Compiler.artifact_path note
+let bad c note = Defense.finding ~ok:false ~at:c.Core.Compiler.artifact_path note
+
+let gatekeeper_project ?(ctx = { Cm_gatekeeper.Restraint.laser = None }) ~users () c =
+  match Cm_gatekeeper.Project.of_json c.Core.Compiler.json with
+  | Error reason -> bad c (Printf.sprintf "does not parse as a Gatekeeper project: %s" reason)
+  | Ok project -> (
+      let bad_prob =
+        List.exists
+          (fun rule ->
+            rule.Cm_gatekeeper.Project.pass_prob < 0.0
+            || rule.Cm_gatekeeper.Project.pass_prob > 1.0)
+          project.Cm_gatekeeper.Project.rules
+      in
+      if bad_prob then bad c "a rule's pass probability is outside [0, 1]"
+      else
+        match
+          List.iter
+            (fun user -> ignore (Cm_gatekeeper.Project.check ctx project user))
+            users
+        with
+        | () ->
+            ok c
+              (Printf.sprintf "gk_check evaluated for %d sample users" (List.length users))
+        | exception exn ->
+            bad c (Printf.sprintf "restraint evaluation raised: %s" (Printexc.to_string exn)))
+
+let sitevar_reader ?accept () c =
+  match c.Core.Compiler.json with
+  | Value.Null -> bad c "sitevar reads as null"
+  | json -> (
+      match accept with
+      | None -> ok c "sitevar readable"
+      | Some accept -> (
+          match accept json with
+          | Ok () -> ok c "sitevar satisfies its reader"
+          | Error reason -> bad c (Printf.sprintf "reader rejects the value: %s" reason)))
+
+let mobileconfig_translation () c =
+  match Cm_mobileconfig.Translation.of_json c.Core.Compiler.json with
+  | Ok _ -> ok c "translation-layer mapping parses"
+  | Error reason ->
+      bad c (Printf.sprintf "does not parse as a translation mapping: %s" reason)

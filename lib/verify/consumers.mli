@@ -1,0 +1,32 @@
+(** Preset config tests: consumer code run against proposed artifact
+    values (the verify stage's second half — "configuration testing"
+    in the Xu & Legunsen sense).
+
+    A config test does what the consuming system will do at
+    distribution time, at proposal time: parse the artifact and
+    exercise it the way production would.  A value that parses but
+    breaks its consumer fails {e here}, not in the canary. *)
+
+type test = Core.Compiler.compiled -> Core.Defense.finding
+(** What {!Verify.register_test} accepts. *)
+
+val gatekeeper_project :
+  ?ctx:Cm_gatekeeper.Restraint.ctx ->
+  users:Cm_gatekeeper.User.t list ->
+  unit ->
+  test
+(** Parses the artifact as a Gatekeeper project, checks every rule's
+    pass probability is within [0, 1], and evaluates the gate for each
+    sample user — the paper's restraint evaluation, run before the
+    value can reach facebook.com. *)
+
+val sitevar_reader :
+  ?accept:(Cm_json.Value.t -> (unit, string) result) -> unit -> test
+(** A frontend sitevar read: the artifact must be non-null JSON, and
+    must satisfy [accept] (the reader's expectations, e.g. a type or
+    bounds check) when one is given. *)
+
+val mobileconfig_translation : unit -> test
+(** Parses the artifact as a MobileConfig translation-layer mapping
+    ({!Cm_mobileconfig.Translation.of_json}) — every field must name a
+    well-formed backend before the mapping can go live. *)

@@ -1,0 +1,80 @@
+module Defense = Core.Defense
+module Value = Cm_json.Value
+
+let set_field json field replacement =
+  match json with
+  | Value.Assoc fields when List.mem_assoc field fields ->
+      Some
+        (Value.Assoc
+           (List.map
+              (fun (name, v) -> if String.equal name field then name, replacement else name, v)
+              fields))
+  | _ -> None
+
+(* Clamp candidates for every integer field sitting outside a declared
+   range, nearest bound first: the minimal edit that restores the
+   declared contract. *)
+let range_candidates ~validators ~compiled =
+  match compiled.Core.Compiler.type_name with
+  | None -> []
+  | Some type_name ->
+      let ranges = Core.Validator.declared_ranges validators ~type_name in
+      List.filter_map
+        (fun (field, (lo, hi)) ->
+          match compiled.Core.Compiler.json with
+          | Value.Assoc fields -> (
+              match List.assoc_opt field fields with
+              | Some (Value.Int n) when n < lo || n > hi ->
+                  let bound = if n < lo then lo else hi in
+                  Option.map
+                    (fun json ->
+                      ( abs (n - bound),
+                        json,
+                        Printf.sprintf "%s = %d clamped to %d (nearest bound of [%d, %d])"
+                          field n bound lo hi ))
+                    (set_field compiled.Core.Compiler.json field (Value.Int bound))
+              | _ -> None)
+          | _ -> None)
+        ranges
+      |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+      |> List.map (fun (_, json, note) -> json, note)
+
+(* Committed history of the artifact, most recent first, skipping
+   revisions byte-identical to the proposal. *)
+let landed_candidates ~repo ~compiled =
+  let path = compiled.Core.Compiler.artifact_path in
+  List.filter_map
+    (fun (oid, _) ->
+      match Cm_vcs.Repo.read_file ~rev:oid repo path with
+      | Some text when not (String.equal text compiled.Core.Compiler.json_text) -> (
+          match Cm_json.Parser.parse text with
+          | Ok json ->
+              Some
+                ( json,
+                  Printf.sprintf "last-landed value of %s (revision %s)" path
+                    (String.sub oid 0 (Int.min 8 (String.length oid))) )
+          | Error _ -> None)
+      | _ -> None)
+    (Cm_vcs.Repo.path_history repo path)
+
+let suggest ?validators ?repo ~compiled ~accepts () =
+  let pick origin candidates =
+    List.find_map
+      (fun (json, note) ->
+        if accepts json then
+          Some (Defense.repair ~origin ~suggestion:(Value.to_compact_string json) note)
+        else None)
+      candidates
+  in
+  let from_ranges =
+    match validators with
+    | None -> None
+    | Some validators ->
+        pick "validator-range" (range_candidates ~validators ~compiled)
+  in
+  match from_ranges with
+  | Some _ as repair -> repair
+  | None -> (
+      match repo with
+      | None -> None
+      | Some repo -> pick "last-landed" (landed_candidates ~repo ~compiled))

@@ -1,0 +1,26 @@
+(** Tortoise-style minimal repair suggestions for failing verify
+    verdicts (after "Tortoise: Interactive System Configuration
+    Repair" — suggest the {e nearest} passing value, don't guess).
+
+    Two candidate sources, tried in order:
+    + {b validator-range}: if the artifact has an integer field outside
+      an invariant declared via {!Core.Validator.field_int_range},
+      clamp it to the nearest bound — the smallest change that
+      satisfies the declared contract;
+    + {b last-landed}: the most recent committed artifact content that
+      differs from the proposal ({!Cm_vcs.Repo.path_history}) — roll
+      the value back to what production last ran.
+
+    Every candidate is re-run through the failing check ([accepts])
+    before it is suggested; a repair that does not actually pass is
+    never surfaced. *)
+
+val suggest :
+  ?validators:Core.Validator.t ->
+  ?repo:Cm_vcs.Repo.t ->
+  compiled:Core.Compiler.compiled ->
+  accepts:(Cm_json.Value.t -> bool) ->
+  unit ->
+  Core.Defense.repair option
+(** [accepts] is the failing invariant/config test, re-applied to a
+    candidate replacement for [compiled]'s artifact value. *)

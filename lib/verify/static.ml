@@ -1,0 +1,162 @@
+module ST = Core.Source_tree
+module Defense = Core.Defense
+module Ast = Cm_lang.Ast
+
+type check = {
+  check_name : string;
+  run :
+    tree:ST.t ->
+    compiled:Core.Compiler.compiled list ->
+    Defense.finding list;
+}
+
+(* The cone's source closure: every config plus everything it imports. *)
+let reachable compiled =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun c -> c.Core.Compiler.config_path :: c.Core.Compiler.deps)
+       compiled)
+
+let is_csl path =
+  match ST.kind_of_path path with
+  | ST.Cconf | ST.Cinc | ST.Cvalidator -> true
+  | ST.Thrift | ST.Raw -> false
+
+let parsed tree paths =
+  List.filter_map
+    (fun path ->
+      if not (is_csl path) then None
+      else
+        match ST.read tree path with
+        | None -> None
+        | Some source -> (
+            (* Unparseable sources are the compiler's problem, not ours. *)
+            match Cm_lang.Parser.parse source with
+            | Error _ -> None
+            | Ok file -> Some (path, file)))
+    paths
+
+let csl_imports file =
+  List.filter_map
+    (function `Csl p -> Some p | `Thrift _ -> None)
+    (Ast.imports file)
+
+let cycles =
+  {
+    check_name = "dep-cycle";
+    run =
+      (fun ~tree ~compiled ->
+        let files = parsed tree (reachable compiled) in
+        let adj = Hashtbl.create 16 in
+        List.iter
+          (fun (path, file) -> Hashtbl.replace adj path (csl_imports file))
+          files;
+        let state = Hashtbl.create 16 in
+        let found = ref [] in
+        let rec dfs stack path =
+          match Hashtbl.find_opt state path with
+          | Some `Done -> ()
+          | Some `Active ->
+              (* Back edge: the cycle is the stack suffix from [path],
+                 closed by repeating [path] at the end. *)
+              let rec take acc = function
+                | [] -> acc
+                | p :: rest -> if p = path then p :: acc else take (p :: acc) rest
+              in
+              found := (take [] stack @ [ path ]) :: !found
+          | None ->
+              Hashtbl.replace state path `Active;
+              List.iter
+                (fun dep -> if Hashtbl.mem adj dep then dfs (path :: stack) dep)
+                (Option.value ~default:[] (Hashtbl.find_opt adj path));
+              Hashtbl.replace state path `Done
+        in
+        List.iter (fun (path, _) -> dfs [] path) files;
+        List.rev_map
+          (fun cycle ->
+            Defense.finding ~ok:false ~at:(List.hd cycle)
+              (Printf.sprintf "import cycle: %s" (String.concat " -> " cycle)))
+          !found);
+  }
+
+let bound_names file =
+  List.filter_map
+    (fun (stmt, _) ->
+      match stmt with
+      | Ast.Bind (name, _) | Ast.Def (name, _, _) -> Some name
+      | Ast.Import _ | Ast.Import_thrift _ | Ast.Export _ -> None)
+    file.Ast.stmts
+
+let shadowed_exports =
+  {
+    check_name = "shadowed-export";
+    run =
+      (fun ~tree ~compiled ->
+        let files = parsed tree (reachable compiled) in
+        let exports_of =
+          let table = Hashtbl.create 16 in
+          List.iter (fun (path, file) -> Hashtbl.replace table path (bound_names file)) files;
+          fun path -> Option.value ~default:[] (Hashtbl.find_opt table path)
+        in
+        List.concat_map
+          (fun (path, file) ->
+            (* Walk the statements in evaluation order, tracking where
+               each name last came from. *)
+            let env = Hashtbl.create 16 in
+            let findings = ref [] in
+            let flag note = findings := Defense.finding ~ok:false ~at:path note :: !findings in
+            List.iter
+              (fun (stmt, _) ->
+                match stmt with
+                | Ast.Import dep ->
+                    List.iter
+                      (fun name ->
+                        (match Hashtbl.find_opt env name with
+                        | Some (`Import other) when other <> dep ->
+                            flag
+                              (Printf.sprintf
+                                 "%s: import of %S shadows %S already imported from %S"
+                                 path name name other)
+                        | Some (`Import _) | Some `Local | None -> ());
+                        Hashtbl.replace env name (`Import dep))
+                      (exports_of dep)
+                | Ast.Bind (name, _) | Ast.Def (name, _, _) ->
+                    (match Hashtbl.find_opt env name with
+                    | Some (`Import dep) ->
+                        flag
+                          (Printf.sprintf "%s: local binding %S shadows the export of %S"
+                             path name dep)
+                    | Some `Local | None -> ());
+                    Hashtbl.replace env name `Local
+                | Ast.Import_thrift _ | Ast.Export _ -> ())
+              file.Ast.stmts;
+            List.rev !findings)
+          files);
+  }
+
+let artifact_collisions =
+  {
+    check_name = "artifact-collision";
+    run =
+      (fun ~tree:_ ~compiled ->
+        let by_artifact = Hashtbl.create 16 in
+        List.iter
+          (fun c ->
+            let key = c.Core.Compiler.artifact_path in
+            let sources = Option.value ~default:[] (Hashtbl.find_opt by_artifact key) in
+            Hashtbl.replace by_artifact key (c.Core.Compiler.config_path :: sources))
+          compiled;
+        Hashtbl.fold
+          (fun artifact sources acc ->
+            match List.sort_uniq String.compare sources with
+            | _ :: _ :: _ as many ->
+                Defense.finding ~ok:false ~at:artifact
+                  (Printf.sprintf "artifact %s produced by multiple configs: %s" artifact
+                     (String.concat ", " many))
+                :: acc
+            | _ -> acc)
+          by_artifact []
+        |> List.sort (fun a b -> String.compare a.Defense.at b.Defense.at));
+  }
+
+let all = [ cycles; shadowed_exports; artifact_collisions ]

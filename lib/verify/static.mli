@@ -1,0 +1,39 @@
+(** Static cross-artifact checks over a proposed change's compiled
+    cone — the first half of the verify stage.
+
+    Each check inspects the cone's sources and artifacts {e together}
+    and returns failure findings; the registry ({!Verify}) lifts them
+    into stage-["verify"] verdicts.  Unlike validators, which see one
+    config value at a time, these checks see relations {e between}
+    files — the error class that slips past per-config validation.
+
+    Checks are scoped to the change's cone (the compiled configs plus
+    their transitive import closures), so a pre-existing oddity in an
+    untouched corner of the tree cannot bounce an unrelated change. *)
+
+type check = {
+  check_name : string;
+  run :
+    tree:Core.Source_tree.t ->
+    compiled:Core.Compiler.compiled list ->
+    Core.Defense.finding list;
+      (** failure findings only; an empty list means the check passed *)
+}
+
+val cycles : check
+(** Import cycles among the cone's CSL sources.  The evaluator aborts
+    on a cycle it actually walks; this catches {e latent} cycles —
+    through imports a config does not currently reach at runtime —
+    before they bite whoever adds the triggering reference. *)
+
+val shadowed_exports : check
+(** A [Bind]/[Def] that silently rebinds a name an earlier [import]
+    brought in, or two imports exporting the same name: the classic
+    "my constant was quietly overridden" error. *)
+
+val artifact_collisions : check
+(** Two configs in the cone compiling to the same artifact path —
+    whichever lands last silently wins. *)
+
+val all : check list
+(** The standard set, in the order above. *)

@@ -1,0 +1,131 @@
+module Defense = Core.Defense
+module Compiler = Core.Compiler
+module Pipeline = Core.Pipeline
+
+type invariant = Compiler.compiled list -> Defense.finding
+
+type t = {
+  static_checks : Static.check list;
+  mutable invariants : (string * string * invariant) list;
+  mutable tests : (string * string * Consumers.test) list;
+  mutable nrun : int;
+  mutable nfailed : int;
+  mutable nrepairs : int;
+}
+
+let create ?(static_checks = []) () =
+  { static_checks; invariants = []; tests = []; nrun = 0; nfailed = 0; nrepairs = 0 }
+
+let standard () = create ~static_checks:Static.all ()
+
+let register_invariant t ~name ~prefix invariant =
+  t.invariants <- t.invariants @ [ name, prefix, invariant ]
+
+let register_test t ~name ~prefix test = t.tests <- t.tests @ [ name, prefix, test ]
+
+let is_empty t = t.static_checks = [] && t.invariants = [] && t.tests = []
+
+let checks_run t = t.nrun
+let failures t = t.nfailed
+let repairs_suggested t = t.nrepairs
+
+let prefix_matches ~prefix path =
+  String.length path >= String.length prefix
+  && String.equal (String.sub path 0 (String.length prefix)) prefix
+
+let under_prefix ~prefix compiled =
+  List.filter
+    (fun c ->
+      prefix_matches ~prefix c.Compiler.config_path
+      || prefix_matches ~prefix c.Compiler.artifact_path)
+    compiled
+
+(* A candidate repair replaces one artifact's value; re-running the
+   failing check on the patched artifact decides acceptance. *)
+let with_json c json =
+  let json_text = Cm_json.Value.to_compact_string json in
+  { c with Compiler.json; json_text; digest = Compiler.digest_of_text json_text }
+
+let note t verdict =
+  t.nrun <- t.nrun + 1;
+  if not verdict.Defense.passed then t.nfailed <- t.nfailed + 1;
+  if verdict.Defense.repair <> None then t.nrepairs <- t.nrepairs + 1;
+  verdict
+
+let run t (input : Pipeline.verify_input) =
+  let compiled = input.Pipeline.verify_compiled in
+  let repair_for ~target ~accepts =
+    Repair.suggest ~validators:input.Pipeline.verify_validators
+      ~repo:input.Pipeline.verify_repo ~compiled:target ~accepts ()
+  in
+  let statics =
+    List.concat_map
+      (fun check ->
+        match check.Static.run ~tree:input.Pipeline.verify_tree ~compiled with
+        | [] ->
+            [ note t (Defense.pass ~stage:"verify" ~rule:check.Static.check_name "clean") ]
+        | findings ->
+            List.map
+              (fun f ->
+                note t (Defense.of_finding ~stage:"verify" ~rule:check.Static.check_name f))
+              findings)
+      t.static_checks
+  in
+  let invariants =
+    List.filter_map
+      (fun (name, prefix, invariant) ->
+        match under_prefix ~prefix compiled with
+        | [] -> None
+        | subset ->
+            let finding = invariant subset in
+            let verdict = Defense.of_finding ~stage:"verify" ~rule:name finding in
+            let verdict =
+              if verdict.Defense.passed then verdict
+              else
+                (* Repair the artifact the invariant blames, if it is
+                   part of the cone. *)
+                match
+                  List.find_opt
+                    (fun c ->
+                      String.equal c.Compiler.artifact_path finding.Defense.at
+                      || String.equal c.Compiler.config_path finding.Defense.at)
+                    subset
+                with
+                | None -> verdict
+                | Some target ->
+                    let accepts json =
+                      let patched =
+                        List.map
+                          (fun c ->
+                            if String.equal c.Compiler.artifact_path target.Compiler.artifact_path
+                            then with_json c json
+                            else c)
+                          subset
+                      in
+                      (invariant patched).Defense.ok
+                    in
+                    { verdict with Defense.repair = repair_for ~target ~accepts }
+            in
+            Some (note t verdict))
+      t.invariants
+  in
+  let tests =
+    List.concat_map
+      (fun (name, prefix, test) ->
+        List.map
+          (fun c ->
+            let finding = test c in
+            let verdict = Defense.of_finding ~stage:"verify" ~rule:name finding in
+            let verdict =
+              if verdict.Defense.passed then verdict
+              else
+                let accepts json = (test (with_json c json)).Defense.ok in
+                { verdict with Defense.repair = repair_for ~target:c ~accepts }
+            in
+            note t verdict)
+          (under_prefix ~prefix compiled))
+      t.tests
+  in
+  statics @ invariants @ tests
+
+let attach t pipeline = Pipeline.set_verify pipeline (run t)

@@ -1,4 +1,5 @@
 module ST = Core.Source_tree
+module Defense = Core.Defense
 module Validator = Core.Validator
 module Compiler = Core.Compiler
 module Depgraph = Core.Depgraph
@@ -409,7 +410,10 @@ let sandcastle_tests =
     Alcotest.test_case "custom check runs" `Quick (fun () ->
         let sandcastle = Sandcastle.create ~with_defaults:false () in
         Sandcastle.add_check sandcastle
-          { Sandcastle.check_name = "always-no"; run = (fun _ -> false, "nope") };
+          {
+            Sandcastle.check_name = "always-no";
+            run = (fun _ -> Defense.finding ~ok:false "nope");
+          };
         let report = Sandcastle.run sandcastle [] in
         Alcotest.(check bool) "failed" false (Sandcastle.passed report));
   ]
@@ -753,10 +757,10 @@ def create_job(name, memory = 1024) =
               match Review.get review id with
               | Some diff ->
                   List.exists
-                    (fun (name, passed, _) ->
-                      (not passed)
-                      && String.length name >= 13
-                      && String.sub name 0 13 = "schema-compat")
+                    (fun v ->
+                      (not v.Defense.passed)
+                      && String.length v.Defense.rule >= 13
+                      && String.sub v.Defense.rule 0 13 = "schema-compat")
                     diff.Review.test_results
               | None -> false)
             [ 1; 2; 3 ]
@@ -1123,8 +1127,9 @@ let risk_tests =
           List.exists
             (fun diff ->
               List.exists
-                (fun (name, _, _) ->
-                  String.length name >= 9 && String.sub name 0 9 = "risk-flag")
+                (fun v ->
+                  String.length v.Defense.rule >= 9
+                  && String.sub v.Defense.rule 0 9 = "risk-flag")
                 diff.Review.test_results)
             (List.filter_map (fun id -> Review.get review id) [ 1; 2; 3 ])
         in
