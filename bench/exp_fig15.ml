@@ -49,6 +49,10 @@ let build_runtime () =
 
 let run () =
   Render.section "fig15" "Figure 15: Gatekeeper check throughput";
+  (* This figure is deliberately pinned to the single-domain path: one
+     thread of checks, so the number is directly comparable to the
+     paper's per-core rate.  Multicore scaling is the "gk"
+     experiment's job. *)
   let runtime = build_runtime () in
   let rng = Rng.create 15L in
   let users = Array.init 4096 (fun _ -> User.random rng) in
@@ -64,6 +68,23 @@ let run () =
   done;
   let elapsed = Unix.gettimeofday () -. start in
   let per_core = float_of_int iterations /. elapsed in
+  assert (Runtime.domains_seen runtime = 1);
+
+  (* Same workload through the declared restraint order: the
+     cost-based reordering must beat it on evaluated restraint cost. *)
+  let naive = build_runtime () in
+  for i = 0 to iterations - 1 do
+    ignore (Runtime.check_naive naive names.(i mod 50) users.(i land 4095))
+  done;
+  let opt_cost = Runtime.evaluated_cost runtime /. float_of_int (Runtime.checks_performed runtime) in
+  let naive_cost = Runtime.evaluated_cost naive /. float_of_int (Runtime.checks_performed naive) in
+  if opt_cost >= naive_cost then
+    failwith
+      (Printf.sprintf "fig15: optimized order cost %.4f not below naive %.4f"
+         opt_cost naive_cost);
+  Render.kv "evaluated cost per check, optimized vs naive"
+    (Printf.sprintf "%.4f vs %.4f (%.0f%% saved)" opt_cost naive_cost
+       (100.0 *. (1.0 -. (opt_cost /. naive_cost))));
 
   (* Fleet model: frontend requests run tens of checks each; the site
      peaks at billions of checks/sec across hundreds of thousands of

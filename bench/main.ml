@@ -19,6 +19,7 @@ let experiments : (string * string * (unit -> unit)) list =
     "fig13", "commit throughput vs repo size (measured)", Exp_fig13.run;
     "fig14", "commit-to-fleet propagation latency (simulated)", Exp_fig14.run;
     "fig15", "Gatekeeper check throughput", Exp_fig15.run;
+    "gk", "multicore Gatekeeper/Laser: scaling under config churn", Exp_gk.run;
     "tab4", "error defense in depth", Exp_tab4.run;
     "verify", "verify-stage ablation: escapes with/without the correctness plane", Exp_verify.run;
     "pv", "PackageVessel distribution", Exp_pv.run;

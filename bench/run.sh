@@ -1,11 +1,11 @@
 #!/bin/sh
 # Headless driver for the performance benchmarks: builds the harness
 # and leaves BENCH_incremental.json / BENCH_distribution.json /
-# BENCH_trace.json / BENCH_vcs.json / BENCH_verify.json in the
-# repository root.
+# BENCH_trace.json / BENCH_vcs.json / BENCH_verify.json /
+# BENCH_gatekeeper.json in the repository root.
 #
-#   bench/run.sh          # full scale: incr + dist + trace + vcs + fleet + verify
-#   bench/run.sh --quick  # reduced-scale dist/trace/vcs/fleet/verify + JSON shape checks
+#   bench/run.sh          # full scale: incr + dist + trace + vcs + fleet + verify + gk
+#   bench/run.sh --quick  # reduced-scale dist/trace/vcs/fleet/verify/gk + JSON shape checks
 set -eu
 cd "$(dirname "$0")/.."
 dune build bench/main.exe
@@ -45,6 +45,11 @@ if [ "${1:-}" = "--quick" ]; then
     '"escapes_below_threshold": true' '"escapes_below_baseline": true' \
     '"baseline_rows"' '"verify_rows"' '"e2e_caught_at": "verify"' \
     '"e2e_verdicts_on_review": true'
+  CM_GK_QUICK=1 dune exec bench/main.exe -- --only gk
+  check_shape BENCH_gatekeeper.json \
+    '"rows"' '"scaling_mode"' '"scaling_4v1_x100"' '"scaling_ok": true' \
+    '"p99_storm_ok": true' '"visibility_ok": true' '"snapshot_swaps"' \
+    '"laser_generation"' '"exposures_recorded"'
 else
-  dune exec bench/main.exe -- --only incr dist trace vcs fleet verify
+  dune exec bench/main.exe -- --only incr dist trace vcs fleet verify gk
 fi

@@ -334,6 +334,129 @@ let gk_check_cmd =
     (Cmd.info "gk-check" ~doc)
     Term.(const run_gk_check $ project $ user_id $ employee $ country $ device)
 
+(* --- gk ----------------------------------------------------------------- *)
+
+(* Multicore runtime observability: run a self-contained check
+   workload across N domains (optionally under config churn) and dump
+   the runtime's counters — the same numbers a production host would
+   export to its monitoring agent. *)
+
+let run_gk_stats domains checks nprojects churn =
+  let module Runtime = Cm_gatekeeper.Runtime in
+  let module Project = Cm_gatekeeper.Project in
+  let module User = Cm_gatekeeper.User in
+  let module Exposure = Cm_gatekeeper.Exposure in
+  let module Laser = Cm_laser.Laser in
+  let laser = Laser.create ~shards:16 () in
+  let exposures = Exposure.Log.create () in
+  let ctx = { Cm_gatekeeper.Restraint.laser = Some laser } in
+  let runtime = Runtime.create ~ctx ~exposures ~clock:Unix.gettimeofday () in
+  let name i = Printf.sprintf "proj_%02d" i in
+  for i = 0 to nprojects - 1 do
+    Runtime.load runtime
+      (if i mod 5 = 4 then
+         Project.make ~name:(name i)
+           [
+             Project.rule
+               [
+                 Cm_gatekeeper.Restraint.make
+                   (Cm_gatekeeper.Restraint.Laser_above ("trend", 0.5));
+               ];
+           ]
+       else
+         Project.staged ~name:(name i) ~employee_prob:1.0
+           ~world_prob:(float_of_int (1 + (i mod 20)) /. 100.0))
+  done;
+  let rng = Cm_sim.Rng.create 9L in
+  let users = Array.init 1024 (fun _ -> User.random rng) in
+  Array.iter
+    (fun u -> Laser.put laser ("trend-" ^ Int64.to_string u.User.id) 0.9)
+    users;
+  let per_domain = max 1 (checks / max 1 domains) in
+  let stop = Atomic.make false in
+  let writer =
+    if not churn then None
+    else
+      Some
+        (Domain.spawn (fun () ->
+             let wrng = Cm_sim.Rng.create 11L in
+             while not (Atomic.get stop) do
+               (* Republish a (non-laser) project with a new rollout
+                  fraction — a live rollout expansion. *)
+               let i = Cm_sim.Rng.int wrng nprojects in
+               let i = if i mod 5 = 4 then i - 1 else i in
+               Runtime.load runtime
+                 (Project.staged ~name:(name i) ~employee_prob:1.0
+                    ~world_prob:(Cm_sim.Rng.float wrng 0.05));
+               Laser.stream_upsert laser [ "trend-churn", Cm_sim.Rng.float wrng 1.0 ];
+               Unix.sleepf 0.001
+             done))
+  in
+  let start = Unix.gettimeofday () in
+  let readers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let drng = Cm_sim.Rng.create (Int64.of_int (100 + d)) in
+            for _ = 1 to per_domain do
+              ignore
+                (Runtime.check runtime
+                   (name (Cm_sim.Rng.int drng nprojects))
+                   users.(Cm_sim.Rng.int drng 1024))
+            done))
+  in
+  List.iter Domain.join readers;
+  let wall = Unix.gettimeofday () -. start in
+  Atomic.set stop true;
+  Option.iter Domain.join writer;
+  let performed = Runtime.checks_performed runtime in
+  Printf.printf "domains seen             %d\n" (Runtime.domains_seen runtime);
+  Printf.printf "checks performed         %d (%.2fM checks/s aggregate)\n" performed
+    (float_of_int performed /. wall /. 1e6);
+  Printf.printf "snapshot swaps (epoch)   %d\n" (Runtime.snapshot_swaps runtime);
+  Printf.printf "snapshots retained       %d\n" (Runtime.retained_snapshots runtime);
+  Printf.printf "snapshots reclaimed      %d\n" (Runtime.reclaimed_snapshots runtime);
+  Printf.printf "evaluated restraints     %d\n" (Runtime.evaluated_restraints runtime);
+  Printf.printf "evaluated cost           %.1f (%.4f per check)\n"
+    (Runtime.evaluated_cost runtime)
+    (Runtime.evaluated_cost runtime /. float_of_int (max 1 performed));
+  Printf.printf "laser shards/generation  %d/%d (%d reads)\n" (Laser.shard_count laser)
+    (Laser.generation laser) (Laser.reads laser);
+  Printf.printf "exposures recorded       %d (%d dropped by ring caps)\n"
+    (Exposure.Log.recorded exposures)
+    (Exposure.Log.dropped exposures);
+  0
+
+let gk_cmd =
+  let stats_doc =
+    "Run a self-contained multi-domain check workload and report the \
+     runtime's counters: domains seen, snapshot swaps and reclamation, \
+     evaluated restraint cost, Laser generations, exposure records."
+  in
+  let domains =
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N" ~doc:"Reader domains to spawn.")
+  in
+  let checks =
+    Arg.(
+      value & opt int 200_000
+      & info [ "checks" ] ~docv:"N" ~doc:"Total checks across all domains.")
+  in
+  let projects =
+    Arg.(value & opt int 20 & info [ "projects" ] ~docv:"N" ~doc:"Projects to load.")
+  in
+  let churn =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:"Publish config updates from a writer domain while checks run.")
+  in
+  let stats_cmd =
+    Cmd.v (Cmd.info "stats" ~doc:stats_doc)
+      Term.(const run_gk_stats $ domains $ checks $ projects $ churn)
+  in
+  Cmd.group
+    (Cmd.info "gk" ~doc:"Multicore Gatekeeper runtime observability.")
+    [ stats_cmd ]
+
 (* --- whereis ------------------------------------------------------------ *)
 
 (* "Where is my config?": compile one config, push it through a
@@ -566,6 +689,7 @@ let () =
             deps_cmd;
             affected_cmd;
             gk_check_cmd;
+            gk_cmd;
             whereis_cmd;
             repo_cmd;
           ]))

@@ -49,4 +49,29 @@ if [ "$escaped" -ge "$ceiling" ]; then
 fi
 echo "verify-stage escapes: $escaped (ceiling $ceiling)"
 
+echo "== ci/check: multicore gatekeeper gates =="
+# The gk bench computes 1->4-domain scaling (measured on >=4-core
+# hosts, efficiency-projected elsewhere — see bench/exp_gk.ml); a
+# reader path that takes a lock convoys and lands far below the 1.8x
+# floor either way.  The bools assert storm p99 <= 3x quiescent and
+# update-visibility lag p99 <= 250ms.
+scaling=$(sed -n 's/^  "scaling_4v1_x100": \([0-9]*\).*/\1/p' BENCH_gatekeeper.json | head -n 1)
+if [ -z "$scaling" ]; then
+  echo "ci/check: BENCH_gatekeeper.json missing scaling_4v1_x100" >&2
+  exit 1
+fi
+if [ "$scaling" -lt 180 ]; then
+  echo "ci/check: gk 1->4 domain scaling too low: ${scaling}/100 < 1.8x" >&2
+  exit 1
+fi
+if ! grep -q '"p99_storm_ok": true' BENCH_gatekeeper.json; then
+  echo "ci/check: gk storm p99 exceeded 3x quiescent" >&2
+  exit 1
+fi
+if ! grep -q '"visibility_ok": true' BENCH_gatekeeper.json; then
+  echo "ci/check: gk update-visibility lag exceeded bound" >&2
+  exit 1
+fi
+echo "gk scaling: ${scaling}/100 (floor 180); storm p99 and visibility lag within bounds"
+
 echo "== ci/check: OK =="

@@ -43,12 +43,35 @@ let assign ctx t user =
     end
   end
 
+let exposure_record t user variant ~now outcome =
+  {
+    Exposure.source = t.ename;
+    variant = variant.variant_name;
+    user_id = user.User.id;
+    segment = user.User.country;
+    at = now;
+    outcome;
+  }
+
+let assign_logged ctx t log ~now user =
+  match assign ctx t user with
+  | None -> None
+  | Some variant ->
+      Exposure.Log.record log (exposure_record t user variant ~now None);
+      Some variant
+
 let record t _user variant outcome =
   match Hashtbl.find_opt t.outcomes variant.variant_name with
   | Some stats ->
       stats.n <- stats.n + 1;
       stats.sum <- stats.sum +. outcome
   | None -> Hashtbl.replace t.outcomes variant.variant_name { n = 1; sum = outcome }
+
+let observe t log ~now user variant outcome =
+  record t user variant outcome;
+  Exposure.Log.record log (exposure_record t user variant ~now (Some outcome))
+
+let exposures t log = Exposure.of_source t.ename (Exposure.Log.drain log)
 
 let results t =
   List.map

@@ -35,6 +35,24 @@ val assign : Restraint.ctx -> t -> User.t -> variant option
 val record : t -> User.t -> variant -> float -> unit
 (** Log one outcome observation (e.g. echo score) for a user's arm. *)
 
+(** {1 Exposure-fed analysis}
+
+    Check-time exposure records feed the segment and time-window
+    aggregations in {!Exposure}; these entry points write them. *)
+
+val assign_logged :
+  Restraint.ctx -> t -> Exposure.Log.t -> now:float -> User.t -> variant option
+(** {!assign}, also appending an exposure record (variant, user
+    segment, timestamp) to the calling domain's buffer on enrollment. *)
+
+val observe : t -> Exposure.Log.t -> now:float -> User.t -> variant -> float -> unit
+(** {!record} an outcome and append the outcome-bearing exposure
+    record, so windowed/segmented means can be computed later. *)
+
+val exposures : t -> Exposure.Log.t -> Exposure.record list
+(** This experiment's records from the log, ready for
+    [Exposure.by_variant] / [by_segment] / [by_window] / [lift]. *)
+
 val results : t -> (string * int * float) list
 (** [(variant, observations, mean outcome)] per arm. *)
 

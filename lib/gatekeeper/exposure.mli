@@ -1,0 +1,64 @@
+(** Exposure logging: the record a server writes every time a gate or
+    experiment decision touches a user, and the segment/time-window
+    aggregations experiment analysis runs over those records (§4, §5 —
+    the paper's experiments observe live outcomes per variant before a
+    winner is frozen into a constant config).
+
+    Built for the multicore check hot path: each domain appends to its
+    own bounded ring buffer with no locks or atomics per record;
+    analysis merges the buffers on demand. *)
+
+type record = {
+  source : string;          (** project or experiment name *)
+  variant : string;         (** "pass"/"fail" for gates; arm name for experiments *)
+  user_id : int64;
+  segment : string;         (** e.g. the user's country *)
+  at : float;               (** caller-supplied clock value *)
+  outcome : float option;   (** metric observation, if any *)
+}
+
+module Log : sig
+  type t
+
+  val create : ?cap:int -> unit -> t
+  (** [cap] bounds each domain's buffer (default 65536); beyond it the
+      oldest records of that domain are overwritten. *)
+
+  val record : t -> record -> unit
+  (** Lock-free append to the calling domain's buffer. *)
+
+  val length : t -> int
+  (** Records currently held across all domains. *)
+
+  val recorded : t -> int
+  (** Records ever appended (≥ [length]). *)
+
+  val dropped : t -> int
+  (** Records lost to ring overwrite. *)
+
+  val drain : t -> record list
+  (** Merge every domain's buffer, ordered by [at].  Call after the
+      recording domains have quiesced for an exact view. *)
+end
+
+(** {1 Aggregation} *)
+
+val of_source : string -> record list -> record list
+(** Restrict to one project/experiment. *)
+
+val by_variant : record list -> (string * int * float) list
+(** [(variant, exposures, mean outcome)] — mean is [nan] with no
+    outcome-bearing records. *)
+
+val by_segment : record list -> (string * string * int * float) list
+(** [(variant, segment, exposures, mean outcome)]: per-variant
+    breakdown by user segment. *)
+
+val by_window : window:float -> record list -> (string * int * int * float) list
+(** [(variant, window index, exposures, mean outcome)] where window
+    [i] covers [at ∈ [i·window, (i+1)·window)]: the time series an
+    experiment dashboard plots. *)
+
+val lift : record list -> control:string -> (string * float) list
+(** Relative mean-outcome lift of every other variant against
+    [control]; empty if the control has no observed outcomes. *)

@@ -1,55 +1,211 @@
-type stat = { restraint : Restraint.t; mutable evals : int; mutable trues : int }
+(* Multicore Gatekeeper runtime.
+
+   The hot path is [check]: millions of calls per second per domain,
+   concurrent with live config updates.  The design splits the state
+   three ways:
+
+   - An immutable *snapshot* — every compiled project (restraints in
+     written order, the cost-based evaluation ordering, pass
+     probabilities) behind one [Atomic.t].  A reader does a single
+     [Atomic.get] per check and never takes a lock; the tables inside
+     a snapshot are frozen at publish time and never mutated.
+
+   - Per-domain *execution statistics* (restraint eval/true counters,
+     check counts, evaluated cost) in [Domain.DLS] accumulators.  The
+     hot path writes plain ints into its own domain's arrays — no
+     shared counter, no contention.  Accumulators are merged at
+     reoptimize boundaries, so the cost-based ordering converges on
+     fleet-wide selectivities without a shared hot spot.
+
+   - A *writer side*: [load]/[unload]/[reoptimize] build the next
+     snapshot off to the side under a writer mutex and publish it with
+     an epoch-bumping atomic store.  Retired snapshots are reclaimed
+     epoch-style: each domain records the epoch of the snapshot it is
+     using; once every registered reader has observed a later epoch,
+     the old snapshot is dropped from the retire list (the OCaml GC
+     does the actual freeing — the protocol bounds how long superseded
+     snapshots stay reachable and makes the lag observable).  A small
+     hard cap bounds the retire list even if an idle domain never
+     advances its epoch. *)
 
 type compiled_rule = {
-  stats : stat array;          (* written order *)
-  mutable order : int array;   (* evaluation order: indices into stats *)
+  restraints : Restraint.t array;  (* written order *)
+  costs : float array;             (* static_cost per restraint, written order *)
+  order : int array;               (* evaluation order; frozen per snapshot *)
   pass_prob : float;
   salt : string;
 }
 
 type compiled = {
   project : Project.t;
+  stamp : int;        (* identity of this load: per-domain stats reset on change *)
   crules : compiled_rule array;
-  mutable checks_since_opt : int;
+}
+
+type snapshot = {
+  (* Frozen at publish: readers only ever call [Hashtbl.find_opt]. *)
+  projects : (string, compiled) Hashtbl.t;
+  epoch : int;
+}
+
+(* Per-domain, per-project stat arrays, shaped like the compiled rules
+   and keyed by the load stamp (a reload resets them). *)
+type proj_stats = {
+  p_stamp : int;
+  evals : int array array;  (* per rule, per restraint, written indices *)
+  trues : int array array;
+}
+
+type local = {
+  mutable l_checks : int;
+  mutable l_evals : int;
+  mutable l_cost : float;
+  mutable l_since_opt : int;
+  mutable l_epoch : int;  (* epoch of the snapshot this domain last used *)
+  tbl : (string, proj_stats) Hashtbl.t;
 }
 
 type t = {
   ctx : Restraint.ctx;
   reoptimize_every : int;
-  projects : (string, compiled) Hashtbl.t;
-  mutable nchecks : int;
-  mutable nevals : int;
-  mutable cost : float;
+  clock : unit -> float;
+  exposures : Exposure.Log.t option;
+  root : snapshot Atomic.t;
+  writer : Mutex.t;               (* serializes publishers, never readers *)
+  registry : local list ref;
+  reg_mutex : Mutex.t;            (* guards registration only *)
+  dls : local Domain.DLS.key;
+  stamp_counter : int Atomic.t;
+  mutable retired : snapshot list;  (* under [writer] *)
+  reclaimed : int Atomic.t;
 }
 
-let create ?(ctx = { Restraint.laser = None }) ?(reoptimize_every = 1024) () =
-  { ctx; reoptimize_every; projects = Hashtbl.create 64; nchecks = 0; nevals = 0; cost = 0.0 }
+(* Idle domains never advance their epoch; past this many retired
+   snapshots the oldest are dropped anyway (safe: the GC, not this
+   list, owns their memory). *)
+let max_retired = 4
 
-let compile_project project =
+let create ?(ctx = { Restraint.laser = None }) ?(reoptimize_every = 1024)
+    ?(clock = fun () -> 0.0) ?exposures () =
+  let registry = ref [] in
+  let reg_mutex = Mutex.create () in
+  let dls =
+    Domain.DLS.new_key (fun () ->
+        let local =
+          {
+            l_checks = 0;
+            l_evals = 0;
+            l_cost = 0.0;
+            l_since_opt = 0;
+            l_epoch = -1;
+            tbl = Hashtbl.create 16;
+          }
+        in
+        Mutex.lock reg_mutex;
+        registry := local :: !registry;
+        Mutex.unlock reg_mutex;
+        local)
+  in
   {
-    project;
-    crules =
-      Array.of_list
-        (List.map
-           (fun r ->
-             let stats =
-               Array.of_list
-                 (List.map
-                    (fun restraint_ -> { restraint = restraint_; evals = 0; trues = 0 })
-                    r.Project.restraints)
-             in
-             {
-               stats;
-               order = Array.init (Array.length stats) (fun i -> i);
-               pass_prob = r.Project.pass_prob;
-               salt = r.Project.salt;
-             })
-           project.Project.rules);
-    checks_since_opt = 0;
+    ctx;
+    reoptimize_every;
+    clock;
+    exposures;
+    root = Atomic.make { projects = Hashtbl.create 1; epoch = 0 };
+    writer = Mutex.create ();
+    registry;
+    reg_mutex;
+    dls;
+    stamp_counter = Atomic.make 0;
+    retired = [];
+    reclaimed = Atomic.make 0;
   }
 
+let locals t =
+  Mutex.lock t.reg_mutex;
+  let all = !(t.registry) in
+  Mutex.unlock t.reg_mutex;
+  all
+
+(* --- compilation ----------------------------------------------------- *)
+
+let compile_project t ?order_from project =
+  let stamp = 1 + Atomic.fetch_and_add t.stamp_counter 1 in
+  let crules =
+    Array.of_list
+      (List.mapi
+         (fun rule_idx r ->
+           let restraints = Array.of_list r.Project.restraints in
+           let n = Array.length restraints in
+           let order =
+             match order_from with
+             | Some (prev : compiled) when
+                 rule_idx < Array.length prev.crules
+                 && Array.length prev.crules.(rule_idx).order = n ->
+                 Array.copy prev.crules.(rule_idx).order
+             | _ -> Array.init n (fun i -> i)
+           in
+           {
+             restraints;
+             costs = Array.map Restraint.static_cost restraints;
+             order;
+             pass_prob = r.Project.pass_prob;
+             salt = r.Project.salt;
+           })
+         project.Project.rules)
+  in
+  { project; stamp; crules }
+
+(* --- publish / epoch reclamation ------------------------------------- *)
+
+(* Epochs a registered domain may still be using: -1 means "never
+   checked", which cannot reference any snapshot. *)
+let min_reader_epoch t ~current =
+  List.fold_left
+    (fun acc local -> if local.l_epoch < 0 then acc else min acc local.l_epoch)
+    current (locals t)
+
+(* Caller holds [t.writer]. *)
+let sweep_retired t =
+  let current = (Atomic.get t.root).epoch in
+  let floor = min_reader_epoch t ~current in
+  let keep, drop = List.partition (fun s -> s.epoch >= floor) t.retired in
+  let keep, capped =
+    (* [retired] is newest-first; cap the tail. *)
+    let rec split i = function
+      | [] -> [], []
+      | s :: rest ->
+          if i >= max_retired then [], s :: rest
+          else
+            let k, d = split (i + 1) rest in
+            s :: k, d
+    in
+    split 0 keep
+  in
+  t.retired <- keep;
+  ignore (Atomic.fetch_and_add t.reclaimed (List.length drop + List.length capped))
+
+(* Caller holds [t.writer]. *)
+let publish_locked t projects =
+  let old = Atomic.get t.root in
+  Atomic.set t.root { projects; epoch = old.epoch + 1 };
+  t.retired <- old :: t.retired;
+  sweep_retired t
+
+let with_writer t f =
+  Mutex.lock t.writer;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.writer) f
+
 let load t project =
-  Hashtbl.replace t.projects project.Project.project_name (compile_project project)
+  with_writer t (fun () ->
+      let old = Atomic.get t.root in
+      let projects = Hashtbl.copy old.projects in
+      let name = project.Project.project_name in
+      (* Carry the learned evaluation ordering across a reload when the
+         rule shapes still match; the stats themselves reset. *)
+      let order_from = Hashtbl.find_opt old.projects name in
+      Hashtbl.replace projects name (compile_project t ?order_from project);
+      publish_locked t projects)
 
 let load_json t json =
   match Project.of_json json with
@@ -58,41 +214,119 @@ let load_json t json =
       Ok ()
   | Error _ as e -> e
 
-let unload t name = Hashtbl.remove t.projects name
+let unload t name =
+  with_writer t (fun () ->
+      let old = Atomic.get t.root in
+      if Hashtbl.mem old.projects name then begin
+        let projects = Hashtbl.copy old.projects in
+        Hashtbl.remove projects name;
+        publish_locked t projects
+      end)
 
-let selectivity stat =
-  if stat.evals = 0 then 0.5 else float_of_int stat.trues /. float_of_int stat.evals
+(* --- statistics merge ------------------------------------------------ *)
+
+let selectivity ~evals ~trues =
+  if evals = 0 then 0.5 else float_of_int trues /. float_of_int evals
+
+(* Sum one project's per-domain counters (written-index order).
+   Concurrent domains may still be bumping their plain ints; the merge
+   reads whatever has landed — approximate while running, exact once
+   the workload quiesces. *)
+let merged_counts t compiled =
+  let shape = Array.map (fun cr -> Array.length cr.restraints) compiled.crules in
+  let evals = Array.map (fun n -> Array.make n 0) shape in
+  let trues = Array.map (fun n -> Array.make n 0) shape in
+  List.iter
+    (fun local ->
+      match Hashtbl.find_opt local.tbl compiled.project.Project.project_name with
+      | Some stats when stats.p_stamp = compiled.stamp ->
+          Array.iteri
+            (fun r n ->
+              for i = 0 to n - 1 do
+                evals.(r).(i) <- evals.(r).(i) + stats.evals.(r).(i);
+                trues.(r).(i) <- trues.(r).(i) + stats.trues.(r).(i)
+              done)
+            shape
+      | Some _ | None -> ())
+    (locals t);
+  evals, trues
 
 (* Short-circuit ordering: an AND chain stops at the first false, so
    we want restraints that are cheap and unlikely to be true first.
-   Rank by cost / P(false); lower is better. *)
-let reoptimize compiled =
-  Array.iter
-    (fun crule ->
-      let rank i =
-        let stat = crule.stats.(i) in
-        let p_false = Float.max 0.02 (1.0 -. selectivity stat) in
-        Restraint.static_cost stat.restraint /. p_false
-      in
-      let order = Array.init (Array.length crule.stats) (fun i -> i) in
-      let ranked = Array.map (fun i -> rank i, i) order in
-      Array.sort (fun (a, _) (b, _) -> Float.compare a b) ranked;
-      crule.order <- Array.map snd ranked)
-    compiled.crules
+   Rank by cost / P(false); lower is better.  Derived from the merged
+   cross-domain statistics. *)
+let reorder_compiled t compiled =
+  let evals, trues = merged_counts t compiled in
+  let crules =
+    Array.mapi
+      (fun r crule ->
+        let n = Array.length crule.restraints in
+        let rank i =
+          let p_false =
+            Float.max 0.02 (1.0 -. selectivity ~evals:evals.(r).(i) ~trues:trues.(r).(i))
+          in
+          crule.costs.(i) /. p_false
+        in
+        let ranked = Array.init n (fun i -> rank i, i) in
+        Array.sort
+          (fun (a, i) (b, j) ->
+            match Float.compare a b with 0 -> compare i j | c -> c)
+          ranked;
+        { crule with order = Array.map snd ranked })
+      compiled.crules
+  in
+  { compiled with crules }
 
-let eval_rule t crule user ~use_order =
-  let n = Array.length crule.stats in
+(* Merge stats and publish re-derived orderings for every project.
+   Holding the writer mutex; readers are unaffected. *)
+let reoptimize_locked t =
+  let old = Atomic.get t.root in
+  let projects = Hashtbl.create (Hashtbl.length old.projects) in
+  Hashtbl.iter
+    (fun name compiled -> Hashtbl.replace projects name (reorder_compiled t compiled))
+    old.projects;
+  publish_locked t projects
+
+let reoptimize t = with_writer t (fun () -> reoptimize_locked t)
+
+(* Hot-path variant: never blocks — if another domain is already
+   publishing, skip this boundary and try again in [reoptimize_every]
+   checks. *)
+let try_reoptimize t =
+  if Mutex.try_lock t.writer then
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.writer) (fun () ->
+        reoptimize_locked t)
+
+(* --- the check hot path ---------------------------------------------- *)
+
+let stats_for local compiled =
+  let name = compiled.project.Project.project_name in
+  match Hashtbl.find_opt local.tbl name with
+  | Some stats when stats.p_stamp = compiled.stamp -> stats
+  | Some _ | None ->
+      let shape = Array.map (fun cr -> Array.length cr.restraints) compiled.crules in
+      let stats =
+        {
+          p_stamp = compiled.stamp;
+          evals = Array.map (fun n -> Array.make n 0) shape;
+          trues = Array.map (fun n -> Array.make n 0) shape;
+        }
+      in
+      Hashtbl.replace local.tbl name stats;
+      stats
+
+let eval_rule t local stats crule ~rule_idx user ~use_order =
+  let n = Array.length crule.restraints in
+  let evals = stats.evals.(rule_idx) and trues = stats.trues.(rule_idx) in
   let rec scan i =
     if i >= n then true
     else begin
       let idx = if use_order then crule.order.(i) else i in
-      let stat = crule.stats.(idx) in
-      stat.evals <- stat.evals + 1;
-      t.nevals <- t.nevals + 1;
-      t.cost <- t.cost +. Restraint.static_cost stat.restraint;
-      let verdict = Restraint.eval t.ctx stat.restraint user in
-      if verdict then begin
-        stat.trues <- stat.trues + 1;
+      evals.(idx) <- evals.(idx) + 1;
+      local.l_evals <- local.l_evals + 1;
+      local.l_cost <- local.l_cost +. crule.costs.(idx);
+      if Restraint.eval t.ctx crule.restraints.(idx) user then begin
+        trues.(idx) <- trues.(idx) + 1;
         scan (i + 1)
       end
       else false
@@ -100,54 +334,94 @@ let eval_rule t crule user ~use_order =
   in
   scan 0
 
+let record_exposure t name user passed =
+  match t.exposures with
+  | None -> ()
+  | Some log ->
+      Exposure.Log.record log
+        {
+          Exposure.source = name;
+          variant = (if passed then "pass" else "fail");
+          user_id = user.User.id;
+          segment = user.User.country;
+          at = t.clock ();
+          outcome = None;
+        }
+
 let check_with t name user ~use_order =
-  t.nchecks <- t.nchecks + 1;
-  match Hashtbl.find_opt t.projects name with
+  let local = Domain.DLS.get t.dls in
+  local.l_checks <- local.l_checks + 1;
+  let snap = Atomic.get t.root in
+  local.l_epoch <- snap.epoch;
+  match Hashtbl.find_opt snap.projects name with
   | None -> false
   | Some compiled ->
-      if compiled.project.Project.killed then false
+      if compiled.project.Project.killed then begin
+        record_exposure t name user false;
+        false
+      end
       else begin
-        compiled.checks_since_opt <- compiled.checks_since_opt + 1;
-        if use_order && compiled.checks_since_opt >= t.reoptimize_every then begin
-          compiled.checks_since_opt <- 0;
-          reoptimize compiled
+        if use_order then begin
+          local.l_since_opt <- local.l_since_opt + 1;
+          if local.l_since_opt >= t.reoptimize_every then begin
+            local.l_since_opt <- 0;
+            try_reoptimize t
+          end
         end;
+        let stats = stats_for local compiled in
         let nrules = Array.length compiled.crules in
         let rec scan i =
           if i >= nrules then false
           else begin
             let crule = compiled.crules.(i) in
-            if eval_rule t crule user ~use_order then
+            if eval_rule t local stats crule ~rule_idx:i user ~use_order then
               Project.sticky_pass compiled.project ~rule_index:i
-                {
-                  Project.restraints = [];
-                  pass_prob = crule.pass_prob;
-                  salt = crule.salt;
-                }
+                { Project.restraints = []; pass_prob = crule.pass_prob; salt = crule.salt }
                 user
             else scan (i + 1)
           end
         in
-        scan 0
+        let passed = scan 0 in
+        record_exposure t name user passed;
+        passed
       end
 
 let check t name user = check_with t name user ~use_order:true
 let check_naive t name user = check_with t name user ~use_order:false
-let checks_performed t = t.nchecks
+
+(* --- merged observability -------------------------------------------- *)
+
+let checks_performed t = List.fold_left (fun acc l -> acc + l.l_checks) 0 (locals t)
+let evaluated_restraints t = List.fold_left (fun acc l -> acc + l.l_evals) 0 (locals t)
+let evaluated_cost t = List.fold_left (fun acc l -> acc +. l.l_cost) 0.0 (locals t)
 
 let project_names t =
-  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.projects [])
+  let snap = Atomic.get t.root in
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) snap.projects [])
 
 let restraint_stats t name =
-  match Hashtbl.find_opt t.projects name with
+  let snap = Atomic.get t.root in
+  match Hashtbl.find_opt snap.projects name with
   | None -> []
   | Some compiled ->
-      Array.to_list compiled.crules
-      |> List.concat_map (fun crule ->
+      let evals, trues = merged_counts t compiled in
+      List.concat
+        (List.mapi
+           (fun row crule ->
              Array.to_list crule.order
              |> List.map (fun idx ->
-                    let stat = crule.stats.(idx) in
-                    Restraint.name stat.restraint, stat.evals, selectivity stat))
+                    ( Restraint.name crule.restraints.(idx),
+                      evals.(row).(idx),
+                      selectivity ~evals:evals.(row).(idx) ~trues:trues.(row).(idx) )))
+           (Array.to_list compiled.crules))
 
-let evaluated_restraints t = t.nevals
-let evaluated_cost t = t.cost
+let domains_seen t = List.length (locals t)
+let current_epoch t = (Atomic.get t.root).epoch
+let snapshot_swaps t = (Atomic.get t.root).epoch
+let retained_snapshots t = with_writer t (fun () -> List.length t.retired)
+let reclaimed_snapshots t = Atomic.get t.reclaimed
+
+let reclaim t =
+  with_writer t (fun () -> sweep_retired t)
+
+let exposure_log t = t.exposures

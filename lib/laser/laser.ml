@@ -1,28 +1,112 @@
-type t = {
-  table : (string, float) Hashtbl.t;
-  mutable nreads : int;
+(* Sharded, read-mostly Laser store.
+
+   Readers never take a lock: the whole keyspace lives in one
+   immutable [root] value — an array of per-shard persistent maps plus
+   a generation number — reached through a single [Atomic.get].
+   Writers (the stream and MapReduce feeder pipelines) build the next
+   root off to the side and publish it with a compare-and-set; racing
+   writers retry against the freshest root, so feeders on different
+   domains never block each other and never block a reader.
+
+   Publishing the root as one value is also what makes
+   [mapreduce_refresh] atomic: a reader holding the old root sees the
+   complete old batch, a reader that loads the new root sees the
+   complete new batch, and no interleaving ever exposes the dropped-
+   but-not-yet-reloaded state the old mutable Hashtbl had. *)
+
+module Smap = Map.Make (String)
+
+type root = {
+  shards : float Smap.t array;  (* immutable once published *)
+  generation : int;
 }
 
-let create () = { table = Hashtbl.create 1024; nreads = 0 }
+(* Per-domain read counters: plain ints on separate (strided) slots so
+   concurrent domains don't publish to the same cache line on the
+   check hot path.  Summing them is approximate while domains are
+   running and exact once they quiesce. *)
+let read_slots = 64
+let slot_stride = 16
+
+type t = {
+  nshards : int;
+  root : root Atomic.t;
+  reads_by_domain : int array;
+}
+
+let shard_of t key = Hashtbl.hash key mod t.nshards
+
+let create ?(shards = 16) () =
+  let nshards = max 1 shards in
+  {
+    nshards;
+    root = Atomic.make { shards = Array.make nshards Smap.empty; generation = 0 };
+    reads_by_domain = Array.make (read_slots * slot_stride) 0;
+  }
 
 let get t key =
-  t.nreads <- t.nreads + 1;
-  Hashtbl.find_opt t.table key
+  let slot = (Domain.self () :> int) land (read_slots - 1) * slot_stride in
+  t.reads_by_domain.(slot) <- t.reads_by_domain.(slot) + 1;
+  let root = Atomic.get t.root in
+  Smap.find_opt key root.shards.(shard_of t key)
 
-let put t key v = Hashtbl.replace t.table key v
-let size t = Hashtbl.length t.table
-let reads t = t.nreads
+let size t =
+  let root = Atomic.get t.root in
+  Array.fold_left (fun acc shard -> acc + Smap.cardinal shard) 0 root.shards
 
-let stream_upsert t pairs = List.iter (fun (k, v) -> Hashtbl.replace t.table k v) pairs
+let reads t =
+  let acc = ref 0 in
+  for slot = 0 to read_slots - 1 do
+    acc := !acc + t.reads_by_domain.(slot * slot_stride)
+  done;
+  !acc
+
+let generation t = (Atomic.get t.root).generation
+let shard_count t = t.nshards
+
+let shard_sizes t =
+  Array.to_list (Array.map Smap.cardinal (Atomic.get t.root).shards)
+
+(* CAS-retry publish: [update] maps the freshest shard array to a new
+   one (it must copy, never mutate).  Lock-free — a writer that loses
+   the race re-derives its batch against the winner's root. *)
+let rec publish t update =
+  let old = Atomic.get t.root in
+  let next = { shards = update old.shards; generation = old.generation + 1 } in
+  if not (Atomic.compare_and_set t.root old next) then publish t update
+
+let put t key v =
+  publish t (fun shards ->
+      let next = Array.copy shards in
+      let s = shard_of t key in
+      next.(s) <- Smap.add key v next.(s);
+      next)
+
+let stream_upsert t pairs =
+  if pairs <> [] then
+    publish t (fun shards ->
+        let next = Array.copy shards in
+        List.iter
+          (fun (k, v) ->
+            let s = shard_of t k in
+            next.(s) <- Smap.add k v next.(s))
+          pairs;
+        next)
 
 let mapreduce_refresh t ~prefix pairs =
   let plen = String.length prefix in
-  let stale =
-    Hashtbl.fold
-      (fun key _ acc ->
-        if String.length key >= plen && String.sub key 0 plen = prefix then key :: acc
-        else acc)
-      t.table []
+  let under_prefix key =
+    String.length key >= plen && String.sub key 0 plen = prefix
   in
-  List.iter (Hashtbl.remove t.table) stale;
-  List.iter (fun (k, v) -> Hashtbl.replace t.table k v) pairs
+  publish t (fun shards ->
+      let next =
+        Array.map
+          (fun shard -> Smap.filter (fun key _ -> not (under_prefix key)) shard)
+          shards
+      in
+      List.iter
+        (fun (k, v) ->
+          let s = shard_of t k in
+          next.(s) <- Smap.add k v next.(s))
+        pairs;
+      next)
