@@ -30,6 +30,7 @@ let experiments : (string * string * (unit -> unit)) list =
     "incr", "incremental compilation vs full rebuild", Exp_incr.run;
     "dist", "distribution plane: dedup + batched fan-out vs legacy", Exp_dist.run;
     "vcs", "storage plane: flat vs merkle backend sweep", Exp_vcs.run;
+    "store", "durable store: pack recovery, generations, GC, crash convergence", Exp_store.run;
     "trace", "end-to-end change tracing: per-hop latency breakdown", Exp_trace.run;
     "fleet", "fleet-scale simulation: 100k servers / 1M devices diurnal day", Exp_fleet.run;
     "micro", "Bechamel microbenchmarks", Exp_micro.run;

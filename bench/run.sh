@@ -1,11 +1,13 @@
 #!/bin/sh
 # Headless driver for the performance benchmarks: builds the harness
 # and leaves BENCH_incremental.json / BENCH_distribution.json /
-# BENCH_trace.json / BENCH_vcs.json / BENCH_verify.json /
-# BENCH_gatekeeper.json in the repository root.
+# BENCH_trace.json / BENCH_vcs.json / BENCH_store.json /
+# BENCH_verify.json / BENCH_gatekeeper.json in the repository root
+# (plus _pack_demo/, a multi-thousand-commit pack repository for the
+# CLI rollback demo).
 #
-#   bench/run.sh          # full scale: incr + dist + trace + vcs + fleet + verify + gk
-#   bench/run.sh --quick  # reduced-scale dist/trace/vcs/fleet/verify/gk + JSON shape checks
+#   bench/run.sh          # full scale: incr + dist + trace + vcs + store + fleet + verify + gk
+#   bench/run.sh --quick  # reduced-scale dist/trace/vcs/store/fleet/verify/gk + JSON shape checks
 set -eu
 cd "$(dirname "$0")/.."
 dune build bench/main.exe
@@ -35,6 +37,11 @@ if [ "${1:-}" = "--quick" ]; then
     '"rows"' '"backend"' '"commit_1_s"' '"changed_since_s"' \
     '"flat_slowdown"' '"merkle_slowdown"' '"flat_degrades_10x": true' \
     '"merkle_flat": true' '"crossover_files"'
+  CM_STORE_QUICK=1 dune exec bench/main.exe -- --only store
+  check_shape BENCH_store.json \
+    '"rows"' '"gc_rows"' '"recovery_50k_s"' '"recovery_under_ceiling": true' \
+    '"rollback_o1_ok": true' '"reclaim_ok": true' \
+    '"torn_tail_detected": true' '"sim_converged": true'
   CM_FLEET_QUICK=1 dune exec bench/main.exe -- --only fleet
   check_shape BENCH_fleet.json \
     '"rows"' '"servers"' '"devices"' '"events_per_s"' '"p99_s"' \
@@ -51,5 +58,5 @@ if [ "${1:-}" = "--quick" ]; then
     '"p99_storm_ok": true' '"visibility_ok": true' '"snapshot_swaps"' \
     '"laser_generation"' '"exposures_recorded"'
 else
-  dune exec bench/main.exe -- --only incr dist trace vcs fleet verify gk
+  dune exec bench/main.exe -- --only incr dist trace vcs store fleet verify gk
 fi

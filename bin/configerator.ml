@@ -13,7 +13,11 @@
      configerator whereis  --tree DIR PATH        # trace a change through a
                                                   # simulated fleet
      configerator repo stats --tree DIR           # storage backend accounting
-                                                  # (flat vs merkle) *)
+                                                  # (flat vs merkle, memory vs pack)
+     configerator generations --dir PACKDIR       # generation log of a pack repo
+     configerator rollback --dir PACKDIR --generation N
+                                                  # O(1) whole-tree rollback
+     configerator gc --dir PACKDIR --keep N       # mark-and-sweep + compaction *)
 
 open Cmdliner
 
@@ -555,11 +559,24 @@ let run_whereis tree_dir config_path regions clusters nodes =
 
 (* --- repo stats ------------------------------------------------------- *)
 
-(* Imports the tree into an in-memory repository and pushes synthetic
-   single-file update commits, reporting how much of the store each
-   backend re-hashes per commit: the flat backend rewrites the whole
-   tree object, the Merkle backend only the dirty directory spine. *)
-let run_repo_stats tree_dir backend_name commits =
+(* Imports the tree into a repository and pushes synthetic single-file
+   update commits, reporting how much of the store each backend
+   re-hashes per commit: the flat backend rewrites the whole tree
+   object, the Merkle backend only the dirty directory spine.  With
+   --store pack the same run lands in durable pack segments — the
+   backend-independent counters (objects, bytes, dedup) must come out
+   identical, and a pack-specific block (segments, file/dead bytes,
+   fsync batches, GC) is appended. *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let run_repo_stats tree_dir backend_name commits store_name store_dir =
   match load_tree tree_dir with
   | Error message ->
       Printf.eprintf "error: %s\n" message;
@@ -579,6 +596,11 @@ let run_repo_stats tree_dir backend_name commits =
               | Some backend -> [ backend ]
               | None -> [])
         in
+        if store_name <> "memory" && store_name <> "pack" then begin
+          Printf.eprintf "error: unknown store %S (memory|pack)\n" store_name;
+          1
+        end
+        else
         match backends with
         | [] ->
             Printf.eprintf "error: unknown backend %S (flat|merkle|both)\n" backend_name;
@@ -591,7 +613,20 @@ let run_repo_stats tree_dir backend_name commits =
               "backend" "files" "commits" "objects" "repo bytes" "hashed/commit" "reused" "gen";
             List.iter
               (fun backend ->
-                let repo = Cm_vcs.Repo.create ~backend () in
+                let store_backend =
+                  if store_name = "memory" then Cm_vcs.Store.Memory
+                  else begin
+                    (* One pack directory per measured backend; wiped
+                       first so counters are not polluted by a previous
+                       run's recovered objects. *)
+                    let dir =
+                      Filename.concat store_dir (Cm_vcs.Repo.backend_name backend)
+                    in
+                    rm_rf dir;
+                    Cm_vcs.Store.pack_backend dir
+                  end
+                in
+                let repo = Cm_vcs.Repo.create ~backend ~store:store_backend () in
                 let store = Cm_vcs.Repo.store repo in
                 ignore
                   (Cm_vcs.Repo.commit repo ~author:"import" ~message:"import"
@@ -631,7 +666,22 @@ let run_repo_stats tree_dir backend_name commits =
                   "         store puts %d, dedup hits %d (%d bytes deduplicated)\n"
                   (Cm_vcs.Store.put_count store)
                   (Cm_vcs.Store.dedup_hits store)
-                  (Cm_vcs.Store.dedup_bytes store))
+                  (Cm_vcs.Store.dedup_bytes store);
+                (match Cm_vcs.Store.pack_handle store with
+                | None -> ()
+                | Some pack ->
+                    let module P = Cm_pack.Pack in
+                    Cm_vcs.Store.sync store;
+                    Printf.printf
+                      "         pack: %d segments, %d file bytes (%d dead), %d appends in %d fsync batches\n"
+                      (P.segment_count pack) (P.file_bytes pack) (P.dead_bytes pack)
+                      (P.appends pack) (P.fsync_batches pack);
+                    Printf.printf
+                      "         pack: generation %d durable, gc runs %d (%d objects, %d bytes reclaimed)\n"
+                      (P.durable_generation pack) (P.gc_runs pack)
+                      (P.gc_reclaimed_objects pack)
+                      (P.gc_reclaimed_bytes pack);
+                    Cm_vcs.Store.close store))
               backends;
             0)
 
@@ -639,7 +689,10 @@ let repo_cmd =
   let stats_doc =
     "Import the tree into the content-addressed store and report per-backend \
      object counts and per-commit re-hashed vs reused bytes (flat rewrites the \
-     whole tree object each commit; merkle only the changed directory spine)."
+     whole tree object each commit; merkle only the changed directory spine).  \
+     With $(b,--store pack) the commits land in durable pack segments; the \
+     backend-independent counters are identical to a memory run, and pack \
+     internals (segments, dead bytes, fsync batches) are appended."
   in
   let backend =
     Arg.(
@@ -651,11 +704,207 @@ let repo_cmd =
       value & opt int 20
       & info [ "commits" ] ~docv:"N" ~doc:"Synthetic update commits to push.")
   in
+  let store =
+    Arg.(
+      value & opt string "memory"
+      & info [ "store" ] ~docv:"S" ~doc:"Object store: memory or pack.")
+  in
+  let store_dir =
+    Arg.(
+      value & opt string "_pack_stats"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Pack directory for $(b,--store pack) (one subdirectory per backend; wiped first).")
+  in
   let stats_cmd =
     Cmd.v (Cmd.info "stats" ~doc:stats_doc)
-      Term.(const run_repo_stats $ tree_arg $ backend $ commits)
+      Term.(const run_repo_stats $ tree_arg $ backend $ commits $ store $ store_dir)
   in
   Cmd.group (Cmd.info "repo" ~doc:"Version-control storage inspection.") [ stats_cmd ]
+
+(* --- generations / rollback / gc --------------------------------------- *)
+
+(* Operate on an existing pack-backed repository directory: reopening
+   it *is* crash recovery (segment scan + generation-log replay), so
+   these verbs double as the recovery UI. *)
+
+let open_pack_repo dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "%s is not a pack directory" dir)
+  else
+    let store = Cm_vcs.Store.create ~backend:(Cm_vcs.Store.pack_backend dir) () in
+    Ok (Cm_vcs.Repo.of_store store)
+
+let pack_dir_arg =
+  let doc = "Pack-backed repository directory (as written by --store pack)." in
+  Arg.(value & opt string "_pack" & info [ "dir"; "d" ] ~docv:"DIR" ~doc)
+
+let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON.")
+
+let gen_to_json (g : Cm_vcs.Store.gen) =
+  Cm_json.Value.obj
+    [
+      "generation", Cm_json.Value.Int g.Cm_vcs.Store.gen_num;
+      "root", Cm_json.Value.String g.Cm_vcs.Store.gen_root;
+      "time", Cm_json.Value.Float g.Cm_vcs.Store.gen_time;
+      "message", Cm_json.Value.String g.Cm_vcs.Store.gen_message;
+    ]
+
+let run_generations dir limit as_json =
+  match open_pack_repo dir with
+  | Error message ->
+      Printf.eprintf "error: %s\n" message;
+      1
+  | Ok repo ->
+      let store = Cm_vcs.Repo.store repo in
+      let gens = List.rev (Cm_vcs.Store.generations store) in
+      let shown = match limit with None -> gens | Some n -> List.filteri (fun i _ -> i < n) gens in
+      (if as_json then
+         print_endline
+           (Cm_json.Value.to_pretty_string
+              (Cm_json.Value.obj
+                 [
+                   "last", Cm_json.Value.Int (Cm_vcs.Store.last_generation store);
+                   "durable", Cm_json.Value.Int (Cm_vcs.Store.durable_generation store);
+                   "dropped_on_recovery", Cm_json.Value.Int (Cm_vcs.Repo.recovery_dropped repo);
+                   "generations", Cm_json.Value.List (List.map gen_to_json shown);
+                 ]))
+       else begin
+         Printf.printf "%-6s %-34s %-14s %s\n" "gen" "root" "time" "message";
+         List.iter
+           (fun (g : Cm_vcs.Store.gen) ->
+             Printf.printf "%-6d %-34s %14.3f %s\n" g.Cm_vcs.Store.gen_num
+               g.Cm_vcs.Store.gen_root g.Cm_vcs.Store.gen_time g.Cm_vcs.Store.gen_message)
+           shown;
+         Printf.printf "%d generations (durable through %d)" (List.length gens)
+           (Cm_vcs.Store.durable_generation store);
+         if Cm_vcs.Repo.recovery_dropped repo > 0 then
+           Printf.printf "; %d dropped as incomplete on recovery"
+             (Cm_vcs.Repo.recovery_dropped repo);
+         print_newline ()
+       end);
+      Cm_vcs.Store.close store;
+      0
+
+let generations_cmd =
+  let doc =
+    "List the generation log of a pack-backed repository: every landed commit \
+     pins its root as a numbered generation, so this is the queryable linear \
+     history of landed states (and the rollback targets)."
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit"; "n" ] ~docv:"N" ~doc:"Show only the newest N generations.")
+  in
+  Cmd.v (Cmd.info "generations" ~doc)
+    Term.(const run_generations $ pack_dir_arg $ limit $ json_flag)
+
+let run_rollback dir generation as_json =
+  match open_pack_repo dir with
+  | Error message ->
+      Printf.eprintf "error: %s\n" message;
+      1
+  | Ok repo -> (
+      let store = Cm_vcs.Repo.store repo in
+      let start = Unix.gettimeofday () in
+      match
+        Cm_vcs.Repo.rollback repo ~generation ~timestamp:(Unix.gettimeofday ())
+      with
+      | exception Invalid_argument message ->
+          Printf.eprintf "error: %s\n" message;
+          Cm_vcs.Store.close store;
+          1
+      | pinned ->
+          let elapsed_ms = 1000.0 *. (Unix.gettimeofday () -. start) in
+          (if as_json then
+             print_endline
+               (Cm_json.Value.to_pretty_string
+                  (Cm_json.Value.obj
+                     [
+                       "rolled_back_to", Cm_json.Value.Int generation;
+                       "pinned_as", Cm_json.Value.Int pinned;
+                       "head",
+                       (match Cm_vcs.Repo.head repo with
+                        | Some oid -> Cm_json.Value.String oid
+                        | None -> Cm_json.Value.Null);
+                       "files", Cm_json.Value.Int (Cm_vcs.Repo.file_count repo);
+                       "elapsed_ms", Cm_json.Value.Float elapsed_ms;
+                     ]))
+           else
+             Printf.printf
+               "rolled back to generation %d (pinned as generation %d): %d files at head, %.1fms\n"
+               generation pinned (Cm_vcs.Repo.file_count repo) elapsed_ms);
+          Cm_vcs.Store.close store;
+          0)
+
+let rollback_cmd =
+  let doc =
+    "Atomic whole-tree rollback of a pack-backed repository to a pinned \
+     generation.  O(1) at the store however long the history: one pin record \
+     is appended and fsynced; no object is copied or rewritten.  The rollback \
+     itself lands as a new generation, so it is visible in $(b,generations) \
+     and is itself rollback-able."
+  in
+  let generation =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "generation"; "g" ] ~docv:"N" ~doc:"Target generation number.")
+  in
+  Cmd.v (Cmd.info "rollback" ~doc)
+    Term.(const run_rollback $ pack_dir_arg $ generation $ json_flag)
+
+let run_gc dir keep as_json =
+  match open_pack_repo dir with
+  | Error message ->
+      Printf.eprintf "error: %s\n" message;
+      1
+  | Ok repo ->
+      let store = Cm_vcs.Repo.store repo in
+      let stats = Cm_vcs.Repo.gc repo ~keep_last:keep in
+      let module P = Cm_pack.Pack in
+      let pack = Option.get (Cm_vcs.Store.pack_handle store) in
+      (if as_json then
+         print_endline
+           (Cm_json.Value.to_pretty_string
+              (Cm_json.Value.obj
+                 [
+                   "live_objects", Cm_json.Value.Int stats.Cm_vcs.Store.gc_live;
+                   "swept_objects", Cm_json.Value.Int stats.Cm_vcs.Store.gc_swept;
+                   "swept_bytes", Cm_json.Value.Int stats.Cm_vcs.Store.gc_swept_bytes;
+                   "dropped_generations",
+                   Cm_json.Value.Int stats.Cm_vcs.Store.gc_dropped_generations;
+                   "segments", Cm_json.Value.Int (P.segment_count pack);
+                   "file_bytes", Cm_json.Value.Int (P.file_bytes pack);
+                   "dead_bytes", Cm_json.Value.Int (P.dead_bytes pack);
+                   "reclaimed_bytes", Cm_json.Value.Int (P.gc_reclaimed_bytes pack);
+                 ]))
+       else begin
+         Printf.printf "swept %d objects (%d bytes), dropped %d generations\n"
+           stats.Cm_vcs.Store.gc_swept stats.Cm_vcs.Store.gc_swept_bytes
+           stats.Cm_vcs.Store.gc_dropped_generations;
+         Printf.printf "live: %d objects in %d segments, %d file bytes (%d dead)\n"
+           stats.Cm_vcs.Store.gc_live (P.segment_count pack) (P.file_bytes pack)
+           (P.dead_bytes pack);
+         Printf.printf "reclaimed so far: %d bytes\n" (P.gc_reclaimed_bytes pack)
+       end);
+      Cm_vcs.Store.close store;
+      0
+
+let gc_cmd =
+  let doc =
+    "Mark-and-sweep garbage collection of a pack-backed repository: keep the \
+     newest $(b,--keep) generations, sweep every object unreachable from their \
+     roots, and compact segments whose dead fraction crosses the threshold \
+     (copy-live-forward, manifest swap, delete)."
+  in
+  let keep =
+    Arg.(
+      value & opt int 10
+      & info [ "keep"; "k" ] ~docv:"N" ~doc:"Generations to keep (newest N).")
+  in
+  Cmd.v (Cmd.info "gc" ~doc) Term.(const run_gc $ pack_dir_arg $ keep $ json_flag)
 
 let whereis_cmd =
   let doc =
@@ -692,4 +941,7 @@ let () =
             gk_cmd;
             whereis_cmd;
             repo_cmd;
+            generations_cmd;
+            rollback_cmd;
+            gc_cmd;
           ]))

@@ -49,6 +49,44 @@ if [ "$escaped" -ge "$ceiling" ]; then
 fi
 echo "verify-stage escapes: $escaped (ceiling $ceiling)"
 
+echo "== ci/check: durable store gates =="
+# The store bench self-asserts (it fails the whole bench run if a gate
+# trips); re-check the recorded verdicts here so a silently stale
+# BENCH_store.json can't pass: 50k-object recovery under its ceiling,
+# O(1) rollback on a multi-thousand-commit history, GC reclaiming
+# >= 90% of dead bytes, and the kill -9 sim detecting a torn tail and
+# converging with the crash-free reference fleet.
+for key in '"recovery_under_ceiling": true' '"rollback_o1_ok": true' \
+           '"reclaim_ok": true' '"torn_tail_detected": true' \
+           '"sim_converged": true'; do
+  if ! grep -q "$key" BENCH_store.json; then
+    echo "ci/check: BENCH_store.json missing $key" >&2
+    exit 1
+  fi
+done
+echo "store gates: recovery, rollback, gc reclaim, torn tail, convergence all true"
+
+echo "== ci/check: CLI rollback demo =="
+# Drive the generation log of the bench's multi-thousand-commit pack
+# repository (_pack_demo, left behind by bench/run.sh) through the
+# CLI verbs: list generations, roll back to an old one, confirm the
+# rollback landed as a new pin.
+if [ ! -d _pack_demo ]; then
+  echo "ci/check: _pack_demo missing (bench store experiment did not run?)" >&2
+  exit 1
+fi
+dune exec bin/configerator.exe -- generations --dir _pack_demo --limit 3
+before=$(dune exec bin/configerator.exe -- generations --dir _pack_demo --limit 1 --json \
+  | sed -n 's/.*"generation": \([0-9]*\).*/\1/p' | head -n 1)
+dune exec bin/configerator.exe -- rollback --dir _pack_demo --generation 2
+after=$(dune exec bin/configerator.exe -- generations --dir _pack_demo --limit 1 --json \
+  | sed -n 's/.*"generation": \([0-9]*\).*/\1/p' | head -n 1)
+if [ -z "$before" ] || [ -z "$after" ] || [ "$after" -le "$before" ]; then
+  echo "ci/check: rollback did not pin a new generation ($before -> $after)" >&2
+  exit 1
+fi
+echo "CLI rollback: generation $before -> $after"
+
 echo "== ci/check: multicore gatekeeper gates =="
 # The gk bench computes 1->4-domain scaling (measured on >=4-core
 # hosts, efficiency-projected elsewhere — see bench/exp_gk.ml); a

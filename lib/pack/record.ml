@@ -1,0 +1,79 @@
+let magic = 'R'
+let checksum_bytes = 16
+let header_bytes = 1 + 4 + checksum_bytes
+
+let encode ~oid ~data =
+  if String.length oid > 0xffff then invalid_arg "Record.encode: oid too long";
+  let payload = Buffer.create (2 + String.length oid + String.length data) in
+  Buffer.add_uint16_le payload (String.length oid);
+  Buffer.add_string payload oid;
+  Buffer.add_string payload data;
+  let payload = Buffer.contents payload in
+  let out = Buffer.create (header_bytes + String.length payload) in
+  Buffer.add_char out magic;
+  Buffer.add_int32_le out (Int32.of_int (String.length payload));
+  Buffer.add_string out (Digest.string payload);
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let decode_payload payload =
+  if String.length payload < 2 then None
+  else begin
+    let oid_len = Char.code payload.[0] lor (Char.code payload.[1] lsl 8) in
+    if String.length payload < 2 + oid_len then None
+    else
+      Some
+        ( String.sub payload 2 oid_len,
+          String.sub payload (2 + oid_len) (String.length payload - 2 - oid_len) )
+  end
+
+let decode record =
+  if String.length record < header_bytes then None
+  else if record.[0] <> magic then None
+  else begin
+    let len = Int32.to_int (String.get_int32_le record 1) in
+    if len < 0 || String.length record <> header_bytes + len then None
+    else begin
+      let payload = String.sub record header_bytes len in
+      if Digest.string payload <> String.sub record 5 checksum_bytes then None
+      else decode_payload payload
+    end
+  end
+
+type item =
+  | Good of { off : int; size : int; oid : string; data : string }
+  | Corrupt of { off : int; size : int }
+
+type tail =
+  | Clean
+  | Torn of { off : int; bytes : int }
+  | Framing_lost of { off : int; bytes : int }
+
+let scan image =
+  let total = String.length image in
+  let rec walk off acc =
+    if off = total then List.rev acc, Clean
+    else if off + header_bytes > total then
+      List.rev acc, Torn { off; bytes = total - off }
+    else if image.[off] <> magic then
+      List.rev acc, Framing_lost { off; bytes = total - off }
+    else begin
+      let len = Int32.to_int (String.get_int32_le image (off + 1)) in
+      if len < 0 then List.rev acc, Framing_lost { off; bytes = total - off }
+      else if off + header_bytes + len > total then
+        List.rev acc, Torn { off; bytes = total - off }
+      else begin
+        let size = header_bytes + len in
+        let payload = String.sub image (off + header_bytes) len in
+        let item =
+          if Digest.string payload = String.sub image (off + 5) checksum_bytes then
+            match decode_payload payload with
+            | Some (oid, data) -> Good { off; size; oid; data }
+            | None -> Corrupt { off; size }
+          else Corrupt { off; size }
+        in
+        walk (off + size) (item :: acc)
+      end
+    end
+  in
+  walk 0 []

@@ -1,0 +1,46 @@
+(** On-disk framing for pack files: length-prefixed, checksummed
+    records.
+
+    Every entry in a pack segment (and in the generations log) is one
+    record:
+
+    {v
+      'R' | payload_len : u32 LE | md5(payload) : 16 bytes | payload
+      payload := oid_len : u16 LE | oid | data
+    v}
+
+    The framing is what makes crash recovery honest: a [kill -9]
+    mid-write leaves a {e torn tail} (fewer bytes than the header
+    promises), bit rot leaves a {e checksum-corrupt} record whose
+    declared length still lets the scan skip it, and a lost write
+    cache leaves a {e truncated} file — {!scan} classifies all three
+    without crashing. *)
+
+val header_bytes : int
+(** Bytes of framing before the payload (magic + length + checksum). *)
+
+val encode : oid:string -> data:string -> string
+(** One complete record, ready to append. *)
+
+val decode : string -> (string * string) option
+(** [decode record] is [Some (oid, data)] when [record] is exactly one
+    well-formed record (checksum verified); [None] otherwise. *)
+
+type item =
+  | Good of { off : int; size : int; oid : string; data : string }
+      (** verified record: [size] bytes starting at [off] *)
+  | Corrupt of { off : int; size : int }
+      (** framing intact but checksum failed — skipped, not fatal *)
+
+type tail =
+  | Clean
+  | Torn of { off : int; bytes : int }
+      (** trailing bytes too short for the record they start:
+          a crash mid-append; truncate at [off] *)
+  | Framing_lost of { off : int; bytes : int }
+      (** bytes at [off] do not start with the record magic: framing
+          cannot be recovered past this point; truncate at [off] *)
+
+val scan : string -> item list * tail
+(** Walks a whole file image record by record.  Returns the records in
+    file order plus the classification of the tail. *)

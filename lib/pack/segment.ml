@@ -1,0 +1,155 @@
+type t = {
+  sid : int;
+  spath : string;
+  mutable disk : int;              (* bytes on disk *)
+  buffer : Buffer.t;               (* appended but not yet flushed *)
+  mutable wfd : Unix.file_descr option;
+  mutable rfd : Unix.file_descr option;
+  mutable closed : bool;
+}
+
+let filename ~dir ~id = Filename.concat dir (Printf.sprintf "pack-%06d.seg" id)
+
+let create ~dir ~id =
+  let spath = filename ~dir ~id in
+  let wfd = Unix.openfile spath [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  {
+    sid = id;
+    spath;
+    disk = 0;
+    buffer = Buffer.create 4096;
+    wfd = Some wfd;
+    rfd = None;
+    closed = false;
+  }
+
+let open_existing ~dir ~id =
+  let spath = filename ~dir ~id in
+  let disk = (Unix.stat spath).Unix.st_size in
+  {
+    sid = id;
+    spath;
+    disk;
+    buffer = Buffer.create 4096;
+    wfd = None;
+    rfd = None;
+    closed = false;
+  }
+
+let id t = t.sid
+let path t = t.spath
+let file_bytes t = t.disk
+let pending_bytes t = Buffer.length t.buffer
+let total_bytes t = t.disk + Buffer.length t.buffer
+
+let check_open t = if t.closed then invalid_arg "Segment: use after close"
+
+let writer t =
+  match t.wfd with
+  | Some fd -> fd
+  | None ->
+      let fd = Unix.openfile t.spath [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+      t.wfd <- Some fd;
+      fd
+
+let reader t =
+  match t.rfd with
+  | Some fd -> fd
+  | None ->
+      let fd = Unix.openfile t.spath [ Unix.O_RDONLY ] 0o644 in
+      t.rfd <- Some fd;
+      fd
+
+let append t bytes =
+  check_open t;
+  let off = total_bytes t in
+  Buffer.add_string t.buffer bytes;
+  off
+
+let write_all fd s pos len =
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write_substring fd s (pos + !written) (len - !written)
+  done
+
+let read_disk t ~off ~len =
+  let fd = reader t in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let buf = Bytes.create len in
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let n = Unix.read fd buf !got (len - !got) in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  if !got < len then invalid_arg "Segment.read: short read";
+  Bytes.unsafe_to_string buf
+
+let read t ~off ~len =
+  check_open t;
+  if off + len <= t.disk then read_disk t ~off ~len
+  else if off >= t.disk then Buffer.sub t.buffer (off - t.disk) len
+  else
+    (* spans the disk/buffer boundary *)
+    read_disk t ~off ~len:(t.disk - off) ^ Buffer.sub t.buffer 0 (len - (t.disk - off))
+
+let load t =
+  check_open t;
+  (if t.disk = 0 then "" else read_disk t ~off:0 ~len:t.disk) ^ Buffer.contents t.buffer
+
+let load_disk t =
+  check_open t;
+  if t.disk = 0 then "" else read_disk t ~off:0 ~len:t.disk
+
+let truncate t size =
+  check_open t;
+  if Buffer.length t.buffer > 0 then invalid_arg "Segment.truncate: pending appends";
+  if size < t.disk then begin
+    let fd = writer t in
+    Unix.ftruncate fd size;
+    t.disk <- size
+  end
+
+let flush_and_sync t =
+  check_open t;
+  if Buffer.length t.buffer > 0 then begin
+    let contents = Buffer.contents t.buffer in
+    let fd = writer t in
+    write_all fd contents 0 (String.length contents);
+    Unix.fsync fd;
+    t.disk <- t.disk + String.length contents;
+    Buffer.clear t.buffer
+  end
+
+let close_fds t =
+  (match t.wfd with Some fd -> Unix.close fd | None -> ());
+  (match t.rfd with Some fd -> Unix.close fd | None -> ());
+  t.wfd <- None;
+  t.rfd <- None
+
+let crash t ~surviving =
+  check_open t;
+  let surviving = max 0 (min surviving (Buffer.length t.buffer)) in
+  if surviving > 0 then begin
+    let contents = Buffer.sub t.buffer 0 surviving in
+    let fd = writer t in
+    write_all fd contents 0 surviving;
+    t.disk <- t.disk + String.length contents
+  end;
+  Buffer.clear t.buffer;
+  close_fds t;
+  t.closed <- true
+
+let close t =
+  if not t.closed then begin
+    flush_and_sync t;
+    close_fds t;
+    t.closed <- true
+  end
+
+let delete t =
+  if not t.closed then begin
+    close_fds t;
+    t.closed <- true
+  end;
+  if Sys.file_exists t.spath then Sys.remove t.spath

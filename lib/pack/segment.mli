@@ -1,0 +1,60 @@
+(** One append-only pack segment file ([pack-NNNNNN.seg]).
+
+    Appends accumulate in a write buffer; nothing reaches the file
+    until {!flush_and_sync}, which writes the buffer and fsyncs in one
+    step — so the buffer is exactly the data a [kill -9] would lose,
+    and {!crash} can model a crash that persists only a prefix of it
+    (a torn tail).  Reads are served from the file or, for offsets
+    past the synced size, from the buffer — so an unsynced object is
+    readable by its own process (page-cache semantics) while remaining
+    honestly volatile. *)
+
+type t
+
+val create : dir:string -> id:int -> t
+(** Fresh empty segment (truncates any leftover file of that id). *)
+
+val open_existing : dir:string -> id:int -> t
+(** Opens an existing segment for reads and further appends. *)
+
+val id : t -> int
+val path : t -> string
+
+val file_bytes : t -> int
+(** Bytes on disk (synced or crash-persisted). *)
+
+val pending_bytes : t -> int
+(** Buffered bytes that would be lost by a crash right now. *)
+
+val total_bytes : t -> int
+(** [file_bytes + pending_bytes]. *)
+
+val append : t -> string -> int
+(** Buffers the bytes; returns the offset the record will occupy. *)
+
+val read : t -> off:int -> len:int -> string
+(** [len] bytes at [off]; transparently spans disk and buffer. *)
+
+val load : t -> string
+(** Whole segment image, disk then buffer — what a scan sees. *)
+
+val load_disk : t -> string
+(** On-disk image only — what a scan after a crash would see. *)
+
+val truncate : t -> int -> unit
+(** Cuts the {e file} to the given size (recovery of a torn tail).
+    Only meaningful on a freshly opened segment with an empty
+    buffer. *)
+
+val flush_and_sync : t -> unit
+(** Writes the buffer to the file and fsyncs.  No-op when empty. *)
+
+val crash : t -> surviving:int -> unit
+(** Models [kill -9]: at most [surviving] bytes of the buffer reach
+    the file (no fsync — the bytes that happened to hit the platter),
+    the rest vanish, and all descriptors close.  The segment is
+    unusable afterwards. *)
+
+val close : t -> unit
+val delete : t -> unit
+(** Closes and removes the file. *)

@@ -1,0 +1,64 @@
+type t = {
+  eng : Engine.t;
+  pname : string;
+  mutable up : bool;
+  mutable inc : int;
+  mutable owned : Engine.handle list;
+  mutable hooks : (unit -> unit) list; (* reversed: newest first *)
+  mutable nkills : int;
+  mutable nrestarts : int;
+}
+
+let spawn eng ~name =
+  {
+    eng;
+    pname = name;
+    up = true;
+    inc = 1;
+    owned = [];
+    hooks = [];
+    nkills = 0;
+    nrestarts = 0;
+  }
+
+let name t = t.pname
+let alive t = t.up
+let incarnation t = t.inc
+let kills t = t.nkills
+let restarts t = t.nrestarts
+
+(* The incarnation guard is the real kill mechanism: cancelling the
+   owned handles is just hygiene (it keeps the engine queue small), so
+   an event the engine already dequeued still dies here. *)
+let guarded t f =
+  let inc = t.inc in
+  fun () -> if t.up && t.inc = inc then f ()
+
+let schedule t ~delay f =
+  if t.up then
+    t.owned <- Engine.schedule t.eng ~delay (guarded t f) :: t.owned
+
+let every t ~period f =
+  if period <= 0.0 then invalid_arg "Proc.every: period must be positive";
+  let rec tick () =
+    f ();
+    schedule t ~delay:period tick
+  in
+  schedule t ~delay:period tick
+
+let kill t =
+  if t.up then begin
+    t.up <- false;
+    t.nkills <- t.nkills + 1;
+    List.iter (Engine.cancel t.eng) t.owned;
+    t.owned <- []
+  end
+
+let on_restart t hook = t.hooks <- hook :: t.hooks
+
+let restart t =
+  if t.up then invalid_arg ("Proc.restart: " ^ t.pname ^ " is still up");
+  t.inc <- t.inc + 1;
+  t.up <- true;
+  t.nrestarts <- t.nrestarts + 1;
+  List.iter (fun hook -> hook ()) (List.rev t.hooks)

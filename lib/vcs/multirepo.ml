@@ -2,9 +2,10 @@ type t = { parts : (string * Repo.t) list }
 (** Sorted by descending prefix length so the first match is the
     longest. *)
 
-let create ?backend ~partitions () =
+let create ?backend ?store ~partitions () =
   let named prefix =
-    Repo.create ?backend ~name:(if prefix = "" then "<root>" else prefix) ()
+    let store = match store with None -> None | Some f -> Some (f prefix) in
+    Repo.create ?backend ?store ~name:(if prefix = "" then "<root>" else prefix) ()
   in
   let parts = List.map (fun prefix -> prefix, named prefix) partitions in
   let parts = (("", named "") :: parts) in

@@ -8,11 +8,19 @@
 
 type t
 
-val create : ?backend:Repo.backend -> partitions:string list -> unit -> t
+val create :
+  ?backend:Repo.backend ->
+  ?store:(string -> Store.backend) ->
+  partitions:string list ->
+  unit ->
+  t
 (** [partitions] are path prefixes, e.g. [\["/feed"; "/tao"\]].  Paths
     matching no prefix go to the catch-all root partition "".
     The longest matching prefix wins.  [backend] (default [Merkle])
-    applies to every partition repository. *)
+    applies to every partition repository.  [store] maps each prefix
+    (including the catch-all "") to its storage backend — partitions
+    are independent repositories, so each gets its own store (e.g. its
+    own pack directory); default [Store.Memory] everywhere. *)
 
 val partitions : t -> (string * Repo.t) list
 (** [(prefix, repo)] pairs, catch-all included. *)

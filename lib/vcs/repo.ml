@@ -17,19 +17,21 @@ type t = {
      its O(repo) walks on purpose — see the .mli). *)
   head_index : (string, Store.oid) Hashtbl.t;  (* path -> blob oid at head *)
   touches : (string, Store.oid list ref) Hashtbl.t;  (* path -> commits, newest first *)
+  mutable rdropped : int;  (* generations dropped as incomplete on recovery *)
 }
 
 type change = string * string option
 
-let create ?(backend = Merkle) ?(name = "configerator") () =
+let create ?(backend = Merkle) ?(store = Store.Memory) ?(name = "configerator") () =
   {
     rname = name;
-    rstore = Store.create ();
+    rstore = Store.create ~backend:store ();
     rbackend = backend;
     rhead = None;
     ncommits = 0;
     head_index = Hashtbl.create 256;
     touches = Hashtbl.create 256;
+    rdropped = 0;
   }
 
 let name t = t.rname
@@ -397,6 +399,9 @@ let commit t ~author ~message ~timestamp changes =
   in
   t.rhead <- Some oid;
   t.ncommits <- t.ncommits + 1;
+  (* Every landed commit pins a generation: the numbered root that
+     makes whole-tree rollback an O(1) repoint (§generations). *)
+  ignore (Store.land_generation t.rstore ~root:oid ~timestamp ~message);
   oid
 
 let read_file ?rev t path =
@@ -575,3 +580,123 @@ let path_history t path =
       List.filter
         (fun (oid, _) -> List.mem path (changed_paths_of_commit_flat t oid))
         (log t)
+
+(* ===================================================================
+   Generations: rollback, GC, recovery.
+   =================================================================== *)
+
+(* Rebuild the Merkle head/touch indexes from scratch — O(files at
+   head) + O(retained history), independent of total history length:
+   what makes recovery and rollback cheap even on long histories. *)
+let rebuild_indexes t =
+  Hashtbl.reset t.head_index;
+  Hashtbl.reset t.touches;
+  match t.rbackend with
+  | Flat -> ()
+  | Merkle -> (
+      (match t.rhead with
+      | None -> ()
+      | Some head ->
+          let rec walk prefix oid =
+            List.iter
+              (fun (name, o) ->
+                match Store.get_exn t.rstore o with
+                | Store.Blob _ -> Hashtbl.replace t.head_index (prefix ^ name) o
+                | Store.Tree _ -> walk (prefix ^ name ^ "/") o
+                | Store.Commit _ -> ())
+              (node_entries t.rstore oid)
+          in
+          walk "" (root_of_commit t head));
+      (* Oldest first so consing leaves each group newest-first. *)
+      List.iter
+        (fun (oid, c) ->
+          List.iter
+            (fun path ->
+              match Hashtbl.find_opt t.touches path with
+              | Some group -> group := oid :: !group
+              | None -> Hashtbl.add t.touches path (ref [ oid ]))
+            c.Store.changed)
+        (List.rev (log t)))
+
+let rollback t ~generation ~timestamp =
+  let gens = Store.generations t.rstore in
+  match List.find_opt (fun g -> g.Store.gen_num = generation) gens with
+  | None ->
+      invalid_arg (Printf.sprintf "Repo.rollback: unknown generation %d" generation)
+  | Some g ->
+      (* O(1) at the store: repoint head and append one new pin — no
+         object is copied or rewritten, whatever the history length. *)
+      t.rhead <- Some g.Store.gen_root;
+      let num =
+        Store.land_generation t.rstore ~root:g.Store.gen_root ~timestamp
+          ~message:(Printf.sprintf "rollback to generation %d" generation)
+      in
+      Store.sync t.rstore;
+      t.ncommits <- List.length (log t);
+      rebuild_indexes t;
+      num
+
+let gc t ~keep_last =
+  let stats = Store.gc t.rstore ~keep_last in
+  (* Head is pinned by the newest generation, so it always survives;
+     swept commits simply vanish from log/touch walks (commit_info
+     returns None and the walks stop). *)
+  t.ncommits <- List.length (log t);
+  stats
+
+(* Is the whole commit -> tree closure under [root] present?  A pin
+   can be durable while some of its objects were lost to a crash
+   (torn data batch); such a generation is unusable. *)
+let closure_complete store root =
+  let seen = Hashtbl.create 256 in
+  let rec walk oid =
+    Hashtbl.mem seen oid
+    ||
+    match Store.get store oid with
+    | None -> false
+    | Some obj -> (
+        Hashtbl.replace seen oid ();
+        match obj with
+        | Store.Blob _ -> true
+        | Store.Tree entries -> List.for_all (fun (_, o) -> walk o) entries
+        | Store.Commit c -> walk c.Store.tree)
+  in
+  walk root
+
+let of_store ?backend ?(name = "configerator") store =
+  let newest_first = List.rev (Store.generations store) in
+  let rec choose dropped = function
+    | [] -> None, dropped
+    | g :: rest ->
+        if closure_complete store g.Store.gen_root then Some g, dropped
+        else choose (dropped + 1) rest
+  in
+  let chosen, dropped = choose 0 newest_first in
+  let rhead = Option.map (fun g -> g.Store.gen_root) chosen in
+  let rbackend =
+    match backend, rhead with
+    | Some b, _ -> b
+    | None, None -> Merkle
+    | None, Some oid -> (
+        (* Flat commits carry the generation = 0 sentinel. *)
+        match Store.get store oid with
+        | Some (Store.Commit c) -> if c.Store.generation = 0 then Flat else Merkle
+        | Some (Store.Blob _ | Store.Tree _) | None -> Merkle)
+  in
+  let t =
+    {
+      rname = name;
+      rstore = store;
+      rbackend;
+      rhead;
+      ncommits = 0;
+      head_index = Hashtbl.create 256;
+      touches = Hashtbl.create 256;
+      rdropped = dropped;
+    }
+  in
+  t.ncommits <- List.length (log t);
+  rebuild_indexes t;
+  t
+
+let recovery_dropped t = t.rdropped

@@ -31,8 +31,21 @@ type backend = Flat | Merkle
 val backend_name : backend -> string
 val backend_of_string : string -> backend option
 
-val create : ?backend:backend -> ?name:string -> unit -> t
-(** [backend] defaults to [Merkle]. *)
+val create : ?backend:backend -> ?store:Store.backend -> ?name:string -> unit -> t
+(** [backend] defaults to [Merkle]; [store] to [Store.Memory] (pass
+    {!Store.pack_backend} for a durable repository). *)
+
+val of_store : ?backend:backend -> ?name:string -> Store.t -> t
+(** Reopens a repository from a recovered store (crash recovery): head
+    becomes the newest generation whose commit -> tree closure is
+    fully present — a pin whose data batch was lost to the crash is
+    skipped (see {!recovery_dropped}) — and the Merkle indexes are
+    rebuilt in O(files at head) + O(retained history), independent of
+    total history length.  [backend] is inferred from the head
+    commit's generation sentinel (0 = [Flat]) unless given. *)
+
+val recovery_dropped : t -> int
+(** Generations skipped as incomplete by {!of_store} (0 normally). *)
 
 val name : t -> string
 val store : t -> Store.t
@@ -96,3 +109,23 @@ val conflicts : t -> base:Store.oid option -> paths:string list -> string list
 val is_ancestor : t -> Store.oid -> of_:Store.oid -> bool
 (** Merkle: O(1) generation compare for most negatives, then a walk
     bounded by the generation gap; flat: a linear history walk. *)
+
+(** {1 Generations}
+
+    Every landed commit pins its oid as a numbered generation in the
+    store (see {!Store.generations}), so the generation log is a
+    queryable linear history of landed states — and rollback is O(1)
+    at the store however long the history is. *)
+
+val rollback : t -> generation:int -> timestamp:float -> int
+(** Atomically repoints head at the root pinned by [generation] and
+    pins that root as a {e new} generation (so the rollback itself is
+    in the log and is itself rollback-able); returns the new
+    generation number.  O(1) at the store — one pin record appended,
+    no data moved; the Merkle index rebuild is O(files at head).
+    @raise Invalid_argument on an unknown generation number. *)
+
+val gc : t -> keep_last:int -> Store.gc_stats
+(** {!Store.gc}: keep the newest [keep_last] generations, sweep
+    everything unreachable from their roots.  Head always survives
+    (it is pinned by the newest generation). *)

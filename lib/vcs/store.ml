@@ -15,16 +15,74 @@ and commit = {
   changed : string list;
 }
 
+type backend =
+  | Memory
+  | Pack of {
+      dir : string;
+      sync_window : float;
+      segment_max_bytes : int;
+      compact_min_dead_fraction : float;
+      clock : (unit -> float) option;
+    }
+
+let pack_backend ?(sync_window = 0.05) ?(segment_max_bytes = 8 * 1024 * 1024)
+    ?(compact_min_dead_fraction = 0.25) ?clock dir =
+  Pack { dir; sync_window; segment_max_bytes; compact_min_dead_fraction; clock }
+
+type gen = {
+  gen_num : int;
+  gen_root : oid;
+  gen_time : float;
+  gen_message : string;
+}
+
+type impl =
+  | Mem of (oid, obj) Hashtbl.t
+  | Pk of {
+      pack : Cm_pack.Pack.t;
+      cache : (oid, obj) Hashtbl.t;
+          (* Deserialized view of the pack, filled on put and on first
+             get; the on-disk record stays the source of truth for a
+             fresh open. *)
+    }
+
 type t = {
-  objects : (oid, obj) Hashtbl.t;
+  bknd : backend;
+  impl : impl;
   mutable bytes : int;
   mutable puts : int;
   mutable dedup_hits : int;
   mutable dedup_bytes : int;
+  (* Memory-backend generation log; the Pack backend keeps its own
+     durable one. *)
+  mutable mgens : gen list; (* newest first *)
+  mutable mgen_count : int;
 }
 
-let create () =
-  { objects = Hashtbl.create 1024; bytes = 0; puts = 0; dedup_hits = 0; dedup_bytes = 0 }
+let create ?(backend = Memory) () =
+  let impl =
+    match backend with
+    | Memory -> Mem (Hashtbl.create 1024)
+    | Pack { dir; sync_window; segment_max_bytes; compact_min_dead_fraction; clock } ->
+        let pack =
+          Cm_pack.Pack.create ~dir ~sync_window ~segment_max_bytes
+            ~compact_min_dead_fraction ?clock ()
+        in
+        Pk { pack; cache = Hashtbl.create 1024 }
+  in
+  {
+    bknd = backend;
+    impl;
+    bytes = 0;
+    puts = 0;
+    dedup_hits = 0;
+    dedup_bytes = 0;
+    mgens = [];
+    mgen_count = 0;
+  }
+
+let backend t = t.bknd
+let pack_handle t = match t.impl with Mem _ -> None | Pk { pack; _ } -> Some pack
 
 let serialize = function
   | Blob data -> "blob\000" ^ data
@@ -44,30 +102,261 @@ let serialize = function
         (String.concat "," parents) author message timestamp generation
         (String.concat "\001" changed)
 
+let deserialize s =
+  match String.index_opt s '\000' with
+  | None -> None
+  | Some i -> (
+      let tag = String.sub s 0 i in
+      let body = String.sub s (i + 1) (String.length s - i - 1) in
+      match tag with
+      | "blob" -> Some (Blob body)
+      | "tree" ->
+          let lines = String.split_on_char '\n' body in
+          let rec entries acc = function
+            | [] | [ "" ] -> Some (Tree (List.rev acc))
+            | line :: rest -> (
+                match String.index_opt line '\000' with
+                | None -> None
+                | Some j ->
+                    entries
+                      (( String.sub line 0 j,
+                         String.sub line (j + 1) (String.length line - j - 1) )
+                      :: acc)
+                      rest)
+          in
+          entries [] lines
+      | "commit" -> (
+          (* tree, parents, author, message, timestamp, generation,
+             changed — the message may itself contain NULs, so rejoin
+             everything between the three leading and three trailing
+             fields. *)
+          let parts = Array.of_list (String.split_on_char '\000' body) in
+          let n = Array.length parts in
+          if n < 6 then None
+          else
+            let message =
+              String.concat "\000" (Array.to_list (Array.sub parts 3 (n - 6)))
+            in
+            match
+              (float_of_string_opt parts.(n - 3), int_of_string_opt parts.(n - 2))
+            with
+            | Some timestamp, Some generation ->
+                let parents =
+                  if parts.(1) = "" then []
+                  else String.split_on_char ',' parts.(1)
+                in
+                let changed =
+                  if parts.(n - 1) = "" then []
+                  else String.split_on_char '\001' parts.(n - 1)
+                in
+                Some
+                  (Commit
+                     {
+                       tree = parts.(0);
+                       parents;
+                       author = parts.(2);
+                       message;
+                       timestamp;
+                       generation;
+                       changed;
+                     })
+            | _ -> None)
+      | _ -> None)
+
 let put t obj =
   let serialized = serialize obj in
   let oid = Digest.to_hex (Digest.string serialized) in
   t.puts <- t.puts + 1;
-  if Hashtbl.mem t.objects oid then begin
+  let fresh =
+    match t.impl with
+    | Mem objects ->
+        if Hashtbl.mem objects oid then false
+        else begin
+          Hashtbl.replace objects oid obj;
+          true
+        end
+    | Pk { pack; cache } ->
+        let fresh = Cm_pack.Pack.put pack ~oid ~data:serialized in
+        if fresh then Hashtbl.replace cache oid obj;
+        fresh
+  in
+  if fresh then t.bytes <- t.bytes + String.length serialized
+  else begin
     t.dedup_hits <- t.dedup_hits + 1;
     t.dedup_bytes <- t.dedup_bytes + String.length serialized
-  end
-  else begin
-    Hashtbl.replace t.objects oid obj;
-    t.bytes <- t.bytes + String.length serialized
   end;
   oid
 
-let get t oid = Hashtbl.find_opt t.objects oid
+let get t oid =
+  match t.impl with
+  | Mem objects -> Hashtbl.find_opt objects oid
+  | Pk { pack; cache } -> (
+      match Hashtbl.find_opt cache oid with
+      | Some obj -> Some obj
+      | None -> (
+          match Cm_pack.Pack.find pack oid with
+          | None -> None
+          | Some data -> (
+              match deserialize data with
+              | Some obj ->
+                  Hashtbl.replace cache oid obj;
+                  Some obj
+              | None -> None)))
 
 let get_exn t oid =
   match get t oid with
   | Some obj -> obj
   | None -> invalid_arg ("Store.get_exn: unknown object " ^ oid)
 
-let mem t oid = Hashtbl.mem t.objects oid
-let object_count t = Hashtbl.length t.objects
-let total_bytes t = t.bytes
+let mem t oid =
+  match t.impl with
+  | Mem objects -> Hashtbl.mem objects oid
+  | Pk { pack; _ } -> Cm_pack.Pack.mem pack oid
+
+let object_count t =
+  match t.impl with
+  | Mem objects -> Hashtbl.length objects
+  | Pk { pack; _ } -> Cm_pack.Pack.object_count pack
+
+let oids t =
+  match t.impl with
+  | Mem objects -> Hashtbl.fold (fun oid _ acc -> oid :: acc) objects []
+  | Pk { pack; _ } -> Cm_pack.Pack.oids pack
+
+(* --- generations ------------------------------------------------------- *)
+
+let land_generation t ~root ~timestamp ~message =
+  match t.impl with
+  | Mem _ ->
+      let num = t.mgen_count + 1 in
+      t.mgens <-
+        { gen_num = num; gen_root = root; gen_time = timestamp; gen_message = message }
+        :: t.mgens;
+      t.mgen_count <- num;
+      num
+  | Pk { pack; _ } -> Cm_pack.Pack.land_generation pack ~root ~timestamp ~message
+
+let of_pack_gen (g : Cm_pack.Pack.gen) =
+  {
+    gen_num = g.Cm_pack.Pack.g_num;
+    gen_root = g.Cm_pack.Pack.g_root;
+    gen_time = g.Cm_pack.Pack.g_time;
+    gen_message = g.Cm_pack.Pack.g_message;
+  }
+
+let to_pack_gen g =
+  {
+    Cm_pack.Pack.g_num = g.gen_num;
+    g_root = g.gen_root;
+    g_time = g.gen_time;
+    g_message = g.gen_message;
+  }
+
+let generations t =
+  match t.impl with
+  | Mem _ -> List.rev t.mgens
+  | Pk { pack; _ } -> List.map of_pack_gen (Cm_pack.Pack.generations pack)
+
+let last_generation t =
+  match t.impl with
+  | Mem _ -> t.mgen_count
+  | Pk { pack; _ } -> Cm_pack.Pack.last_generation pack
+
+let durable_generation t =
+  match t.impl with
+  | Mem _ -> t.mgen_count
+  | Pk { pack; _ } -> Cm_pack.Pack.durable_generation pack
+
+let sync t =
+  match t.impl with Mem _ -> () | Pk { pack; _ } -> Cm_pack.Pack.sync pack
+
+let close t =
+  match t.impl with Mem _ -> () | Pk { pack; _ } -> Cm_pack.Pack.close pack
+
+(* --- garbage collection ------------------------------------------------- *)
+
+type gc_stats = {
+  gc_live : int;
+  gc_swept : int;
+  gc_swept_bytes : int;
+  gc_dropped_generations : int;
+}
+
+(* Mark the commit -> tree closure of each root.  Parents are
+   deliberately not followed: every commit pins a generation, so the
+   kept generations *are* the retained history. *)
+let mark t roots =
+  let marked = Hashtbl.create 1024 in
+  let rec walk oid =
+    if not (Hashtbl.mem marked oid) then
+      match get t oid with
+      | None -> ()
+      | Some obj -> (
+          Hashtbl.replace marked oid ();
+          match obj with
+          | Blob _ -> ()
+          | Tree entries -> List.iter (fun (_, o) -> walk o) entries
+          | Commit c -> walk c.tree)
+  in
+  List.iter walk roots;
+  marked
+
+let gc t ~keep_last =
+  if keep_last < 1 then invalid_arg "Store.gc: keep_last must be >= 1";
+  let gens = generations t in
+  let drop = max 0 (List.length gens - keep_last) in
+  let kept = List.filteri (fun i _ -> i >= drop) gens in
+  let marked = mark t (List.map (fun g -> g.gen_root) kept) in
+  match t.impl with
+  | Mem objects ->
+      let dead =
+        Hashtbl.fold
+          (fun oid obj acc ->
+            if Hashtbl.mem marked oid then acc else (oid, obj) :: acc)
+          objects []
+      in
+      let swept_bytes =
+        List.fold_left
+          (fun acc (oid, obj) ->
+            Hashtbl.remove objects oid;
+            acc + String.length (serialize obj))
+          0 dead
+      in
+      t.bytes <- t.bytes - swept_bytes;
+      t.mgens <- List.rev kept;
+      {
+        gc_live = Hashtbl.length objects;
+        gc_swept = List.length dead;
+        gc_swept_bytes = swept_bytes;
+        gc_dropped_generations = drop;
+      }
+  | Pk { pack; cache } ->
+      let stats =
+        Cm_pack.Pack.gc pack
+          ~live:(Hashtbl.mem marked)
+          ~keep_gens:(List.map to_pack_gen kept)
+      in
+      let dead_cached =
+        Hashtbl.fold
+          (fun oid _ acc -> if Hashtbl.mem marked oid then acc else oid :: acc)
+          cache []
+      in
+      List.iter (Hashtbl.remove cache) dead_cached;
+      t.bytes <- t.bytes - stats.Cm_pack.Pack.gc_swept_data_bytes;
+      {
+        gc_live = stats.Cm_pack.Pack.gc_live_objects;
+        gc_swept = stats.Cm_pack.Pack.gc_swept_objects;
+        gc_swept_bytes = stats.Cm_pack.Pack.gc_swept_data_bytes;
+        gc_dropped_generations = stats.Cm_pack.Pack.gc_generations_dropped;
+      }
+
+(* --- counters ----------------------------------------------------------- *)
+
+let total_bytes t =
+  match t.impl with
+  | Mem _ -> t.bytes
+  | Pk { pack; _ } -> Cm_pack.Pack.data_bytes pack
+
 let put_count t = t.puts
 let dedup_hits t = t.dedup_hits
 let dedup_bytes t = t.dedup_bytes

@@ -1,0 +1,677 @@
+(* Durable pack store: segments, batched fsync, generations, GC,
+   crash recovery — plus the Store-level Memory/Pack counter parity
+   and the Memory ≡ Pack observational-equivalence property. *)
+
+module Pack = Cm_pack.Pack
+module Store = Cm_vcs.Store
+module Repo = Cm_vcs.Repo
+module Engine = Cm_sim.Engine
+module Proc = Cm_sim.Proc
+
+let test_root = "_pack_test"
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    let d = Filename.concat test_root (Printf.sprintf "%s_%d" name !n) in
+    rm_rf d;
+    d
+
+(* A pack on a manual clock with an effectively infinite sync window:
+   nothing reaches disk until the test says so. *)
+let manual_pack dir =
+  let now = ref 0.0 in
+  let p = Pack.create ~dir ~sync_window:1e9 ~clock:(fun () -> !now) () in
+  p, now
+
+let seg0 dir = Filename.concat dir "pack-000000.seg"
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+let shrink_file path n =
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - n)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
+let oid_of i = Printf.sprintf "%032d" i
+let data_of i = Printf.sprintf "object payload number %d" i
+
+let fill pack n =
+  for i = 1 to n do
+    ignore (Pack.put pack ~oid:(oid_of i) ~data:(data_of i))
+  done
+
+(* --- pack basics ----------------------------------------------------- *)
+
+let pack_tests =
+  [
+    Alcotest.test_case "put/find/mem round-trip and dedup" `Quick (fun () ->
+        let pack, _ = manual_pack (fresh_dir "basic") in
+        Alcotest.(check bool) "first put appends" true
+          (Pack.put pack ~oid:"a" ~data:"alpha");
+        Alcotest.(check bool) "re-put dedups" false
+          (Pack.put pack ~oid:"a" ~data:"alpha");
+        Alcotest.(check (option string)) "find" (Some "alpha") (Pack.find pack "a");
+        Alcotest.(check bool) "mem" true (Pack.mem pack "a");
+        Alcotest.(check (option string)) "missing" None (Pack.find pack "zz");
+        Alcotest.(check int) "one object" 1 (Pack.object_count pack);
+        Pack.close pack);
+    Alcotest.test_case "reads span disk and the unsynced buffer" `Quick (fun () ->
+        let pack, _ = manual_pack (fresh_dir "buffered") in
+        fill pack 5;
+        Pack.sync pack;
+        fill pack 10;
+        (* objects 6..10 are buffered only *)
+        for i = 1 to 10 do
+          Alcotest.(check (option string))
+            (Printf.sprintf "object %d" i)
+            (Some (data_of i))
+            (Pack.find pack (oid_of i))
+        done;
+        Pack.close pack);
+    Alcotest.test_case "segments roll at segment_max_bytes" `Quick (fun () ->
+        let dir = fresh_dir "roll" in
+        let pack =
+          Pack.create ~dir ~sync_window:1e9 ~segment_max_bytes:256
+            ~clock:(fun () -> 0.0)
+            ()
+        in
+        fill pack 20;
+        Alcotest.(check bool) "multiple segments" true (Pack.segment_count pack > 1);
+        for i = 1 to 20 do
+          Alcotest.(check (option string)) "read across segments"
+            (Some (data_of i))
+            (Pack.find pack (oid_of i))
+        done;
+        Pack.close pack);
+  ]
+
+(* --- batched group fsync --------------------------------------------- *)
+
+let fsync_tests =
+  [
+    Alcotest.test_case "puts inside the window share one batch" `Quick (fun () ->
+        let dir = fresh_dir "batch" in
+        let now = ref 0.0 in
+        let pack = Pack.create ~dir ~sync_window:0.05 ~clock:(fun () -> !now) () in
+        let batches0 = Pack.fsync_batches pack in
+        ignore (Pack.put pack ~oid:"a" ~data:"x");
+        now := 0.01;
+        ignore (Pack.put pack ~oid:"b" ~data:"y");
+        Alcotest.(check int) "still buffered" batches0 (Pack.fsync_batches pack);
+        Alcotest.(check bool) "pending" true (Pack.pending_bytes pack > 0);
+        (* a put landing past the window flushes the whole batch *)
+        now := 0.2;
+        ignore (Pack.put pack ~oid:"c" ~data:"z");
+        Alcotest.(check int) "one batch for a+b(+c)" (batches0 + 1)
+          (Pack.fsync_batches pack);
+        Pack.close pack);
+    Alcotest.test_case "durable_generation trails until sync" `Quick (fun () ->
+        let pack, _ = manual_pack (fresh_dir "durgen") in
+        ignore (Pack.put pack ~oid:"r1" ~data:"root one");
+        let g1 = Pack.land_generation pack ~root:"r1" ~timestamp:1.0 ~message:"one" in
+        Alcotest.(check int) "pinned" 1 g1;
+        Alcotest.(check int) "not yet durable" 0 (Pack.durable_generation pack);
+        Pack.sync pack;
+        Alcotest.(check int) "durable after sync" 1 (Pack.durable_generation pack);
+        Pack.close pack);
+  ]
+
+(* --- crash + recovery ------------------------------------------------ *)
+
+let recovery_tests =
+  [
+    Alcotest.test_case "kill -9 loses exactly the unsynced batch" `Quick (fun () ->
+        let dir = fresh_dir "crash" in
+        let pack, _ = manual_pack dir in
+        fill pack 5;
+        ignore (Pack.land_generation pack ~root:(oid_of 5) ~timestamp:1.0 ~message:"d");
+        Pack.sync pack;
+        fill pack 8;
+        ignore (Pack.land_generation pack ~root:(oid_of 8) ~timestamp:2.0 ~message:"l");
+        Pack.crash pack ();
+        (* nothing of the unsynced batch survived *)
+        let pack2, _ = manual_pack dir in
+        Alcotest.(check int) "synced objects" 5 (Pack.object_count pack2);
+        Alcotest.(check (option string)) "survivor" (Some (data_of 5))
+          (Pack.find pack2 (oid_of 5));
+        Alcotest.(check (option string)) "lost" None (Pack.find pack2 (oid_of 8));
+        Alcotest.(check int) "generation log at the synced pin" 1
+          (Pack.last_generation pack2);
+        Alcotest.(check int) "durable" 1 (Pack.durable_generation pack2);
+        Pack.close pack2);
+    Alcotest.test_case "torn tail record is truncated, not fatal" `Quick (fun () ->
+        let dir = fresh_dir "torn" in
+        let pack, _ = manual_pack dir in
+        fill pack 5;
+        Pack.sync pack;
+        ignore (Pack.put pack ~oid:(oid_of 6) ~data:(data_of 6));
+        (* a prefix that cuts the record mid-payload reaches disk *)
+        let cut = Pack.pending_data_bytes pack - 4 in
+        Pack.crash pack ~surviving_data_bytes:cut ();
+        let pack2, _ = manual_pack dir in
+        let r = Pack.recovery pack2 in
+        Alcotest.(check bool) "tail truncated" true (r.Pack.torn_tail_bytes > 0);
+        Alcotest.(check int) "full records indexed" 5 (Pack.object_count pack2);
+        Alcotest.(check (option string)) "torn object gone" None
+          (Pack.find pack2 (oid_of 6));
+        (* the pack keeps working after truncation *)
+        ignore (Pack.put pack2 ~oid:(oid_of 6) ~data:(data_of 6));
+        Pack.sync pack2;
+        Alcotest.(check (option string)) "re-put lands" (Some (data_of 6))
+          (Pack.find pack2 (oid_of 6));
+        Pack.close pack2);
+    Alcotest.test_case "truncated final segment recovers the full prefix" `Quick
+      (fun () ->
+        let dir = fresh_dir "shrink" in
+        let pack, _ = manual_pack dir in
+        fill pack 6;
+        Pack.close pack;
+        (* lop 7 bytes off the segment: the last record loses its
+           checksum's payload *)
+        shrink_file (seg0 dir) 7;
+        let pack2, _ = manual_pack dir in
+        let r = Pack.recovery pack2 in
+        Alcotest.(check int) "prefix indexed" 5 (Pack.object_count pack2);
+        Alcotest.(check bool) "tail reported" true (r.Pack.torn_tail_bytes > 0);
+        Alcotest.(check (option string)) "last full record survives"
+          (Some (data_of 5))
+          (Pack.find pack2 (oid_of 5));
+        Pack.close pack2);
+    Alcotest.test_case "corrupt middle record is skipped and reported" `Quick
+      (fun () ->
+        let dir = fresh_dir "corrupt" in
+        let pack, _ = manual_pack dir in
+        fill pack 4;
+        Pack.close pack;
+        (* flip a payload byte of the first record: header intact, so
+           the scan skips exactly one record and resyncs *)
+        flip_byte (seg0 dir) 23;
+        let pack2, _ = manual_pack dir in
+        let r = Pack.recovery pack2 in
+        Alcotest.(check int) "one corrupt record" 1 r.Pack.corrupt_skipped;
+        Alcotest.(check int) "rest indexed" 3 (Pack.object_count pack2);
+        Alcotest.(check (option string)) "corrupt object unreadable" None
+          (Pack.find pack2 (oid_of 1));
+        Alcotest.(check (option string)) "later record fine" (Some (data_of 4))
+          (Pack.find pack2 (oid_of 4));
+        Pack.close pack2);
+    Alcotest.test_case "empty directory opens clean" `Quick (fun () ->
+        let dir = fresh_dir "empty" in
+        let pack, _ = manual_pack dir in
+        Alcotest.(check int) "no objects" 0 (Pack.object_count pack);
+        Alcotest.(check int) "no generations" 0 (Pack.last_generation pack);
+        Pack.close pack;
+        (* reopening the now-initialised-but-empty dir is also clean *)
+        let pack2, _ = manual_pack dir in
+        Alcotest.(check int) "still empty" 0 (Pack.object_count pack2);
+        Pack.close pack2);
+    Alcotest.test_case "duplicate copies (interrupted GC) dedup on open" `Quick
+      (fun () ->
+        let dir = fresh_dir "dup" in
+        let pack, _ = manual_pack dir in
+        fill pack 4;
+        Pack.close pack;
+        (* a compaction killed between copy and manifest swap leaves
+           the same records in two segments *)
+        copy_file (seg0 dir) (Filename.concat dir "pack-000001.seg");
+        let pack2, _ = manual_pack dir in
+        let r = Pack.recovery pack2 in
+        Alcotest.(check int) "duplicates skipped" 4 r.Pack.duplicates_skipped;
+        Alcotest.(check int) "each object once" 4 (Pack.object_count pack2);
+        Pack.close pack2);
+    Alcotest.test_case "generations persist across reopen" `Quick (fun () ->
+        let dir = fresh_dir "gens" in
+        let pack, _ = manual_pack dir in
+        fill pack 3;
+        for i = 1 to 3 do
+          ignore
+            (Pack.land_generation pack ~root:(oid_of i)
+               ~timestamp:(float_of_int i)
+               ~message:(Printf.sprintf "pin %d" i))
+        done;
+        let before = Pack.generations pack in
+        Pack.close pack;
+        let pack2, _ = manual_pack dir in
+        let after = Pack.generations pack2 in
+        Alcotest.(check int) "count" 3 (List.length after);
+        List.iter2
+          (fun (a : Pack.gen) (b : Pack.gen) ->
+            Alcotest.(check int) "num" a.Pack.g_num b.Pack.g_num;
+            Alcotest.(check string) "root" a.Pack.g_root b.Pack.g_root;
+            Alcotest.(check string) "message" a.Pack.g_message b.Pack.g_message;
+            Alcotest.(check (float 1e-6)) "time" a.Pack.g_time b.Pack.g_time)
+          before after;
+        Alcotest.(check int) "durable through the close-sync" 3
+          (Pack.durable_generation pack2);
+        Pack.close pack2);
+  ]
+
+(* --- pack GC --------------------------------------------------------- *)
+
+let gc_tests =
+  [
+    Alcotest.test_case "sweep drops dead objects and compacts" `Quick (fun () ->
+        let dir = fresh_dir "gc" in
+        let pack =
+          Pack.create ~dir ~sync_window:1e9 ~compact_min_dead_fraction:0.05
+            ~clock:(fun () -> 0.0)
+            ()
+        in
+        fill pack 50;
+        Pack.sync pack;
+        let before = Pack.file_bytes pack in
+        (* keep only every 10th object *)
+        let live oid = int_of_string oid mod 10 = 0 in
+        let stats = Pack.gc pack ~live ~keep_gens:[] in
+        Alcotest.(check int) "live" 5 stats.Pack.gc_live_objects;
+        Alcotest.(check int) "swept" 45 stats.Pack.gc_swept_objects;
+        Alcotest.(check int) "index agrees" 5 (Pack.object_count pack);
+        Alcotest.(check bool) "file shrank" true (Pack.file_bytes pack < before);
+        Alcotest.(check int) "no dead bytes left" 0 (Pack.dead_bytes pack);
+        for i = 1 to 50 do
+          Alcotest.(check (option string))
+            (Printf.sprintf "object %d" i)
+            (if i mod 10 = 0 then Some (data_of i) else None)
+            (Pack.find pack (oid_of i))
+        done;
+        Pack.close pack);
+    Alcotest.test_case "uncompacted dead records do not resurrect on reopen" `Quick
+      (fun () ->
+        let dir = fresh_dir "nores" in
+        (* threshold 1.0: GC never compacts, so every dead record
+           stays in its segment file *)
+        let pack =
+          Pack.create ~dir ~sync_window:1e9 ~compact_min_dead_fraction:1.1
+            ~clock:(fun () -> 0.0)
+            ()
+        in
+        fill pack 10;
+        Pack.sync pack;
+        let live oid = int_of_string oid <= 3 in
+        ignore (Pack.gc pack ~live ~keep_gens:[]);
+        Alcotest.(check int) "swept from the index" 3 (Pack.object_count pack);
+        Alcotest.(check bool) "dead bytes remain on disk" true
+          (Pack.dead_bytes pack > 0);
+        (* a swept oid may be re-put: it is live again *)
+        ignore (Pack.put pack ~oid:(oid_of 7) ~data:(data_of 7));
+        Pack.close pack;
+        let pack2, _ = manual_pack dir in
+        Alcotest.(check int) "no resurrection" 4 (Pack.object_count pack2);
+        Alcotest.(check (option string)) "swept stays gone" None
+          (Pack.find pack2 (oid_of 5));
+        Alcotest.(check (option string)) "re-put survives" (Some (data_of 7))
+          (Pack.find pack2 (oid_of 7));
+        Pack.close pack2);
+    Alcotest.test_case "survivors and kept generations outlive a reopen" `Quick
+      (fun () ->
+        let dir = fresh_dir "gc_reopen" in
+        let pack, _ = manual_pack dir in
+        fill pack 20;
+        let gens =
+          List.map
+            (fun i ->
+              ignore
+                (Pack.land_generation pack ~root:(oid_of (10 * i))
+                   ~timestamp:(float_of_int i) ~message:"pin");
+              i)
+            [ 1; 2 ]
+        in
+        ignore gens;
+        Pack.sync pack;
+        let keep =
+          List.filter (fun (g : Pack.gen) -> g.Pack.g_num = 2) (Pack.generations pack)
+        in
+        let live oid = oid = oid_of 20 in
+        ignore (Pack.gc pack ~live ~keep_gens:keep);
+        Pack.close pack;
+        let pack2, _ = manual_pack dir in
+        Alcotest.(check int) "one survivor" 1 (Pack.object_count pack2);
+        Alcotest.(check (option string)) "survivor bytes" (Some (data_of 20))
+          (Pack.find pack2 (oid_of 20));
+        let gens = Pack.generations pack2 in
+        Alcotest.(check int) "one generation kept" 1 (List.length gens);
+        Alcotest.(check int) "and it is #2" 2 (List.hd gens).Pack.g_num;
+        Pack.close pack2);
+  ]
+
+(* --- Store counter parity (Memory vs Pack) --------------------------- *)
+
+let store_objs =
+  [
+    Store.Blob "alpha";
+    Store.Blob "beta";
+    Store.Tree [ "a", String.make 32 '1'; "b", String.make 32 '2' ];
+    Store.Blob "alpha" (* dup *);
+    Store.Tree [ "a", String.make 32 '1'; "b", String.make 32 '2' ] (* dup *);
+    Store.Blob "gamma";
+    Store.Blob "beta" (* dup *);
+  ]
+
+let counters t =
+  ( Store.total_bytes t,
+    Store.put_count t,
+    Store.dedup_hits t,
+    Store.dedup_bytes t,
+    Store.object_count t )
+
+let parity_tests =
+  [
+    Alcotest.test_case "same puts, same counters, either backend" `Quick (fun () ->
+        let mem = Store.create () in
+        let pack = Store.create ~backend:(Store.pack_backend (fresh_dir "parity")) () in
+        let oids_m = List.map (Store.put mem) store_objs in
+        let oids_p = List.map (Store.put pack) store_objs in
+        Alcotest.(check (list string)) "same oids" oids_m oids_p;
+        let tb, pc, dh, db, oc = counters mem in
+        let tb', pc', dh', db', oc' = counters pack in
+        Alcotest.(check (list int)) "counters"
+          [ tb; pc; dh; db; oc ]
+          [ tb'; pc'; dh'; db'; oc' ];
+        Alcotest.(check int) "3 dups of 7 puts" 3 dh;
+        List.iter
+          (fun oid ->
+            Alcotest.(check bool) "objects readable back" true
+              (Store.get pack oid = Store.get mem oid && Store.get mem oid <> None))
+          oids_m;
+        Store.close pack);
+  ]
+
+(* --- Repo generations: rollback and recovery ------------------------- *)
+
+let commit repo ~n changes =
+  Repo.commit repo ~author:"test" ~message:(Printf.sprintf "c%d" n)
+    ~timestamp:(float_of_int n) changes
+
+let repo_gen_tests =
+  [
+    Alcotest.test_case "every commit pins a generation" `Quick (fun () ->
+        let repo = Repo.create () in
+        ignore (commit repo ~n:1 [ "a", Some "1" ]);
+        ignore (commit repo ~n:2 [ "b", Some "2" ]);
+        Alcotest.(check int) "two pins" 2 (Store.last_generation (Repo.store repo)));
+    Alcotest.test_case "rollback repoints head and pins anew" `Quick (fun () ->
+        let repo = Repo.create ~store:(Store.pack_backend (fresh_dir "rb")) () in
+        ignore (commit repo ~n:1 [ "a", Some "v1"; "b", Some "b1" ]);
+        ignore (commit repo ~n:2 [ "a", Some "v2" ]);
+        ignore (commit repo ~n:3 [ "a", Some "v3"; "b", None ]);
+        let pinned = Repo.rollback repo ~generation:1 ~timestamp:10.0 in
+        Alcotest.(check int) "new pin" 4 pinned;
+        Alcotest.(check (option string)) "a back to v1" (Some "v1")
+          (Repo.read_file repo "a");
+        Alcotest.(check (option string)) "b resurrected" (Some "b1")
+          (Repo.read_file repo "b");
+        Alcotest.(check int) "file count back" 2 (Repo.file_count repo);
+        (* the rollback itself is on the log: rolling forward works *)
+        let pinned2 = Repo.rollback repo ~generation:3 ~timestamp:11.0 in
+        Alcotest.(check int) "roll forward pin" 5 pinned2;
+        Alcotest.(check (option string)) "a at v3 again" (Some "v3")
+          (Repo.read_file repo "a");
+        Alcotest.(check (option string)) "b deleted again" None
+          (Repo.read_file repo "b");
+        Store.close (Repo.store repo));
+    Alcotest.test_case "rollback to an unknown generation is refused" `Quick
+      (fun () ->
+        let repo = Repo.create () in
+        ignore (commit repo ~n:1 [ "a", Some "1" ]);
+        Alcotest.check_raises "unknown gen"
+          (Invalid_argument "Repo.rollback: unknown generation 7") (fun () ->
+            ignore (Repo.rollback repo ~generation:7 ~timestamp:2.0)));
+    Alcotest.test_case "of_store resumes at the newest durable commit" `Quick
+      (fun () ->
+        let dir = fresh_dir "resume" in
+        let now = ref 0.0 in
+        let backend = Store.pack_backend ~sync_window:1e9 ~clock:(fun () -> !now) dir in
+        let repo = Repo.create ~store:backend () in
+        ignore (commit repo ~n:1 [ "a", Some "v1" ]);
+        ignore (commit repo ~n:2 [ "a", Some "v2" ]);
+        Store.sync (Repo.store repo);
+        ignore (commit repo ~n:3 [ "a", Some "v3" ]);
+        (* kill -9: commit 3 never reached disk *)
+        Pack.crash (Option.get (Store.pack_handle (Repo.store repo))) ();
+        let store' = Store.create ~backend () in
+        let repo' = Repo.of_store store' in
+        Alcotest.(check (option string)) "head is the durable commit" (Some "v2")
+          (Repo.read_file repo' "a");
+        Alcotest.(check int) "generation log at 2" 2 (Store.last_generation store');
+        (* work resumes on the recovered repo *)
+        ignore (commit repo' ~n:3 [ "a", Some "v3" ]);
+        Alcotest.(check (option string)) "relanded" (Some "v3")
+          (Repo.read_file repo' "a");
+        Store.close store');
+    Alcotest.test_case "repo GC keeps the newest K generations' trees" `Quick
+      (fun () ->
+        let repo = Repo.create ~store:(Store.pack_backend (fresh_dir "rgc")) () in
+        for i = 1 to 10 do
+          ignore (commit repo ~n:i [ "a", Some (string_of_int i); "keep", Some "k" ])
+        done;
+        let stats = Repo.gc repo ~keep_last:3 in
+        Alcotest.(check int) "dropped generations" 7 stats.Store.gc_dropped_generations;
+        Alcotest.(check bool) "something swept" true (stats.Store.gc_swept > 0);
+        Alcotest.(check int) "log trimmed" 3
+          (List.length (Store.generations (Repo.store repo)));
+        Alcotest.(check (option string)) "head intact" (Some "10")
+          (Repo.read_file repo "a");
+        (* kept generations stay rollback targets *)
+        ignore (Repo.rollback repo ~generation:8 ~timestamp:99.0);
+        Alcotest.(check (option string)) "rollback within kept window" (Some "8")
+          (Repo.read_file repo "a");
+        Store.close (Repo.store repo));
+  ]
+
+(* --- Proc: kill -9 / restart ----------------------------------------- *)
+
+let proc_tests =
+  [
+    Alcotest.test_case "every ticks until killed, restart hooks re-arm" `Quick
+      (fun () ->
+        let eng = Engine.create () in
+        let p = Proc.spawn eng ~name:"w" in
+        let n = ref 0 in
+        let arm () =
+          Proc.every p ~period:1.0 (fun () ->
+              incr n;
+              if !n = 3 then Proc.kill p)
+        in
+        Proc.on_restart p arm;
+        arm ();
+        Engine.run_for eng 10.0;
+        Alcotest.(check int) "stopped at the kill" 3 !n;
+        Alcotest.(check bool) "down" false (Proc.alive p);
+        Proc.restart p;
+        Engine.run_for eng 10.0;
+        Alcotest.(check bool) "ticking again" true (!n > 3);
+        Alcotest.(check int) "one kill" 1 (Proc.kills p);
+        Alcotest.(check int) "one restart" 1 (Proc.restarts p));
+    Alcotest.test_case "kill cancels scheduled work; incarnation fences stale events"
+      `Quick (fun () ->
+        let eng = Engine.create () in
+        let p = Proc.spawn eng ~name:"w" in
+        let fired = ref false in
+        Proc.schedule p ~delay:5.0 (fun () -> fired := true);
+        Engine.run_for eng 1.0;
+        Proc.kill p;
+        Proc.restart p;
+        Engine.run_for eng 20.0;
+        Alcotest.(check bool) "pre-kill event never fires" false !fired;
+        Alcotest.(check int) "incarnation bumped" 2 (Proc.incarnation p);
+        (* scheduling while down is a no-op *)
+        Proc.kill p;
+        Proc.schedule p ~delay:1.0 (fun () -> fired := true);
+        Engine.run_for eng 20.0;
+        Alcotest.(check bool) "down proc schedules nothing" false !fired);
+  ]
+
+(* --- Memory ≡ Pack equivalence property ------------------------------ *)
+
+type op =
+  | Commit of (string * string option) list
+  | Rollback of int
+  | Gc of int
+
+let gen_op =
+  QCheck2.Gen.(
+    let path = oneofl [ "a"; "b"; "c"; "d" ] in
+    let change = pair path (option (string_size ~gen:(char_range '0' '9') (pure 2))) in
+    frequency
+      [
+        6, (list_size (int_range 1 3) change >|= fun cs -> Commit cs);
+        2, (int_range 0 1000 >|= fun r -> Rollback r);
+        1, (int_range 0 1000 >|= fun k -> Gc k);
+      ])
+
+let gen_script = QCheck2.Gen.(list_size (int_range 1 15) gen_op)
+
+let equiv_dir_counter = ref 0
+
+(* Replay one script against a memory-backed and a pack-backed repo
+   (the pack one surviving a close/of_store reopen mid-script), and
+   require identical observable state after every op. *)
+let run_equiv script =
+  incr equiv_dir_counter;
+  let dir = Filename.concat test_root (Printf.sprintf "equiv_%d" !equiv_dir_counter) in
+  rm_rf dir;
+  let mem = Repo.create () in
+  let backend = Store.pack_backend dir in
+  let pack = ref (Repo.create ~store:backend ()) in
+  let present = Hashtbl.create 8 in
+  let tick = ref 0 in
+  let agree () =
+    Repo.file_count mem = Repo.file_count !pack
+    && Store.last_generation (Repo.store mem)
+       = Store.last_generation (Repo.store !pack)
+    && List.for_all
+         (fun p -> Repo.read_file mem p = Repo.read_file !pack p)
+         [ "a"; "b"; "c"; "d" ]
+  in
+  let apply op =
+    incr tick;
+    match op with
+    | Commit changes ->
+        (* dedup by path, drop deletes of absent paths *)
+        let seen = Hashtbl.create 4 in
+        let changes =
+          List.filter
+            (fun (p, v) ->
+              if Hashtbl.mem seen p then false
+              else begin
+                Hashtbl.add seen p ();
+                v <> None || Hashtbl.mem present p
+              end)
+            changes
+        in
+        if changes <> [] then begin
+          List.iter
+            (fun (p, v) ->
+              if v = None then Hashtbl.remove present p
+              else Hashtbl.replace present p ())
+            changes;
+          ignore (commit mem ~n:!tick changes);
+          ignore (commit !pack ~n:!tick changes)
+        end
+    | Rollback r ->
+        let gens = Store.generations (Repo.store mem) in
+        if gens <> [] then begin
+          let g = List.nth gens (r mod List.length gens) in
+          let target = g.Store.gen_num in
+          ignore (Repo.rollback mem ~generation:target ~timestamp:(float_of_int !tick));
+          ignore
+            (Repo.rollback !pack ~generation:target ~timestamp:(float_of_int !tick));
+          Hashtbl.reset present;
+          List.iter
+            (fun p ->
+              if Repo.read_file mem p <> None then Hashtbl.replace present p ())
+            [ "a"; "b"; "c"; "d" ]
+        end
+    | Gc k ->
+        let keep = 1 + (k mod 5) in
+        ignore (Repo.gc mem ~keep_last:keep);
+        ignore (Repo.gc !pack ~keep_last:keep)
+  in
+  let ok =
+    List.for_all
+      (fun op ->
+        apply op;
+        agree ())
+      script
+  in
+  (* the pack side must also survive a crash-free close + reopen *)
+  let ok =
+    ok
+    &&
+    (Store.close (Repo.store !pack);
+     let store' = Store.create ~backend () in
+     pack := Repo.of_store store';
+     agree ())
+  in
+  let sm = Repo.store mem and sp = Repo.store !pack in
+  let ok =
+    ok
+    && Store.total_bytes sm = Store.total_bytes sp
+    && Store.object_count sm = Store.object_count sp
+  in
+  Store.close sp;
+  rm_rf dir;
+  ok
+
+let print_op = function
+  | Commit cs ->
+      "Commit["
+      ^ String.concat ";"
+          (List.map
+             (fun (p, v) ->
+               p ^ "=" ^ match v with None -> "del" | Some s -> s)
+             cs)
+      ^ "]"
+  | Rollback r -> Printf.sprintf "Rollback %d" r
+  | Gc k -> Printf.sprintf "Gc %d" k
+
+let print_script s = String.concat " " (List.map print_op s)
+
+let equivalence_property =
+  QCheck2.Test.make
+    ~name:"memory and pack backends agree under random commit/rollback/GC" ~count:40
+    ~print:print_script gen_script run_equiv
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest [ equivalence_property ]
+
+let () =
+  let finally () = rm_rf test_root in
+  Fun.protect ~finally (fun () ->
+      Alcotest.run "cm_pack"
+        [
+          "pack", pack_tests;
+          "fsync", fsync_tests;
+          "recovery", recovery_tests;
+          "gc", gc_tests;
+          "store-parity", parity_tests;
+          "repo-generations", repo_gen_tests;
+          "proc", proc_tests;
+          "properties", properties;
+        ])
