@@ -87,7 +87,12 @@ type rec_row = {
   rr_segments : int;
   rr_file_bytes : int;
   rr_recovery_s : float;
+  rr_domain_sweep : (int * float) list;
+      (* (domains, reopen seconds) for the multicore recovery scan;
+         measured only on the 50k cell *)
 }
+
+let recovery_domain_sweep = [ 1; 2; 4 ]
 
 let measure_recovery target =
   let dir = Filename.concat bench_root (Printf.sprintf "rec_%d" target) in
@@ -134,17 +139,45 @@ let measure_recovery target =
     failwith
       (Printf.sprintf "exp_store: recovery indexed %d of %d objects"
          info.Pack.records_indexed objects);
+  let segments = Pack.segment_count pack in
+  let file_bytes = Pack.file_bytes pack in
+  Store.close store';
+  (* Multicore recovery: reopen the same pack with the segment scan
+     fanned across 1/2/4 domains.  The recovered state is asserted
+     identical each time; only the open time may change. *)
+  let domain_sweep =
+    if target <> 50_000 then []
+    else
+      List.map
+        (fun domains ->
+          let backend =
+            Store.pack_backend ~segment_max_bytes:(1 lsl 20) ~domains dir
+          in
+          let opened = ref None in
+          let seconds = time (fun () -> opened := Some (Store.create ~backend ())) in
+          let store' = Option.get !opened in
+          let repo' = Repo.of_store store' in
+          if Repo.head repo' <> head0 then
+            failwith
+              (Printf.sprintf "exp_store: %d-domain recovery head mismatch" domains);
+          if Store.object_count store' <> objects then
+            failwith
+              (Printf.sprintf "exp_store: %d-domain recovery object mismatch" domains);
+          Store.close store';
+          domains, seconds)
+        recovery_domain_sweep
+  in
   let row =
     {
       rr_target = target;
       rr_objects = objects;
       rr_commits = commits;
-      rr_segments = Pack.segment_count pack;
-      rr_file_bytes = Pack.file_bytes pack;
+      rr_segments = segments;
+      rr_file_bytes = file_bytes;
       rr_recovery_s = recovery_s;
+      rr_domain_sweep = domain_sweep;
     }
   in
-  Store.close store';
   rm_rf dir;
   row
 
@@ -413,6 +446,35 @@ let run () =
   Render.kv "50k-object recovery"
     (Printf.sprintf "%.1fms (ceiling %.0fs)" (1000.0 *. rec_50k.rr_recovery_s)
        recovery_ceiling_s);
+  (* Multicore recovery gate.  On a host with >= 4 cores the fanned-out
+     segment scan must beat (or match) the 1-domain reopen.  On fewer
+     cores extra domains cannot help — interleaved workers only add
+     stop-the-world GC synchronization — so the gate instead pins the
+     1-domain cost of the two-phase (scan, then apply) recovery: it
+     must stay within 5% of the baseline reopen measured above, i.e.
+     restructuring recovery for parallelism is free when not used. *)
+  let cores = Domain.recommended_domain_count () in
+  let sweep = rec_50k.rr_domain_sweep in
+  let d1 = List.assoc 1 sweep in
+  let best_multi =
+    List.fold_left
+      (fun acc (d, s) -> if d > 1 then Float.min acc s else acc)
+      Float.max_float sweep
+  in
+  let recovery_domains_mode = if cores >= 4 then "measured" else "single_core" in
+  let recovery_domains_ok =
+    if cores >= 4 then best_multi <= d1
+    else d1 <= rec_50k.rr_recovery_s *. 1.05
+  in
+  List.iter
+    (fun (d, s) ->
+      Render.kv
+        (Printf.sprintf "50k recovery, %d domain%s" d (if d = 1 then "" else "s"))
+        (Printf.sprintf "%.1fms" (1000.0 *. s)))
+    sweep;
+  Render.kv "recovery domain gate"
+    (Printf.sprintf "%s (%d cores): %s" recovery_domains_mode cores
+       (if recovery_domains_ok then "ok" else "FAIL"));
 
   (* Rollback: small history vs multi-thousand-commit history.  The
      demo repo stays on disk for ci/check.sh's CLI drive-through. *)
@@ -492,6 +554,13 @@ let run () =
                  rec_rows) );
           "recovery_50k_s", Float rec_50k.rr_recovery_s;
           "recovery_under_ceiling", Bool recovery_ok;
+          ( "recovery_50k_domains",
+            List
+              (List.map
+                 (fun (d, s) -> Assoc [ "domains", Int d; "recovery_s", Float s ])
+                 sweep) );
+          "recovery_domains_mode", String recovery_domains_mode;
+          "recovery_domains_ok", Bool recovery_domains_ok;
           "rollback_small_s", Float small_s;
           "rollback_demo_s", Float demo_s;
           "rollback_demo_commits", Int demo_commits;
@@ -530,6 +599,11 @@ let run () =
       (Printf.sprintf "exp_store: rollback not O(1): %.1fms on %d commits vs %.1fms on %d"
          (1000.0 *. demo_s) demo_commits (1000.0 *. small_s) small_commits);
   if not reclaim_ok then failwith "exp_store: GC reclaimed < 90% of dead bytes";
+  if not recovery_domains_ok then
+    failwith
+      (Printf.sprintf
+         "exp_store: multi-domain recovery %.1fms vs %.1fms at 1 domain (%s, %d cores)"
+         (1000.0 *. best_multi) (1000.0 *. d1) recovery_domains_mode cores);
   if sim.sim_torn_tail_bytes = 0 then
     failwith "exp_store: crash sim produced no torn tail record";
   if not sim.sim_converged then

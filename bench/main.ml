@@ -20,6 +20,7 @@ let experiments : (string * string * (unit -> unit)) list =
     "fig14", "commit-to-fleet propagation latency (simulated)", Exp_fig14.run;
     "fig15", "Gatekeeper check throughput", Exp_fig15.run;
     "gk", "multicore Gatekeeper/Laser: scaling under config churn", Exp_gk.run;
+    "build", "multicore landing path: parallel compile + verify + sandcastle", Exp_build.run;
     "tab4", "error defense in depth", Exp_tab4.run;
     "verify", "verify-stage ablation: escapes with/without the correctness plane", Exp_verify.run;
     "pv", "PackageVessel distribution", Exp_pv.run;

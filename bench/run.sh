@@ -2,12 +2,12 @@
 # Headless driver for the performance benchmarks: builds the harness
 # and leaves BENCH_incremental.json / BENCH_distribution.json /
 # BENCH_trace.json / BENCH_vcs.json / BENCH_store.json /
-# BENCH_verify.json / BENCH_gatekeeper.json in the repository root
-# (plus _pack_demo/, a multi-thousand-commit pack repository for the
-# CLI rollback demo).
+# BENCH_verify.json / BENCH_gatekeeper.json / BENCH_build.json in the
+# repository root (plus _pack_demo/, a multi-thousand-commit pack
+# repository for the CLI rollback demo).
 #
-#   bench/run.sh          # full scale: incr + dist + trace + vcs + store + fleet + verify + gk
-#   bench/run.sh --quick  # reduced-scale dist/trace/vcs/store/fleet/verify/gk + JSON shape checks
+#   bench/run.sh          # full scale: incr + dist + trace + vcs + store + fleet + verify + gk + build
+#   bench/run.sh --quick  # reduced-scale dist/trace/vcs/store/fleet/verify/gk/build + JSON shape checks
 set -eu
 cd "$(dirname "$0")/.."
 dune build bench/main.exe
@@ -57,6 +57,11 @@ if [ "${1:-}" = "--quick" ]; then
     '"rows"' '"scaling_mode"' '"scaling_4v1_x100"' '"scaling_ok": true' \
     '"p99_storm_ok": true' '"visibility_ok": true' '"snapshot_swaps"' \
     '"laser_generation"' '"exposures_recorded"'
+  CM_BUILD_QUICK=1 dune exec bench/main.exe -- --only build
+  check_shape BENCH_build.json \
+    '"rows"' '"scaling_mode"' '"scaling_4v1_x100"' '"scaling_ok": true' \
+    '"overhead_1dom_x100"' '"overhead_ok": true' '"chain_ok": true' \
+    '"equivalence_ok": true' '"bounded_cache_ok": true'
 else
-  dune exec bench/main.exe -- --only incr dist trace vcs store fleet verify gk
+  dune exec bench/main.exe -- --only incr dist trace vcs store fleet verify gk build
 fi

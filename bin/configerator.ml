@@ -53,22 +53,37 @@ let tree_arg =
   let doc = "Directory holding the config sources (.cconf/.cinc/.thrift/...)." in
   Arg.(value & opt string "." & info [ "tree"; "t" ] ~docv:"DIR" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Compile and verify across $(docv) domains (0 = one per core, 1 = \
+     sequential).  Output is identical at any setting; only wall-clock \
+     changes."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let pool_of_jobs jobs =
+  let jobs =
+    if jobs = 0 then Cm_parallel.Pool.recommended_domains () else max 1 jobs
+  in
+  if jobs > 1 then Some (Cm_parallel.Pool.create ~domains:jobs ()) else None
+
 (* --- check / compile -------------------------------------------------- *)
 
 let print_errors errors =
   List.iter (fun e -> Printf.eprintf "error: %s\n" (Format.asprintf "%a" Core.Compiler.pp_error e)) errors
 
-let run_check tree_dir changed =
+let run_check tree_dir changed jobs =
   match load_tree tree_dir with
   | Error message ->
       Printf.eprintf "error: %s\n" message;
       1
   | Ok tree ->
+      let pool = pool_of_jobs jobs in
       let compiler = Core.Compiler.create tree in
       let compiled, errors =
         match changed with
-        | [] -> Core.Compiler.compile_all compiler
-        | changed -> Core.Compiler.compile_affected compiler ~changed
+        | [] -> Core.Compiler.compile_all ?pool compiler
+        | changed -> Core.Compiler.compile_affected ?pool compiler ~changed
       in
       Printf.printf "%d source files, %d configs compiled, %d errors\n"
         (Core.Source_tree.count tree) (List.length compiled) (List.length errors);
@@ -87,7 +102,7 @@ let check_cmd =
       & info [ "changed"; "c" ] ~docv:"PATH"
           ~doc:"Edited source path (repeatable); restricts checking to its affected cone.")
   in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run_check $ tree_arg $ changed)
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run_check $ tree_arg $ changed $ jobs_arg)
 
 let run_compile tree_dir out_dir paths pretty =
   match load_tree tree_dir with
@@ -191,17 +206,18 @@ let affected_cmd =
    tests registered via --gk/--sitevar/--mobile — and print one
    verdict per check, repairs included. *)
 
-let run_verify tree_dir changed gk_prefixes sitevar_prefixes mobile_prefixes as_json =
+let run_verify tree_dir changed gk_prefixes sitevar_prefixes mobile_prefixes as_json jobs =
   match load_tree tree_dir with
   | Error message ->
       Printf.eprintf "error: %s\n" message;
       1
   | Ok tree ->
+      let pool = pool_of_jobs jobs in
       let compiler = Core.Compiler.create tree in
       let compiled, errors =
         match changed with
-        | [] -> Core.Compiler.compile_all compiler
-        | changed -> Core.Compiler.compile_affected compiler ~changed
+        | [] -> Core.Compiler.compile_all ?pool compiler
+        | changed -> Core.Compiler.compile_affected ?pool compiler ~changed
       in
       print_errors errors;
       if errors <> [] then 1
@@ -245,6 +261,7 @@ let run_verify tree_dir changed gk_prefixes sitevar_prefixes mobile_prefixes as_
             verify_depgraph = Core.Compiler.depgraph compiler;
             verify_repo = Cm_vcs.Repo.create ();
             verify_validators = Core.Compiler.validators compiler;
+            verify_pool = pool;
           }
         in
         let verdicts = Cm_verify.Verify.run registry input in
@@ -302,7 +319,7 @@ let verify_cmd =
   in
   let as_json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdicts as JSON.") in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run_verify $ tree_arg $ changed $ gk $ sitevar $ mobile $ as_json)
+    Term.(const run_verify $ tree_arg $ changed $ gk $ sitevar $ mobile $ as_json $ jobs_arg)
 
 (* --- gk-check ----------------------------------------------------------- *)
 
@@ -576,7 +593,7 @@ let rec rm_rf path =
     end
     else Sys.remove path
 
-let run_repo_stats tree_dir backend_name commits store_name store_dir =
+let run_repo_stats tree_dir backend_name commits store_name store_dir cache_mb =
   match load_tree tree_dir with
   | Error message ->
       Printf.eprintf "error: %s\n" message;
@@ -683,6 +700,28 @@ let run_repo_stats tree_dir backend_name commits store_name store_dir =
                       (P.gc_reclaimed_bytes pack);
                     Cm_vcs.Store.close store))
               backends;
+            (* The compiler's memo cache rides along with the storage
+               report: compile the imported tree twice through a
+               (optionally budgeted) cache — the second pass is all
+               hits unless the clock-LRU sweep evicted under the
+               budget. *)
+            let module C = Core.Compiler.Cache in
+            let cache =
+              C.create
+                ?byte_budget:
+                  (if cache_mb > 0 then Some (cache_mb * 1024 * 1024) else None)
+                ()
+            in
+            let compiler = Core.Compiler.create ~cache tree in
+            ignore (Core.Compiler.compile_all compiler);
+            ignore (Core.Compiler.compile_all compiler);
+            Printf.printf
+              "compile cache: %d artifacts resident (%d bytes%s), %d hits, %d misses, %d evictions\n"
+              (C.size cache) (C.resident_bytes cache)
+              (match C.byte_budget cache with
+              | None -> ", unbounded"
+              | Some b -> Printf.sprintf " of %d budget" b)
+              (C.hits cache) (C.misses cache) (C.evictions cache);
             0)
 
 let repo_cmd =
@@ -715,9 +754,20 @@ let repo_cmd =
       & info [ "dir" ] ~docv:"DIR"
           ~doc:"Pack directory for $(b,--store pack) (one subdirectory per backend; wiped first).")
   in
+  let cache_mb =
+    Arg.(
+      value & opt int 0
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Byte budget for the compile memo cache report (0 = unbounded).  \
+             Bounded caches evict by sharded clock-LRU; the report shows \
+             resident bytes and evictions.")
+  in
   let stats_cmd =
     Cmd.v (Cmd.info "stats" ~doc:stats_doc)
-      Term.(const run_repo_stats $ tree_arg $ backend $ commits $ store $ store_dir)
+      Term.(
+        const run_repo_stats $ tree_arg $ backend $ commits $ store $ store_dir
+        $ cache_mb)
   in
   Cmd.group (Cmd.info "repo" ~doc:"Version-control storage inspection.") [ stats_cmd ]
 

@@ -32,28 +32,168 @@ let verdict_of_error { at; stage; message } =
   let layer = match stage with Validation -> "validator" | _ -> "compile" in
   Defense.fail ~stage:layer ~rule:(stage_name stage) ~path:at message
 
+(* Domain-safe, content-addressed artifact memo cache.
+
+   The keyspace is hash-sharded; each shard is an immutable map
+   behind one [Atomic.t] (the PR-8 snapshot-swap recipe from the
+   Gatekeeper/Laser check plane, applied to the write path).  The hit
+   path is wait-free — one atomic load plus a persistent-map lookup;
+   publishing a miss is a CAS loop against the freshest shard root,
+   so compiling domains never block each other and never block a
+   concurrent reader (e.g. the live tailer hitting the cache while a
+   proposal compiles on the pool).
+
+   The cache is bounded: an optional byte budget, split evenly across
+   shards, is enforced at publish time by clock-style LRU eviction —
+   every hit stamps its entry from a global tick counter, and a
+   publish that overflows its shard drops least-recently-stamped
+   entries (never the one being added) until the shard fits.  A
+   long-lived tailer thus holds a working set, not an unbounded
+   history of every closure hash it ever compiled.
+
+   Shared counters ([hits]/[misses]/[compile_seconds]) are plain
+   metrics mutated only on the caller's domain: the sequential path
+   increments directly, the parallel path accumulates into per-domain
+   [local] blocks that [merge] at the pool's join point. *)
 module Cache = struct
   module Metrics = Cm_sim.Metrics
+  module Smap = Map.Make (String)
+
+  type entry = {
+    value : compiled;
+    cost : int;                (* bytes this entry accounts for *)
+    last_used : int Atomic.t;  (* clock stamp; racy by design *)
+  }
+
+  type shard = { entries : entry Smap.t; bytes : int }
 
   type t = {
-    table : (string, compiled) Hashtbl.t; (* closure hash -> artifact *)
+    nshards : int;
+    shards : shard Atomic.t array;
+    clock : int Atomic.t;
+    byte_budget : int option;
+    shard_budget : int;  (* byte_budget / nshards, or max_int *)
+    evicted : int Atomic.t;
     hit_counter : Metrics.Counter.t;
     miss_counter : Metrics.Counter.t;
     compile_seconds : Metrics.Histogram.t;
   }
 
-  let create () =
+  let create ?byte_budget ?(shards = 16) () =
+    let nshards = max 1 shards in
     {
-      table = Hashtbl.create 256;
+      nshards;
+      shards =
+        Array.init nshards (fun _ -> Atomic.make { entries = Smap.empty; bytes = 0 });
+      clock = Atomic.make 0;
+      byte_budget;
+      shard_budget =
+        (match byte_budget with
+        | Some budget -> max 1 (budget / nshards)
+        | None -> max_int);
+      evicted = Atomic.make 0;
       hit_counter = Metrics.Counter.create ();
       miss_counter = Metrics.Counter.create ();
       compile_seconds = Metrics.Histogram.create ();
     }
 
+  (* What an entry charges against the budget: the artifact bytes plus
+     the strings hanging off the record and a fixed allowance for the
+     record, schema pointer and map node. *)
+  let entry_cost c =
+    String.length c.json_text + String.length c.config_path
+    + String.length c.artifact_path
+    + List.fold_left (fun acc d -> acc + String.length d) 0 c.deps
+    + 160
+
+  let shard_of t key = Hashtbl.hash key mod t.nshards
+
+  let find t key =
+    let root = Atomic.get t.shards.(shard_of t key) in
+    match Smap.find_opt key root.entries with
+    | Some e ->
+        Atomic.set e.last_used (Atomic.fetch_and_add t.clock 1);
+        Some e.value
+    | None -> None
+
+  (* Evict least-recently-stamped entries (never [keep]) until the
+     shard fits its budget. *)
+  let rec shrink t ~keep shard nevicted =
+    if shard.bytes <= t.shard_budget || Smap.cardinal shard.entries <= 1 then
+      shard, nevicted
+    else begin
+      let victim =
+        Smap.fold
+          (fun key e acc ->
+            if String.equal key keep then acc
+            else
+              match acc with
+              | Some (_, best) when Atomic.get best.last_used <= Atomic.get e.last_used
+                -> acc
+              | _ -> Some (key, e))
+          shard.entries None
+      in
+      match victim with
+      | None -> shard, nevicted
+      | Some (key, e) ->
+          shrink t ~keep
+            { entries = Smap.remove key shard.entries; bytes = shard.bytes - e.cost }
+            (nevicted + 1)
+    end
+
+  let rec store t key value =
+    let cell = t.shards.(shard_of t key) in
+    let old = Atomic.get cell in
+    if Smap.mem key old.entries then ()
+      (* a racing publisher won; closure hashes are content addresses,
+         so its artifact is byte-identical to ours *)
+    else begin
+      let e =
+        {
+          value;
+          cost = entry_cost value;
+          last_used = Atomic.make (Atomic.fetch_and_add t.clock 1);
+        }
+      in
+      let grown = { entries = Smap.add key e old.entries; bytes = old.bytes + e.cost } in
+      let next, nevicted = shrink t ~keep:key grown 0 in
+      if Atomic.compare_and_set cell old next then begin
+        if nevicted > 0 then ignore (Atomic.fetch_and_add t.evicted nevicted)
+      end
+      else store t key value
+    end
+
   let hits t = Metrics.Counter.value t.hit_counter
   let misses t = Metrics.Counter.value t.miss_counter
-  let size t = Hashtbl.length t.table
+
+  let size t =
+    Array.fold_left
+      (fun acc cell -> acc + Smap.cardinal (Atomic.get cell).entries)
+      0 t.shards
+
+  let resident_bytes t =
+    Array.fold_left (fun acc cell -> acc + (Atomic.get cell).bytes) 0 t.shards
+
+  let evictions t = Atomic.get t.evicted
+  let byte_budget t = t.byte_budget
+  let shard_count t = t.nshards
   let compile_seconds t = t.compile_seconds
+
+  (* Per-domain counter block, merged on the caller's domain at the
+     pool's join point — shared metrics are never touched from a
+     worker. *)
+  type local = {
+    mutable lhits : int;
+    mutable lmisses : int;
+    mutable lsamples : float list;  (* per-miss compile seconds, newest first *)
+  }
+
+  let local () = { lhits = 0; lmisses = 0; lsamples = [] }
+
+  let merge t l =
+    if l.lhits > 0 then Metrics.Counter.incr ~by:l.lhits t.hit_counter;
+    if l.lmisses > 0 then Metrics.Counter.incr ~by:l.lmisses t.miss_counter;
+    List.iter (Metrics.Histogram.add t.compile_seconds) (List.rev l.lsamples)
 end
 
 type t = {
@@ -249,41 +389,80 @@ let closure_hash t path =
 
 (* Memoized compile: unchanged transitive closures are never
    re-evaluated.  Only successful artifacts are cached — errors are
-   cheap to reproduce and must stay attributable to current sources. *)
-let compile_memo t path =
+   cheap to reproduce and must stay attributable to current sources.
+   The [stats] block receives the hit/miss/latency accounting; the
+   sequential entry point merges it into the shared counters
+   immediately, the parallel one at the pool's join. *)
+let compile_memo_local t stats path =
   let key = closure_hash t path in
-  match Hashtbl.find_opt t.cache.Cache.table key with
+  match Cache.find t.cache key with
   | Some compiled ->
-      Cache.Metrics.Counter.incr t.cache.Cache.hit_counter;
+      stats.Cache.lhits <- stats.Cache.lhits + 1;
       Ok compiled
   | None ->
       let started = Sys.time () in
       let result = compile t path in
-      Cache.Metrics.Histogram.add t.cache.Cache.compile_seconds
-        (Sys.time () -. started);
-      Cache.Metrics.Counter.incr t.cache.Cache.miss_counter;
+      stats.Cache.lsamples <- (Sys.time () -. started) :: stats.Cache.lsamples;
+      stats.Cache.lmisses <- stats.Cache.lmisses + 1;
       (match result with
-      | Ok compiled -> Hashtbl.replace t.cache.Cache.table key compiled
+      | Ok compiled -> Cache.store t.cache key compiled
       | Error _ -> ());
       result
 
-let collect t targets =
+let compile_memo t path =
+  let stats = Cache.local () in
+  let result = compile_memo_local t stats path in
+  Cache.merge t.cache stats;
+  result
+
+(* Fold per-path results into ([oks], [errors]), both in [targets]
+   order — the canonical output ordering every compile entry point
+   (sequential or parallel) produces. *)
+let assemble targets result_of =
   List.fold_left
     (fun (oks, errors) path ->
-      match compile_memo t path with
+      match result_of path with
       | Ok compiled -> compiled :: oks, errors
       | Error e -> oks, e :: errors)
     ([], []) targets
   |> fun (oks, errors) -> List.rev oks, List.rev errors
 
+(* Parallel collect: topologically level-order the targets from the
+   dependency graph, fan each level out to the domain pool (workers
+   claim configs with one fetch-and-add; per-domain counter blocks
+   merge at each level's join), then assemble results in target
+   order.  Because distinct config paths have distinct closure hashes
+   (a config's own path and source are part of its closure), no two
+   in-flight compiles share a memo key — hit/miss totals are
+   identical to the sequential path's, and so is the assembled
+   output, bit for bit. *)
+let collect_par t pool targets =
+  let results = Hashtbl.create (max 16 (List.length targets)) in
+  List.iter
+    (fun level ->
+      let level = Array.of_list level in
+      let out =
+        Cm_parallel.Pool.map_local pool ~local:Cache.local
+          ~f:(fun stats path -> compile_memo_local t stats path)
+          ~merge:(Cache.merge t.cache) level
+      in
+      Array.iteri (fun i result -> Hashtbl.replace results level.(i) result) out)
+    (Depgraph.levels t.dep targets);
+  assemble targets (Hashtbl.find results)
+
+let collect ?pool t targets =
+  match pool with
+  | Some pool -> collect_par t pool targets
+  | None -> assemble targets (compile_memo t)
+
 let note_changed t changed =
   List.iter (fun path -> Depgraph.update_file t.dep t.tree path) changed
 
-let compile_affected t ~changed =
+let compile_affected ?pool t ~changed =
   note_changed t changed;
-  collect t (Depgraph.affected_configs t.dep changed)
+  collect ?pool t (Depgraph.affected_configs t.dep changed)
 
-let compile_all t =
-  collect t
+let compile_all ?pool t =
+  collect ?pool t
     (Source_tree.paths_of_kind t.tree Source_tree.Cconf
     @ Source_tree.paths_of_kind t.tree Source_tree.Raw)

@@ -57,18 +57,60 @@ val digest_of_text : string -> string
 
 (** Content-addressed artifact memo table.  Keys are closure hashes,
     so a table can be shared between compilers over different trees:
-    identical closure bytes imply an identical artifact. *)
+    identical closure bytes imply an identical artifact.
+
+    The table is domain-safe: hash-sharded immutable maps behind
+    atomics — lookups are wait-free (one atomic load per shard), a
+    publish is a CAS retry loop, so a pool of compiling domains (and
+    any concurrent reader, e.g. the live tailer) never block each
+    other.  With [byte_budget] set the cache is bounded by clock-LRU
+    eviction at publish time; without it, it grows without bound as
+    before. *)
 module Cache : sig
   type t
 
-  val create : unit -> t
+  val create : ?byte_budget:int -> ?shards:int -> unit -> t
+  (** [byte_budget] bounds the resident artifact bytes (approximately:
+      the budget is split evenly across [shards], 16 by default, and
+      enforced per shard).  Unset means unbounded. *)
+
   val hits : t -> int
   val misses : t -> int
   val size : t -> int
   (** Number of distinct artifacts retained. *)
 
+  val resident_bytes : t -> int
+  (** Bytes currently charged against the budget. *)
+
+  val evictions : t -> int
+  (** Entries dropped by the clock-LRU sweep since creation. *)
+
+  val byte_budget : t -> int option
+  val shard_count : t -> int
+
   val compile_seconds : t -> Cm_sim.Metrics.Histogram.t
   (** Per-miss compile latency (CPU seconds); hits cost no samples. *)
+
+  (** {2 Direct access (tests and custom schedulers)} *)
+
+  val find : t -> string -> compiled option
+  (** Wait-free lookup by closure hash; stamps the entry's clock. *)
+
+  val store : t -> string -> compiled -> unit
+  (** CAS-publish an artifact under its closure hash, evicting to the
+      byte budget.  Losing a race to an identical key is a no-op. *)
+
+  (** Per-domain counter block: workers on a pool accumulate hits,
+      misses and compile-latency samples privately and the caller
+      merges them into the shared counters at the join point. *)
+  type local = {
+    mutable lhits : int;
+    mutable lmisses : int;
+    mutable lsamples : float list;
+  }
+
+  val local : unit -> local
+  val merge : t -> local -> unit
 end
 
 type t
@@ -93,20 +135,26 @@ val compile : t -> string -> (compiled, error) result
 (** Compile one [*.cconf] or raw config by source path — always
     re-evaluates; no memoization. *)
 
-val compile_all : t -> (compiled list * error list)
+val compile_all : ?pool:Cm_parallel.Pool.t -> t -> (compiled list * error list)
 (** Compile every config in the tree ([*.cconf] + raw), through the
-    memo table. *)
+    memo table.  With [pool], configs fan out across its domains in
+    dependency level order ({!Depgraph.levels}); the result — artifact
+    list, error list and ordering, cache counter totals — is identical
+    to the sequential run's. *)
 
 val note_changed : t -> string list -> unit
 (** Re-index the given paths in the compiler's dependency graph after
     their tree content changed ({!Depgraph.update_file} per path). *)
 
-val compile_affected : t -> changed:string list -> (compiled list * error list)
+val compile_affected :
+  ?pool:Cm_parallel.Pool.t -> t -> changed:string list -> (compiled list * error list)
 (** The incremental entry point: re-index [changed], compute the
     affected cone ({!Depgraph.affected_configs}), and compile it
     through the memo table.  Configs outside the cone are untouched;
     configs inside the cone whose transitive closure bytes are
-    unchanged are cache hits. *)
+    unchanged are cache hits.  With [pool], the cone compiles in
+    parallel level order with deterministic, sequential-identical
+    output (see {!compile_all}). *)
 
 val closure_hash : t -> string -> string
 (** Content hash of a config's transitive source closure (its own

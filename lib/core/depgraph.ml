@@ -122,4 +122,46 @@ let transitive_deps t path =
   walk path;
   List.sort String.compare (Hashtbl.fold (fun dep () acc -> dep :: acc) visited [])
 
+(* Level-order scheduling for the parallel compile plane: partition a
+   set of paths so that a path lands strictly after every member of
+   the set it (transitively) imports.  Within a level no member
+   depends on another, so a domain pool may compile a whole level
+   concurrently; levels are emitted in dependency order and each level
+   is sorted, making the schedule a pure function of the graph.  For
+   the common case — configs that only share [.cinc]/[.thrift]
+   modules, never import each other — this is a single level. *)
+let levels t paths =
+  let paths = List.sort_uniq String.compare paths in
+  match paths with
+  | [] -> []
+  | _ ->
+      let in_set = Hashtbl.create (List.length paths) in
+      List.iter (fun p -> Hashtbl.replace in_set p ()) paths;
+      let depth = Hashtbl.create (List.length paths) in
+      let rec depth_of p =
+        match Hashtbl.find_opt depth p with
+        | Some d -> d
+        | None ->
+            (* Pre-mark so an import cycle (possible in unparseable or
+               adversarial trees) terminates at depth 0 instead of
+               recursing forever. *)
+            Hashtbl.replace depth p 0;
+            let d =
+              List.fold_left
+                (fun acc dep ->
+                  if Hashtbl.mem in_set dep && not (String.equal dep p) then
+                    max acc (1 + depth_of dep)
+                  else acc)
+                0 (transitive_deps t p)
+            in
+            Hashtbl.replace depth p d;
+            d
+      in
+      let max_depth = List.fold_left (fun acc p -> max acc (depth_of p)) 0 paths in
+      let buckets = Array.make (max_depth + 1) [] in
+      (* [paths] is sorted ascending; consing reverses, so reverse once
+         per bucket below to keep each level sorted. *)
+      List.iter (fun p -> buckets.(depth_of p) <- p :: buckets.(depth_of p)) paths;
+      Array.to_list (Array.map List.rev buckets)
+
 let file_count t = Hashtbl.length t.deps

@@ -43,4 +43,14 @@ val affected_configs : t -> string list -> string list
 val transitive_deps : t -> string -> string list
 (** Full import closure of a file. *)
 
+val levels : t -> string list -> string list list
+(** Topological level order over the given set: each returned level
+    holds paths that do not (transitively) import any other member of
+    their own level — they may be compiled concurrently — and every
+    path appears strictly after the members of the set it imports.
+    Levels are in dependency order, each level sorted, the whole
+    schedule a pure function of the graph (duplicates dropped).
+    Configs that only share modules, never importing each other, form
+    a single level. *)
+
 val file_count : t -> int

@@ -1,0 +1,12 @@
+(* Core-side façade over the domain pool, so the landing-path modules
+   (pipeline, sandcastle, verify drivers) share one spelling for
+   "optionally fan this out".  [None] means strictly sequential — the
+   exact pre-parallel code path, not a 1-domain pool. *)
+
+module Pool = Cm_parallel.Pool
+
+let map_ordered (pool : Pool.t option) (f : 'a -> 'b) (items : 'a list) :
+    'b list =
+  match pool with
+  | None -> List.map f items
+  | Some pool -> Pool.map_list pool f items

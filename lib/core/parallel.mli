@@ -1,0 +1,11 @@
+(** Core-side façade over {!Cm_parallel.Pool} for the landing path:
+    one spelling for "optionally fan this out across domains". *)
+
+module Pool = Cm_parallel.Pool
+
+val map_ordered : Pool.t option -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_ordered pool f items] is [List.map f items] when [pool] is
+    [None] (the sequential landing path, byte-for-byte the old code);
+    with a pool, items fan out across its domains and the results come
+    back in input order — so callers' downstream output is identical
+    either way. *)

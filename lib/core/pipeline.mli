@@ -49,6 +49,10 @@ type verify_input = {
   verify_depgraph : Depgraph.t;             (** index over the clone *)
   verify_repo : Cm_vcs.Repo.t;              (** for last-landed repairs *)
   verify_validators : Validator.t;          (** for range-based repairs *)
+  verify_pool : Cm_parallel.Pool.t option;
+      (** the pipeline's domain pool when it runs with [jobs > 1]; the
+          stage may fan independent checks out on it, provided the
+          verdict list stays identical to its sequential order *)
 }
 
 type verify_stage = verify_input -> Defense.verdict list
@@ -64,6 +68,7 @@ val create :
   ?validators:Validator.t ->
   ?landing_mode:Landing_strip.mode ->
   ?verify:verify_stage ->
+  ?jobs:int ->
   Cm_sim.Net.t ->
   Cm_zeus.Service.t ->
   Source_tree.t ->
@@ -71,7 +76,13 @@ val create :
 (** Builds the whole stack around an existing source tree: compiler,
     dependency service, review, sandcastle, landing strip on a fresh
     repository, tailer.  Call {!bootstrap} to seed the repository with
-    the tree's current contents, then {!start}. *)
+    the tree's current contents, then {!start}.
+
+    [jobs] (default 1) sizes the landing path's domain pool: compile
+    levels, sandcastle checks and the verify stage fan out across
+    [jobs] domains.  [jobs <= 1] builds no pool at all — every stage
+    runs its exact sequential code path.  Outcomes are identical
+    either way; only wall-clock changes. *)
 
 val set_verify : t -> verify_stage -> unit
 (** Attach (or replace) the verify stage after construction. *)
@@ -126,3 +137,9 @@ val propose_sync :
 (** Runs the engine until the proposal resolves. *)
 
 val landed_count : t -> int
+
+val jobs : t -> int
+(** The configured parallelism (1 when no pool was built). *)
+
+val pool : t -> Cm_parallel.Pool.t option
+(** The landing path's domain pool, when [jobs > 1]. *)

@@ -96,7 +96,7 @@ let add_check t check = t.checks <- t.checks @ [ check ]
 
 let passed = Defense.all_passed
 
-let run t artifacts =
+let run ?pool t artifacts =
   (* CI re-validates only artifacts whose bytes it has not already
      passed: a cache-hit compile produces the exact artifact a previous
      run vetted, so re-checking it is pure cost. *)
@@ -104,8 +104,12 @@ let run t artifacts =
     List.filter (fun c -> not (Hashtbl.mem t.validated (artifact_key c))) artifacts
   in
   t.nskipped <- t.nskipped + (List.length artifacts - List.length fresh);
+  (* Checks are independent of each other and read-only over [fresh],
+     so they fan out across the pool; [map_ordered] keeps the report in
+     check-registration order, identical to the sequential run.  The
+     [validated] table is only written below, after the join. *)
   let report =
-    List.map
+    Parallel.map_ordered pool
       (fun check ->
         Defense.of_finding ~stage:"sandcastle" ~rule:check.check_name (check.run fresh))
       t.checks

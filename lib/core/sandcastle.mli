@@ -19,11 +19,14 @@ val create : ?with_defaults:bool -> unit -> t
 
 val add_check : t -> check -> unit
 
-val run : t -> Compiler.compiled list -> report
+val run : ?pool:Cm_parallel.Pool.t -> t -> Compiler.compiled list -> report
 (** Checks run only over artifacts whose content (digest + typing
     metadata) this instance has not already validated successfully;
     byte-identical artifacts from earlier passing runs are skipped.
-    Failing artifacts are always re-checked. *)
+    Failing artifacts are always re-checked.  With [pool], independent
+    checks fan out across its domains; the report order (and the
+    validated-set bookkeeping, done after the join) is identical to
+    the sequential run. *)
 
 val passed : report -> bool
 

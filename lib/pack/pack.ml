@@ -214,7 +214,8 @@ let read_snapshot dir =
 (* --- open / recovery -------------------------------------------------- *)
 
 let create ~dir ?(sync_window = 0.05) ?(segment_max_bytes = 8 * 1024 * 1024)
-    ?(compact_min_dead_fraction = 0.25) ?(clock = Unix.gettimeofday) () =
+    ?(compact_min_dead_fraction = 0.25) ?(clock = Unix.gettimeofday)
+    ?(domains = 1) () =
   mkdirs dir;
   let existing =
     Array.to_list (Sys.readdir dir)
@@ -253,11 +254,25 @@ let create ~dir ?(sync_window = 0.05) ?(segment_max_bytes = 8 * 1024 * 1024)
         | Some mark when off < mark -> not (Hashtbl.mem live oid)
         | Some _ | None -> false)
   in
-  let opened =
-    List.map
+  (* Recovery is two-phase so it can use multiple domains.  The scan
+     phase — load each segment image and walk its record framing, the
+     bulk of the work — fans out across the pool: a segment is scanned
+     by exactly one worker and segments never share file descriptors.
+     The apply phase below stays sequential, in segment order (oldest
+     first), because duplicate-skip and GC-dead decisions depend on
+     which record the whole pack saw first. *)
+  let scan_pool = Cm_parallel.Pool.create ~domains () in
+  let scanned =
+    Cm_parallel.Pool.map_list scan_pool
       (fun id ->
         let seg = Segment.open_existing ~dir ~id in
         let items, tail = Record.scan (Segment.load_disk seg) in
+        id, seg, items, tail)
+      valid
+  in
+  let opened =
+    List.map
+      (fun (id, seg, items, tail) ->
         List.iter
           (fun item ->
             match item with
@@ -284,7 +299,7 @@ let create ~dir ?(sync_window = 0.05) ?(segment_max_bytes = 8 * 1024 * 1024)
             torn := !torn + bytes);
         Hashtbl.replace seg_by_id id seg;
         seg)
-      valid
+      scanned
   in
   (* Generation log: same framing, same recovery discipline. *)
   let gens_path = Filename.concat dir gens_name in

@@ -72,6 +72,7 @@ val create :
   ?segment_max_bytes:int ->
   ?compact_min_dead_fraction:float ->
   ?clock:(unit -> float) ->
+  ?domains:int ->
   unit ->
   t
 (** Opens (or initialises) a pack directory.  [sync_window] (default
@@ -79,7 +80,11 @@ val create :
     (default wall clock; simulations pass [Engine.now]).
     [segment_max_bytes] (default 8 MiB) rolls the active segment.
     [compact_min_dead_fraction] (default 0.25) is the dead-byte
-    fraction beyond which GC compacts a segment. *)
+    fraction beyond which GC compacts a segment.  [domains] (default
+    1) fans the recovery scan — per-segment image load + record-frame
+    walk — across that many domains; index construction stays
+    sequential in segment order, so the recovered state is identical
+    at any setting. *)
 
 val dir : t -> string
 val recovery : t -> recovery

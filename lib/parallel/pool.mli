@@ -1,0 +1,42 @@
+(** A small domain pool: deterministic fan-out of independent work
+    items across OCaml 5 domains.
+
+    Items are claimed with one atomic fetch-and-add and every result
+    lands in its item's output slot, so output order equals input
+    order regardless of completion order — the property the parallel
+    landing path relies on to stay bit-identical to its sequential
+    counterpart.  A 1-domain pool (or a 1-item call) runs inline on
+    the caller's domain with no spawns. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [domains] defaults to 1 and is clamped to [>= 1]. *)
+
+val domains : t -> int
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves
+    to at the CLI. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f items]: apply [f] to every item on the pool.
+    Results are in input order.  If any [f] raises, remaining items
+    are abandoned, all domains are joined, and the first exception
+    observed is re-raised on the caller's domain. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val map_local :
+  t ->
+  local:(unit -> 's) ->
+  f:('s -> 'a -> 'b) ->
+  merge:('s -> unit) ->
+  'a array ->
+  'b array
+(** Like {!map_array}, with worker-local state: each worker calls
+    [local ()] once, threads the state through its items, and the
+    caller's domain runs [merge] on every worker's state after the
+    join (in worker order) — the pattern for per-domain counter
+    blocks that merge into shared metrics at the join point.  On an
+    exception the states are not merged. *)

@@ -23,11 +23,13 @@ type backend =
       segment_max_bytes : int;
       compact_min_dead_fraction : float;
       clock : (unit -> float) option;
+      domains : int;
     }
 
 let pack_backend ?(sync_window = 0.05) ?(segment_max_bytes = 8 * 1024 * 1024)
-    ?(compact_min_dead_fraction = 0.25) ?clock dir =
-  Pack { dir; sync_window; segment_max_bytes; compact_min_dead_fraction; clock }
+    ?(compact_min_dead_fraction = 0.25) ?clock ?(domains = 1) dir =
+  Pack
+    { dir; sync_window; segment_max_bytes; compact_min_dead_fraction; clock; domains }
 
 type gen = {
   gen_num : int;
@@ -63,10 +65,12 @@ let create ?(backend = Memory) () =
   let impl =
     match backend with
     | Memory -> Mem (Hashtbl.create 1024)
-    | Pack { dir; sync_window; segment_max_bytes; compact_min_dead_fraction; clock } ->
+    | Pack
+        { dir; sync_window; segment_max_bytes; compact_min_dead_fraction; clock; domains }
+      ->
         let pack =
           Cm_pack.Pack.create ~dir ~sync_window ~segment_max_bytes
-            ~compact_min_dead_fraction ?clock ()
+            ~compact_min_dead_fraction ?clock ~domains ()
         in
         Pk { pack; cache = Hashtbl.create 1024 }
   in

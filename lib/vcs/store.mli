@@ -64,6 +64,7 @@ type backend =
       segment_max_bytes : int;
       compact_min_dead_fraction : float;
       clock : (unit -> float) option;
+      domains : int;
     }
 
 val pack_backend :
@@ -71,10 +72,13 @@ val pack_backend :
   ?segment_max_bytes:int ->
   ?compact_min_dead_fraction:float ->
   ?clock:(unit -> float) ->
+  ?domains:int ->
   string ->
   backend
 (** [pack_backend dir] with the {!Cm_pack.Pack.create} defaults
-    (50 ms sync window, 8 MiB segments, 0.25 compaction threshold). *)
+    (50 ms sync window, 8 MiB segments, 0.25 compaction threshold,
+    single-domain recovery scan; [domains] fans the open-time segment
+    scan out without changing the recovered state). *)
 
 type t
 

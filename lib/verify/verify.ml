@@ -52,80 +52,103 @@ let note t verdict =
   if verdict.Defense.repair <> None then t.nrepairs <- t.nrepairs + 1;
   verdict
 
+(* The verify stage fans out across the pipeline's domain pool (when
+   one is attached): every static check, applicable invariant and
+   (test, artifact) pair is an independent read-only job.  Two things
+   stay on the caller's domain, at the join point, to keep the stage's
+   observable behavior identical to the sequential run:
+
+   - the [note] counters — per the per-domain-counters rule, workers
+     never touch shared mutable state;
+   - repair synthesis — [Repair.suggest] reads the repo (whose pack
+     backend shares a seeking file descriptor), and repairs only exist
+     for failing verdicts, so deferring them costs nothing on the
+     all-green path.
+
+   Each job therefore returns [(verdict, deferred-repair)] pairs; jobs
+   are enumerated in the sequential order (statics, then invariants,
+   then tests) and the pool preserves that order, so the final verdict
+   list is identical with 1 or N domains. *)
 let run t (input : Pipeline.verify_input) =
   let compiled = input.Pipeline.verify_compiled in
   let repair_for ~target ~accepts =
     Repair.suggest ~validators:input.Pipeline.verify_validators
       ~repo:input.Pipeline.verify_repo ~compiled:target ~accepts ()
   in
-  let statics =
-    List.concat_map
-      (fun check ->
-        match check.Static.run ~tree:input.Pipeline.verify_tree ~compiled with
-        | [] ->
-            [ note t (Defense.pass ~stage:"verify" ~rule:check.Static.check_name "clean") ]
-        | findings ->
-            List.map
-              (fun f ->
-                note t (Defense.of_finding ~stage:"verify" ~rule:check.Static.check_name f))
-              findings)
-      t.static_checks
-  in
-  let invariants =
-    List.filter_map
-      (fun (name, prefix, invariant) ->
-        match under_prefix ~prefix compiled with
-        | [] -> None
-        | subset ->
-            let finding = invariant subset in
-            let verdict = Defense.of_finding ~stage:"verify" ~rule:name finding in
-            let verdict =
-              if verdict.Defense.passed then verdict
-              else
-                (* Repair the artifact the invariant blames, if it is
-                   part of the cone. *)
-                match
-                  List.find_opt
-                    (fun c ->
-                      String.equal c.Compiler.artifact_path finding.Defense.at
-                      || String.equal c.Compiler.config_path finding.Defense.at)
-                    subset
-                with
-                | None -> verdict
-                | Some target ->
-                    let accepts json =
-                      let patched =
-                        List.map
-                          (fun c ->
-                            if String.equal c.Compiler.artifact_path target.Compiler.artifact_path
-                            then with_json c json
-                            else c)
-                          subset
-                      in
-                      (invariant patched).Defense.ok
-                    in
-                    { verdict with Defense.repair = repair_for ~target ~accepts }
-            in
-            Some (note t verdict))
-      t.invariants
-  in
-  let tests =
-    List.concat_map
-      (fun (name, prefix, test) ->
+  let no_repair () = None in
+  let static_job check () =
+    match check.Static.run ~tree:input.Pipeline.verify_tree ~compiled with
+    | [] ->
+        [ Defense.pass ~stage:"verify" ~rule:check.Static.check_name "clean", no_repair ]
+    | findings ->
         List.map
-          (fun c ->
-            let finding = test c in
-            let verdict = Defense.of_finding ~stage:"verify" ~rule:name finding in
-            let verdict =
-              if verdict.Defense.passed then verdict
-              else
-                let accepts json = (test (with_json c json)).Defense.ok in
-                { verdict with Defense.repair = repair_for ~target:c ~accepts }
-            in
-            note t verdict)
-          (under_prefix ~prefix compiled))
-      t.tests
+          (fun f ->
+            Defense.of_finding ~stage:"verify" ~rule:check.Static.check_name f, no_repair)
+          findings
   in
-  statics @ invariants @ tests
+  let invariant_job (name, prefix, invariant) () =
+    match under_prefix ~prefix compiled with
+    | [] -> []
+    | subset ->
+        let finding = invariant subset in
+        let verdict = Defense.of_finding ~stage:"verify" ~rule:name finding in
+        let repair =
+          if verdict.Defense.passed then no_repair
+          else
+            (* Repair the artifact the invariant blames, if it is
+               part of the cone. *)
+            match
+              List.find_opt
+                (fun c ->
+                  String.equal c.Compiler.artifact_path finding.Defense.at
+                  || String.equal c.Compiler.config_path finding.Defense.at)
+                subset
+            with
+            | None -> no_repair
+            | Some target ->
+                fun () ->
+                  let accepts json =
+                    let patched =
+                      List.map
+                        (fun c ->
+                          if String.equal c.Compiler.artifact_path target.Compiler.artifact_path
+                          then with_json c json
+                          else c)
+                        subset
+                    in
+                    (invariant patched).Defense.ok
+                  in
+                  repair_for ~target ~accepts
+        in
+        [ verdict, repair ]
+  in
+  let test_job name test c () =
+    let finding = test c in
+    let verdict = Defense.of_finding ~stage:"verify" ~rule:name finding in
+    let repair =
+      if verdict.Defense.passed then no_repair
+      else
+        fun () ->
+          let accepts json = (test (with_json c json)).Defense.ok in
+          repair_for ~target:c ~accepts
+    in
+    [ verdict, repair ]
+  in
+  let jobs =
+    List.map static_job t.static_checks
+    @ List.map invariant_job t.invariants
+    @ List.concat_map
+        (fun (name, prefix, test) ->
+          List.map (test_job name test) (under_prefix ~prefix compiled))
+        t.tests
+  in
+  Core.Parallel.map_ordered input.Pipeline.verify_pool (fun job -> job ()) jobs
+  |> List.concat
+  |> List.map (fun (verdict, repair) ->
+         let verdict =
+           if verdict.Defense.passed then verdict
+           else { verdict with Defense.repair = repair () }
+         in
+         note t verdict)
 
 let attach t pipeline = Pipeline.set_verify pipeline (run t)

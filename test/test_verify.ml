@@ -24,7 +24,7 @@ let compile_tree ?validators alist =
          (List.map (fun e -> Format.asprintf "%a" Compiler.pp_error e) errors));
   tree, compiler, compiled
 
-let input_of ?repo ?validators (tree, compiler, compiled) =
+let input_of ?repo ?validators ?pool (tree, compiler, compiled) =
   {
     Pipeline.verify_changes = [];
     verify_compiled = compiled;
@@ -33,6 +33,7 @@ let input_of ?repo ?validators (tree, compiler, compiled) =
     verify_repo = Option.value ~default:(Cm_vcs.Repo.create ()) repo;
     verify_validators =
       (match validators with Some v -> v | None -> Compiler.validators compiler);
+    verify_pool = pool;
   }
 
 let job_tree memory =
